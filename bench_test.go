@@ -1,0 +1,218 @@
+package nvramfs
+
+// One benchmark per table and figure of the paper's evaluation. Each
+// benchmark regenerates its experiment end to end; run
+//
+//	go test -bench=. -benchmem
+//
+// to reproduce every result. Benchmarks share a workspace at a reduced
+// workload scale so the suite completes quickly; cmd/nvreport runs the
+// same experiments at paper scale (see EXPERIMENTS.md for the paper-scale
+// numbers and comparison).
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+const benchScale = 0.2
+
+var benchWS = struct {
+	once sync.Once
+	ws   *Workspace
+}{}
+
+// benchWorkspace returns the shared workspace, generating the traces once
+// outside benchmark timing.
+func benchWorkspace(b *testing.B) *Workspace {
+	b.Helper()
+	benchWS.once.Do(func() {
+		benchWS.ws = NewWorkspace(benchScale)
+		// Pre-generate every trace so individual benchmarks time the
+		// experiment, not trace synthesis.
+		for i := 1; i <= NumStandardTraces; i++ {
+			if _, err := benchWS.ws.Ops(i); err != nil {
+				panic(err)
+			}
+		}
+	})
+	return benchWS.ws
+}
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := RenderTable1(discard{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure2(b *testing.B) {
+	ws := benchWorkspace(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := Figure2(ws)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Frac) != NumStandardTraces {
+			b.Fatal("incomplete figure")
+		}
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	ws := benchWorkspace(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := Table2(ws)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.All.Total == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkFigure3(b *testing.B) {
+	ws := benchWorkspace(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Figure3(ws); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure4(b *testing.B) {
+	ws := benchWorkspace(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Figure4(ws); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure5(b *testing.B) {
+	ws := benchWorkspace(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Figure5(ws); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure6(b *testing.B) {
+	ws := benchWorkspace(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fig6, err := Figure6(ws)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// The Section 2.7 cost study consumes Figure 6 directly.
+		if cs := CostStudy(fig6); len(cs.Rows) == 0 {
+			b.Fatal("no cost rows")
+		}
+	}
+}
+
+func BenchmarkBusTraffic(b *testing.B) {
+	ws := benchWorkspace(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BusTraffic(ws); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchServerDuration keeps the Tables 3-4 benchmark quick; EXPERIMENTS.md
+// records the full 14-day run.
+const benchServerDuration = 6 * time.Hour
+
+func BenchmarkTable3and4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := ServerStudy(benchServerDuration)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Rows) != 8 {
+			b.Fatal("incomplete study")
+		}
+	}
+}
+
+func BenchmarkWriteBuffer(b *testing.B) {
+	// The write-buffer comparison on the fsync-dominated file system.
+	for i := 0; i < b.N; i++ {
+		plain, err := RunServer("/user6", benchServerDuration, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		buffered, err := RunServer("/user6", benchServerDuration, 512<<10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if buffered.DiskWrites >= plain.DiskWrites {
+			b.Fatal("buffer did not reduce disk writes")
+		}
+	}
+}
+
+func BenchmarkSortedBuffer(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := SortedBuffer()
+		if len(r.Depths) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+// Microbenchmarks of the simulator itself.
+
+func BenchmarkSimUnifiedTrace7(b *testing.B) {
+	tr, err := StandardTrace(7, benchScale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := tr.RunCache(CacheConfig{Model: "unified", VolatileMB: 8, NVRAMMB: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(res.Traffic.AppReadBytes + res.Traffic.AppWriteBytes)
+	}
+}
+
+func BenchmarkLifetimeAnalysis(b *testing.B) {
+	tr, err := StandardTrace(1, benchScale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.Analyze(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTraceGeneration(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := StandardTrace(1, benchScale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// discard is an io.Writer sink without importing io/ioutil in benches.
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }

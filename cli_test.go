@@ -1,0 +1,90 @@
+package nvramfs_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCLI builds the four command-line tools and drives them end to end:
+// generate a trace file, inspect it, simulate against it, and run the
+// server study. Skipped under -short (it shells out to the Go toolchain).
+func TestCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration test skipped in -short mode")
+	}
+	dir := t.TempDir()
+	bin := func(name string) string { return filepath.Join(dir, name) }
+	for _, tool := range []string{"nvtrace", "nvsim", "nvlfs", "nvreport"} {
+		out, err := exec.Command("go", "build", "-o", bin(tool), "./cmd/"+tool).CombinedOutput()
+		if err != nil {
+			t.Fatalf("building %s: %v\n%s", tool, err, out)
+		}
+	}
+	run := func(name string, args ...string) string {
+		t.Helper()
+		out, err := exec.Command(bin(name), args...).CombinedOutput()
+		if err != nil {
+			t.Fatalf("%s %v: %v\n%s", name, args, err, out)
+		}
+		return string(out)
+	}
+
+	// Generate one small trace file.
+	out := run("nvtrace", "-trace", "7", "-scale", "0.02", "-out", dir)
+	if !strings.Contains(out, "trace7.nvft") {
+		t.Fatalf("nvtrace output: %s", out)
+	}
+	tracePath := filepath.Join(dir, "trace7.nvft")
+	if fi, err := os.Stat(tracePath); err != nil || fi.Size() == 0 {
+		t.Fatalf("trace file missing: %v", err)
+	}
+
+	// Inspect it.
+	out = run("nvtrace", "-stats", tracePath)
+	if !strings.Contains(out, "bytes written") {
+		t.Fatalf("nvtrace -stats output: %s", out)
+	}
+	out = run("nvtrace", "-dump", tracePath, "-n", "5")
+	if !strings.Contains(out, "(5 events shown)") {
+		t.Fatalf("nvtrace -dump output: %s", out)
+	}
+
+	// A template config round-trips through generation.
+	tmpl := run("nvtrace", "-template")
+	cfgPath := filepath.Join(dir, "custom.json")
+	if err := os.WriteFile(cfgPath, []byte(tmpl), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate against the trace file.
+	out = run("nvsim", "-file", tracePath, "-model", "unified", "-volatile", "4", "-nvram", "0.5")
+	if !strings.Contains(out, "net write traffic") {
+		t.Fatalf("nvsim output: %s", out)
+	}
+	out = run("nvsim", "-file", tracePath, "-sweep-models", "-volatile", "4", "-nvram", "0.5")
+	if !strings.Contains(out, "hybrid") {
+		t.Fatalf("nvsim -sweep-models output: %s", out)
+	}
+
+	// The server study.
+	out = run("nvlfs", "-fs", "/user6", "-days", "0.2", "-compare")
+	if !strings.Contains(out, "/user6") {
+		t.Fatalf("nvlfs output: %s", out)
+	}
+
+	// One quick report experiment with CSV export.
+	csvDir := filepath.Join(dir, "csv")
+	if err := os.Mkdir(csvDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	out = run("nvreport", "-exp", "table1,sort", "-csv", csvDir)
+	if !strings.Contains(out, "Table 1") {
+		t.Fatalf("nvreport output: %s", out)
+	}
+	if _, err := os.Stat(filepath.Join(csvDir, "sort.csv")); err != nil {
+		t.Fatalf("CSV not written: %v", err)
+	}
+}

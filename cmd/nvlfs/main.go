@@ -1,0 +1,64 @@
+// Command nvlfs runs the server-side LFS write-buffer study for one or
+// all of the standard file systems.
+//
+// Usage:
+//
+//	nvlfs -days 14                 # all eight file systems, Tables 3-4 style
+//	nvlfs -fs /user6 -buffer 512   # one file system with a 512 KB buffer
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"nvramfs"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("nvlfs: ")
+	var (
+		fsName   = flag.String("fs", "", "file system name (empty = all)")
+		days     = flag.Float64("days", 14, "measurement period in days")
+		bufferKB = flag.Int64("buffer", 0, "NVRAM write buffer size in KB (0 = none)")
+		compare  = flag.Bool("compare", false, "also run with a 512 KB buffer and report the reduction")
+	)
+	flag.Parse()
+
+	duration := time.Duration(*days * float64(24*time.Hour))
+	names := nvramfs.ServerFileSystems()
+	if *fsName != "" {
+		names = []string{*fsName}
+	}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	defer tw.Flush()
+	fmt.Fprintln(tw, "file system\tsegments\tpartial %\tfsync-partial %\tKB/partial\tdisk writes\treduction %")
+	for _, name := range names {
+		res, err := nvramfs.RunServer(name, duration, *bufferKB<<10)
+		if err != nil {
+			log.Fatal(err)
+		}
+		st := res.Stats
+		reduction := "-"
+		if *compare {
+			buffered, err := nvramfs.RunServer(name, duration, 512<<10)
+			if err != nil {
+				log.Fatal(err)
+			}
+			reduction = fmt.Sprintf("%.1f", 100*(1-float64(buffered.DiskWrites)/float64(res.DiskWrites)))
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%.1f\t%.1f\t%.1f\t%d\t%s\n",
+			name,
+			st.FullSegments+st.PartialSegments(),
+			st.PartialFrac()*100,
+			st.FsyncPartialFrac()*100,
+			st.KBPerPartial(),
+			res.DiskWrites,
+			reduction)
+	}
+}

@@ -1,0 +1,196 @@
+// Command nvreport regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	nvreport                      # everything, at paper scale
+//	nvreport -exp fig2,table2     # selected experiments
+//	nvreport -scale 0.1           # faster, smaller workloads
+//
+// Experiments: table1 fig2 table2 fig3 fig4 fig5 fig6 bus cost table3
+// table4 buffer sort servercache fsynclat readlat stack ablate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"nvramfs"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("nvreport: ")
+	var (
+		expList    = flag.String("exp", "all", "comma-separated experiments (or \"all\")")
+		scale      = flag.Float64("scale", 1.0, "client workload scale (1.0 = paper scale)")
+		serverDays = flag.Float64("server-days", 14, "server study duration in days")
+		csvDir     = flag.String("csv", "", "also write each experiment's data as CSV into this directory")
+		plot       = flag.Bool("plot", false, "also draw ASCII charts for the figures")
+	)
+	flag.Parse()
+
+	want := map[string]bool{}
+	all := *expList == "all"
+	for _, e := range strings.Split(*expList, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	sel := func(name string) bool { return all || want[name] }
+
+	ws := nvramfs.NewWorkspace(*scale)
+	out := os.Stdout
+	section := func(name string) {
+		fmt.Fprintf(out, "\n===== %s =====\n", name)
+	}
+	check := func(err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	saveCSV := func(name string, t nvramfs.Tabular) {
+		if *csvDir == "" {
+			return
+		}
+		f, err := os.Create(filepath.Join(*csvDir, name+".csv"))
+		check(err)
+		check(nvramfs.WriteCSV(f, t))
+		check(f.Close())
+	}
+
+	if sel("table1") {
+		section("table1")
+		check(nvramfs.RenderTable1(out))
+	}
+	if sel("fig2") {
+		section("fig2")
+		r, err := nvramfs.Figure2(ws)
+		check(err)
+		check(r.Render(out))
+		if *plot {
+			check(r.Plot(out))
+		}
+		saveCSV("fig2", r)
+	}
+	if sel("table2") {
+		section("table2")
+		r, err := nvramfs.Table2(ws)
+		check(err)
+		check(r.Render(out))
+		saveCSV("table2", r)
+	}
+	if sel("fig3") {
+		section("fig3 (omniscient policy, all traces)")
+		r, err := nvramfs.Figure3(ws)
+		check(err)
+		check(r.Render(out))
+		saveCSV("fig3", r)
+	}
+	if sel("fig4") {
+		section("fig4 (replacement policies, trace 7)")
+		r, err := nvramfs.Figure4(ws)
+		check(err)
+		check(r.Render(out))
+		if *plot {
+			check(r.Plot(out, "Figure 4: replacement policies (trace 7)"))
+		}
+		saveCSV("fig4", r)
+	}
+	if sel("fig5") {
+		section("fig5 (cache models, trace 7)")
+		r, err := nvramfs.Figure5(ws)
+		check(err)
+		check(r.Render(out))
+		if *plot {
+			check(r.Plot(out, "Figure 5: cache models (trace 7)"))
+		}
+		saveCSV("fig5", r)
+	}
+	var fig6 *nvramfs.ModelCompareResult
+	if sel("fig6") || sel("cost") {
+		var err error
+		fig6, err = nvramfs.Figure6(ws)
+		check(err)
+	}
+	if sel("fig6") {
+		section("fig6 (volatile vs unified, 8/16 MB bases)")
+		check(fig6.Render(out))
+		if *plot {
+			check(fig6.Plot(out, "Figure 6: volatile vs unified (8/16 MB bases)"))
+		}
+		saveCSV("fig6", fig6)
+	}
+	if sel("cost") {
+		section("cost (section 2.7)")
+		cs := nvramfs.CostStudy(fig6)
+		check(cs.Render(out))
+		saveCSV("cost", cs)
+	}
+	if sel("bus") {
+		section("bus (section 2.6)")
+		r, err := nvramfs.BusTraffic(ws)
+		check(err)
+		check(r.Render(out))
+	}
+	if sel("table3") || sel("table4") || sel("buffer") {
+		duration := time.Duration(*serverDays * float64(24*time.Hour))
+		r, err := nvramfs.ServerStudy(duration)
+		check(err)
+		if sel("table3") {
+			section("table3")
+			check(r.RenderTable3(out))
+		}
+		if sel("table4") {
+			section("table4")
+			check(r.RenderTable4(out))
+		}
+		if sel("buffer") {
+			section("buffer (section 3)")
+			check(r.RenderBuffer(out))
+		}
+		saveCSV("server_study", r)
+	}
+	if sel("sort") {
+		section("sort (buffered+sorted writes, [20])")
+		sb := nvramfs.SortedBuffer()
+		check(sb.Render(out))
+		saveCSV("sort", sb)
+	}
+	if sel("servercache") {
+		duration := time.Duration(*serverDays * float64(24*time.Hour))
+		section("servercache (server NVRAM cache, section 3 remark)")
+		r, err := nvramfs.ServerCacheStudy(duration)
+		check(err)
+		check(r.Render(out))
+		saveCSV("servercache", r)
+	}
+	if sel("fsynclat") {
+		section("fsynclat (fsync latency, extension)")
+		r, err := nvramfs.FsyncLatencyStudy(ws)
+		check(err)
+		check(r.Render(out))
+		saveCSV("fsynclat", r)
+	}
+	if sel("readlat") {
+		section("readlat (read response vs write size, [3])")
+		r := nvramfs.ReadResponseStudy()
+		check(r.Render(out))
+		saveCSV("readlat", r)
+	}
+	if sel("stack") {
+		section("stack (end-to-end client+server pipeline, extension)")
+		r, err := nvramfs.StackStudy(ws)
+		check(err)
+		check(r.Render(out))
+		saveCSV("stack", r)
+	}
+	if sel("ablate") {
+		section("ablate (design-choice ablations)")
+		r, err := nvramfs.Ablations(ws)
+		check(err)
+		check(r.Render(out))
+	}
+}

@@ -1,0 +1,159 @@
+// Command nvsim runs one client-cache simulation and prints the traffic
+// breakdown.
+//
+// Usage:
+//
+//	nvsim -trace 7 -model unified -policy lru -volatile 8 -nvram 1
+//	nvsim -file traces/trace7.nvft -model write-aside -nvram 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+
+	"nvramfs"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("nvsim: ")
+	var (
+		traceIdx   = flag.Int("trace", 7, "standard trace index 1..8")
+		file       = flag.String("file", "", "trace file (overrides -trace)")
+		scale      = flag.Float64("scale", 1.0, "workload scale for standard traces")
+		model      = flag.String("model", "unified", "cache model: volatile | write-aside | unified")
+		policy     = flag.String("policy", "lru", "NVRAM replacement: lru | random | omniscient")
+		volatileMB = flag.Float64("volatile", 8, "volatile cache size per client (MB)")
+		nvramMB    = flag.Float64("nvram", 1, "NVRAM size per client (MB)")
+		writesOnly = flag.Bool("writes-only", false, "ignore read traffic (Figure 3 methodology)")
+		sweepNVRAM = flag.String("sweep-nvram", "", "comma-separated NVRAM sizes (MB) to sweep instead of a single run")
+		sweepModel = flag.Bool("sweep-models", false, "compare all cache models at the given sizes")
+	)
+	flag.Parse()
+
+	var (
+		tr  *nvramfs.Trace
+		err error
+	)
+	if *file != "" {
+		f, ferr := os.Open(*file)
+		if ferr != nil {
+			log.Fatal(ferr)
+		}
+		defer f.Close()
+		tr, err = nvramfs.ReadTrace(f)
+	} else {
+		tr, err = nvramfs.StandardTrace(*traceIdx, *scale)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *sweepNVRAM != "" {
+		sweep(tr, *model, *policy, *volatileMB, *sweepNVRAM, *writesOnly)
+		return
+	}
+	if *sweepModel {
+		compareModels(tr, *policy, *volatileMB, *nvramMB, *writesOnly)
+		return
+	}
+
+	res, err := tr.RunCache(nvramfs.CacheConfig{
+		Model:      *model,
+		Policy:     *policy,
+		VolatileMB: *volatileMB,
+		NVRAMMB:    *nvramMB,
+		WritesOnly: *writesOnly,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	t := &res.Traffic
+	st := tr.Stats()
+	fmt.Printf("trace %s: %d events, %d files\n", tr.Name, st.Events, st.Files)
+	fmt.Printf("model=%s policy=%s volatile=%.2fMB nvram=%.2fMB\n", *model, *policy, *volatileMB, *nvramMB)
+	fmt.Printf("application:   %12d B read   %12d B written\n", t.AppReadBytes, t.AppWriteBytes)
+	fmt.Printf("server reads:  %12d B (hit rate %.1f%%)\n", t.ServerReadBytes,
+		100*float64(t.ReadHitBytes)/maxf(float64(t.AppReadBytes), 1))
+	fmt.Printf("server writes: %12d B   net write traffic %.1f%%\n", t.ServerWriteBytes(), 100*t.NetWriteFrac())
+	for c := 0; c < int(len(t.WriteBack)); c++ {
+		if t.WriteBack[c] > 0 {
+			fmt.Printf("  %-12s %12d B\n", causeName(c), t.WriteBack[c])
+		}
+	}
+	fmt.Printf("absorbed:      %12d B overwritten, %12d B deleted\n",
+		t.AbsorbedOverwriteBytes, t.AbsorbedDeleteBytes)
+	fmt.Printf("net total traffic: %.1f%%   bus writes: %d B   NVRAM accesses: %d\n",
+		100*t.NetTotalFrac(), t.BusWriteBytes, t.NVRAMAccesses)
+	fmt.Printf("consistency: %d recalls, %d cache disables\n", res.Recalls, res.DisableEvents)
+}
+
+// sweep runs one model across several NVRAM sizes.
+func sweep(tr *nvramfs.Trace, model, policy string, volMB float64, sizes string, writesOnly bool) {
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	defer tw.Flush()
+	fmt.Fprintf(tw, "model=%s policy=%s volatile=%.2fMB\n", model, policy, volMB)
+	fmt.Fprintln(tw, "NVRAM MB\tnet write %\tnet total %\tabsorbed %")
+	for _, field := range strings.Split(sizes, ",") {
+		mb, err := strconv.ParseFloat(strings.TrimSpace(field), 64)
+		if err != nil {
+			log.Fatalf("bad sweep size %q: %v", field, err)
+		}
+		res, err := tr.RunCache(nvramfs.CacheConfig{
+			Model: model, Policy: policy,
+			VolatileMB: volMB, NVRAMMB: mb, WritesOnly: writesOnly,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		t := &res.Traffic
+		fmt.Fprintf(tw, "%.3f\t%5.1f\t%5.1f\t%5.1f\n", mb,
+			100*t.NetWriteFrac(), 100*t.NetTotalFrac(),
+			100*float64(t.AbsorbedBytes())/float64(t.AppWriteBytes))
+	}
+}
+
+// compareModels runs every cache model at one size point.
+func compareModels(tr *nvramfs.Trace, policy string, volMB, nvMB float64, writesOnly bool) {
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	defer tw.Flush()
+	fmt.Fprintf(tw, "volatile=%.2fMB nvram=%.2fMB policy=%s\n", volMB, nvMB, policy)
+	fmt.Fprintln(tw, "model\tnet write %\tnet total %\tNVRAM accesses")
+	for _, model := range []string{"volatile", "write-aside", "unified", "hybrid"} {
+		cfg := nvramfs.CacheConfig{
+			Model: model, Policy: policy,
+			VolatileMB: volMB, NVRAMMB: nvMB, WritesOnly: writesOnly,
+		}
+		if model == "volatile" {
+			cfg.NVRAMMB = 0
+		}
+		res, err := tr.RunCache(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t := &res.Traffic
+		fmt.Fprintf(tw, "%s\t%5.1f\t%5.1f\t%d\n", model,
+			100*t.NetWriteFrac(), 100*t.NetTotalFrac(), t.NVRAMAccesses)
+	}
+}
+
+func causeName(i int) string {
+	names := []string{"replacement", "cleaner", "fsync", "callback", "migration", "concurrent", "remaining"}
+	if i < len(names) {
+		return names[i]
+	}
+	return fmt.Sprintf("cause%d", i)
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

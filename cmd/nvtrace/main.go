@@ -1,0 +1,122 @@
+// Command nvtrace synthesizes, inspects, and summarizes the standard
+// Sprite-like trace files.
+//
+// Usage:
+//
+//	nvtrace -out traces/                     # generate all eight traces
+//	nvtrace -trace 7 -scale 0.5 -out traces/ # one trace, smaller volume
+//	nvtrace -stats traces/trace7.nvft        # summarize a trace file
+//	nvtrace -dump traces/trace7.nvft -n 20   # print the first 20 events
+//
+// Traces are written in the binary trace format readable by nvsim and the
+// nvramfs library's ReadTrace.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"nvramfs"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("nvtrace: ")
+	var (
+		traceIdx  = flag.Int("trace", 0, "standard trace index 1..8 (0 = all)")
+		scale     = flag.Float64("scale", 1.0, "workload volume scale (1.0 = paper scale)")
+		outDir    = flag.String("out", ".", "output directory for generation")
+		config    = flag.String("config", "", "JSON workload profile to generate from (see workload.ProfileSpec)")
+		statsFile = flag.String("stats", "", "summarize this trace file instead of generating")
+		dumpFile  = flag.String("dump", "", "pretty-print this trace file instead of generating")
+		dumpN     = flag.Int("n", 20, "events to show with -dump (0 = all)")
+		template  = flag.Bool("template", false, "print an example JSON workload profile and exit")
+	)
+	flag.Parse()
+
+	switch {
+	case *template:
+		if err := nvramfs.WorkloadTemplate(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+
+	case *config != "":
+		cf, err := os.Open(*config)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer cf.Close()
+		path := filepath.Join(*outDir, filepath.Base(*config)+".nvft")
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		n, err := nvramfs.WriteCustomTrace(f, cf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: %d events\n", path, n)
+
+	case *dumpFile != "":
+		f, err := os.Open(*dumpFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := nvramfs.DumpTrace(os.Stdout, f, *dumpN); err != nil {
+			log.Fatal(err)
+		}
+
+	case *statsFile != "":
+		f, err := os.Open(*statsFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		tr, err := nvramfs.ReadTrace(f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		st := tr.Stats()
+		fmt.Printf("trace %s\n", tr.Name)
+		fmt.Printf("  events:        %d\n", st.Events)
+		fmt.Printf("  files:         %d\n", st.Files)
+		fmt.Printf("  bytes read:    %d (%.1f MB)\n", st.BytesRead, float64(st.BytesRead)/(1<<20))
+		fmt.Printf("  bytes written: %d (%.1f MB)\n", st.BytesWritten, float64(st.BytesWritten)/(1<<20))
+		fmt.Printf("  bytes deleted: %d (%.1f MB)\n", st.BytesDeleted, float64(st.BytesDeleted)/(1<<20))
+		fmt.Printf("  opens/closes:  %d/%d\n", st.Opens, st.Closes)
+		fmt.Printf("  fsyncs:        %d\n", st.Fsyncs)
+		fmt.Printf("  migrations:    %d\n", st.Migrations)
+
+	default:
+		indices := []int{*traceIdx}
+		if *traceIdx == 0 {
+			indices = indices[:0]
+			for i := 1; i <= nvramfs.NumStandardTraces; i++ {
+				indices = append(indices, i)
+			}
+		}
+		for _, i := range indices {
+			path := filepath.Join(*outDir, fmt.Sprintf("trace%d.nvft", i))
+			f, err := os.Create(path)
+			if err != nil {
+				log.Fatal(err)
+			}
+			n, err := nvramfs.WriteStandardTrace(f, i, *scale)
+			if err != nil {
+				log.Fatalf("trace %d: %v", i, err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+			fi, _ := os.Stat(path)
+			fmt.Printf("%s: %d events, %d bytes\n", path, n, fi.Size())
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module nvramfs
+
+go 1.22

@@ -1,0 +1,95 @@
+// Package cache implements the client file-cache models of the paper's
+// Section 2: the baseline volatile cache with Sprite's 30-second delayed
+// write-back, and the two NVRAM organizations — write-aside (NVRAM shadows
+// the dirty data held in the volatile cache) and unified (dirty blocks live
+// only in NVRAM, clean blocks in either memory) — together with the LRU,
+// random, and omniscient block replacement policies.
+//
+// Caches are block-structured (4 KB in Sprite) but account for traffic at
+// byte granularity: each block tracks which byte ranges are valid and which
+// are dirty, and dirty bytes carry their write times so the simulator can
+// attribute absorption (bytes overwritten or deleted before reaching the
+// server) and write-back traffic precisely.
+package cache
+
+import (
+	"fmt"
+
+	"nvramfs/internal/interval"
+)
+
+// DefaultBlockSize is Sprite's cache block size.
+const DefaultBlockSize = 4096
+
+// BlockID identifies a cache block: a file and a block index within it.
+type BlockID struct {
+	File  uint64
+	Index int64
+}
+
+func (id BlockID) String() string { return fmt.Sprintf("f%d/b%d", id.File, id.Index) }
+
+// Block is one cached file block. Valid records which byte ranges of the
+// block's extent hold data (file-absolute offsets); Dirty records the
+// unwritten-back subset, tagged with write times. Dirty is always a subset
+// of Valid.
+type Block struct {
+	ID    BlockID
+	Valid interval.Set
+	Dirty interval.TagMap
+	// LastAccess is the time of the last read or write touching the block.
+	LastAccess int64
+	// LastModify is the time of the last write touching the block.
+	LastModify int64
+	// FirstDirty is the tag of the oldest dirty byte since the block last
+	// became dirty, or -1 while clean. The volatile model's block cleaner
+	// keys on it.
+	FirstDirty int64
+}
+
+func newBlock(id BlockID, now int64) *Block {
+	return &Block{ID: id, LastAccess: now, FirstDirty: -1}
+}
+
+// IsDirty reports whether the block holds any unwritten-back bytes.
+func (b *Block) IsDirty() bool { return b.Dirty.Len() > 0 }
+
+// markClean clears the dirty state after the block's bytes reached the
+// server (they stay valid).
+func (b *Block) markClean() {
+	b.Dirty.Clear()
+	b.FirstDirty = -1
+}
+
+// blockSpan calls fn for every block overlapped by r, passing the block
+// index and the sub-range of r falling inside that block.
+func blockSpan(r interval.Range, blockSize int64, fn func(index int64, sub interval.Range)) {
+	if r.Empty() {
+		return
+	}
+	for idx := r.Start / blockSize; idx*blockSize < r.End; idx++ {
+		sub := r.Intersect(interval.Range{Start: idx * blockSize, End: (idx + 1) * blockSize})
+		if !sub.Empty() {
+			fn(idx, sub)
+		}
+	}
+}
+
+// blockExtent returns the file-absolute extent of block idx clipped to the
+// file size (blocks never extend past end of file).
+func blockExtent(idx, blockSize, fileSize int64) interval.Range {
+	r := interval.Range{Start: idx * blockSize, End: (idx + 1) * blockSize}
+	if r.End > fileSize {
+		r.End = fileSize
+	}
+	return r
+}
+
+// segsLen sums the lengths of tagged segments.
+func segsLen(segs []interval.Seg) int64 {
+	var n int64
+	for _, g := range segs {
+		n += g.Len()
+	}
+	return n
+}

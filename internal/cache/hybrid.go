@@ -1,0 +1,260 @@
+package cache
+
+import (
+	"container/heap"
+
+	"nvramfs/internal/interval"
+)
+
+// hybridModel is the "even more closely integrated" organization the
+// paper's Section 2.6 sketches but does not simulate: dirty blocks may be
+// written to *either* memory, so the pool of blocks available to receive
+// newly-written data is the entire cache, as in the volatile model.
+// Dirty data in the NVRAM is permanent; dirty data in the volatile memory
+// is vulnerable and therefore subject to the ordinary 30-second delayed
+// write-back. The paper predicts this model would outperform both NVRAM
+// models at small NVRAM sizes, at the price of exposing some dirty data
+// for up to 30 seconds; Traffic.VulnerableWriteBytes quantifies that
+// exposure.
+//
+// Placement: a block already resident is updated in place. A new block
+// goes to whichever memory has a free slot (NVRAM first, so dirty data is
+// protected when possible); when both are full, the globally
+// least-recently-used block between the two replacement candidates is
+// evicted and the new block takes its slot.
+type hybridModel struct {
+	cfg     Config
+	vol     *Pool // LRU; may hold dirty blocks (exposed, cleaner-flushed)
+	nv      *Pool // configured policy; dirty blocks here are permanent
+	cleaner cleanerHeap
+	traffic Traffic
+}
+
+func newHybrid(cfg Config, pol Policy) *hybridModel {
+	return &hybridModel{
+		cfg: cfg,
+		vol: NewPool(cfg.VolatileBlocks, newLRUPolicy()),
+		nv:  NewPool(cfg.NVRAMBlocks, pol),
+	}
+}
+
+func (m *hybridModel) Kind() ModelKind   { return ModelHybrid }
+func (m *hybridModel) Traffic() *Traffic { return &m.traffic }
+
+// Advance runs the cleaner over volatile-resident dirty blocks only.
+func (m *hybridModel) Advance(now int64) {
+	for len(m.cleaner) > 0 && m.cleaner[0].at+m.cfg.WriteBackDelay <= now {
+		e := heap.Pop(&m.cleaner).(cleanerEntry)
+		b := m.vol.Get(e.id)
+		if b == nil || !b.IsDirty() || b.FirstDirty != e.at {
+			continue
+		}
+		segs := b.Dirty.RemoveAll()
+		m.traffic.WriteBack[CauseCleaner] += segsLen(segs)
+		m.cfg.Hooks.emitWrite(e.at+m.cfg.WriteBackDelay, b.ID.File, segs, CauseCleaner)
+		b.markClean()
+	}
+}
+
+// locate returns the resident block and which memory holds it.
+func (m *hybridModel) locate(id BlockID) (b *Block, inNV bool) {
+	if b := m.nv.Get(id); b != nil {
+		return b, true
+	}
+	return m.vol.Get(id), false
+}
+
+// evictFrom removes the pool's victim, flushing dirty bytes.
+func (m *hybridModel) evictFrom(now int64, p *Pool) {
+	v := p.EvictVictim()
+	if v != nil && v.IsDirty() {
+		segs := v.Dirty.RemoveAll()
+		m.traffic.WriteBack[CauseReplacement] += segsLen(segs)
+		m.cfg.Hooks.emitWrite(now, v.ID.File, segs, CauseReplacement)
+	}
+}
+
+// place installs a new block, choosing the memory per the model's global
+// replacement rule, and reports which memory received it.
+func (m *hybridModel) place(now int64, id BlockID) (*Block, bool) {
+	b := newBlock(id, now)
+	intoNV := false
+	switch {
+	case m.nv.Capacity() > 0 && !m.nv.Full():
+		intoNV = true
+	case m.vol.Capacity() > 0 && !m.vol.Full():
+	case m.vol.Capacity() == 0:
+		intoNV = true
+	default:
+		volV, nvV := m.vol.Victim(), m.nv.Victim()
+		if nvV != nil && volV.LastAccess >= nvV.LastAccess {
+			intoNV = true
+		}
+	}
+	if intoNV {
+		if m.nv.Full() {
+			m.evictFrom(now, m.nv)
+		}
+		m.nv.Put(b, now)
+	} else {
+		if m.vol.Full() {
+			m.evictFrom(now, m.vol)
+		}
+		m.vol.Put(b, now)
+	}
+	return b, intoNV
+}
+
+func (m *hybridModel) Write(now int64, file uint64, r interval.Range) {
+	m.traffic.AppWriteBytes += r.Len()
+	m.traffic.BusWriteBytes += r.Len()
+	blockSpan(r, m.cfg.BlockSize, func(idx int64, sub interval.Range) {
+		id := BlockID{file, idx}
+		b, inNV := m.locate(id)
+		if b == nil {
+			b, inNV = m.place(now, id)
+		}
+		m.traffic.AbsorbedOverwriteBytes += segsLen(b.Dirty.Insert(sub, now))
+		b.Valid.Add(sub)
+		b.LastAccess, b.LastModify = now, now
+		if inNV {
+			m.traffic.NVRAMWriteBytes += sub.Len()
+			m.traffic.NVRAMAccesses++
+			m.nv.Modify(id, now)
+			return
+		}
+		// Dirty data in volatile memory: vulnerable until the cleaner
+		// flushes it.
+		m.traffic.VulnerableWriteBytes += sub.Len()
+		if b.FirstDirty == -1 {
+			b.FirstDirty = now
+			heap.Push(&m.cleaner, cleanerEntry{at: now, id: id})
+		}
+		m.vol.Modify(id, now)
+	})
+}
+
+func (m *hybridModel) Read(now int64, file uint64, r interval.Range, fileSize int64) {
+	m.traffic.AppReadBytes += r.Len()
+	if fileSize < r.End {
+		fileSize = r.End
+	}
+	blockSpan(r, m.cfg.BlockSize, func(idx int64, sub interval.Range) {
+		id := BlockID{file, idx}
+		b, inNV := m.locate(id)
+		if b != nil && b.Valid.ContainsRange(sub) {
+			m.traffic.ReadHitBytes += sub.Len()
+			b.LastAccess = now
+			if inNV {
+				m.traffic.NVRAMReadBytes += sub.Len()
+				m.traffic.NVRAMAccesses++
+				m.nv.Touch(id, now)
+			} else {
+				m.vol.Touch(id, now)
+			}
+			return
+		}
+		if b == nil {
+			b, inNV = m.place(now, id)
+		}
+		ext := blockExtent(idx, m.cfg.BlockSize, fileSize)
+		missing := ext.Len() - b.Valid.OverlapLen(ext)
+		m.traffic.ServerReadBytes += missing
+		m.traffic.BusReadBytes += missing
+		m.cfg.Hooks.emitRead(now, id.File, &b.Valid, ext)
+		b.Valid.Add(ext)
+		b.LastAccess = now
+		if inNV {
+			m.traffic.NVRAMWriteBytes += missing
+			m.traffic.NVRAMAccesses++
+			m.nv.Touch(id, now)
+		} else {
+			m.vol.Touch(id, now)
+		}
+	})
+}
+
+func (m *hybridModel) DeleteRange(now int64, file uint64, r interval.Range) {
+	blockSpan(r, m.cfg.BlockSize, func(idx int64, sub interval.Range) {
+		id := BlockID{file, idx}
+		for _, p := range [2]*Pool{m.nv, m.vol} {
+			b := p.Get(id)
+			if b == nil {
+				continue
+			}
+			m.traffic.AbsorbedDeleteBytes += segsLen(b.Dirty.Remove(sub))
+			b.Valid.Remove(sub)
+			if b.Valid.Len() == 0 {
+				p.Remove(id)
+			} else if !b.IsDirty() {
+				b.FirstDirty = -1
+			}
+		}
+	})
+}
+
+// Fsync flushes only the volatile-resident dirty bytes: data already in
+// NVRAM is permanent.
+func (m *hybridModel) Fsync(now int64, file uint64) {
+	var n int64
+	for _, b := range m.vol.FileBlocks(file) {
+		if b.IsDirty() {
+			segs := b.Dirty.RemoveAll()
+			n += segsLen(segs)
+			m.cfg.Hooks.emitWrite(now, b.ID.File, segs, CauseFsync)
+			b.markClean()
+		}
+	}
+	m.traffic.WriteBack[CauseFsync] += n
+}
+
+func (m *hybridModel) flushPools(now int64, file uint64, all bool, cause Cause) int64 {
+	var n int64
+	for _, p := range [2]*Pool{m.nv, m.vol} {
+		blocks := p.FileBlocks(file)
+		if all {
+			blocks = p.Blocks()
+		}
+		for _, b := range blocks {
+			if b.IsDirty() {
+				segs := b.Dirty.RemoveAll()
+				n += segsLen(segs)
+				m.cfg.Hooks.emitWrite(now, b.ID.File, segs, cause)
+				b.markClean()
+			}
+		}
+	}
+	m.traffic.WriteBack[cause] += n
+	return n
+}
+
+func (m *hybridModel) FlushFile(now int64, file uint64, cause Cause) int64 {
+	return m.flushPools(now, file, false, cause)
+}
+
+func (m *hybridModel) FlushAll(now int64, cause Cause) int64 {
+	return m.flushPools(now, 0, true, cause)
+}
+
+func (m *hybridModel) Invalidate(now int64, file uint64) {
+	m.FlushFile(now, file, CauseCallback)
+	for _, p := range [2]*Pool{m.nv, m.vol} {
+		for _, b := range p.FileBlocks(file) {
+			p.Remove(b.ID)
+		}
+	}
+}
+
+func (m *hybridModel) NoteConcurrent(read bool, n int64) { noteConcurrent(&m.traffic, read, n) }
+
+func (m *hybridModel) DirtyBytes() int64 {
+	var n int64
+	for _, p := range [2]*Pool{m.nv, m.vol} {
+		for _, b := range p.Blocks() {
+			n += b.Dirty.Len()
+		}
+	}
+	return n
+}
+
+func (m *hybridModel) CachedBlocks() int { return m.vol.Len() + m.nv.Len() }

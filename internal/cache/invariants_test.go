@@ -1,0 +1,211 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+
+	"nvramfs/internal/interval"
+)
+
+// checkUnifiedInvariants verifies the unified model's structural
+// invariants from the paper's Section 2.1: blocks are never duplicated
+// between the memories, dirty blocks reside only in the NVRAM, and
+// neither pool exceeds its capacity.
+func checkUnifiedInvariants(t *testing.T, m *unifiedModel) {
+	t.Helper()
+	if m.vol.Len() > m.vol.Capacity() || m.nv.Len() > m.nv.Capacity() {
+		t.Fatalf("pool over capacity: vol %d/%d nv %d/%d",
+			m.vol.Len(), m.vol.Capacity(), m.nv.Len(), m.nv.Capacity())
+	}
+	for _, b := range m.vol.Blocks() {
+		if m.nv.Get(b.ID) != nil {
+			t.Fatalf("block %v duplicated in both memories", b.ID)
+		}
+		if b.IsDirty() {
+			t.Fatalf("dirty block %v in the volatile cache", b.ID)
+		}
+		if b.Dirty.Len() > 0 {
+			t.Fatalf("block %v has dirty bytes outside NVRAM", b.ID)
+		}
+	}
+	for _, b := range m.nv.Blocks() {
+		for _, g := range b.Dirty.Segs() {
+			if !b.Valid.ContainsRange(interval.Range{Start: g.Start, End: g.End}) {
+				t.Fatalf("block %v: dirty bytes %v not valid", b.ID, g)
+			}
+		}
+	}
+}
+
+// checkConservation verifies every written byte is accounted for exactly
+// once: flushed to the server, absorbed (overwritten/deleted in cache), or
+// still dirty.
+func checkConservation(t *testing.T, m Model) {
+	t.Helper()
+	tr := m.Traffic()
+	got := tr.ServerWriteBytes() + tr.AbsorbedBytes() + m.DirtyBytes()
+	if got != tr.AppWriteBytes {
+		t.Fatalf("conservation violated: flushed+absorbed+dirty = %d, written = %d",
+			got, tr.AppWriteBytes)
+	}
+}
+
+// TestUnifiedRandomInvariants drives the unified model with a random
+// operation mix, checking the structural invariants and the byte
+// conservation law after every operation.
+func TestUnifiedRandomInvariants(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		m := mustModel(t, ModelUnified, Config{
+			BlockSize:      256,
+			VolatileBlocks: 6,
+			NVRAMBlocks:    4,
+		}).(*unifiedModel)
+		sizes := map[uint64]int64{}
+		var now int64
+		const space = 24 * 256
+		for op := 0; op < 3000; op++ {
+			now += 1 + rng.Int63n(5e6)
+			file := uint64(1 + rng.Intn(3))
+			a := rng.Int63n(space)
+			r := interval.Range{Start: a, End: a + 1 + rng.Int63n(512)}
+			switch rng.Intn(12) {
+			case 0, 1, 2, 3:
+				if r.End > sizes[file] {
+					sizes[file] = r.End
+				}
+				m.Write(now, file, r)
+			case 4, 5, 6:
+				size := sizes[file]
+				if r.End > size {
+					sizes[file] = r.End
+					size = r.End
+				}
+				m.Read(now, file, r, size)
+			case 7, 8:
+				m.DeleteRange(now, file, r)
+			case 9:
+				m.Fsync(now, file) // no-op in unified
+			case 10:
+				m.FlushFile(now, file, CauseCallback)
+			case 11:
+				m.Invalidate(now, file)
+			}
+			checkUnifiedInvariants(t, m)
+			checkConservation(t, m)
+		}
+		m.FlushAll(now, CauseEnd)
+		checkConservation(t, m)
+		if m.DirtyBytes() != 0 {
+			t.Fatal("dirty bytes after FlushAll")
+		}
+	}
+}
+
+// TestWriteAsideRandomInvariants does the same for the write-aside model:
+// every NVRAM shadow is dirty, every shadow has a volatile counterpart,
+// and conservation holds.
+func TestWriteAsideRandomInvariants(t *testing.T) {
+	for seed := int64(10); seed < 13; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		m := mustModel(t, ModelWriteAside, Config{
+			BlockSize:      256,
+			VolatileBlocks: 8,
+			NVRAMBlocks:    4,
+		}).(*writeAsideModel)
+		sizes := map[uint64]int64{}
+		var now int64
+		const space = 24 * 256
+		for op := 0; op < 3000; op++ {
+			now += 1 + rng.Int63n(5e6)
+			file := uint64(1 + rng.Intn(3))
+			a := rng.Int63n(space)
+			r := interval.Range{Start: a, End: a + 1 + rng.Int63n(512)}
+			switch rng.Intn(12) {
+			case 0, 1, 2, 3:
+				if r.End > sizes[file] {
+					sizes[file] = r.End
+				}
+				m.Write(now, file, r)
+			case 4, 5, 6:
+				size := sizes[file]
+				if r.End > size {
+					sizes[file] = r.End
+					size = r.End
+				}
+				m.Read(now, file, r, size)
+			case 7, 8:
+				m.DeleteRange(now, file, r)
+			case 9:
+				m.Fsync(now, file)
+			case 10:
+				m.FlushFile(now, file, CauseCallback)
+			case 11:
+				m.Invalidate(now, file)
+			}
+			if m.vol.Len() > m.vol.Capacity() || m.nv.Len() > m.nv.Capacity() {
+				t.Fatalf("seed %d op %d: pool over capacity", seed, op)
+			}
+			for _, bn := range m.nv.Blocks() {
+				if !bn.IsDirty() {
+					t.Fatalf("seed %d op %d: clean shadow %v in NVRAM", seed, op, bn.ID)
+				}
+				if m.vol.Get(bn.ID) == nil {
+					t.Fatalf("seed %d op %d: shadow %v without volatile copy", seed, op, bn.ID)
+				}
+			}
+			checkConservation(t, m)
+		}
+	}
+}
+
+// TestHybridRandomInvariants: conservation plus capacity bounds for the
+// hybrid extension, whose dirty data may live in either memory.
+func TestHybridRandomInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	m := mustModel(t, ModelHybrid, Config{
+		BlockSize:      256,
+		VolatileBlocks: 6,
+		NVRAMBlocks:    3,
+	}).(*hybridModel)
+	sizes := map[uint64]int64{}
+	var now int64
+	const space = 24 * 256
+	for op := 0; op < 3000; op++ {
+		now += 1 + rng.Int63n(5e6)
+		file := uint64(1 + rng.Intn(3))
+		a := rng.Int63n(space)
+		r := interval.Range{Start: a, End: a + 1 + rng.Int63n(512)}
+		switch rng.Intn(12) {
+		case 0, 1, 2, 3:
+			if r.End > sizes[file] {
+				sizes[file] = r.End
+			}
+			m.Write(now, file, r)
+		case 4, 5, 6:
+			size := sizes[file]
+			if r.End > size {
+				sizes[file] = r.End
+				size = r.End
+			}
+			m.Read(now, file, r, size)
+		case 7, 8:
+			m.DeleteRange(now, file, r)
+		case 9:
+			m.Fsync(now, file)
+		case 10:
+			m.FlushFile(now, file, CauseCallback)
+		case 11:
+			m.Advance(now)
+		}
+		if m.vol.Len() > m.vol.Capacity() || m.nv.Len() > m.nv.Capacity() {
+			t.Fatalf("op %d: pool over capacity", op)
+		}
+		for _, b := range m.vol.Blocks() {
+			if m.nv.Get(b.ID) != nil {
+				t.Fatalf("op %d: block %v in both memories", op, b.ID)
+			}
+		}
+		checkConservation(t, m)
+	}
+}

@@ -1,0 +1,248 @@
+package cache
+
+import (
+	"container/heap"
+	"container/list"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// PolicyKind selects a block replacement policy for the NVRAM.
+type PolicyKind uint8
+
+// Replacement policies studied in Section 2.5 of the paper.
+const (
+	// LRU replaces the least-recently used (accessed or modified) block.
+	LRU PolicyKind = iota
+	// Random replaces a uniformly random block, gauging how sensitive the
+	// traffic reduction is to the particular policy.
+	Random
+	// Omniscient replaces the block whose next modify time is furthest in
+	// the future (requires a Schedule derived from a prior trace pass).
+	Omniscient
+)
+
+func (k PolicyKind) String() string {
+	switch k {
+	case LRU:
+		return "lru"
+	case Random:
+		return "random"
+	case Omniscient:
+		return "omniscient"
+	}
+	return fmt.Sprintf("policy(%d)", uint8(k))
+}
+
+// Schedule provides future-knowledge for the omniscient policy.
+type Schedule interface {
+	// NextModify returns the earliest time strictly after now at which the
+	// block is written again, or math.MaxInt64 if it never is.
+	NextModify(id BlockID, now int64) int64
+}
+
+// Policy selects replacement victims among a pool's blocks. Implementations
+// are informed of every insertion, access, modification, and removal.
+type Policy interface {
+	Insert(id BlockID, now int64)
+	Touch(id BlockID, now int64)
+	Modify(id BlockID, now int64)
+	Remove(id BlockID)
+	// Victim returns the block the policy would replace next; ok is false
+	// when the policy tracks no blocks.
+	Victim() (id BlockID, ok bool)
+	Len() int
+}
+
+// NewPolicy constructs a policy of the given kind. Random requires rng;
+// Omniscient requires sched.
+func NewPolicy(kind PolicyKind, rng *rand.Rand, sched Schedule) (Policy, error) {
+	switch kind {
+	case LRU:
+		return newLRUPolicy(), nil
+	case Random:
+		if rng == nil {
+			return nil, fmt.Errorf("cache: random policy requires a rand source")
+		}
+		return &randomPolicy{rng: rng, index: make(map[BlockID]int)}, nil
+	case Omniscient:
+		if sched == nil {
+			return nil, fmt.Errorf("cache: omniscient policy requires a schedule")
+		}
+		return &omniscientPolicy{sched: sched, index: make(map[BlockID]int)}, nil
+	default:
+		return nil, fmt.Errorf("cache: unknown policy kind %d", kind)
+	}
+}
+
+// --- LRU ---
+
+type lruPolicy struct {
+	order *list.List // front = most recently used
+	elems map[BlockID]*list.Element
+}
+
+func newLRUPolicy() *lruPolicy {
+	return &lruPolicy{order: list.New(), elems: make(map[BlockID]*list.Element)}
+}
+
+func (p *lruPolicy) Insert(id BlockID, now int64) {
+	if _, ok := p.elems[id]; ok {
+		p.Touch(id, now)
+		return
+	}
+	p.elems[id] = p.order.PushFront(id)
+}
+
+func (p *lruPolicy) Touch(id BlockID, now int64) {
+	if e, ok := p.elems[id]; ok {
+		p.order.MoveToFront(e)
+	}
+}
+
+func (p *lruPolicy) Modify(id BlockID, now int64) { p.Touch(id, now) }
+
+func (p *lruPolicy) Remove(id BlockID) {
+	if e, ok := p.elems[id]; ok {
+		p.order.Remove(e)
+		delete(p.elems, id)
+	}
+}
+
+func (p *lruPolicy) Victim() (BlockID, bool) {
+	e := p.order.Back()
+	if e == nil {
+		return BlockID{}, false
+	}
+	return e.Value.(BlockID), true
+}
+
+// victims yields the tracked blocks from least- to most-recently used,
+// stopping when yield returns false. It powers dirty-preference victim
+// selection (Sprite replaces the first *clean* block on the LRU list).
+func (p *lruPolicy) victims(yield func(BlockID) bool) {
+	for e := p.order.Back(); e != nil; e = e.Prev() {
+		if !yield(e.Value.(BlockID)) {
+			return
+		}
+	}
+}
+
+func (p *lruPolicy) Len() int { return p.order.Len() }
+
+// --- Random ---
+
+type randomPolicy struct {
+	rng   *rand.Rand
+	ids   []BlockID
+	index map[BlockID]int
+}
+
+func (p *randomPolicy) Insert(id BlockID, now int64) {
+	if _, ok := p.index[id]; ok {
+		return
+	}
+	p.index[id] = len(p.ids)
+	p.ids = append(p.ids, id)
+}
+
+func (p *randomPolicy) Touch(BlockID, int64)  {}
+func (p *randomPolicy) Modify(BlockID, int64) {}
+
+func (p *randomPolicy) Remove(id BlockID) {
+	i, ok := p.index[id]
+	if !ok {
+		return
+	}
+	last := len(p.ids) - 1
+	p.ids[i] = p.ids[last]
+	p.index[p.ids[i]] = i
+	p.ids = p.ids[:last]
+	delete(p.index, id)
+}
+
+func (p *randomPolicy) Victim() (BlockID, bool) {
+	if len(p.ids) == 0 {
+		return BlockID{}, false
+	}
+	return p.ids[p.rng.Intn(len(p.ids))], true
+}
+
+func (p *randomPolicy) Len() int { return len(p.ids) }
+
+// --- Omniscient ---
+//
+// A max-heap keyed by each block's next modify time. A block's key is
+// (re)computed when it is inserted or modified: between modifications the
+// "next modify after the last write" remains the correct next modify time,
+// so no decay pass is needed.
+
+type omniEntry struct {
+	id  BlockID
+	key int64 // next modify time
+}
+
+type omniscientPolicy struct {
+	sched   Schedule
+	entries []omniEntry
+	index   map[BlockID]int
+}
+
+func (p *omniscientPolicy) Len() int { return len(p.entries) }
+
+func (p *omniscientPolicy) Less(i, j int) bool { return p.entries[i].key > p.entries[j].key }
+
+func (p *omniscientPolicy) Swap(i, j int) {
+	p.entries[i], p.entries[j] = p.entries[j], p.entries[i]
+	p.index[p.entries[i].id] = i
+	p.index[p.entries[j].id] = j
+}
+
+func (p *omniscientPolicy) Push(x interface{}) {
+	e := x.(omniEntry)
+	p.index[e.id] = len(p.entries)
+	p.entries = append(p.entries, e)
+}
+
+func (p *omniscientPolicy) Pop() interface{} {
+	n := len(p.entries) - 1
+	e := p.entries[n]
+	p.entries = p.entries[:n]
+	delete(p.index, e.id)
+	return e
+}
+
+func (p *omniscientPolicy) Insert(id BlockID, now int64) {
+	if i, ok := p.index[id]; ok {
+		p.entries[i].key = p.sched.NextModify(id, now)
+		heap.Fix(p, i)
+		return
+	}
+	heap.Push(p, omniEntry{id: id, key: p.sched.NextModify(id, now)})
+}
+
+func (p *omniscientPolicy) Touch(BlockID, int64) {}
+
+func (p *omniscientPolicy) Modify(id BlockID, now int64) {
+	if i, ok := p.index[id]; ok {
+		p.entries[i].key = p.sched.NextModify(id, now)
+		heap.Fix(p, i)
+	}
+}
+
+func (p *omniscientPolicy) Remove(id BlockID) {
+	if i, ok := p.index[id]; ok {
+		heap.Remove(p, i)
+	}
+}
+
+func (p *omniscientPolicy) Victim() (BlockID, bool) {
+	if len(p.entries) == 0 {
+		return BlockID{}, false
+	}
+	return p.entries[0].id, true
+}
+
+// NeverModified is the schedule key for blocks with no future writes.
+const NeverModified = math.MaxInt64

@@ -1,0 +1,144 @@
+package cache
+
+import "fmt"
+
+// Pool is a fixed-capacity collection of cache blocks with a replacement
+// policy. It indexes blocks both by id and by file so whole-file operations
+// (flush, invalidate) are cheap.
+type Pool struct {
+	capacity int // in blocks; 0 means the pool holds nothing
+	policy   Policy
+	blocks   map[BlockID]*Block
+	byFile   map[uint64]map[int64]*Block
+}
+
+// NewPool returns a pool holding at most capBlocks blocks.
+func NewPool(capBlocks int, p Policy) *Pool {
+	return &Pool{
+		capacity: capBlocks,
+		policy:   p,
+		blocks:   make(map[BlockID]*Block),
+		byFile:   make(map[uint64]map[int64]*Block),
+	}
+}
+
+// Capacity returns the pool's capacity in blocks.
+func (p *Pool) Capacity() int { return p.capacity }
+
+// Len returns the number of cached blocks.
+func (p *Pool) Len() int { return len(p.blocks) }
+
+// Full reports whether inserting another block requires an eviction.
+func (p *Pool) Full() bool { return len(p.blocks) >= p.capacity }
+
+// Get returns the cached block, or nil.
+func (p *Pool) Get(id BlockID) *Block { return p.blocks[id] }
+
+// Put inserts a block. The caller must have made room; Put panics if the
+// pool is over capacity, since that is always a simulator bug.
+func (p *Pool) Put(b *Block, now int64) {
+	if len(p.blocks) >= p.capacity {
+		panic(fmt.Sprintf("cache: Put into full pool (cap %d)", p.capacity))
+	}
+	if _, dup := p.blocks[b.ID]; dup {
+		panic(fmt.Sprintf("cache: duplicate Put of %v", b.ID))
+	}
+	p.blocks[b.ID] = b
+	m := p.byFile[b.ID.File]
+	if m == nil {
+		m = make(map[int64]*Block)
+		p.byFile[b.ID.File] = m
+	}
+	m[b.ID.Index] = b
+	p.policy.Insert(b.ID, now)
+}
+
+// Remove deletes the block from the pool and returns it (nil if absent).
+func (p *Pool) Remove(id BlockID) *Block {
+	b := p.blocks[id]
+	if b == nil {
+		return nil
+	}
+	delete(p.blocks, id)
+	m := p.byFile[id.File]
+	delete(m, id.Index)
+	if len(m) == 0 {
+		delete(p.byFile, id.File)
+	}
+	p.policy.Remove(id)
+	return b
+}
+
+// Touch notes an access for the replacement policy.
+func (p *Pool) Touch(id BlockID, now int64) { p.policy.Touch(id, now) }
+
+// Modify notes a write for the replacement policy.
+func (p *Pool) Modify(id BlockID, now int64) { p.policy.Modify(id, now) }
+
+// Victim returns the policy's replacement candidate without removing it.
+func (p *Pool) Victim() *Block {
+	id, ok := p.policy.Victim()
+	if !ok {
+		return nil
+	}
+	return p.blocks[id]
+}
+
+// EvictVictim removes and returns the policy's replacement candidate, or
+// nil if the pool is empty.
+func (p *Pool) EvictVictim() *Block {
+	id, ok := p.policy.Victim()
+	if !ok {
+		return nil
+	}
+	return p.Remove(id)
+}
+
+// orderedPolicy is implemented by policies that can enumerate victims in
+// replacement order (currently LRU).
+type orderedPolicy interface {
+	victims(yield func(BlockID) bool)
+}
+
+// VictimPreferring returns the first block in replacement order satisfying
+// pred, falling back to the plain victim when none does (or when the
+// policy cannot enumerate). Sprite's real caches use this to replace the
+// first clean block on the LRU list before any dirty block.
+func (p *Pool) VictimPreferring(pred func(*Block) bool) *Block {
+	if op, ok := p.policy.(orderedPolicy); ok {
+		var found *Block
+		op.victims(func(id BlockID) bool {
+			if b := p.blocks[id]; b != nil && pred(b) {
+				found = b
+				return false
+			}
+			return true
+		})
+		if found != nil {
+			return found
+		}
+	}
+	return p.Victim()
+}
+
+// FileBlocks returns the cached blocks of one file in unspecified order.
+func (p *Pool) FileBlocks(file uint64) []*Block {
+	m := p.byFile[file]
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]*Block, 0, len(m))
+	for _, b := range m {
+		out = append(out, b)
+	}
+	return out
+}
+
+// Blocks returns all cached blocks in unspecified order.
+func (p *Pool) Blocks() []*Block {
+	out := make([]*Block, 0, len(p.blocks))
+	for _, b := range p.blocks {
+		out = append(out, b)
+	}
+	return out
+}

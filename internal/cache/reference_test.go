@@ -1,0 +1,284 @@
+package cache
+
+import (
+	"container/list"
+	"math/rand"
+	"testing"
+
+	"nvramfs/internal/interval"
+)
+
+// refCache is an independent, deliberately naive byte-at-a-time
+// implementation of the volatile cache model's semantics, used as a
+// differential-testing oracle: on any operation stream the real model's
+// traffic counters must match it exactly.
+type refCache struct {
+	capacity  int
+	blockSize int64
+	delay     int64
+
+	lru    *list.List // block keys, front = MRU
+	blocks map[BlockID]*refBlock
+
+	appRead, appWrite int64
+	serverRead        int64
+	writeBack         [NumCauses]int64
+	absorbedOver      int64
+	absorbedDel       int64
+	readHits          int64
+}
+
+type refBlock struct {
+	valid      map[int64]bool  // absolute byte offsets
+	dirty      map[int64]int64 // offset -> write time
+	firstDirty int64
+	elem       *list.Element
+}
+
+func newRefCache(capBlocks int, blockSize, delay int64) *refCache {
+	return &refCache{
+		capacity:  capBlocks,
+		blockSize: blockSize,
+		delay:     delay,
+		lru:       list.New(),
+		blocks:    make(map[BlockID]*refBlock),
+	}
+}
+
+func (c *refCache) advance(now int64) {
+	// Flush every block whose oldest dirty byte has exceeded the delay.
+	// (Order does not affect the counters.)
+	for _, b := range c.blocks {
+		if len(b.dirty) > 0 && b.firstDirty+c.delay <= now {
+			c.flushBlock(b, CauseCleaner)
+		}
+	}
+}
+
+func (c *refCache) flushBlock(b *refBlock, cause Cause) {
+	c.writeBack[cause] += int64(len(b.dirty))
+	b.dirty = make(map[int64]int64)
+	b.firstDirty = -1
+}
+
+func (c *refCache) touch(id BlockID, b *refBlock) {
+	c.lru.MoveToFront(b.elem)
+	_ = id
+}
+
+func (c *refCache) ensure(id BlockID) *refBlock {
+	if b := c.blocks[id]; b != nil {
+		return b
+	}
+	if len(c.blocks) >= c.capacity {
+		victimID := c.lru.Back().Value.(BlockID)
+		v := c.blocks[victimID]
+		if len(v.dirty) > 0 {
+			c.writeBack[CauseReplacement] += int64(len(v.dirty))
+		}
+		c.lru.Remove(v.elem)
+		delete(c.blocks, victimID)
+	}
+	b := &refBlock{
+		valid:      make(map[int64]bool),
+		dirty:      make(map[int64]int64),
+		firstDirty: -1,
+	}
+	b.elem = c.lru.PushFront(id)
+	c.blocks[id] = b
+	return b
+}
+
+func (c *refCache) write(now int64, file uint64, r interval.Range) {
+	c.advance(now)
+	c.appWrite += r.Len()
+	for idx := r.Start / c.blockSize; idx*c.blockSize < r.End; idx++ {
+		id := BlockID{file, idx}
+		lo, hi := max64(r.Start, idx*c.blockSize), min64(r.End, (idx+1)*c.blockSize)
+		b := c.ensure(id)
+		for off := lo; off < hi; off++ {
+			if _, wasDirty := b.dirty[off]; wasDirty {
+				c.absorbedOver++
+			}
+			b.dirty[off] = now
+			b.valid[off] = true
+		}
+		if b.firstDirty == -1 && len(b.dirty) > 0 {
+			b.firstDirty = now
+		}
+		c.touch(id, b)
+	}
+}
+
+func (c *refCache) read(now int64, file uint64, r interval.Range, fileSize int64) {
+	c.advance(now)
+	c.appRead += r.Len()
+	if fileSize < r.End {
+		fileSize = r.End
+	}
+	for idx := r.Start / c.blockSize; idx*c.blockSize < r.End; idx++ {
+		id := BlockID{file, idx}
+		lo, hi := max64(r.Start, idx*c.blockSize), min64(r.End, (idx+1)*c.blockSize)
+		b := c.blocks[id]
+		covered := b != nil
+		if b != nil {
+			for off := lo; off < hi; off++ {
+				if !b.valid[off] {
+					covered = false
+					break
+				}
+			}
+		}
+		if covered {
+			c.readHits += hi - lo
+			c.touch(id, b)
+			continue
+		}
+		b = c.ensure(id)
+		extLo, extHi := idx*c.blockSize, min64((idx+1)*c.blockSize, fileSize)
+		for off := extLo; off < extHi; off++ {
+			if !b.valid[off] {
+				c.serverRead++
+				b.valid[off] = true
+			}
+		}
+		c.touch(id, b)
+	}
+}
+
+func (c *refCache) deleteRange(now int64, file uint64, r interval.Range) {
+	c.advance(now)
+	for idx := r.Start / c.blockSize; idx*c.blockSize < r.End; idx++ {
+		id := BlockID{file, idx}
+		b := c.blocks[id]
+		if b == nil {
+			continue
+		}
+		lo, hi := max64(r.Start, idx*c.blockSize), min64(r.End, (idx+1)*c.blockSize)
+		for off := lo; off < hi; off++ {
+			if _, ok := b.dirty[off]; ok {
+				c.absorbedDel++
+				delete(b.dirty, off)
+			}
+			delete(b.valid, off)
+		}
+		if len(b.valid) == 0 {
+			c.lru.Remove(b.elem)
+			delete(c.blocks, id)
+			continue
+		}
+		b.firstDirty = -1
+		for _, t := range b.dirty {
+			if b.firstDirty == -1 || t < b.firstDirty {
+				b.firstDirty = t
+			}
+		}
+	}
+}
+
+func (c *refCache) fsync(now int64, file uint64) {
+	c.advance(now)
+	for id, b := range c.blocks {
+		if id.File == file && len(b.dirty) > 0 {
+			c.flushBlock(b, CauseFsync)
+		}
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// TestVolatileMatchesReference drives the real volatile model and the
+// oracle with identical random operation streams and requires every
+// traffic counter to agree exactly.
+func TestVolatileMatchesReference(t *testing.T) {
+	const (
+		blockSize = 256 // small blocks keep the byte-map oracle fast
+		capBlocks = 8
+		delay     = 30 * 1e6
+		space     = 16 * blockSize // per-file byte space
+		files     = 4
+	)
+	for seed := int64(0); seed < 6; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		m, err := NewModel(ModelVolatile, Config{
+			BlockSize:      blockSize,
+			VolatileBlocks: capBlocks,
+			WriteBackDelay: delay,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := newRefCache(capBlocks, blockSize, delay)
+		sizes := make(map[uint64]int64)
+
+		var now int64
+		for op := 0; op < 2500; op++ {
+			now += 1 + rng.Int63n(3*1e6)
+			file := uint64(1 + rng.Intn(files))
+			a := rng.Int63n(space)
+			r := interval.Range{Start: a, End: a + 1 + rng.Int63n(2*blockSize)}
+			switch rng.Intn(10) {
+			case 0, 1, 2, 3: // write
+				if r.End > sizes[file] {
+					sizes[file] = r.End
+				}
+				m.Advance(now)
+				m.Write(now, file, r)
+				ref.write(now, file, r)
+			case 4, 5, 6: // read
+				size := sizes[file]
+				if r.End > size {
+					size = r.End
+					sizes[file] = size
+				}
+				m.Advance(now)
+				m.Read(now, file, r, size)
+				ref.read(now, file, r, size)
+			case 7, 8: // delete range
+				m.Advance(now)
+				m.DeleteRange(now, file, r)
+				ref.deleteRange(now, file, r)
+			case 9: // fsync
+				m.Advance(now)
+				m.Fsync(now, file)
+				ref.fsync(now, file)
+			}
+
+			tr := m.Traffic()
+			if tr.AppWriteBytes != ref.appWrite || tr.AppReadBytes != ref.appRead {
+				t.Fatalf("seed %d op %d: app bytes diverge", seed, op)
+			}
+			if tr.ServerReadBytes != ref.serverRead {
+				t.Fatalf("seed %d op %d: server reads %d vs ref %d",
+					seed, op, tr.ServerReadBytes, ref.serverRead)
+			}
+			if tr.ReadHitBytes != ref.readHits {
+				t.Fatalf("seed %d op %d: read hits %d vs ref %d",
+					seed, op, tr.ReadHitBytes, ref.readHits)
+			}
+			if tr.AbsorbedOverwriteBytes != ref.absorbedOver || tr.AbsorbedDeleteBytes != ref.absorbedDel {
+				t.Fatalf("seed %d op %d: absorption diverges (%d/%d vs %d/%d)",
+					seed, op, tr.AbsorbedOverwriteBytes, tr.AbsorbedDeleteBytes,
+					ref.absorbedOver, ref.absorbedDel)
+			}
+			for cause := Cause(0); cause < NumCauses; cause++ {
+				if tr.WriteBack[cause] != ref.writeBack[cause] {
+					t.Fatalf("seed %d op %d: %v write-back %d vs ref %d",
+						seed, op, cause, tr.WriteBack[cause], ref.writeBack[cause])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,278 @@
+package cache
+
+import "nvramfs/internal/interval"
+
+// unifiedModel implements the paper's unified NVRAM organization: the two
+// memories form one cache. Blocks are never duplicated — dirty blocks
+// reside only in the NVRAM, clean blocks in either memory. Application
+// writes are directed only to the NVRAM (a clean volatile copy is first
+// migrated there); reads are satisfied from either memory. Dirty blocks
+// leave the NVRAM only via replacement or the consistency mechanism, and a
+// block evicted or flushed from the NVRAM may be transferred to the
+// volatile cache as a clean copy if it is younger than the volatile LRU
+// block.
+//
+// One approximation: a block transferred from NVRAM into the volatile
+// cache is inserted at the MRU end of the volatile LRU list although its
+// recorded access time may be older than other residents'. The paper's
+// placement *decision* (compare against the volatile LRU block's age) is
+// implemented exactly.
+type unifiedModel struct {
+	cfg     Config
+	vol     *Pool // clean blocks only, LRU
+	nv      *Pool // dirty and clean blocks, configured policy
+	traffic Traffic
+}
+
+func newUnified(cfg Config, pol Policy) *unifiedModel {
+	return &unifiedModel{
+		cfg: cfg,
+		vol: NewPool(cfg.VolatileBlocks, newLRUPolicy()),
+		nv:  NewPool(cfg.NVRAMBlocks, pol),
+	}
+}
+
+func (m *unifiedModel) Kind() ModelKind   { return ModelUnified }
+func (m *unifiedModel) Traffic() *Traffic { return &m.traffic }
+func (m *unifiedModel) Advance(int64)     {}
+
+// maybeToVolatile applies the paper's transfer rule to a block that has
+// just left the NVRAM (clean by now): if the volatile cache has a free slot
+// or its least-recently-used block is older than b, b moves into the
+// volatile cache; otherwise b is dropped.
+func (m *unifiedModel) maybeToVolatile(now int64, b *Block) {
+	if m.vol.Capacity() == 0 || b.Valid.Len() == 0 {
+		return
+	}
+	if m.vol.Full() {
+		lru := m.vol.Victim()
+		if lru.LastAccess >= b.LastAccess {
+			return // the block is older than everything in the volatile cache
+		}
+		m.vol.Remove(lru.ID) // clean by invariant; just dropped
+	}
+	n := b.Valid.Len()
+	m.traffic.NVRAMReadBytes += n
+	m.traffic.BusWriteBytes += n
+	m.traffic.NVRAMAccesses++
+	m.vol.Put(b, now)
+}
+
+// makeRoomNV evicts the NVRAM policy victim if the NVRAM is full. A dirty
+// victim is written to the server (replacement traffic); either way the
+// block may be transferred to the volatile cache.
+func (m *unifiedModel) makeRoomNV(now int64) {
+	if !m.nv.Full() {
+		return
+	}
+	v := m.nv.EvictVictim()
+	if v.IsDirty() {
+		segs := v.Dirty.RemoveAll()
+		n := segsLen(segs)
+		m.traffic.WriteBack[CauseReplacement] += n
+		m.traffic.NVRAMReadBytes += n
+		m.traffic.NVRAMAccesses++
+		m.cfg.Hooks.emitWrite(now, v.ID.File, segs, CauseReplacement)
+		v.markClean()
+	}
+	m.maybeToVolatile(now, v)
+}
+
+func (m *unifiedModel) Write(now int64, file uint64, r interval.Range) {
+	m.traffic.AppWriteBytes += r.Len()
+	blockSpan(r, m.cfg.BlockSize, func(idx int64, sub interval.Range) {
+		id := BlockID{file, idx}
+		b := m.nv.Get(id)
+		if b == nil {
+			if bv := m.vol.Get(id); bv != nil {
+				// The block is clean in the volatile cache: transfer it to
+				// the NVRAM and update it there (Section 2.6 notes this
+				// cache-to-NVRAM traffic is rare and under 1% of writes).
+				m.vol.Remove(id)
+				moved := bv.Valid.Len()
+				m.traffic.BusWriteBytes += moved
+				m.traffic.NVRAMWriteBytes += moved
+				m.traffic.NVRAMAccesses++
+				m.makeRoomNV(now)
+				m.nv.Put(bv, now)
+				b = bv
+			} else {
+				m.makeRoomNV(now)
+				b = newBlock(id, now)
+				m.nv.Put(b, now)
+			}
+		}
+		m.traffic.AbsorbedOverwriteBytes += segsLen(b.Dirty.Insert(sub, now))
+		b.Valid.Add(sub)
+		b.LastAccess, b.LastModify = now, now
+		m.traffic.BusWriteBytes += sub.Len()
+		m.traffic.NVRAMWriteBytes += sub.Len()
+		m.traffic.NVRAMAccesses++
+		m.nv.Modify(id, now)
+	})
+}
+
+// placeForRead chooses where a newly fetched block goes: the volatile
+// cache if it has a free slot, else the NVRAM if it has one, else whichever
+// memory holds the older replacement candidate (preserving global LRU
+// semantics with respect to the volatile cache).
+func (m *unifiedModel) placeForRead(now int64, id BlockID) (*Block, bool) {
+	b := newBlock(id, now)
+	intoNV := false
+	switch {
+	case m.vol.Capacity() > 0 && !m.vol.Full():
+	case m.nv.Capacity() > 0 && !m.nv.Full():
+		intoNV = true
+	case m.vol.Capacity() == 0:
+		intoNV = true
+	default:
+		volV, nvV := m.vol.Victim(), m.nv.Victim()
+		if nvV != nil && volV.LastAccess >= nvV.LastAccess {
+			intoNV = true
+		}
+	}
+	if intoNV {
+		m.makeRoomNV(now)
+		m.nv.Put(b, now)
+	} else {
+		if m.vol.Full() {
+			m.vol.Remove(m.vol.Victim().ID) // clean; dropped
+		}
+		m.vol.Put(b, now)
+	}
+	return b, intoNV
+}
+
+func (m *unifiedModel) Read(now int64, file uint64, r interval.Range, fileSize int64) {
+	m.traffic.AppReadBytes += r.Len()
+	if fileSize < r.End {
+		fileSize = r.End
+	}
+	blockSpan(r, m.cfg.BlockSize, func(idx int64, sub interval.Range) {
+		id := BlockID{file, idx}
+		if b := m.vol.Get(id); b != nil && b.Valid.ContainsRange(sub) {
+			m.traffic.ReadHitBytes += sub.Len()
+			b.LastAccess = now
+			m.vol.Touch(id, now)
+			return
+		}
+		if b := m.nv.Get(id); b != nil && b.Valid.ContainsRange(sub) {
+			m.traffic.ReadHitBytes += sub.Len()
+			m.traffic.NVRAMReadBytes += sub.Len()
+			m.traffic.NVRAMAccesses++
+			b.LastAccess = now
+			m.nv.Touch(id, now)
+			return
+		}
+		// Miss (or partial miss): fetch the block's missing bytes into the
+		// resident copy, or place a new block.
+		b, inNV := m.nv.Get(id), true
+		if b == nil {
+			b, inNV = m.vol.Get(id), false
+		}
+		if b == nil {
+			b, inNV = m.placeForRead(now, id)
+		}
+		ext := blockExtent(idx, m.cfg.BlockSize, fileSize)
+		missing := ext.Len() - b.Valid.OverlapLen(ext)
+		m.traffic.ServerReadBytes += missing
+		m.traffic.BusReadBytes += missing
+		m.cfg.Hooks.emitRead(now, id.File, &b.Valid, ext)
+		b.Valid.Add(ext)
+		b.LastAccess = now
+		if inNV {
+			m.traffic.NVRAMWriteBytes += missing
+			m.traffic.NVRAMAccesses++
+			m.nv.Touch(id, now)
+		} else {
+			m.vol.Touch(id, now)
+		}
+	})
+}
+
+func (m *unifiedModel) DeleteRange(now int64, file uint64, r interval.Range) {
+	blockSpan(r, m.cfg.BlockSize, func(idx int64, sub interval.Range) {
+		id := BlockID{file, idx}
+		if b := m.nv.Get(id); b != nil {
+			m.traffic.AbsorbedDeleteBytes += segsLen(b.Dirty.Remove(sub))
+			b.Valid.Remove(sub)
+			if b.Valid.Len() == 0 {
+				m.nv.Remove(id)
+			}
+		}
+		if b := m.vol.Get(id); b != nil {
+			b.Valid.Remove(sub)
+			if b.Valid.Len() == 0 {
+				m.vol.Remove(id)
+			}
+		}
+	})
+}
+
+// Fsync is a no-op: NVRAM is stable storage.
+func (m *unifiedModel) Fsync(int64, uint64) {}
+
+// flushBlock writes a dirty NVRAM block's bytes to the server, removes it
+// from the NVRAM (consistency flushes push blocks out), and maybe transfers
+// it to the volatile cache.
+func (m *unifiedModel) flushBlock(now int64, b *Block, cause Cause) int64 {
+	segs := b.Dirty.RemoveAll()
+	n := segsLen(segs)
+	m.traffic.WriteBack[cause] += n
+	m.traffic.NVRAMReadBytes += n
+	m.traffic.NVRAMAccesses++
+	m.cfg.Hooks.emitWrite(now, b.ID.File, segs, cause)
+	b.markClean()
+	m.nv.Remove(b.ID)
+	m.maybeToVolatile(now, b)
+	return n
+}
+
+func (m *unifiedModel) FlushFile(now int64, file uint64, cause Cause) int64 {
+	var n int64
+	for _, b := range m.nv.FileBlocks(file) {
+		if b.IsDirty() {
+			n += m.flushBlock(now, b, cause)
+		}
+	}
+	return n
+}
+
+func (m *unifiedModel) FlushAll(now int64, cause Cause) int64 {
+	var n int64
+	for _, b := range m.nv.Blocks() {
+		if b.IsDirty() {
+			n += m.flushBlock(now, b, cause)
+		}
+	}
+	return n
+}
+
+func (m *unifiedModel) Invalidate(now int64, file uint64) {
+	for _, b := range m.nv.FileBlocks(file) {
+		if b.IsDirty() {
+			segs := b.Dirty.RemoveAll()
+			n := segsLen(segs)
+			m.traffic.WriteBack[CauseCallback] += n
+			m.traffic.NVRAMReadBytes += n
+			m.traffic.NVRAMAccesses++
+			m.cfg.Hooks.emitWrite(now, b.ID.File, segs, CauseCallback)
+		}
+		m.nv.Remove(b.ID)
+	}
+	for _, b := range m.vol.FileBlocks(file) {
+		m.vol.Remove(b.ID)
+	}
+}
+
+func (m *unifiedModel) NoteConcurrent(read bool, n int64) { noteConcurrent(&m.traffic, read, n) }
+
+func (m *unifiedModel) DirtyBytes() int64 {
+	var n int64
+	for _, b := range m.nv.Blocks() {
+		n += b.Dirty.Len()
+	}
+	return n
+}
+
+func (m *unifiedModel) CachedBlocks() int { return m.vol.Len() + m.nv.Len() }

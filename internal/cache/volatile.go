@@ -1,0 +1,207 @@
+package cache
+
+import (
+	"container/heap"
+
+	"nvramfs/internal/interval"
+)
+
+// volatileModel is the baseline client cache: a single volatile memory with
+// strict LRU replacement and Sprite's delayed write-back. Unlike real
+// Sprite it gives dirty blocks no preference over clean ones, matching the
+// paper's simplified volatile model (Section 2.1).
+type volatileModel struct {
+	cfg     Config
+	pool    *Pool
+	cleaner cleanerHeap
+	traffic Traffic
+}
+
+func newVolatile(cfg Config) *volatileModel {
+	return &volatileModel{cfg: cfg, pool: NewPool(cfg.VolatileBlocks, newLRUPolicy())}
+}
+
+func (m *volatileModel) Kind() ModelKind   { return ModelVolatile }
+func (m *volatileModel) Traffic() *Traffic { return &m.traffic }
+
+// cleanerHeap schedules blocks for the delayed write-back, ordered by the
+// time their dirty data first appeared. Entries are lazily invalidated: a
+// popped entry is ignored unless the block is still dirty with the same
+// first-dirty time.
+type cleanerEntry struct {
+	at int64
+	id BlockID
+}
+
+type cleanerHeap []cleanerEntry
+
+func (h cleanerHeap) Len() int            { return len(h) }
+func (h cleanerHeap) Less(i, j int) bool  { return h[i].at < h[j].at }
+func (h cleanerHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *cleanerHeap) Push(x interface{}) { *h = append(*h, x.(cleanerEntry)) }
+func (h *cleanerHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Advance runs the block cleaner: blocks whose dirty data is older than the
+// write-back delay are flushed to the server. (Sprite's cleaner runs every
+// five seconds; we flush event-driven at exactly firstDirty+delay, an
+// equivalent idealization.)
+func (m *volatileModel) Advance(now int64) {
+	for len(m.cleaner) > 0 && m.cleaner[0].at+m.cfg.WriteBackDelay <= now {
+		e := heap.Pop(&m.cleaner).(cleanerEntry)
+		b := m.pool.Get(e.id)
+		if b == nil || !b.IsDirty() || b.FirstDirty != e.at {
+			continue // stale entry
+		}
+		segs := b.Dirty.RemoveAll()
+		m.traffic.WriteBack[CauseCleaner] += segsLen(segs)
+		m.cfg.Hooks.emitWrite(e.at+m.cfg.WriteBackDelay, b.ID.File, segs, CauseCleaner)
+		b.markClean()
+	}
+}
+
+// ensure returns the cached block, allocating (and evicting the LRU victim
+// if necessary) when absent.
+func (m *volatileModel) ensure(now int64, id BlockID) *Block {
+	if b := m.pool.Get(id); b != nil {
+		return b
+	}
+	if m.pool.Full() {
+		var v *Block
+		if m.cfg.DirtyPreference {
+			// Sprite replaces the first clean block on the LRU list; a
+			// dirty block goes only when every block is dirty.
+			v = m.pool.VictimPreferring(func(b *Block) bool { return !b.IsDirty() })
+			m.pool.Remove(v.ID)
+		} else {
+			v = m.pool.EvictVictim()
+		}
+		if v.IsDirty() {
+			// LRU replacement of a dirty block writes it to the server.
+			segs := v.Dirty.RemoveAll()
+			m.traffic.WriteBack[CauseReplacement] += segsLen(segs)
+			m.cfg.Hooks.emitWrite(now, v.ID.File, segs, CauseReplacement)
+		}
+	}
+	b := newBlock(id, now)
+	m.pool.Put(b, now)
+	return b
+}
+
+func (m *volatileModel) Write(now int64, file uint64, r interval.Range) {
+	m.traffic.AppWriteBytes += r.Len()
+	m.traffic.BusWriteBytes += r.Len()
+	blockSpan(r, m.cfg.BlockSize, func(idx int64, sub interval.Range) {
+		b := m.ensure(now, BlockID{file, idx})
+		m.traffic.AbsorbedOverwriteBytes += segsLen(b.Dirty.Insert(sub, now))
+		b.Valid.Add(sub)
+		if b.FirstDirty == -1 {
+			b.FirstDirty = now
+			heap.Push(&m.cleaner, cleanerEntry{at: now, id: b.ID})
+		}
+		b.LastAccess, b.LastModify = now, now
+		m.pool.Modify(b.ID, now)
+	})
+}
+
+func (m *volatileModel) Read(now int64, file uint64, r interval.Range, fileSize int64) {
+	m.traffic.AppReadBytes += r.Len()
+	if fileSize < r.End {
+		fileSize = r.End
+	}
+	blockSpan(r, m.cfg.BlockSize, func(idx int64, sub interval.Range) {
+		id := BlockID{file, idx}
+		if b := m.pool.Get(id); b != nil && b.Valid.ContainsRange(sub) {
+			m.traffic.ReadHitBytes += sub.Len()
+			b.LastAccess = now
+			m.pool.Touch(id, now)
+			return
+		}
+		b := m.ensure(now, id)
+		ext := blockExtent(idx, m.cfg.BlockSize, fileSize)
+		missing := ext.Len() - b.Valid.OverlapLen(ext)
+		m.traffic.ServerReadBytes += missing
+		m.traffic.BusReadBytes += missing
+		m.cfg.Hooks.emitRead(now, id.File, &b.Valid, ext)
+		b.Valid.Add(ext)
+		b.LastAccess = now
+		m.pool.Touch(id, now)
+	})
+}
+
+func (m *volatileModel) DeleteRange(now int64, file uint64, r interval.Range) {
+	blockSpan(r, m.cfg.BlockSize, func(idx int64, sub interval.Range) {
+		id := BlockID{file, idx}
+		b := m.pool.Get(id)
+		if b == nil {
+			return
+		}
+		m.traffic.AbsorbedDeleteBytes += segsLen(b.Dirty.Remove(sub))
+		b.Valid.Remove(sub)
+		if b.Valid.Len() == 0 {
+			m.pool.Remove(id)
+			return
+		}
+		if tag, ok := b.Dirty.MinTag(); ok {
+			b.FirstDirty = tag
+		} else {
+			b.FirstDirty = -1
+		}
+	})
+}
+
+func (m *volatileModel) Fsync(now int64, file uint64) {
+	m.FlushFile(now, file, CauseFsync)
+}
+
+func (m *volatileModel) FlushFile(now int64, file uint64, cause Cause) int64 {
+	var n int64
+	for _, b := range m.pool.FileBlocks(file) {
+		if b.IsDirty() {
+			segs := b.Dirty.RemoveAll()
+			n += segsLen(segs)
+			m.cfg.Hooks.emitWrite(now, b.ID.File, segs, cause)
+			b.markClean()
+		}
+	}
+	m.traffic.WriteBack[cause] += n
+	return n
+}
+
+func (m *volatileModel) FlushAll(now int64, cause Cause) int64 {
+	var n int64
+	for _, b := range m.pool.Blocks() {
+		if b.IsDirty() {
+			segs := b.Dirty.RemoveAll()
+			n += segsLen(segs)
+			m.cfg.Hooks.emitWrite(now, b.ID.File, segs, cause)
+			b.markClean()
+		}
+	}
+	m.traffic.WriteBack[cause] += n
+	return n
+}
+
+func (m *volatileModel) Invalidate(now int64, file uint64) {
+	m.FlushFile(now, file, CauseCallback)
+	for _, b := range m.pool.FileBlocks(file) {
+		m.pool.Remove(b.ID)
+	}
+}
+
+func (m *volatileModel) NoteConcurrent(read bool, n int64) { noteConcurrent(&m.traffic, read, n) }
+
+func (m *volatileModel) DirtyBytes() int64 {
+	var n int64
+	for _, b := range m.pool.Blocks() {
+		n += b.Dirty.Len()
+	}
+	return n
+}
+
+func (m *volatileModel) CachedBlocks() int { return m.pool.Len() }

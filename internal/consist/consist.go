@@ -1,0 +1,212 @@
+// Package consist implements the Sprite cache-consistency protocol as seen
+// by the trace-driven simulators.
+//
+// Sprite file servers keep client caches consistent with three mechanisms
+// the paper's Section 2.1 describes:
+//
+//   - The server tracks the last client to write each file. When another
+//     client opens the file, the server recalls any dirty data not yet
+//     flushed from the last writer's cache ("called back" bytes).
+//   - If two or more clients hold a file open simultaneously and at least
+//     one has it open for writing, the server disables client caching on
+//     the file until all of them close it (concurrent write-sharing);
+//     meanwhile all reads and writes bypass the client caches.
+//   - Clients discard stale cached copies: the server versions each file,
+//     and a client whose cached version is out of date invalidates its
+//     copy when it opens the file.
+//
+// The Server type tracks this state and tells the caller, on each open,
+// which client (if any) must flush dirty data, whether the opener's cached
+// copy is stale, and whether caching is disabled for the file.
+package consist
+
+import "fmt"
+
+// NoClient is the sentinel "no client" id.
+const NoClient uint16 = 0xffff
+
+// fileState is the server's per-file consistency record.
+type fileState struct {
+	lastWriter uint16
+	version    uint64            // bumped on every write
+	seen       map[uint16]uint64 // version each client last cached
+	openers    map[uint16]int    // open counts per client
+	writers    map[uint16]int    // open-for-write counts per client
+	disabled   bool
+}
+
+// Server tracks consistency state for every file in the cluster.
+type Server struct {
+	files map[uint64]*fileState
+
+	// Counters for reporting.
+	Recalls         int64 // opens that triggered a dirty-data recall
+	Invalidations   int64 // opens that found a stale cached copy
+	DisableEvents   int64 // times caching was disabled on a file
+	ConcurrentOpens int64 // opens that occurred while caching was disabled
+}
+
+// NewServer returns an empty consistency server.
+func NewServer() *Server {
+	return &Server{files: make(map[uint64]*fileState)}
+}
+
+func (s *Server) file(f uint64) *fileState {
+	fs := s.files[f]
+	if fs == nil {
+		fs = &fileState{
+			lastWriter: NoClient,
+			seen:       make(map[uint16]uint64),
+			openers:    make(map[uint16]int),
+			writers:    make(map[uint16]int),
+		}
+		s.files[f] = fs
+	}
+	return fs
+}
+
+// OpenResult tells the caller what an open implies for the caches.
+type OpenResult struct {
+	// RecallFrom is the client whose dirty data for the file must be
+	// flushed to the server before the open proceeds, or NoClient.
+	RecallFrom uint16
+	// InvalidateOpener indicates the opener's cached copy of the file is
+	// stale and must be discarded before use.
+	InvalidateOpener bool
+	// Disabled indicates client caching is off for this file (concurrent
+	// write-sharing): the opener must bypass its cache until re-enabled.
+	Disabled bool
+	// JustDisabled indicates this open is the one that turned caching off,
+	// so every client caching the file must flush and invalidate.
+	JustDisabled bool
+}
+
+// Open registers that client has opened the file, with forWrite indicating
+// write access, and reports the required cache actions.
+func (s *Server) Open(client uint16, f uint64, forWrite bool) OpenResult {
+	fs := s.file(f)
+	var res OpenResult
+
+	// Recall dirty data cached by a different last writer.
+	if fs.lastWriter != NoClient && fs.lastWriter != client {
+		res.RecallFrom = fs.lastWriter
+		fs.lastWriter = NoClient
+		s.Recalls++
+	} else {
+		res.RecallFrom = NoClient
+	}
+
+	// Stale-copy check: the opener discards its cached copy if the file
+	// has been written since the opener last saw it.
+	if fs.seen[client] != fs.version {
+		if _, ever := fs.seen[client]; ever || fs.version > 0 {
+			res.InvalidateOpener = true
+			s.Invalidations++
+		}
+		fs.seen[client] = fs.version
+	}
+
+	fs.openers[client]++
+	if forWrite {
+		fs.writers[client]++
+	}
+
+	// Concurrent write-sharing: >=2 distinct clients with the file open
+	// and at least one writer.
+	if !fs.disabled && len(fs.openers) >= 2 && len(fs.writers) >= 1 {
+		fs.disabled = true
+		res.JustDisabled = true
+		s.DisableEvents++
+	}
+	if fs.disabled {
+		res.Disabled = true
+		s.ConcurrentOpens++
+	}
+	return res
+}
+
+// Close registers that client closed the file. It returns true when this
+// close re-enabled caching on a file that had been disabled.
+func (s *Server) Close(client uint16, f uint64) (reenabled bool) {
+	fs := s.files[f]
+	if fs == nil {
+		return false
+	}
+	if fs.openers[client] > 0 {
+		fs.openers[client]--
+		if fs.openers[client] == 0 {
+			delete(fs.openers, client)
+		}
+	}
+	if fs.writers[client] > 0 {
+		fs.writers[client]--
+		if fs.writers[client] == 0 {
+			delete(fs.writers, client)
+		}
+	}
+	if fs.disabled && len(fs.openers) == 0 {
+		fs.disabled = false
+		return true
+	}
+	return false
+}
+
+// Write records that client wrote the file. While caching is disabled the
+// write goes straight to the server, so the last-writer record is left
+// clear; otherwise the client becomes the last writer and the file version
+// advances.
+func (s *Server) Write(client uint16, f uint64) {
+	fs := s.file(f)
+	fs.version++
+	fs.seen[client] = fs.version
+	if fs.disabled {
+		fs.lastWriter = NoClient
+		return
+	}
+	fs.lastWriter = client
+}
+
+// Flushed records that the named client's dirty data for the file reached
+// the server (fsync, migration, cleaner, or replacement of the last dirty
+// block), clearing the recall obligation.
+func (s *Server) Flushed(client uint16, f uint64) {
+	if fs := s.files[f]; fs != nil && fs.lastWriter == client {
+		fs.lastWriter = NoClient
+	}
+}
+
+// FlushedClient records that all of the client's dirty data reached the
+// server (e.g. a process-migration flush), clearing every recall obligation
+// it held.
+func (s *Server) FlushedClient(client uint16) {
+	for _, fs := range s.files {
+		if fs.lastWriter == client {
+			fs.lastWriter = NoClient
+		}
+	}
+}
+
+// Deleted drops all consistency state for the file.
+func (s *Server) Deleted(f uint64) {
+	delete(s.files, f)
+}
+
+// Disabled reports whether client caching is currently off for the file.
+func (s *Server) Disabled(f uint64) bool {
+	fs := s.files[f]
+	return fs != nil && fs.disabled
+}
+
+// LastWriter returns the client holding unflushed dirty data for the file,
+// or NoClient.
+func (s *Server) LastWriter(f uint64) uint16 {
+	if fs := s.files[f]; fs != nil {
+		return fs.lastWriter
+	}
+	return NoClient
+}
+
+func (s *Server) String() string {
+	return fmt.Sprintf("consist.Server{files: %d, recalls: %d, disables: %d}",
+		len(s.files), s.Recalls, s.DisableEvents)
+}

@@ -1,0 +1,225 @@
+// Package cost embeds the paper's Table 1 — 1992 prices for non-volatile
+// memory components, boards, and volatile DRAM — and implements the
+// Section 2.7 cost-effectiveness analysis: given the measured traffic-
+// reduction curves for the volatile and unified cache models, how many
+// megabytes of volatile memory deliver the same benefit as a given amount
+// of NVRAM, and which is cheaper at current prices.
+package cost
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Kind classifies a memory component.
+type Kind uint8
+
+// Component kinds.
+const (
+	// SIMM is an individual non-volatile memory module with on-module
+	// batteries and failover.
+	SIMM Kind = iota
+	// Board is a bus-attached NVRAM board whose battery and assembly
+	// overhead amortizes over more megabytes.
+	Board
+	// DRAM is ordinary volatile memory, for comparison.
+	DRAM
+	// UPS is an uninterruptible power supply (the alternative the paper
+	// rejects for small memories).
+	UPS
+)
+
+func (k Kind) String() string {
+	switch k {
+	case SIMM:
+		return "SIMM"
+	case Board:
+		return "board"
+	case DRAM:
+		return "DRAM"
+	case UPS:
+		return "UPS"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Component is one row of Table 1.
+type Component struct {
+	Name        string
+	Kind        Kind
+	SpeedNS     int     // access time in nanoseconds
+	Batteries   int     // lithium batteries (most keep at least one spare)
+	PricePerMB  float64 // dollars per megabyte, amortized at MinConfigMB
+	MinConfigMB float64 // minimum purchasable configuration in megabytes
+}
+
+// NonVolatile reports whether the component preserves data across power
+// loss.
+func (c Component) NonVolatile() bool { return c.Kind == SIMM || c.Kind == Board }
+
+// Table1 returns the paper's Table 1: list prices (lots of 5000+) for
+// Dallas Semiconductor NVRAM SIMMs, NVRAM boards with triply redundant
+// batteries, and a volatile DRAM component for comparison.
+func Table1() []Component {
+	return []Component{
+		{Name: "128K*9 SRAM SIMM", Kind: SIMM, SpeedNS: 120, Batteries: 2, PricePerMB: 328, MinConfigMB: 0.5},
+		{Name: "512K*8 SRAM SIMM", Kind: SIMM, SpeedNS: 85, Batteries: 2, PricePerMB: 336, MinConfigMB: 2},
+		{Name: "1M*1 SRAM SIMM", Kind: SIMM, SpeedNS: 70, Batteries: 1, PricePerMB: 370, MinConfigMB: 4},
+		{Name: "PC-AT bus board (1 MB)", Kind: Board, SpeedNS: 70, Batteries: 3, PricePerMB: 439, MinConfigMB: 1},
+		{Name: "PC-AT bus board (16 MB)", Kind: Board, SpeedNS: 70, Batteries: 3, PricePerMB: 134, MinConfigMB: 16},
+		{Name: "VME bus board (1 MB)", Kind: Board, SpeedNS: 70, Batteries: 3, PricePerMB: 634, MinConfigMB: 1},
+		{Name: "VME bus board (16 MB)", Kind: Board, SpeedNS: 70, Batteries: 3, PricePerMB: 147, MinConfigMB: 16},
+		{Name: "1M*9 DRAM (volatile)", Kind: DRAM, SpeedNS: 70, Batteries: 0, PricePerMB: 33, MinConfigMB: 4},
+	}
+}
+
+// UPSOption is the uninterruptible-power-supply alternative: a minimum of
+// about $800 for one able to hold up a SPARCstation for one to two hours,
+// regardless of how little memory needs protecting.
+func UPSOption() Component {
+	return Component{Name: "UPS (SPARCstation, 1-2h)", Kind: UPS, PricePerMB: 0, MinConfigMB: 0}
+}
+
+// UPSMinPrice is the flat minimum UPS cost the paper quotes.
+const UPSMinPrice = 800.0
+
+// DRAMPricePerMB returns the volatile-memory price from Table 1.
+func DRAMPricePerMB() float64 {
+	for _, c := range Table1() {
+		if c.Kind == DRAM {
+			return c.PricePerMB
+		}
+	}
+	return 0
+}
+
+// CheapestNVRAM returns the cheapest non-volatile option purchasable at
+// the given configuration size (its minimum configuration must fit).
+func CheapestNVRAM(configMB float64) (Component, bool) {
+	var best Component
+	found := false
+	for _, c := range Table1() {
+		if !c.NonVolatile() || c.MinConfigMB > configMB {
+			continue
+		}
+		if !found || c.PricePerMB < best.PricePerMB {
+			best, found = c, true
+		}
+	}
+	return best, found
+}
+
+// NVRAMPremium returns the price ratio of the cheapest NVRAM to DRAM at
+// the given configuration size. The paper: NVRAM is "four to six times
+// more expensive per megabyte than DRAM" in small configurations, about
+// four times in 16 MB boards.
+func NVRAMPremium(configMB float64) float64 {
+	c, ok := CheapestNVRAM(configMB)
+	if !ok {
+		return math.Inf(1)
+	}
+	d := DRAMPricePerMB()
+	if d <= 0 {
+		return math.Inf(1)
+	}
+	return c.PricePerMB / d
+}
+
+// Curve is a piecewise-linear mapping from megabytes of added memory to
+// net traffic fraction (the measured lines of Figures 5 and 6). Points
+// must be sorted by MB.
+type Curve struct {
+	MB   []float64
+	Frac []float64
+}
+
+// At returns the interpolated traffic fraction after adding mb megabytes.
+func (c Curve) At(mb float64) float64 {
+	n := len(c.MB)
+	if n == 0 {
+		return 0
+	}
+	if mb <= c.MB[0] {
+		return c.Frac[0]
+	}
+	if mb >= c.MB[n-1] {
+		return c.Frac[n-1]
+	}
+	i := sort.SearchFloat64s(c.MB, mb)
+	if c.MB[i] == mb {
+		return c.Frac[i]
+	}
+	// Interpolate between points i-1 and i.
+	t := (mb - c.MB[i-1]) / (c.MB[i] - c.MB[i-1])
+	return c.Frac[i-1] + t*(c.Frac[i]-c.Frac[i-1])
+}
+
+// MBFor returns the megabytes of added memory needed to reach the given
+// traffic fraction, assuming the curve decreases with memory. It returns
+// +Inf when the curve never gets that low.
+func (c Curve) MBFor(frac float64) float64 {
+	n := len(c.MB)
+	if n == 0 {
+		return math.Inf(1)
+	}
+	if frac >= c.Frac[0] {
+		return c.MB[0]
+	}
+	for i := 1; i < n; i++ {
+		if c.Frac[i] <= frac {
+			// Interpolate between i-1 and i.
+			if c.Frac[i-1] == c.Frac[i] {
+				return c.MB[i]
+			}
+			t := (c.Frac[i-1] - frac) / (c.Frac[i-1] - c.Frac[i])
+			return c.MB[i-1] + t*(c.MB[i]-c.MB[i-1])
+		}
+	}
+	return math.Inf(1)
+}
+
+// EquivalentVolatileMB returns how many megabytes of added volatile memory
+// produce the same total traffic as adding nvramMB of NVRAM under the
+// unified model — the paper's Figure 6 comparison (e.g. 2 MB of NVRAM on
+// an 8 MB cache equals about 4 MB of volatile memory).
+func EquivalentVolatileMB(unified, volatile Curve, nvramMB float64) float64 {
+	target := unified.At(nvramMB)
+	return volatile.MBFor(target)
+}
+
+// Verdict is the outcome of a cost comparison.
+type Verdict struct {
+	NVRAMMB      float64
+	EquivalentMB float64 // volatile MB with the same benefit
+	NVRAMCost    float64
+	VolatileCost float64
+}
+
+// NVRAMWins reports whether NVRAM is the cheaper way to buy the benefit.
+// When no measured amount of volatile memory reaches the same traffic
+// level (EquivalentMB is +Inf, as happens on a large volatile base whose
+// read traffic is already saturated), NVRAM wins outright — the paper's
+// "given sufficient volatile memory, NVRAM provides better
+// price/performance even at today's prices".
+func (v Verdict) NVRAMWins() bool {
+	return v.NVRAMCost < v.VolatileCost
+}
+
+// Compare prices an NVRAM purchase against the equivalent volatile
+// purchase using Table 1's cheapest options.
+func Compare(unified, volatile Curve, nvramMB float64) Verdict {
+	eq := EquivalentVolatileMB(unified, volatile, nvramMB)
+	v := Verdict{NVRAMMB: nvramMB, EquivalentMB: eq}
+	if c, ok := CheapestNVRAM(nvramMB); ok {
+		v.NVRAMCost = c.PricePerMB * nvramMB
+	} else {
+		v.NVRAMCost = math.Inf(1)
+	}
+	if math.IsInf(eq, 1) {
+		v.VolatileCost = math.Inf(1)
+	} else {
+		v.VolatileCost = DRAMPricePerMB() * eq
+	}
+	return v
+}

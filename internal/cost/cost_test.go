@@ -1,0 +1,157 @@
+package cost
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTable1Shape(t *testing.T) {
+	rows := Table1()
+	if len(rows) != 8 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	var nv, dram int
+	for _, c := range rows {
+		if c.PricePerMB <= 0 || c.MinConfigMB <= 0 {
+			t.Fatalf("bad row %+v", c)
+		}
+		if c.NonVolatile() {
+			nv++
+			if c.Batteries < 1 {
+				t.Fatalf("NVRAM without battery: %+v", c)
+			}
+		}
+		if c.Kind == DRAM {
+			dram++
+			if c.Batteries != 0 {
+				t.Fatalf("DRAM with batteries: %+v", c)
+			}
+		}
+	}
+	if nv != 7 || dram != 1 {
+		t.Fatalf("nv=%d dram=%d", nv, dram)
+	}
+}
+
+func TestPaperPriceClaims(t *testing.T) {
+	// "NVRAM is still four to six times more expensive per megabyte than
+	// DRAM" — in small configurations the premium is far above 4; at 16 MB
+	// boards it is "only four times the cost of an equivalent amount of
+	// DRAM".
+	if p := NVRAMPremium(1); p < 4 {
+		t.Errorf("1 MB premium = %.1f, want >= 4", p)
+	}
+	p16 := NVRAMPremium(16)
+	if p16 < 3.5 || p16 > 5 {
+		t.Errorf("16 MB premium = %.1f, paper says about four", p16)
+	}
+	// "the 16-megabyte boards are nearly 60% less expensive than SIMMs".
+	board16, _ := CheapestNVRAM(16)
+	var simm float64 = math.Inf(1)
+	for _, c := range Table1() {
+		if c.Kind == SIMM && c.PricePerMB < simm {
+			simm = c.PricePerMB
+		}
+	}
+	if ratio := board16.PricePerMB / simm; ratio > 0.5 {
+		t.Errorf("16 MB board/SIMM price ratio = %.2f, want < 0.5", ratio)
+	}
+}
+
+func TestCheapestNVRAMRespectsMinConfig(t *testing.T) {
+	// At half a megabyte only the 128K*9 SIMM is purchasable.
+	c, ok := CheapestNVRAM(0.5)
+	if !ok || c.Name != "128K*9 SRAM SIMM" {
+		t.Fatalf("got %+v", c)
+	}
+	if _, ok := CheapestNVRAM(0.1); ok {
+		t.Fatal("found NVRAM below every minimum configuration")
+	}
+	// At 16 MB the cheap boards win.
+	c, _ = CheapestNVRAM(16)
+	if c.Kind != Board || c.PricePerMB > 150 {
+		t.Fatalf("16 MB pick: %+v", c)
+	}
+}
+
+func testCurves() (unified, volatile Curve) {
+	// Shaped like Figure 5/6: both decreasing, unified falling faster.
+	unified = Curve{
+		MB:   []float64{0, 1, 2, 4, 8},
+		Frac: []float64{0.45, 0.40, 0.37, 0.33, 0.29},
+	}
+	volatile = Curve{
+		MB:   []float64{0, 1, 2, 4, 8},
+		Frac: []float64{0.45, 0.43, 0.41, 0.37, 0.33},
+	}
+	return
+}
+
+func TestCurveInterpolation(t *testing.T) {
+	u, _ := testCurves()
+	if got := u.At(0); got != 0.45 {
+		t.Fatalf("At(0) = %f", got)
+	}
+	if got := u.At(3); got < 0.34 || got > 0.36 {
+		t.Fatalf("At(3) = %f", got)
+	}
+	if got := u.At(100); got != 0.29 {
+		t.Fatalf("At(100) = %f (clamp)", got)
+	}
+	if got := u.MBFor(0.40); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("MBFor(0.40) = %f", got)
+	}
+	if !math.IsInf(u.MBFor(0.1), 1) {
+		t.Fatal("unreachable fraction not Inf")
+	}
+}
+
+func TestEquivalentVolatileMB(t *testing.T) {
+	u, v := testCurves()
+	// 2 MB of NVRAM reaches 0.37; the volatile curve reaches 0.37 at 4 MB —
+	// the paper's "two megabytes of NVRAM ... the same as four megabytes of
+	// volatile memory" relationship.
+	eq := EquivalentVolatileMB(u, v, 2)
+	if math.Abs(eq-4) > 1e-9 {
+		t.Fatalf("equivalent MB = %f, want 4", eq)
+	}
+}
+
+func TestCompareVerdict(t *testing.T) {
+	u, v := testCurves()
+	verdict := Compare(u, v, 2)
+	// 2 MB NVRAM at $328/MB = $656; 4 MB DRAM at $33 = $132: at 1992
+	// prices NVRAM loses for client caching — exactly the paper's
+	// conclusion when only 8 MB of volatile cache is present.
+	if verdict.NVRAMWins() {
+		t.Fatalf("NVRAM should not be cost-effective here: %+v", verdict)
+	}
+	if verdict.NVRAMCost <= 0 || verdict.VolatileCost <= 0 {
+		t.Fatalf("degenerate costs: %+v", verdict)
+	}
+	// If NVRAM dropped below ~2x DRAM, it would win (the paper's break-even
+	// observation: "adding NVRAM would be the right choice if it were less
+	// than twice as expensive as volatile memory").
+	ratio := verdict.VolatileCost / (DRAMPricePerMB() * verdict.NVRAMMB)
+	if ratio < 1.9 || ratio > 2.1 {
+		t.Logf("benefit ratio = %.2f (volatile-MB per NVRAM-MB = %.1f)", ratio, verdict.EquivalentMB/verdict.NVRAMMB)
+	}
+}
+
+func TestUPS(t *testing.T) {
+	u := UPSOption()
+	if u.Kind != UPS || u.NonVolatile() {
+		t.Fatalf("UPS option: %+v", u)
+	}
+	// A UPS costs more than a megabyte of NVRAM protection.
+	c, _ := CheapestNVRAM(1)
+	if UPSMinPrice < c.PricePerMB*1 {
+		t.Fatal("UPS unexpectedly cheaper than 1 MB of NVRAM")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if SIMM.String() != "SIMM" || Board.String() != "board" || DRAM.String() != "DRAM" || UPS.String() != "UPS" {
+		t.Fatal("kind names wrong")
+	}
+}

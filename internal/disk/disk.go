@@ -1,0 +1,134 @@
+// Package disk models a circa-1992 server disk: per-access positioning
+// time (seek plus rotational latency) followed by sequential transfer. The
+// LFS study only needs access counts and bandwidth-utilization estimates,
+// but the model also reproduces the analysis the paper cites from Ruemmler
+// and Wilkes [20]: random small writes use a few percent of the disk's
+// bandwidth, while large sorted or contiguous writes approach it.
+package disk
+
+import (
+	"fmt"
+	"time"
+)
+
+// Params describes the disk's performance characteristics.
+type Params struct {
+	// AvgSeek is the average seek time.
+	AvgSeek time.Duration
+	// AvgRotation is the average rotational latency (half a revolution).
+	AvgRotation time.Duration
+	// TransferRate is the sequential media rate in bytes per second.
+	TransferRate int64
+	// TrackSize is the capacity of one track, for optimal-write-size
+	// analyses ([3] suggests writes of about two tracks).
+	TrackSize int64
+}
+
+// DefaultParams returns parameters resembling the Wren-class drives on
+// Sprite's file servers: ~14 ms average seek, 3600 RPM (8.3 ms average
+// rotational latency), ~1.3 MB/s transfer, ~32 KB tracks.
+func DefaultParams() Params {
+	return Params{
+		AvgSeek:      14 * time.Millisecond,
+		AvgRotation:  8300 * time.Microsecond,
+		TransferRate: 1_300_000,
+		TrackSize:    32 << 10,
+	}
+}
+
+// PositioningTime is the average time to reach a random location.
+func (p Params) PositioningTime() time.Duration { return p.AvgSeek + p.AvgRotation }
+
+// TransferTime is the time to move n sequential bytes.
+func (p Params) TransferTime(n int64) time.Duration {
+	if p.TransferRate <= 0 {
+		return 0
+	}
+	return time.Duration(float64(n) / float64(p.TransferRate) * float64(time.Second))
+}
+
+// AccessTime is the full cost of one random access moving n bytes.
+func (p Params) AccessTime(n int64) time.Duration {
+	return p.PositioningTime() + p.TransferTime(n)
+}
+
+// Efficiency returns the fraction of the disk's raw bandwidth achieved by
+// repeated random accesses of n bytes each: transfer / (position +
+// transfer). Writing 4 KB blocks randomly yields only a few percent — the
+// motivation for both LFS segments and NVRAM write buffers.
+func (p Params) Efficiency(n int64) float64 {
+	t := p.TransferTime(n)
+	total := p.PositioningTime() + t
+	if total <= 0 {
+		return 0
+	}
+	return float64(t) / float64(total)
+}
+
+// Disk accumulates access statistics against a parameter set.
+type Disk struct {
+	Params Params
+
+	Reads         int64
+	Writes        int64
+	BytesRead     int64
+	BytesWritten  int64
+	BusyTime      time.Duration
+	positionTime  time.Duration
+	transferTotal time.Duration
+}
+
+// New returns a disk with the given parameters.
+func New(p Params) *Disk { return &Disk{Params: p} }
+
+// Write records one contiguous write access of n bytes and returns its
+// service time.
+func (d *Disk) Write(n int64) time.Duration {
+	t := d.Params.AccessTime(n)
+	d.Writes++
+	d.BytesWritten += n
+	d.account(n, t)
+	return t
+}
+
+// Read records one contiguous read access of n bytes and returns its
+// service time.
+func (d *Disk) Read(n int64) time.Duration {
+	t := d.Params.AccessTime(n)
+	d.Reads++
+	d.BytesRead += n
+	d.account(n, t)
+	return t
+}
+
+func (d *Disk) account(n int64, t time.Duration) {
+	d.BusyTime += t
+	d.positionTime += d.Params.PositioningTime()
+	d.transferTotal += d.Params.TransferTime(n)
+}
+
+// Accesses returns the total access count.
+func (d *Disk) Accesses() int64 { return d.Reads + d.Writes }
+
+// BandwidthUtilization returns the fraction of busy time spent actually
+// transferring data (as opposed to positioning).
+func (d *Disk) BandwidthUtilization() float64 {
+	if d.BusyTime <= 0 {
+		return 0
+	}
+	return float64(d.transferTotal) / float64(d.BusyTime)
+}
+
+// Utilization returns the fraction of the elapsed interval the disk was
+// busy.
+func (d *Disk) Utilization(elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(d.BusyTime) / float64(elapsed)
+}
+
+func (d *Disk) String() string {
+	return fmt.Sprintf("disk{reads: %d, writes: %d, %.1f MB written, busy %v}",
+		d.Reads, d.Writes, float64(d.BytesWritten)/(1<<20), d.BusyTime.Round(time.Millisecond))
+}

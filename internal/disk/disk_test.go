@@ -1,0 +1,81 @@
+package disk
+
+import (
+	"testing"
+	"time"
+)
+
+func TestAccessTime(t *testing.T) {
+	p := Params{
+		AvgSeek:      10 * time.Millisecond,
+		AvgRotation:  5 * time.Millisecond,
+		TransferRate: 1 << 20, // 1 MB/s
+	}
+	if got := p.PositioningTime(); got != 15*time.Millisecond {
+		t.Fatalf("positioning = %v", got)
+	}
+	if got := p.TransferTime(1 << 20); got != time.Second {
+		t.Fatalf("transfer = %v", got)
+	}
+	if got := p.AccessTime(1 << 20); got != time.Second+15*time.Millisecond {
+		t.Fatalf("access = %v", got)
+	}
+}
+
+func TestEfficiencyGrowsWithSize(t *testing.T) {
+	p := DefaultParams()
+	small := p.Efficiency(4 << 10)
+	seg := p.Efficiency(512 << 10)
+	if small >= seg {
+		t.Fatalf("efficiency not increasing: %f vs %f", small, seg)
+	}
+	// Random 4 KB writes waste most of the bandwidth (the paper cites ~7%
+	// from [20]); half-megabyte segments use most of it.
+	if small > 0.25 {
+		t.Fatalf("4KB efficiency %f implausibly high", small)
+	}
+	if seg < 0.80 {
+		t.Fatalf("segment efficiency %f implausibly low", seg)
+	}
+}
+
+func TestDiskCounters(t *testing.T) {
+	d := New(DefaultParams())
+	d.Write(512 << 10)
+	d.Write(8 << 10)
+	d.Read(512 << 10)
+	if d.Writes != 2 || d.Reads != 1 || d.Accesses() != 3 {
+		t.Fatalf("counts: %+v", d)
+	}
+	if d.BytesWritten != 520<<10 || d.BytesRead != 512<<10 {
+		t.Fatalf("bytes: %+v", d)
+	}
+	if d.BusyTime <= 0 {
+		t.Fatal("no busy time accumulated")
+	}
+	u := d.BandwidthUtilization()
+	if u <= 0 || u >= 1 {
+		t.Fatalf("bandwidth utilization = %f", u)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	d := New(DefaultParams())
+	d.Write(512 << 10)
+	if got := d.Utilization(time.Second); got <= 0 || got >= 1 {
+		t.Fatalf("utilization = %f", got)
+	}
+	if got := d.Utilization(0); got != 0 {
+		t.Fatalf("utilization over zero interval = %f", got)
+	}
+}
+
+func TestZeroTransferRate(t *testing.T) {
+	p := Params{AvgSeek: time.Millisecond}
+	if p.TransferTime(100) != 0 {
+		t.Fatal("transfer time with zero rate")
+	}
+	if p.Efficiency(100) != 0 {
+		t.Fatal("efficiency with zero rate")
+	}
+}

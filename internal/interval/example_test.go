@@ -1,0 +1,35 @@
+package interval_test
+
+import (
+	"fmt"
+
+	"nvramfs/internal/interval"
+)
+
+// A Set tracks which bytes of a file are present in a cache block.
+func ExampleSet() {
+	var valid interval.Set
+	valid.Add(interval.Range{Start: 0, End: 4096})
+	valid.Remove(interval.Range{Start: 1000, End: 2000})
+	fmt.Println("bytes:", valid.Len(), "ranges:", valid.NumRanges())
+	fmt.Println("covers [0,1000):", valid.ContainsRange(interval.Range{Start: 0, End: 1000}))
+	// Output:
+	// bytes: 3096 ranges: 2
+	// covers [0,1000): true
+}
+
+// A TagMap tracks dirty bytes with their write times: inserting over old
+// data returns exactly the overwritten runs, which is how the simulators
+// account for bytes that die in the cache.
+func ExampleTagMap() {
+	dirty := interval.NewTagMap()
+	dirty.Insert(interval.Range{Start: 0, End: 100}, 10) // written at t=10
+	over := dirty.Insert(interval.Range{Start: 50, End: 150}, 99)
+	for _, seg := range over {
+		fmt.Printf("overwrote %d bytes written at t=%d\n", seg.Len(), seg.Tag)
+	}
+	fmt.Println("dirty bytes:", dirty.Len())
+	// Output:
+	// overwrote 50 bytes written at t=10
+	// dirty bytes: 150
+}

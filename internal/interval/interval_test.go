@@ -1,0 +1,262 @@
+package interval
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRangeBasics(t *testing.T) {
+	tests := []struct {
+		r     Range
+		len   int64
+		empty bool
+	}{
+		{Range{0, 0}, 0, true},
+		{Range{5, 3}, 0, true},
+		{Range{0, 10}, 10, false},
+		{Range{-5, 5}, 10, false},
+	}
+	for _, tt := range tests {
+		if got := tt.r.Len(); got != tt.len {
+			t.Errorf("%v.Len() = %d, want %d", tt.r, got, tt.len)
+		}
+		if got := tt.r.Empty(); got != tt.empty {
+			t.Errorf("%v.Empty() = %v, want %v", tt.r, got, tt.empty)
+		}
+	}
+}
+
+func TestRangeIntersect(t *testing.T) {
+	tests := []struct {
+		a, b, want Range
+	}{
+		{Range{0, 10}, Range{5, 15}, Range{5, 10}},
+		{Range{0, 10}, Range{10, 20}, Range{10, 10}},
+		{Range{0, 10}, Range{2, 4}, Range{2, 4}},
+		{Range{5, 6}, Range{0, 100}, Range{5, 6}},
+	}
+	for _, tt := range tests {
+		got := tt.a.Intersect(tt.b)
+		if got.Len() != tt.want.Len() || (!got.Empty() && got != tt.want) {
+			t.Errorf("%v.Intersect(%v) = %v, want %v", tt.a, tt.b, got, tt.want)
+		}
+		// Intersection is symmetric.
+		rev := tt.b.Intersect(tt.a)
+		if rev.Len() != got.Len() {
+			t.Errorf("intersection not symmetric: %v vs %v", got, rev)
+		}
+	}
+}
+
+func TestSetAddCoalesce(t *testing.T) {
+	s := NewSet()
+	s.Add(Range{0, 10})
+	s.Add(Range{20, 30})
+	if s.NumRanges() != 2 || s.Len() != 20 {
+		t.Fatalf("got %v (len %d)", s, s.Len())
+	}
+	// Adjacent ranges coalesce.
+	s.Add(Range{10, 20})
+	if s.NumRanges() != 1 || s.Len() != 30 {
+		t.Fatalf("after bridging add: %v", s)
+	}
+	// Overlapping add is idempotent on covered bytes.
+	s.Add(Range{5, 25})
+	if s.NumRanges() != 1 || s.Len() != 30 {
+		t.Fatalf("after overlapping add: %v", s)
+	}
+	if err := s.check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetRemove(t *testing.T) {
+	s := NewSet(Range{0, 100})
+	if n := s.Remove(Range{40, 60}); n != 20 {
+		t.Fatalf("Remove returned %d, want 20", n)
+	}
+	if s.Len() != 80 || s.NumRanges() != 2 {
+		t.Fatalf("got %v", s)
+	}
+	if s.Contains(50) || !s.Contains(39) || !s.Contains(60) {
+		t.Fatalf("membership wrong: %v", s)
+	}
+	// Removing a range that spans multiple pieces.
+	if n := s.Remove(Range{10, 90}); n != 60 {
+		t.Fatalf("Remove spanning returned %d, want 60", n)
+	}
+	if s.Len() != 20 {
+		t.Fatalf("got %v", s)
+	}
+	// Removing absent bytes is a no-op.
+	if n := s.Remove(Range{40, 60}); n != 0 {
+		t.Fatalf("Remove absent returned %d", n)
+	}
+	if err := s.check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetContainsRange(t *testing.T) {
+	s := NewSet(Range{10, 20}, Range{30, 40})
+	cases := []struct {
+		r    Range
+		want bool
+	}{
+		{Range{10, 20}, true},
+		{Range{12, 18}, true},
+		{Range{10, 21}, false},
+		{Range{15, 35}, false},
+		{Range{25, 26}, false},
+		{Range{5, 5}, true}, // empty range trivially contained
+	}
+	for _, c := range cases {
+		if got := s.ContainsRange(c.r); got != c.want {
+			t.Errorf("ContainsRange(%v) = %v, want %v", c.r, got, c.want)
+		}
+	}
+}
+
+func TestSetIntersectRange(t *testing.T) {
+	s := NewSet(Range{0, 10}, Range{20, 30}, Range{40, 50})
+	got := s.IntersectRange(Range{5, 45})
+	want := []Range{{5, 10}, {20, 30}, {40, 45}}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	if n := s.OverlapLen(Range{5, 45}); n != 20 {
+		t.Fatalf("OverlapLen = %d, want 20", n)
+	}
+}
+
+func TestSetMinMax(t *testing.T) {
+	s := NewSet()
+	if _, ok := s.Min(); ok {
+		t.Fatal("Min of empty set reported ok")
+	}
+	s.Add(Range{7, 9})
+	s.Add(Range{100, 110})
+	if mn, _ := s.Min(); mn != 7 {
+		t.Fatalf("Min = %d", mn)
+	}
+	if mx, _ := s.Max(); mx != 110 {
+		t.Fatalf("Max = %d", mx)
+	}
+}
+
+// refSet is a trivially-correct model: a map of individual bytes.
+type refSet map[int64]bool
+
+func (r refSet) add(rg Range) {
+	for b := rg.Start; b < rg.End; b++ {
+		r[b] = true
+	}
+}
+func (r refSet) remove(rg Range) int64 {
+	var n int64
+	for b := rg.Start; b < rg.End; b++ {
+		if r[b] {
+			delete(r, b)
+			n++
+		}
+	}
+	return n
+}
+func (r refSet) len() int64 { return int64(len(r)) }
+
+// TestSetAgainstModel drives Set and a byte-map model with the same random
+// operation sequence and checks they agree, along with internal invariants.
+func TestSetAgainstModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := NewSet()
+	ref := refSet{}
+	const space = 512
+	for i := 0; i < 3000; i++ {
+		a := rng.Int63n(space)
+		b := a + rng.Int63n(64)
+		r := Range{a, b}
+		if rng.Intn(2) == 0 {
+			s.Add(r)
+			ref.add(r)
+		} else {
+			got := s.Remove(r)
+			want := ref.remove(r)
+			if got != want {
+				t.Fatalf("op %d: Remove(%v) = %d, want %d", i, r, got, want)
+			}
+		}
+		if s.Len() != ref.len() {
+			t.Fatalf("op %d: Len = %d, want %d", i, s.Len(), ref.len())
+		}
+		if err := s.check(); err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+	}
+	// Spot-check membership byte by byte.
+	for b := int64(0); b < space+64; b++ {
+		if s.Contains(b) != ref[b] {
+			t.Fatalf("Contains(%d) = %v, want %v", b, s.Contains(b), ref[b])
+		}
+	}
+}
+
+// Property: adding then removing the same range leaves the set's length
+// unchanged when the range was previously absent from the set.
+func TestQuickSetAddRemoveInverse(t *testing.T) {
+	f := func(starts [8]uint16, lens [8]uint8, probe uint16, plen uint8) bool {
+		s := NewSet()
+		for i := range starts {
+			s.Add(Range{int64(starts[i]), int64(starts[i]) + int64(lens[i])})
+		}
+		r := Range{int64(probe), int64(probe) + int64(plen)}
+		before := s.Len()
+		overlap := s.OverlapLen(r)
+		s.Add(r)
+		if s.Len() != before+(r.Len()-overlap) {
+			return false
+		}
+		removed := s.Remove(r)
+		if removed != r.Len() {
+			return false
+		}
+		return s.Len() == before-overlap && s.check() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Len equals the sum of range lengths and ranges remain sorted,
+// disjoint, and non-adjacent after arbitrary operations.
+func TestQuickSetInvariants(t *testing.T) {
+	f := func(ops []uint32) bool {
+		s := NewSet()
+		for _, op := range ops {
+			start := int64(op & 0x3ff)
+			length := int64((op >> 10) & 0x3f)
+			r := Range{start, start + length}
+			if op&(1<<31) == 0 {
+				s.Add(r)
+			} else {
+				s.Remove(r)
+			}
+			if s.check() != nil {
+				return false
+			}
+		}
+		var sum int64
+		for _, r := range s.Ranges() {
+			sum += r.Len()
+		}
+		return sum == s.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

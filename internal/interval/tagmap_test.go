@@ -1,0 +1,216 @@
+package interval
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTagMapInsertReturnsOverwritten(t *testing.T) {
+	m := NewTagMap()
+	if got := m.Insert(Range{0, 100}, 1); got != nil {
+		t.Fatalf("first insert overwrote %v", got)
+	}
+	over := m.Insert(Range{40, 60}, 2)
+	if len(over) != 1 || over[0] != (Seg{40, 60, 1}) {
+		t.Fatalf("overwritten = %v", over)
+	}
+	if m.Len() != 100 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	// Three segments now: [0,40)@1 [40,60)@2 [60,100)@1.
+	if m.NumSegs() != 3 {
+		t.Fatalf("segs = %v", m.Segs())
+	}
+	if err := m.check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTagMapCoalesce(t *testing.T) {
+	m := NewTagMap()
+	m.Insert(Range{0, 10}, 5)
+	m.Insert(Range{10, 20}, 5)
+	if m.NumSegs() != 1 {
+		t.Fatalf("equal-tag adjacent segments not coalesced: %v", m.Segs())
+	}
+	m.Insert(Range{20, 30}, 6)
+	if m.NumSegs() != 2 {
+		t.Fatalf("distinct-tag segments wrongly coalesced: %v", m.Segs())
+	}
+	// Re-tagging the middle with the surrounding tag re-coalesces.
+	m.Insert(Range{20, 30}, 5)
+	if m.NumSegs() != 1 || m.Len() != 30 {
+		t.Fatalf("got %v", m.Segs())
+	}
+	if err := m.check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTagMapRemove(t *testing.T) {
+	m := NewTagMap()
+	m.Insert(Range{0, 50}, 1)
+	m.Insert(Range{50, 100}, 2)
+	rem := m.Remove(Range{25, 75})
+	if len(rem) != 2 || rem[0] != (Seg{25, 50, 1}) || rem[1] != (Seg{50, 75, 2}) {
+		t.Fatalf("removed = %v", rem)
+	}
+	if m.Len() != 50 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	if got := m.Remove(Range{25, 75}); got != nil {
+		t.Fatalf("second remove returned %v", got)
+	}
+}
+
+func TestTagMapOverlap(t *testing.T) {
+	m := NewTagMap()
+	m.Insert(Range{0, 10}, 1)
+	m.Insert(Range{20, 30}, 2)
+	got := m.Overlap(Range{5, 25})
+	if len(got) != 2 || got[0] != (Seg{5, 10, 1}) || got[1] != (Seg{20, 25, 2}) {
+		t.Fatalf("Overlap = %v", got)
+	}
+	if m.Len() != 20 {
+		t.Fatal("Overlap mutated the map")
+	}
+	if n := m.OverlapLen(Range{5, 25}); n != 10 {
+		t.Fatalf("OverlapLen = %d", n)
+	}
+}
+
+func TestTagMapMinTagAndOlderThan(t *testing.T) {
+	m := NewTagMap()
+	if _, ok := m.MinTag(); ok {
+		t.Fatal("MinTag of empty map ok")
+	}
+	m.Insert(Range{0, 10}, 30)
+	m.Insert(Range{10, 20}, 10)
+	m.Insert(Range{20, 30}, 20)
+	if tag, _ := m.MinTag(); tag != 10 {
+		t.Fatalf("MinTag = %d", tag)
+	}
+	old := m.SegsOlderThan(20)
+	if len(old) != 1 || old[0].Tag != 10 {
+		t.Fatalf("SegsOlderThan = %v", old)
+	}
+}
+
+func TestTagMapRemoveAll(t *testing.T) {
+	m := NewTagMap()
+	m.Insert(Range{0, 10}, 1)
+	m.Insert(Range{20, 30}, 2)
+	segs := m.RemoveAll()
+	if len(segs) != 2 || m.Len() != 0 {
+		t.Fatalf("RemoveAll = %v, Len = %d", segs, m.Len())
+	}
+}
+
+// refTagMap is a byte-at-a-time model of TagMap.
+type refTagMap map[int64]int64
+
+func (r refTagMap) insert(rg Range, tag int64) (overBytes int64) {
+	for b := rg.Start; b < rg.End; b++ {
+		if _, ok := r[b]; ok {
+			overBytes++
+		}
+		r[b] = tag
+	}
+	return overBytes
+}
+func (r refTagMap) remove(rg Range) (bytes int64, tagSum int64) {
+	for b := rg.Start; b < rg.End; b++ {
+		if tag, ok := r[b]; ok {
+			bytes++
+			tagSum += tag
+			delete(r, b)
+		}
+	}
+	return
+}
+
+func TestTagMapAgainstModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := NewTagMap()
+	ref := refTagMap{}
+	const space = 400
+	for i := 0; i < 2500; i++ {
+		a := rng.Int63n(space)
+		r := Range{a, a + rng.Int63n(48)}
+		switch rng.Intn(3) {
+		case 0, 1:
+			tag := int64(i)
+			over := m.Insert(r, tag)
+			var overBytes int64
+			for _, g := range over {
+				overBytes += g.Len()
+			}
+			if want := ref.insert(r, tag); overBytes != want {
+				t.Fatalf("op %d: Insert overwrote %d bytes, want %d", i, overBytes, want)
+			}
+		case 2:
+			segs := m.Remove(r)
+			var bytes, tagSum int64
+			for _, g := range segs {
+				bytes += g.Len()
+				tagSum += g.Tag * g.Len()
+			}
+			wantBytes, _ := ref.remove(r)
+			if bytes != wantBytes {
+				t.Fatalf("op %d: Remove %d bytes, want %d", i, bytes, wantBytes)
+			}
+			_ = tagSum
+		}
+		if m.Len() != int64(len(ref)) {
+			t.Fatalf("op %d: Len = %d, want %d", i, m.Len(), len(ref))
+		}
+		if err := m.check(); err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+	}
+	// Verify per-byte tags at the end.
+	for b := int64(0); b < space+48; b++ {
+		segs := m.Overlap(Range{b, b + 1})
+		tag, ok := ref[b]
+		if ok != (len(segs) == 1) {
+			t.Fatalf("byte %d presence mismatch", b)
+		}
+		if ok && segs[0].Tag != tag {
+			t.Fatalf("byte %d tag = %d, want %d", b, segs[0].Tag, tag)
+		}
+	}
+}
+
+// Property: Insert conserves bytes — the map grows by exactly the number of
+// newly covered bytes, and overwritten segments cover the overlap exactly.
+func TestQuickTagMapConservation(t *testing.T) {
+	f := func(ops [12]uint32) bool {
+		m := NewTagMap()
+		for i, op := range ops {
+			start := int64(op & 0x1ff)
+			length := int64((op>>9)&0x1f) + 1
+			r := Range{start, start + length}
+			before := m.Len()
+			prior := m.OverlapLen(r)
+			over := m.Insert(r, int64(i))
+			var overBytes int64
+			for _, g := range over {
+				overBytes += g.Len()
+			}
+			if overBytes != prior {
+				return false
+			}
+			if m.Len() != before+(r.Len()-prior) {
+				return false
+			}
+			if m.check() != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

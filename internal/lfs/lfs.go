@@ -1,0 +1,728 @@
+// Package lfs simulates a Sprite-style log-structured file system on a
+// file server (Rosenblum & Ousterhout's LFS, the substrate of the paper's
+// Section 3).
+//
+// The file system accumulates dirty file blocks and writes them to disk in
+// large contiguous segments (one-half megabyte), each carrying at least one
+// four-kilobyte metadata block and a 512-byte summary block, with one disk
+// access per segment. Two mechanisms force *partial* segments, the central
+// measurement of Tables 3 and 4:
+//
+//   - application fsync requests, which make LFS immediately write out
+//     whatever dirty data is present, and
+//   - the 30-second delayed write-back, which flushes dirty data older
+//     than 30 seconds (checked every 5 seconds, and only significant when
+//     the file system is lightly loaded).
+//
+// A garbage collector (cleaner) reclaims space from segments whose blocks
+// have been overwritten or deleted, compacting live blocks into new
+// segments.
+//
+// An optional non-volatile write buffer (Section 3's proposal) absorbs
+// fsyncs: fsync'd data parks in NVRAM — already permanent, so the fsync
+// completes with no disk access — and reaches the disk only as part of a
+// full segment. The 30-second flush still applies to data that was never
+// fsync'd (it sits in volatile server cache), which reproduces the paper's
+// arithmetic: the buffer eliminates fsync-forced partial segments
+// specifically. Setting Config.BufferAbsorbsAgeFlush extends the buffer to
+// all dirty data, an ablation beyond the paper.
+package lfs
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"nvramfs/internal/disk"
+)
+
+// Config parameterizes the file system.
+type Config struct {
+	// Name labels the file system (e.g. "/user6").
+	Name string
+	// SegmentSize is the log segment size; default 512 KB.
+	SegmentSize int64
+	// BlockSize is the file block size; default 4 KB.
+	BlockSize int64
+	// SummarySize is the per-segment summary block; default 512 bytes.
+	SummarySize int64
+	// MetaBlockSize is the metadata appended to each segment; default one
+	// 4 KB block ("at least one four-kilobyte block of metadata").
+	MetaBlockSize int64
+	// DiskSegments is the log capacity in segments; default 2048 (1 GB).
+	DiskSegments int
+	// AgeFlush is the delayed-write-back age; default 30 s.
+	AgeFlush int64
+	// CheckInterval is the cleaner/flusher cadence; default 5 s.
+	CheckInterval int64
+	// CleanLowWater triggers the cleaner when free segments drop below it;
+	// default 32.
+	CleanLowWater int
+	// CleanHighWater is the free-segment target after cleaning; default 64.
+	CleanHighWater int
+	// BufferBytes enables the NVRAM write buffer with this capacity;
+	// 0 disables it. The paper studies a one-half megabyte buffer.
+	BufferBytes int64
+	// BufferAbsorbsAgeFlush additionally exempts buffered-but-unfsynced
+	// data from the 30-second flush (extension; see package comment).
+	BufferAbsorbsAgeFlush bool
+	// Cleaner selects the garbage-collection victim policy; default
+	// CleanGreedy.
+	Cleaner CleanPolicy
+}
+
+// CleanPolicy selects which segments the garbage collector reclaims.
+type CleanPolicy uint8
+
+// Cleaner policies.
+const (
+	// CleanGreedy reclaims the segments with the least live data.
+	CleanGreedy CleanPolicy = iota
+	// CleanCostBenefit uses Sprite LFS's cost-benefit policy: it prefers
+	// segments maximizing (1-u)*age/(1+u), where u is the live fraction
+	// and age the time since the segment was written — cold, moderately
+	// fragmented segments get cleaned before hot, just-written ones,
+	// which tend to empty themselves.
+	CleanCostBenefit
+)
+
+func (p CleanPolicy) String() string {
+	if p == CleanCostBenefit {
+		return "cost-benefit"
+	}
+	return "greedy"
+}
+
+func (c *Config) fillDefaults() {
+	if c.SegmentSize <= 0 {
+		c.SegmentSize = 512 << 10
+	}
+	if c.BlockSize <= 0 {
+		c.BlockSize = 4 << 10
+	}
+	if c.SummarySize <= 0 {
+		c.SummarySize = 512
+	}
+	if c.MetaBlockSize <= 0 {
+		c.MetaBlockSize = 4 << 10
+	}
+	if c.DiskSegments <= 0 {
+		c.DiskSegments = 2048
+	}
+	if c.AgeFlush <= 0 {
+		c.AgeFlush = 30 * 1e6
+	}
+	if c.CheckInterval <= 0 {
+		c.CheckInterval = 5 * 1e6
+	}
+	if c.CleanLowWater <= 0 {
+		c.CleanLowWater = 32
+	}
+	if c.CleanHighWater <= c.CleanLowWater {
+		c.CleanHighWater = c.CleanLowWater * 2
+	}
+}
+
+// BlocksPerSegment is the file-data capacity of one segment in blocks.
+func (c Config) BlocksPerSegment() int {
+	return int((c.SegmentSize - c.MetaBlockSize - c.SummarySize) / c.BlockSize)
+}
+
+// SegCause classifies a segment write.
+type SegCause uint8
+
+// Segment write causes.
+const (
+	// SegFull: a full segment's worth of dirty data had accumulated.
+	SegFull SegCause = iota
+	// SegFsync: an application fsync forced a partial segment.
+	SegFsync
+	// SegAge: the 30-second delayed write-back flushed a partial segment.
+	SegAge
+	// SegCleaner: the garbage collector compacted live data.
+	SegCleaner
+	// SegShutdown: the final flush at the end of a run.
+	SegShutdown
+)
+
+func (c SegCause) String() string {
+	switch c {
+	case SegFull:
+		return "full"
+	case SegFsync:
+		return "fsync"
+	case SegAge:
+		return "age"
+	case SegCleaner:
+		return "cleaner"
+	case SegShutdown:
+		return "shutdown"
+	}
+	return fmt.Sprintf("cause(%d)", uint8(c))
+}
+
+// Stats accumulates the measurements behind Tables 3 and 4.
+type Stats struct {
+	// Segment writes by kind. A segment is partial when it carries fewer
+	// file-data blocks than a full segment.
+	SegmentsWritten      int64
+	FullSegments         int64
+	PartialFsyncSegments int64
+	PartialAgeSegments   int64
+	PartialOtherSegments int64 // shutdown etc.
+	CleanerSegments      int64
+
+	// Bytes of file data written per kind (metadata/summary excluded).
+	FileDataBytes     int64
+	PartialDataBytes  int64
+	FsyncPartialBytes int64
+	MetaBytes         int64
+	SummaryBytes      int64
+
+	// Application-level counters.
+	Fsyncs         int64
+	BlocksDirtied  int64
+	BlocksAbsorbed int64 // dirty blocks overwritten/deleted before disk
+
+	// Cleaner activity.
+	CleanerRuns         int64
+	SegmentsCleaned     int64
+	CleanerBlocksCopied int64
+
+	// Buffer activity.
+	BufferedBlocks int64 // blocks parked in NVRAM by fsync
+
+	// Recovery machinery.
+	Checkpoints int64
+}
+
+// PartialSegments is the number of partial segment writes (excluding
+// cleaner traffic, as the paper's tables do).
+func (s *Stats) PartialSegments() int64 {
+	return s.PartialFsyncSegments + s.PartialAgeSegments + s.PartialOtherSegments
+}
+
+// PartialFrac is the fraction of (non-cleaner) segment writes that were
+// partial — Table 3's "% total segments that are partial".
+func (s *Stats) PartialFrac() float64 {
+	total := s.FullSegments + s.PartialSegments()
+	if total == 0 {
+		return 0
+	}
+	return float64(s.PartialSegments()) / float64(total)
+}
+
+// FsyncPartialFrac is the fraction of segment writes that were partial due
+// to fsync — Table 3's "% total segments that are partial due to fsync".
+func (s *Stats) FsyncPartialFrac() float64 {
+	total := s.FullSegments + s.PartialSegments()
+	if total == 0 {
+		return 0
+	}
+	return float64(s.PartialFsyncSegments) / float64(total)
+}
+
+// KBPerPartial is the average kilobytes of file data per partial segment —
+// Table 4's "Kbytes/partial".
+func (s *Stats) KBPerPartial() float64 {
+	n := s.PartialSegments()
+	if n == 0 {
+		return 0
+	}
+	return float64(s.PartialDataBytes) / 1024 / float64(n)
+}
+
+// SpaceOverheadFrac estimates the fraction of written disk space occupied
+// by per-segment metadata and summary blocks (the Table 4 discussion: up
+// to one third of each partial segment on /user6, reclaimed only when the
+// cleaner runs).
+func (s *Stats) SpaceOverheadFrac() float64 {
+	total := s.FileDataBytes + s.MetaBytes + s.SummaryBytes
+	if total == 0 {
+		return 0
+	}
+	return float64(s.MetaBytes+s.SummaryBytes) / float64(total)
+}
+
+// blockID identifies one file block on the server.
+type blockID struct {
+	file  uint64
+	index int64
+}
+
+// FS is one simulated log-structured file system.
+type FS struct {
+	cfg  Config
+	disk *disk.Disk
+	now  int64
+
+	// Dirty, unfsynced blocks (volatile server cache) with first-dirty
+	// times, plus an age heap for the delayed write-back.
+	dirty   map[blockID]int64
+	ageHeap ageHeap
+
+	// Blocks parked in the NVRAM buffer by fsync (permanent, so exempt
+	// from the age flush). Nil when no buffer is configured.
+	buffered map[blockID]struct{}
+
+	// Log structure: per-segment live-block counts, block locations, and
+	// the free-segment list.
+	segLive  []int32
+	blockSeg map[blockID]int32
+	free     []int32
+	files    map[uint64]int64 // file -> block count (for deletes)
+	cleaning bool             // re-entrancy guard for the cleaner
+
+	// Recovery machinery: a monotone log sequence number, the durable
+	// per-segment summary records, the logged directory deletions, and
+	// the most recent checkpoint region (see recovery.go).
+	seq        int64
+	segLog     map[int32]*segRecord
+	deleteLog  []deleteRecord
+	checkpoint *checkpointRec
+	// segWritten is each live segment's write time, for the cost-benefit
+	// cleaner's age term.
+	segWritten map[int32]int64
+
+	stats Stats
+}
+
+// deleteRecord is a logged directory deletion, durable as of log position
+// seq (deletions are replayed in log order during recovery).
+type deleteRecord struct {
+	seq  int64
+	file uint64
+}
+
+// New creates a file system writing through the given disk.
+func New(cfg Config, d *disk.Disk) *FS {
+	cfg.fillDefaults()
+	fs := &FS{
+		cfg:      cfg,
+		disk:     d,
+		dirty:    make(map[blockID]int64),
+		blockSeg: make(map[blockID]int32),
+		files:    make(map[uint64]int64),
+		segLive:  make([]int32, cfg.DiskSegments),
+		segLog:   make(map[int32]*segRecord),
+	}
+	for i := cfg.DiskSegments - 1; i >= 0; i-- {
+		fs.free = append(fs.free, int32(i))
+	}
+	if cfg.BufferBytes > 0 {
+		fs.buffered = make(map[blockID]struct{})
+	}
+	return fs
+}
+
+// Config returns the file system's configuration (defaults filled in).
+func (fs *FS) Config() Config { return fs.cfg }
+
+// Stats returns the accumulated statistics.
+func (fs *FS) Stats() *Stats { return &fs.stats }
+
+// Disk returns the underlying disk.
+func (fs *FS) Disk() *disk.Disk { return fs.disk }
+
+// ageHeap orders dirty blocks by first-dirty time (lazily invalidated).
+type ageEntry struct {
+	at int64
+	id blockID
+}
+
+type ageHeap []ageEntry
+
+func (h ageHeap) Len() int            { return len(h) }
+func (h ageHeap) Less(i, j int) bool  { return h[i].at < h[j].at }
+func (h ageHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *ageHeap) Push(x interface{}) { *h = append(*h, x.(ageEntry)) }
+func (h *ageHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Advance moves simulated time forward, running the 5-second flusher.
+func (fs *FS) Advance(now int64) {
+	if now < fs.now {
+		return
+	}
+	for len(fs.ageHeap) > 0 {
+		top := fs.ageHeap[0]
+		due := top.at + fs.cfg.AgeFlush
+		// Round up to the next flusher tick.
+		if rem := due % fs.cfg.CheckInterval; rem != 0 {
+			due += fs.cfg.CheckInterval - rem
+		}
+		if due > now {
+			break
+		}
+		fs.now = due
+		// Flush every block old enough at this tick.
+		cutoff := due - fs.cfg.AgeFlush
+		var batch []blockID
+		for len(fs.ageHeap) > 0 {
+			e := fs.ageHeap[0]
+			if t, ok := fs.dirty[e.id]; !ok || t != e.at {
+				heap.Pop(&fs.ageHeap) // stale
+				continue
+			}
+			if e.at > cutoff {
+				break
+			}
+			heap.Pop(&fs.ageHeap)
+			batch = append(batch, e.id)
+		}
+		if len(batch) > 0 {
+			for _, id := range batch {
+				delete(fs.dirty, id)
+			}
+			fs.writeSegments(batch, SegAge)
+		}
+	}
+	fs.now = now
+}
+
+// Write marks the blocks covering [off, off+n) dirty at the current time
+// and writes a segment whenever a full segment's worth of data is pending.
+func (fs *FS) Write(now int64, file uint64, off, n int64) {
+	fs.Advance(now)
+	if n <= 0 {
+		return
+	}
+	bs := fs.cfg.BlockSize
+	for idx := off / bs; idx*bs < off+n; idx++ {
+		id := blockID{file, idx}
+		if idx+1 > fs.files[file] {
+			fs.files[file] = idx + 1
+		}
+		fs.stats.BlocksDirtied++
+		if _, ok := fs.dirty[id]; ok {
+			// Overwritten before reaching disk: absorbed in the cache.
+			fs.stats.BlocksAbsorbed++
+			continue
+		}
+		if fs.buffered != nil {
+			if _, ok := fs.buffered[id]; ok {
+				// Overwritten while parked in the NVRAM buffer.
+				fs.stats.BlocksAbsorbed++
+				if !fs.cfg.BufferAbsorbsAgeFlush {
+					delete(fs.buffered, id)
+				} else {
+					continue
+				}
+			}
+		}
+		if fs.cfg.BufferAbsorbsAgeFlush && fs.buffered != nil {
+			// Extension: all writes land in NVRAM directly, so nothing is
+			// ever exposed to the 30-second flush; the disk sees only
+			// full segments.
+			fs.buffered[id] = struct{}{}
+			fs.stats.BufferedBlocks++
+			continue
+		}
+		fs.dirty[id] = now
+		heap.Push(&fs.ageHeap, ageEntry{at: now, id: id})
+	}
+	fs.drainFullSegments()
+}
+
+// pendingBlocks is the total dirty plus buffered block count.
+func (fs *FS) pendingBlocks() int { return len(fs.dirty) + len(fs.buffered) }
+
+// drainFullSegments writes full segments while enough data is pending.
+func (fs *FS) drainFullSegments() {
+	per := fs.cfg.BlocksPerSegment()
+	for fs.pendingBlocks() >= per {
+		batch := fs.takePending(per)
+		fs.writeSegments(batch, SegFull)
+	}
+}
+
+// takePending removes up to n pending blocks, oldest buffered data first.
+func (fs *FS) takePending(n int) []blockID {
+	batch := make([]blockID, 0, n)
+	for id := range fs.buffered {
+		if len(batch) >= n {
+			break
+		}
+		batch = append(batch, id)
+		delete(fs.buffered, id)
+	}
+	if len(batch) < n {
+		// Oldest dirty blocks first, for age fairness.
+		type aged struct {
+			id blockID
+			at int64
+		}
+		rest := make([]aged, 0, len(fs.dirty))
+		for id, at := range fs.dirty {
+			rest = append(rest, aged{id, at})
+		}
+		sort.Slice(rest, func(i, j int) bool {
+			if rest[i].at != rest[j].at {
+				return rest[i].at < rest[j].at
+			}
+			if rest[i].id.file != rest[j].id.file {
+				return rest[i].id.file < rest[j].id.file
+			}
+			return rest[i].id.index < rest[j].id.index
+		})
+		for _, e := range rest {
+			if len(batch) >= n {
+				break
+			}
+			batch = append(batch, e.id)
+			delete(fs.dirty, e.id)
+		}
+	}
+	return batch
+}
+
+// Fsync handles an application fsync at the given time.
+//
+// Without a buffer, LFS must immediately write out whatever dirty data is
+// present, however little — the forced partial segments of Table 3. With a
+// buffer, the dirty data parks in NVRAM (permanent, so the fsync completes
+// with no disk access) and is written later as part of a full segment.
+func (fs *FS) Fsync(now int64, file uint64) {
+	fs.Advance(now)
+	fs.stats.Fsyncs++
+	if len(fs.dirty) == 0 {
+		return
+	}
+	if fs.buffered != nil {
+		capBlocks := int(fs.cfg.BufferBytes / fs.cfg.BlockSize)
+		for id := range fs.dirty {
+			fs.buffered[id] = struct{}{}
+			delete(fs.dirty, id)
+			fs.stats.BufferedBlocks++
+		}
+		// If the buffer overflows, drain it with segment writes (full if
+		// possible; the forced partial only happens when the buffer is
+		// smaller than a segment).
+		per := fs.cfg.BlocksPerSegment()
+		for len(fs.buffered) > capBlocks {
+			n := per
+			if len(fs.buffered) < n {
+				n = len(fs.buffered)
+			}
+			batch := fs.takePending(n)
+			if len(batch) == 0 {
+				break
+			}
+			fs.writeSegments(batch, SegFsync)
+		}
+		fs.drainFullSegments()
+		return
+	}
+	var batch []blockID
+	for id := range fs.dirty {
+		batch = append(batch, id)
+	}
+	fs.dirty = make(map[blockID]int64)
+	fs.writeSegments(batch, SegFsync)
+}
+
+// Delete removes a file: its pending blocks die unwritten and its on-disk
+// blocks become garbage for the cleaner.
+func (fs *FS) Delete(now int64, file uint64) {
+	fs.Advance(now)
+	nBlocks := fs.files[file]
+	for idx := int64(0); idx < nBlocks; idx++ {
+		id := blockID{file, idx}
+		if _, ok := fs.dirty[id]; ok {
+			delete(fs.dirty, id)
+			fs.stats.BlocksAbsorbed++
+		}
+		if fs.buffered != nil {
+			if _, ok := fs.buffered[id]; ok {
+				delete(fs.buffered, id)
+				fs.stats.BlocksAbsorbed++
+			}
+		}
+		if seg, ok := fs.blockSeg[id]; ok {
+			fs.segLive[seg]--
+			delete(fs.blockSeg, id)
+		}
+	}
+	delete(fs.files, file)
+	// Log the directory deletion so roll-forward recovery replays it
+	// (real LFS writes directory-operation records into the log). The
+	// deletion takes its own log position so recovery can order it
+	// against segment writes and checkpoints unambiguously.
+	fs.seq++
+	fs.deleteLog = append(fs.deleteLog, deleteRecord{seq: fs.seq, file: file})
+}
+
+// Shutdown flushes all pending data at the end of a run.
+func (fs *FS) Shutdown(now int64) {
+	fs.Advance(now)
+	batch := fs.takePending(fs.pendingBlocks())
+	if len(batch) > 0 {
+		fs.writeSegments(batch, SegShutdown)
+	}
+}
+
+// writeSegments writes the batch as one or more segments: full segments
+// while the batch fills them, then a final partial attributed to cause.
+func (fs *FS) writeSegments(batch []blockID, cause SegCause) {
+	per := fs.cfg.BlocksPerSegment()
+	for len(batch) > 0 {
+		n := len(batch)
+		segCause := cause
+		if n >= per {
+			n = per
+			if cause != SegCleaner {
+				segCause = SegFull
+			}
+		}
+		fs.emitSegment(batch[:n], segCause)
+		batch = batch[n:]
+	}
+}
+
+// emitSegment writes one segment of the given blocks with one disk access.
+func (fs *FS) emitSegment(blocks []blockID, cause SegCause) {
+	seg := fs.allocSegment()
+	fs.seq++
+	fs.segLog[seg] = &segRecord{seq: fs.seq, blocks: append([]blockID(nil), blocks...)}
+	if fs.segWritten == nil {
+		fs.segWritten = make(map[int32]int64)
+	}
+	fs.segWritten[seg] = fs.now
+	for _, id := range blocks {
+		if old, ok := fs.blockSeg[id]; ok {
+			fs.segLive[old]--
+		}
+		fs.blockSeg[id] = seg
+		fs.segLive[seg]++
+	}
+	data := int64(len(blocks)) * fs.cfg.BlockSize
+	fs.disk.Write(data + fs.cfg.MetaBlockSize + fs.cfg.SummarySize)
+
+	st := &fs.stats
+	st.SegmentsWritten++
+	st.FileDataBytes += data
+	st.MetaBytes += fs.cfg.MetaBlockSize
+	st.SummaryBytes += fs.cfg.SummarySize
+	if cause == SegCleaner {
+		st.CleanerSegments++
+		st.CleanerBlocksCopied += int64(len(blocks))
+		return
+	}
+	if len(blocks) >= fs.cfg.BlocksPerSegment() {
+		st.FullSegments++
+		return
+	}
+	st.PartialDataBytes += data
+	switch cause {
+	case SegFsync:
+		st.PartialFsyncSegments++
+		st.FsyncPartialBytes += data
+	case SegAge:
+		st.PartialAgeSegments++
+	default:
+		st.PartialOtherSegments++
+	}
+}
+
+// allocSegment returns a free segment, running the cleaner when the free
+// pool runs low.
+func (fs *FS) allocSegment() int32 {
+	if len(fs.free) <= fs.cfg.CleanLowWater && !fs.cleaning {
+		fs.clean()
+	}
+	if len(fs.free) == 0 {
+		panic(fmt.Sprintf("lfs %s: disk full (%d segments, all live)", fs.cfg.Name, fs.cfg.DiskSegments))
+	}
+	seg := fs.free[len(fs.free)-1]
+	fs.free = fs.free[:len(fs.free)-1]
+	return seg
+}
+
+// clean reclaims space: segments with the least live data are read, their
+// live blocks compacted into new segments, and the sources freed.
+func (fs *FS) clean() {
+	fs.cleaning = true
+	defer func() { fs.cleaning = false }()
+	fs.stats.CleanerRuns++
+	// Build live-block lists per segment (live counts are maintained
+	// incrementally; membership is recovered from blockSeg).
+	liveBlocks := make(map[int32][]blockID)
+	for id, seg := range fs.blockSeg {
+		liveBlocks[seg] = append(liveBlocks[seg], id)
+	}
+	inFree := make(map[int32]bool, len(fs.free))
+	for _, s := range fs.free {
+		inFree[s] = true
+	}
+	type cand struct {
+		seg   int32
+		live  int32
+		score float64 // cost-benefit score (higher = clean first)
+	}
+	perSeg := float64(fs.cfg.BlocksPerSegment())
+	var cands []cand
+	for seg := range fs.segLive {
+		s := int32(seg)
+		if inFree[s] {
+			continue
+		}
+		c := cand{seg: s, live: fs.segLive[seg]}
+		if fs.cfg.Cleaner == CleanCostBenefit {
+			// benefit/cost = (1-u)*age / (1+u): free space gained times
+			// data stability, over the cost of reading and rewriting.
+			u := float64(c.live) / perSeg
+			age := float64(fs.now - fs.segWritten[s])
+			c.score = (1 - u) * age / (1 + u)
+		}
+		cands = append(cands, c)
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		a, b := cands[i], cands[j]
+		if fs.cfg.Cleaner == CleanCostBenefit {
+			if a.score != b.score {
+				return a.score > b.score
+			}
+		} else if a.live != b.live {
+			// Greedy policy: clean the emptiest segments first.
+			return a.live < b.live
+		}
+		return a.seg < b.seg
+	})
+	var copied []blockID
+	for _, c := range cands {
+		if len(fs.free) >= fs.cfg.CleanHighWater {
+			break
+		}
+		fs.disk.Read(fs.cfg.SegmentSize)
+		fs.stats.SegmentsCleaned++
+		for _, id := range liveBlocks[c.seg] {
+			delete(fs.blockSeg, id) // will be re-placed by the copy-out
+			copied = append(copied, id)
+		}
+		fs.segLive[c.seg] = 0
+		fs.free = append(fs.free, c.seg)
+	}
+	sort.Slice(copied, func(i, j int) bool {
+		if copied[i].file != copied[j].file {
+			return copied[i].file < copied[j].file
+		}
+		return copied[i].index < copied[j].index
+	})
+	if len(copied) > 0 {
+		fs.writeSegments(copied, SegCleaner)
+	}
+}
+
+// FreeSegments returns the current free-segment count.
+func (fs *FS) FreeSegments() int { return len(fs.free) }
+
+// LiveBlocks returns the number of live blocks in the log.
+func (fs *FS) LiveBlocks() int { return len(fs.blockSeg) }
+
+// PendingBlocks returns dirty plus buffered blocks not yet on disk.
+func (fs *FS) PendingBlocks() int { return fs.pendingBlocks() }

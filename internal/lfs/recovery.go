@@ -1,0 +1,231 @@
+package lfs
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file implements LFS's crash-recovery machinery: periodic
+// checkpoints of the file system's metadata and roll-forward replay of the
+// segment summaries written after the last checkpoint. Sprite LFS writes a
+// checkpoint to one of two alternating checkpoint regions; on reboot it
+// reads the most recent checkpoint and replays the log from there, using
+// each segment's summary block to discover what the segment contains.
+//
+// Recovery interacts with the paper's NVRAM write buffer in an important
+// way: data parked in the buffer by fsync survives a crash (it is
+// battery-backed), while ordinary dirty data in the volatile server cache
+// is lost. SimulateCrashAndRecover reports both.
+
+// segRecord is the durable record of one written segment: its position in
+// the log and its summary-block contents (which file blocks it holds).
+type segRecord struct {
+	seq    int64
+	blocks []blockID
+}
+
+// checkpointRec is a checkpoint region's contents: a snapshot of the
+// file-system metadata as of a log position.
+type checkpointRec struct {
+	seq      int64
+	blockSeg map[blockID]int32
+	files    map[uint64]int64
+	segLive  []int32
+	free     []int32
+}
+
+// snapshot captures the current metadata into a checkpoint record.
+func (fs *FS) snapshot() *checkpointRec {
+	cp := &checkpointRec{
+		seq:      fs.seq,
+		blockSeg: make(map[blockID]int32, len(fs.blockSeg)),
+		files:    make(map[uint64]int64, len(fs.files)),
+		segLive:  append([]int32(nil), fs.segLive...),
+		free:     append([]int32(nil), fs.free...),
+	}
+	for k, v := range fs.blockSeg {
+		cp.blockSeg[k] = v
+	}
+	for k, v := range fs.files {
+		cp.files[k] = v
+	}
+	return cp
+}
+
+// Checkpoint writes a checkpoint region: the inode map, segment usage
+// table, and log position become durable, bounding future roll-forward
+// work. It costs one disk write (the checkpoint region).
+func (fs *FS) Checkpoint(now int64) {
+	fs.Advance(now)
+	fs.checkpoint = fs.snapshot()
+	fs.stats.Checkpoints++
+	// A checkpoint region write: metadata snapshot, sized roughly by the
+	// live-block pointer count (8 bytes a pointer, one 4 KB block
+	// minimum).
+	size := int64(len(fs.blockSeg))*8 + int64(len(fs.segLive))*4
+	if size < fs.cfg.BlockSize {
+		size = fs.cfg.BlockSize
+	}
+	fs.disk.Write(size)
+}
+
+// RecoveryReport describes the outcome of crash recovery.
+type RecoveryReport struct {
+	// CheckpointSeq is the log position of the checkpoint recovery
+	// started from (0 when the file system had never checkpointed).
+	CheckpointSeq int64
+	// SegmentsReplayed is how many post-checkpoint segments were read and
+	// rolled forward.
+	SegmentsReplayed int
+	// LostDirtyBlocks is volatile dirty data destroyed by the crash.
+	LostDirtyBlocks int
+	// RecoveredBufferedBlocks is fsync'd data that survived in the NVRAM
+	// write buffer and was re-queued for segment writing.
+	RecoveredBufferedBlocks int
+}
+
+// SimulateCrashAndRecover models a power failure followed by reboot: the
+// volatile server cache is lost, the NVRAM write buffer survives, and the
+// file system metadata is rebuilt from the last checkpoint plus a roll-
+// forward over the segment log. It returns the recovered file system
+// (sharing the same disk, whose counters keep accumulating: recovery reads
+// the checkpoint and every replayed segment) and a report.
+func (fs *FS) SimulateCrashAndRecover(now int64) (*FS, RecoveryReport, error) {
+	report := RecoveryReport{
+		LostDirtyBlocks:         len(fs.dirty),
+		RecoveredBufferedBlocks: len(fs.buffered),
+	}
+
+	rec := &FS{
+		cfg:      fs.cfg,
+		disk:     fs.disk,
+		now:      now,
+		dirty:    make(map[blockID]int64),
+		blockSeg: make(map[blockID]int32),
+		files:    make(map[uint64]int64),
+		segLive:  make([]int32, fs.cfg.DiskSegments),
+		seq:      fs.seq,
+		segLog:   fs.segLog,
+	}
+	if fs.cfg.BufferBytes > 0 {
+		rec.buffered = make(map[blockID]struct{})
+	}
+
+	// 1. Read the most recent checkpoint region.
+	var fromSeq int64
+	if fs.checkpoint != nil {
+		cp := fs.checkpoint
+		fromSeq = cp.seq
+		report.CheckpointSeq = cp.seq
+		for k, v := range cp.blockSeg {
+			rec.blockSeg[k] = v
+		}
+		for k, v := range cp.files {
+			rec.files[k] = v
+		}
+		copy(rec.segLive, cp.segLive)
+		rec.free = append([]int32(nil), cp.free...)
+		rec.checkpoint = cp
+		rec.disk.Read(int64(len(cp.blockSeg))*8 + fs.cfg.BlockSize)
+	} else {
+		// No checkpoint: replay the whole log from scratch.
+		for i := fs.cfg.DiskSegments - 1; i >= 0; i-- {
+			rec.free = append(rec.free, int32(i))
+		}
+	}
+
+	// 2. Roll forward: replay segment summaries and logged directory
+	// deletions written after the checkpoint, in log order (a deletion at
+	// position s happened after the segment with sequence s).
+	type event struct {
+		seq    int64
+		seg    int32
+		blocks []blockID
+		del    uint64 // file id when this is a deletion event
+		isDel  bool
+	}
+	var replay []event
+	for seg, r := range fs.segLog {
+		if r.seq > fromSeq {
+			replay = append(replay, event{seq: r.seq, seg: seg, blocks: r.blocks})
+		}
+	}
+	for _, d := range fs.deleteLog {
+		if d.seq > fromSeq {
+			replay = append(replay, event{seq: d.seq, del: d.file, isDel: true})
+		}
+	}
+	// Log positions are unique across segments and deletions, so the
+	// replay order is total.
+	sort.Slice(replay, func(i, j int) bool { return replay[i].seq < replay[j].seq })
+	for _, ev := range replay {
+		if ev.isDel {
+			n := rec.files[ev.del]
+			for idx := int64(0); idx < n; idx++ {
+				id := blockID{ev.del, idx}
+				if seg, ok := rec.blockSeg[id]; ok {
+					rec.segLive[seg]--
+					delete(rec.blockSeg, id)
+				}
+			}
+			delete(rec.files, ev.del)
+			continue
+		}
+		rec.disk.Read(fs.cfg.SegmentSize)
+		report.SegmentsReplayed++
+		for _, id := range ev.blocks {
+			if old, ok := rec.blockSeg[id]; ok {
+				rec.segLive[old]--
+			}
+			rec.blockSeg[id] = ev.seg
+			rec.segLive[ev.seg]++
+			if id.index+1 > rec.files[id.file] {
+				rec.files[id.file] = id.index + 1
+			}
+		}
+	}
+	rec.deleteLog = append([]deleteRecord(nil), fs.deleteLog...)
+	// Rebuild the free list from what remains unreferenced.
+	rec.free = rec.free[:0]
+	used := make(map[int32]bool)
+	for _, seg := range rec.blockSeg {
+		used[seg] = true
+	}
+	for i := fs.cfg.DiskSegments - 1; i >= 0; i-- {
+		if !used[int32(i)] {
+			rec.free = append(rec.free, int32(i))
+		}
+	}
+
+	// 3. The NVRAM buffer's contents survived; re-register them so they
+	// reach the disk in due course.
+	for id := range fs.buffered {
+		rec.buffered[id] = struct{}{}
+		if id.index+1 > rec.files[id.file] {
+			rec.files[id.file] = id.index + 1
+		}
+	}
+
+	if err := rec.checkConsistent(); err != nil {
+		return nil, report, fmt.Errorf("lfs: recovery produced inconsistent state: %w", err)
+	}
+	return rec, report, nil
+}
+
+// checkConsistent verifies the segment-accounting invariants after
+// recovery (and in tests).
+func (fs *FS) checkConsistent() error {
+	counts := make([]int32, len(fs.segLive))
+	for _, seg := range fs.blockSeg {
+		if int(seg) >= len(counts) {
+			return fmt.Errorf("block mapped to segment %d beyond disk", seg)
+		}
+		counts[seg]++
+	}
+	for seg, want := range counts {
+		if fs.segLive[seg] != want {
+			return fmt.Errorf("segment %d live count %d, recounted %d", seg, fs.segLive[seg], want)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,196 @@
+package lfs
+
+import (
+	"math/rand"
+	"testing"
+
+	"nvramfs/internal/disk"
+)
+
+// stateEqual compares the durable metadata of two file systems: the
+// block-to-segment map must match exactly, and the recovered file extents
+// must cover every durable and buffered block. (A file whose only blocks
+// were volatile-dirty legitimately vanishes in a crash — its size metadata
+// was never written to the log.)
+func stateEqual(t *testing.T, want, got *FS) {
+	t.Helper()
+	if len(want.blockSeg) != len(got.blockSeg) {
+		t.Fatalf("block maps differ: %d vs %d entries", len(want.blockSeg), len(got.blockSeg))
+	}
+	for id, seg := range want.blockSeg {
+		if got.blockSeg[id] != seg {
+			t.Fatalf("block %v: segment %d vs %d", id, seg, got.blockSeg[id])
+		}
+	}
+	for id := range got.blockSeg {
+		if got.files[id.file] <= id.index {
+			t.Fatalf("file %d extent %d does not cover durable block %d",
+				id.file, got.files[id.file], id.index)
+		}
+	}
+	for id := range want.buffered {
+		if got.files[id.file] <= id.index {
+			t.Fatalf("file %d extent %d does not cover buffered block %d",
+				id.file, got.files[id.file], id.index)
+		}
+	}
+	if err := got.checkConsistent(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecoveryWithoutCheckpointReplaysWholeLog(t *testing.T) {
+	fs := newFS(t, Config{})
+	per := int64(fs.Config().BlocksPerSegment())
+	fs.Write(0, 1, 0, per*4*kb) // full segment
+	fs.Write(sec, 2, 0, 8*kb)   // partial via fsync
+	fs.Fsync(2*sec, 2)
+	rec, report, err := fs.SimulateCrashAndRecover(3 * sec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.SegmentsReplayed != 2 {
+		t.Fatalf("replayed %d segments", report.SegmentsReplayed)
+	}
+	if report.CheckpointSeq != 0 {
+		t.Fatalf("checkpoint seq = %d", report.CheckpointSeq)
+	}
+	stateEqual(t, fs, rec)
+}
+
+func TestRecoveryFromCheckpointBoundsReplay(t *testing.T) {
+	fs := newFS(t, Config{})
+	per := int64(fs.Config().BlocksPerSegment())
+	// Two segments, checkpoint, two more segments.
+	fs.Write(0, 1, 0, 2*per*4*kb)
+	fs.Checkpoint(sec)
+	fs.Write(2*sec, 2, 0, 2*per*4*kb)
+	rec, report, err := fs.SimulateCrashAndRecover(3 * sec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.SegmentsReplayed != 2 {
+		t.Fatalf("replayed %d segments, want only the post-checkpoint two", report.SegmentsReplayed)
+	}
+	if report.CheckpointSeq != 2 {
+		t.Fatalf("checkpoint seq = %d", report.CheckpointSeq)
+	}
+	stateEqual(t, fs, rec)
+	if fs.Stats().Checkpoints != 1 {
+		t.Fatalf("checkpoints = %d", fs.Stats().Checkpoints)
+	}
+}
+
+func TestRecoveryLosesDirtyKeepsBuffered(t *testing.T) {
+	fs := newFS(t, Config{BufferBytes: 512 * kb})
+	fs.Write(0, 1, 0, 8*kb) // volatile dirty
+	fs.Write(1, 2, 0, 4*kb)
+	fs.Fsync(2, 2)          // parks file 2's block (and file 1's) in NVRAM
+	fs.Write(3, 3, 0, 4*kb) // dirty again, unfsynced
+	rec, report, err := fs.SimulateCrashAndRecover(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.LostDirtyBlocks != 1 {
+		t.Fatalf("lost %d dirty blocks, want 1 (file 3)", report.LostDirtyBlocks)
+	}
+	if report.RecoveredBufferedBlocks != 3 {
+		t.Fatalf("recovered %d buffered blocks, want 3", report.RecoveredBufferedBlocks)
+	}
+	if rec.PendingBlocks() != 3 {
+		t.Fatalf("pending after recovery = %d", rec.PendingBlocks())
+	}
+	// The recovered data eventually reaches disk.
+	rec.Shutdown(10 * sec)
+	if rec.LiveBlocks() != 3 {
+		t.Fatalf("live blocks after shutdown = %d", rec.LiveBlocks())
+	}
+}
+
+func TestRecoveryReplaysDeletions(t *testing.T) {
+	fs := newFS(t, Config{})
+	fs.Write(0, 1, 0, 8*kb)
+	fs.Fsync(1, 1) // on disk
+	fs.Checkpoint(2)
+	fs.Delete(3, 1) // after the checkpoint
+	rec, _, err := fs.SimulateCrashAndRecover(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.LiveBlocks() != 0 {
+		t.Fatalf("deleted file resurrected: %d live blocks", rec.LiveBlocks())
+	}
+	stateEqual(t, fs, rec)
+}
+
+func TestRecoveryAfterCleaning(t *testing.T) {
+	// The cleaner moves blocks between segments; recovery must follow the
+	// log to the blocks' final homes.
+	fs := newFS(t, Config{DiskSegments: 64, CleanLowWater: 8, CleanHighWater: 16})
+	per := int64(fs.Config().BlocksPerSegment())
+	var now int64
+	fs.Checkpoint(now)
+	for round := 0; round < 8; round++ {
+		for seg := int64(0); seg < 20; seg++ {
+			fs.Write(now, 1, seg*per*4*kb, per*4*kb)
+			now += sec
+		}
+	}
+	if fs.Stats().CleanerRuns == 0 {
+		t.Fatal("test needs cleaner activity")
+	}
+	rec, _, err := fs.SimulateCrashAndRecover(now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stateEqual(t, fs, rec)
+}
+
+// TestRecoveryRandomized drives a random operation mix with periodic
+// checkpoints and verifies crash recovery reproduces the durable state at
+// every probe point.
+func TestRecoveryRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	fs := New(Config{DiskSegments: 256, BufferBytes: 512 << 10}, disk.New(disk.DefaultParams()))
+	var now int64
+	files := []uint64{}
+	nextFile := uint64(1)
+	for i := 0; i < 400; i++ {
+		now += int64(rng.Intn(10)+1) * sec
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3, 4: // write
+			var f uint64
+			if len(files) > 0 && rng.Intn(2) == 0 {
+				f = files[rng.Intn(len(files))]
+			} else {
+				f = nextFile
+				nextFile++
+				files = append(files, f)
+			}
+			off := int64(rng.Intn(64)) * 4 * kb
+			fs.Write(now, f, off, int64(rng.Intn(16)+1)*4*kb)
+		case 5, 6: // fsync
+			if len(files) > 0 {
+				fs.Fsync(now, files[rng.Intn(len(files))])
+			}
+		case 7: // delete
+			if len(files) > 0 {
+				i := rng.Intn(len(files))
+				fs.Delete(now, files[i])
+				files = append(files[:i], files[i+1:]...)
+			}
+		case 8: // checkpoint
+			fs.Checkpoint(now)
+		case 9: // crash + recover, continue on the recovered instance
+			rec, _, err := fs.SimulateCrashAndRecover(now)
+			if err != nil {
+				t.Fatalf("op %d: %v", i, err)
+			}
+			stateEqual(t, fs, rec)
+			fs = rec
+		}
+	}
+	if err := fs.checkConsistent(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,100 @@
+// Package netmodel models the latency of Sprite-era client-server I/O:
+// RPC round trips over 10 Mbit/s Ethernet, server cache stores, and the
+// synchronous disk writes behind fsync.
+//
+// The paper motivates NVRAM partly through synchronous-write latency: the
+// Legato Prestoserve board cut NFS latency by acknowledging synchronous
+// writes from server NVRAM, and IBM's 3990-3 disk controller used a
+// "non-volatile speed matching buffer to reduce latency". This package
+// quantifies the same effect for Sprite fsyncs: with a volatile client
+// cache an fsync pays a network transfer plus a (partial-segment) disk
+// write; with server NVRAM it pays only the network; with client NVRAM it
+// completes at local memory speed.
+package netmodel
+
+import (
+	"time"
+
+	"nvramfs/internal/disk"
+)
+
+// Params describes the network and memory path.
+type Params struct {
+	// RPCLatency is the fixed round-trip cost of one client-server RPC.
+	RPCLatency time.Duration
+	// Bandwidth is the network throughput in bytes per second.
+	Bandwidth int64
+	// MemWriteRate is the rate of storing data into a cache or NVRAM, in
+	// bytes per second.
+	MemWriteRate int64
+}
+
+// DefaultParams returns circa-1992 numbers: ~2 ms RPC on 10 Mbit/s
+// Ethernet (1.25 MB/s), 25 MB/s memory stores.
+func DefaultParams() Params {
+	return Params{
+		RPCLatency:   2 * time.Millisecond,
+		Bandwidth:    1_250_000,
+		MemWriteRate: 25_000_000,
+	}
+}
+
+// TransferTime is the network time for n bytes.
+func (p Params) TransferTime(n int64) time.Duration {
+	if p.Bandwidth <= 0 {
+		return 0
+	}
+	return time.Duration(float64(n) / float64(p.Bandwidth) * float64(time.Second))
+}
+
+// MemTime is the time to store n bytes into (NV)RAM.
+func (p Params) MemTime(n int64) time.Duration {
+	if p.MemWriteRate <= 0 {
+		return 0
+	}
+	return time.Duration(float64(n) / float64(p.MemWriteRate) * float64(time.Second))
+}
+
+// FsyncPath identifies where an fsync's data must reach before the call
+// can return.
+type FsyncPath uint8
+
+// Fsync destinations.
+const (
+	// PathServerDisk: volatile client and server caches — the data must
+	// reach the server's disk (Sprite semantics without any NVRAM).
+	PathServerDisk FsyncPath = iota
+	// PathServerNVRAM: the server acknowledges from battery-backed memory
+	// (the Prestoserve organization / the paper's write buffer).
+	PathServerNVRAM
+	// PathClientNVRAM: the data is already permanent in the client's own
+	// NVRAM; fsync is a local memory operation.
+	PathClientNVRAM
+)
+
+func (p FsyncPath) String() string {
+	switch p {
+	case PathServerDisk:
+		return "server-disk"
+	case PathServerNVRAM:
+		return "server-nvram"
+	case PathClientNVRAM:
+		return "client-nvram"
+	}
+	return "unknown"
+}
+
+// FsyncLatency returns the completion time of an fsync that must make
+// dirtyBytes permanent via the given path. The disk write is modeled as
+// one partial-segment access of the dirty bytes plus LFS metadata
+// overhead (one 4 KB metadata block and a 512-byte summary).
+func FsyncLatency(p Params, d disk.Params, path FsyncPath, dirtyBytes int64) time.Duration {
+	switch path {
+	case PathClientNVRAM:
+		return p.MemTime(dirtyBytes)
+	case PathServerNVRAM:
+		return p.RPCLatency + p.TransferTime(dirtyBytes) + p.MemTime(dirtyBytes)
+	default:
+		return p.RPCLatency + p.TransferTime(dirtyBytes) + d.AccessTime(dirtyBytes+4096+512)
+	}
+}

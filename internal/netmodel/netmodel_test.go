@@ -1,0 +1,58 @@
+package netmodel
+
+import (
+	"testing"
+	"time"
+
+	"nvramfs/internal/disk"
+)
+
+func TestTransferAndMemTimes(t *testing.T) {
+	p := Params{RPCLatency: time.Millisecond, Bandwidth: 1_000_000, MemWriteRate: 10_000_000}
+	if got := p.TransferTime(1_000_000); got != time.Second {
+		t.Fatalf("transfer = %v", got)
+	}
+	if got := p.MemTime(10_000_000); got != time.Second {
+		t.Fatalf("mem = %v", got)
+	}
+	zero := Params{}
+	if zero.TransferTime(100) != 0 || zero.MemTime(100) != 0 {
+		t.Fatal("zero-rate params not handled")
+	}
+}
+
+func TestFsyncLatencyOrdering(t *testing.T) {
+	np := DefaultParams()
+	dp := disk.DefaultParams()
+	for _, n := range []int64{0, 4 << 10, 64 << 10, 1 << 20} {
+		diskPath := FsyncLatency(np, dp, PathServerDisk, n)
+		srvNV := FsyncLatency(np, dp, PathServerNVRAM, n)
+		cliNV := FsyncLatency(np, dp, PathClientNVRAM, n)
+		if !(cliNV <= srvNV && srvNV <= diskPath) {
+			t.Fatalf("n=%d: ordering violated: client %v, server-nvram %v, disk %v",
+				n, cliNV, srvNV, diskPath)
+		}
+	}
+	// The disk path pays at least the positioning time even for one byte.
+	if got := FsyncLatency(np, dp, PathServerDisk, 1); got < dp.PositioningTime() {
+		t.Fatalf("disk fsync %v below positioning time", got)
+	}
+	// Client NVRAM is orders of magnitude faster than the disk path for a
+	// typical small fsync.
+	ratio := float64(FsyncLatency(np, dp, PathServerDisk, 8<<10)) /
+		float64(FsyncLatency(np, dp, PathClientNVRAM, 8<<10))
+	if ratio < 20 {
+		t.Fatalf("disk/client-NVRAM latency ratio = %.1f, expected large", ratio)
+	}
+}
+
+func TestPathString(t *testing.T) {
+	if PathServerDisk.String() != "server-disk" ||
+		PathServerNVRAM.String() != "server-nvram" ||
+		PathClientNVRAM.String() != "client-nvram" {
+		t.Fatal("path names wrong")
+	}
+	if FsyncPath(9).String() != "unknown" {
+		t.Fatal("unknown path name wrong")
+	}
+}

@@ -1,0 +1,199 @@
+// Package nvram models the non-volatile memory hardware the paper builds
+// on: a battery-backed store whose contents survive crashes (used by the
+// recovery discussion of Section 4), the write buffer placed in front of a
+// log-structured file system's disk (Section 3), and the buffered-and-
+// sorted write analysis the paper cites from [20], in which 1000 buffered
+// random I/Os (four megabytes of NVRAM) raise disk bandwidth utilization
+// from a few percent to tens of percent.
+package nvram
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"nvramfs/internal/disk"
+)
+
+// Store is a client memory holding a volatile and a non-volatile region,
+// for crash/recovery modeling: Crash clears the volatile region only. The
+// paper's Section 4 points out that an NVRAM component must be removable so
+// a crashed client's dirty data can be recovered from another machine;
+// Detach models that.
+type Store struct {
+	volatile    map[string][]byte
+	nonVolatile map[string][]byte
+	// Batteries is the number of lithium batteries backing the NVRAM
+	// (Table 1 components carry one to three; most have at least one
+	// spare).
+	Batteries int
+	detached  bool
+}
+
+// NewStore returns a store backed by the given number of batteries.
+func NewStore(batteries int) *Store {
+	return &Store{
+		volatile:    make(map[string][]byte),
+		nonVolatile: make(map[string][]byte),
+		Batteries:   batteries,
+	}
+}
+
+// errDetached is returned when using a store after Detach.
+var errDetached = errors.New("nvram: store is detached")
+
+// PutVolatile stores data in the volatile region.
+func (s *Store) PutVolatile(key string, data []byte) error {
+	if s.detached {
+		return errDetached
+	}
+	s.volatile[key] = append([]byte(nil), data...)
+	return nil
+}
+
+// PutNonVolatile stores data in the battery-backed region.
+func (s *Store) PutNonVolatile(key string, data []byte) error {
+	if s.detached {
+		return errDetached
+	}
+	if s.Batteries <= 0 {
+		return errors.New("nvram: no working battery; contents would not survive")
+	}
+	s.nonVolatile[key] = append([]byte(nil), data...)
+	return nil
+}
+
+// Get reads a key from either region; non-volatile wins on conflicts.
+func (s *Store) Get(key string) ([]byte, bool) {
+	if d, ok := s.nonVolatile[key]; ok {
+		return d, true
+	}
+	d, ok := s.volatile[key]
+	return d, ok
+}
+
+// Crash models a machine failure: the volatile region is lost; the
+// battery-backed region survives.
+func (s *Store) Crash() {
+	s.volatile = make(map[string][]byte)
+}
+
+// FailBattery removes one battery; when the last fails, the non-volatile
+// region is lost too (Table 1's components carry spares for this reason).
+func (s *Store) FailBattery() {
+	if s.Batteries > 0 {
+		s.Batteries--
+	}
+	if s.Batteries == 0 {
+		s.nonVolatile = make(map[string][]byte)
+	}
+}
+
+// Detach removes the NVRAM component from a (crashed) client, returning a
+// store containing only the surviving non-volatile contents, which can be
+// attached to another client to retrieve its data. The original store
+// becomes unusable.
+func (s *Store) Detach() *Store {
+	moved := &Store{
+		volatile:    make(map[string][]byte),
+		nonVolatile: s.nonVolatile,
+		Batteries:   s.Batteries,
+	}
+	s.nonVolatile = nil
+	s.detached = true
+	return moved
+}
+
+// Keys returns how many keys each region currently holds.
+func (s *Store) Keys() (volatile, nonVolatile int) {
+	return len(s.volatile), len(s.nonVolatile)
+}
+
+// WriteBuffer is a byte-counting model of the non-volatile write buffer a
+// server places in front of its disk: fsync'd data parks here (already
+// permanent, so the fsync completes without a disk access) until a full
+// segment's worth accumulates.
+type WriteBuffer struct {
+	capacity int64
+	used     int64
+}
+
+// NewWriteBuffer returns a buffer of the given capacity in bytes.
+func NewWriteBuffer(capacity int64) *WriteBuffer {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &WriteBuffer{capacity: capacity}
+}
+
+// Capacity returns the buffer size in bytes.
+func (b *WriteBuffer) Capacity() int64 { return b.capacity }
+
+// Used returns the buffered byte count.
+func (b *WriteBuffer) Used() int64 { return b.used }
+
+// Free returns the remaining capacity.
+func (b *WriteBuffer) Free() int64 { return b.capacity - b.used }
+
+// Add buffers n bytes, returning how many fit.
+func (b *WriteBuffer) Add(n int64) int64 {
+	if n < 0 {
+		return 0
+	}
+	if n > b.Free() {
+		n = b.Free()
+	}
+	b.used += n
+	return n
+}
+
+// Drain removes up to n buffered bytes (they were written to disk) and
+// returns how many were removed.
+func (b *WriteBuffer) Drain(n int64) int64 {
+	if n < 0 {
+		return 0
+	}
+	if n > b.used {
+		n = b.used
+	}
+	b.used -= n
+	return n
+}
+
+func (b *WriteBuffer) String() string {
+	return fmt.Sprintf("nvram.WriteBuffer{%d/%d}", b.used, b.capacity)
+}
+
+// SortedBufferUtilization estimates the disk bandwidth utilization achieved
+// when nWrites random writes of writeSize bytes each are buffered in NVRAM,
+// sorted, and issued in disk order — the analysis the paper cites from
+// [20]: writing dirty data randomly uses only ~7% of disk bandwidth, while
+// buffering and sorting 1000 I/Os (four megabytes of NVRAM) reaches ~40%.
+//
+// Model: issuing writes in sorted order divides the positioning cost by
+// ln(n) — scheduling gains grow logarithmically with queue depth, a
+// standard result for shortest-seek-first service of uniformly distributed
+// requests. With n = 1 this degenerates to the random-write utilization.
+func SortedBufferUtilization(p disk.Params, nWrites int, writeSize int64) float64 {
+	if nWrites < 1 {
+		nWrites = 1
+	}
+	transfer := p.TransferTime(writeSize)
+	position := p.PositioningTime()
+	gain := math.Log(float64(nWrites))
+	if gain < 1 {
+		gain = 1
+	}
+	effPosition := float64(position) / gain
+	total := effPosition + float64(transfer)
+	if total <= 0 {
+		return 0
+	}
+	return float64(transfer) / total
+}
+
+// BufferForWrites returns the NVRAM bytes needed to buffer n writes of the
+// given size (the "1000 I/O's, requiring four megabytes of NVRAM" figure).
+func BufferForWrites(n int, writeSize int64) int64 {
+	return int64(n) * writeSize
+}

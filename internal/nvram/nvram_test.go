@@ -1,0 +1,136 @@
+package nvram
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"nvramfs/internal/disk"
+)
+
+func TestStoreCrashPreservesNVRAM(t *testing.T) {
+	s := NewStore(2)
+	if err := s.PutVolatile("cache-block", []byte("dirty")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutNonVolatile("nvram-block", []byte("safe")); err != nil {
+		t.Fatal(err)
+	}
+	s.Crash()
+	if _, ok := s.Get("cache-block"); ok {
+		t.Fatal("volatile data survived crash")
+	}
+	d, ok := s.Get("nvram-block")
+	if !ok || !bytes.Equal(d, []byte("safe")) {
+		t.Fatal("NVRAM data lost in crash")
+	}
+}
+
+func TestStoreDetachMovesData(t *testing.T) {
+	// Section 4: an NVRAM component can be moved to another client and its
+	// data retrieved there.
+	s := NewStore(1)
+	s.PutNonVolatile("k", []byte("v"))
+	moved := s.Detach()
+	if d, ok := moved.Get("k"); !ok || !bytes.Equal(d, []byte("v")) {
+		t.Fatal("data not retrievable after detach")
+	}
+	if err := s.PutVolatile("x", nil); err == nil {
+		t.Fatal("detached store still usable")
+	}
+}
+
+func TestStoreBatteryFailure(t *testing.T) {
+	s := NewStore(2)
+	s.PutNonVolatile("k", []byte("v"))
+	s.FailBattery() // one spare remains
+	if _, ok := s.Get("k"); !ok {
+		t.Fatal("data lost with a spare battery present")
+	}
+	s.FailBattery() // last battery gone
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("data survived total battery failure")
+	}
+	if err := s.PutNonVolatile("k2", nil); err == nil {
+		t.Fatal("store accepted data with no battery")
+	}
+}
+
+func TestWriteBufferAccounting(t *testing.T) {
+	b := NewWriteBuffer(512 << 10)
+	if got := b.Add(300 << 10); got != 300<<10 {
+		t.Fatalf("Add = %d", got)
+	}
+	if got := b.Add(300 << 10); got != 212<<10 {
+		t.Fatalf("overflow Add = %d", got)
+	}
+	if b.Free() != 0 || b.Used() != 512<<10 {
+		t.Fatalf("state: %v", b)
+	}
+	if got := b.Drain(1 << 20); got != 512<<10 {
+		t.Fatalf("Drain = %d", got)
+	}
+	if b.Used() != 0 {
+		t.Fatalf("used after drain = %d", b.Used())
+	}
+	if b.Add(-5) != 0 || b.Drain(-5) != 0 {
+		t.Fatal("negative amounts accepted")
+	}
+}
+
+// Property: a write buffer never exceeds capacity and never goes negative.
+func TestQuickWriteBufferBounds(t *testing.T) {
+	f := func(ops []int32) bool {
+		b := NewWriteBuffer(1 << 20)
+		for _, op := range ops {
+			if op >= 0 {
+				b.Add(int64(op))
+			} else {
+				b.Drain(int64(-op))
+			}
+			if b.Used() < 0 || b.Used() > b.Capacity() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortedBufferUtilizationBands(t *testing.T) {
+	// The [20] analysis: random 4 KB writes use only a few percent of the
+	// disk bandwidth; 1000 buffered and sorted I/Os (4 MB of NVRAM) reach
+	// tens of percent.
+	p := disk.Params{
+		AvgSeek:      14 * time.Millisecond,
+		AvgRotation:  8300 * time.Microsecond,
+		TransferRate: 2_000_000,
+	}
+	random := SortedBufferUtilization(p, 1, 4<<10)
+	if random < 0.02 || random > 0.15 {
+		t.Fatalf("random-write utilization = %.3f, want a few percent", random)
+	}
+	sorted := SortedBufferUtilization(p, 1000, 4<<10)
+	if sorted < 0.25 || sorted > 0.60 {
+		t.Fatalf("sorted-1000 utilization = %.3f, want ~40%%", sorted)
+	}
+	if sorted <= random {
+		t.Fatal("sorting did not help")
+	}
+	// Utilization is monotone in the number of buffered writes.
+	prev := 0.0
+	for _, n := range []int{1, 10, 100, 1000, 10000} {
+		u := SortedBufferUtilization(p, n, 4<<10)
+		if u < prev {
+			t.Fatalf("utilization not monotone at n=%d", n)
+		}
+		prev = u
+	}
+	// "1000 I/O's, requiring four megabytes of NVRAM" — 1000 x 4 KB.
+	if got := BufferForWrites(1000, 4<<10); got != 1000*4096 {
+		t.Fatalf("BufferForWrites = %d", got)
+	}
+}

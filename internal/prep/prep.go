@@ -1,0 +1,182 @@
+// Package prep converts raw trace events into the canonical operation
+// stream consumed by the simulators.
+//
+// The paper's methodology processed the Sprite traces "to convert [them]
+// into read, write, delete, flush, and invalidate operations on ranges of
+// bytes" before simulation (Section 2.2). This package is that first pass:
+// it tracks per-file sizes so deletions and truncations become explicit
+// dead byte ranges, validates event ordering, carries open/close with
+// access modes through to the consistency machinery, and turns process
+// migrations into per-client flush operations.
+package prep
+
+import (
+	"fmt"
+
+	"nvramfs/internal/interval"
+	"nvramfs/internal/trace"
+)
+
+// Kind identifies a canonical operation.
+type Kind uint8
+
+// Canonical operation kinds.
+const (
+	// Open records a file open with an access mode; drives the server's
+	// consistency protocol (callbacks, concurrent write-sharing).
+	Open Kind = iota + 1
+	// Close records a file close.
+	Close
+	// Read is an application read of Range.
+	Read
+	// Write is an application write of Range.
+	Write
+	// DeleteRange kills the bytes in Range (from deletion or truncation):
+	// cached copies are invalidated, dirty bytes die without server traffic.
+	DeleteRange
+	// Fsync synchronously flushes the file's dirty bytes to the server.
+	Fsync
+	// MigrateFlush flushes all dirty bytes cached at Client (Sprite writes
+	// back a client's dirty data when a process migrates away from it).
+	MigrateFlush
+)
+
+var kindNames = [...]string{
+	Open:         "open",
+	Close:        "close",
+	Read:         "read",
+	Write:        "write",
+	DeleteRange:  "delete",
+	Fsync:        "fsync",
+	MigrateFlush: "migrate-flush",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) && kindNames[k] != "" {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Op is one canonical operation.
+type Op struct {
+	Time   int64
+	Client uint16
+	Kind   Kind
+	File   uint64
+	// Range is the affected byte range for Read, Write, and DeleteRange.
+	Range interval.Range
+	// WriteMode marks an Open for writing.
+	WriteMode bool
+}
+
+func (o Op) String() string {
+	return fmt.Sprintf("%dus c%d %v f%d %v", o.Time, o.Client, o.Kind, o.File, o.Range)
+}
+
+// Stats summarizes a canonicalized trace.
+type Stats struct {
+	Events        int64 // raw events processed
+	Ops           int64 // canonical ops produced
+	Files         int   // distinct files touched
+	BytesRead     int64 // application read bytes
+	BytesWritten  int64 // application write bytes
+	BytesDeleted  int64 // bytes killed by delete/truncate (whether cached or not)
+	Opens, Closes int64
+	Fsyncs        int64
+	Migrations    int64
+	EndTime       int64 // time of last op
+}
+
+// Canonicalize converts a raw event stream into canonical ops, delivering
+// each to emit in order, and returns trace statistics.
+//
+// Events must be in non-decreasing time order (the trace.Reader guarantees
+// this for well-formed traces).
+func Canonicalize(events []trace.Event, emit func(Op) error) (Stats, error) {
+	var st Stats
+	sizes := make(map[uint64]int64)
+	seen := make(map[uint64]bool)
+	var last int64
+	out := func(o Op) error {
+		st.Ops++
+		if o.Time > st.EndTime {
+			st.EndTime = o.Time
+		}
+		return emit(o)
+	}
+	for i, e := range events {
+		if err := e.Validate(); err != nil {
+			return st, fmt.Errorf("prep: event %d: %w", i, err)
+		}
+		if e.Time < last {
+			return st, fmt.Errorf("prep: event %d out of order (%d < %d)", i, e.Time, last)
+		}
+		last = e.Time
+		st.Events++
+		if e.Op != trace.OpMigrate && !seen[e.File] {
+			seen[e.File] = true
+			st.Files++
+		}
+		var err error
+		switch e.Op {
+		case trace.OpOpen:
+			st.Opens++
+			err = out(Op{Time: e.Time, Client: e.Client, Kind: Open, File: e.File,
+				WriteMode: e.Flags&trace.FlagWrite != 0})
+		case trace.OpClose:
+			st.Closes++
+			err = out(Op{Time: e.Time, Client: e.Client, Kind: Close, File: e.File})
+		case trace.OpRead:
+			r := interval.Range{Start: e.Offset, End: e.Offset + e.Length}
+			if r.End > sizes[e.File] {
+				// Reads of files that predate the trace reveal their size.
+				sizes[e.File] = r.End
+			}
+			st.BytesRead += r.Len()
+			err = out(Op{Time: e.Time, Client: e.Client, Kind: Read, File: e.File, Range: r})
+		case trace.OpWrite:
+			r := interval.Range{Start: e.Offset, End: e.Offset + e.Length}
+			if r.End > sizes[e.File] {
+				sizes[e.File] = r.End
+			}
+			st.BytesWritten += r.Len()
+			err = out(Op{Time: e.Time, Client: e.Client, Kind: Write, File: e.File, Range: r})
+		case trace.OpTruncate:
+			old := sizes[e.File]
+			if e.Offset < old {
+				r := interval.Range{Start: e.Offset, End: old}
+				st.BytesDeleted += r.Len()
+				err = out(Op{Time: e.Time, Client: e.Client, Kind: DeleteRange, File: e.File, Range: r})
+			}
+			sizes[e.File] = e.Offset
+		case trace.OpDelete:
+			if old := sizes[e.File]; old > 0 {
+				r := interval.Range{Start: 0, End: old}
+				st.BytesDeleted += r.Len()
+				err = out(Op{Time: e.Time, Client: e.Client, Kind: DeleteRange, File: e.File, Range: r})
+			}
+			delete(sizes, e.File)
+		case trace.OpFsync:
+			st.Fsyncs++
+			err = out(Op{Time: e.Time, Client: e.Client, Kind: Fsync, File: e.File})
+		case trace.OpMigrate:
+			st.Migrations++
+			err = out(Op{Time: e.Time, Client: e.Client, Kind: MigrateFlush})
+		}
+		if err != nil {
+			return st, err
+		}
+	}
+	return st, nil
+}
+
+// CanonicalizeAll converts events and collects the ops into a slice.
+func CanonicalizeAll(events []trace.Event) ([]Op, Stats, error) {
+	ops := make([]Op, 0, len(events))
+	st, err := Canonicalize(events, func(o Op) error {
+		ops = append(ops, o)
+		return nil
+	})
+	return ops, st, err
+}

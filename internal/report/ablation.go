@@ -1,0 +1,207 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"text/tabwriter"
+
+	"nvramfs/internal/cache"
+	"nvramfs/internal/disk"
+	"nvramfs/internal/lfs"
+	"nvramfs/internal/lifetime"
+	"nvramfs/internal/sim"
+)
+
+// AblationResult collects the design-choice ablations DESIGN.md calls out:
+// Sprite's dirty-block replacement preference (which the paper's simplified
+// volatile model omits), the hybrid cache organization Section 2.6 sketches
+// but does not simulate, and the block-level consistency protocol Section
+// 2.3 cites as the way past the whole-file recall floor.
+type AblationResult struct {
+	// Dirty-block preference in the volatile model (trace 7, 0.5 MB
+	// cache). The headline result is the replacement-traffic drop: net
+	// write traffic barely moves because Sprite's 30-second write-back,
+	// not replacement, is the dominant cause of write traffic — exactly
+	// the observation of the paper's [1].
+	PlainNetWrite, PlainNetTotal    float64
+	PreferNetWrite, PreferNetTotal  float64
+	PlainReplBytes, PreferReplBytes int64
+
+	// Hybrid vs unified (trace 7, 8 MB volatile + 0.25 MB NVRAM).
+	UnifiedNetTotal, HybridNetTotal float64
+	UnifiedNetWrite, HybridNetWrite float64
+	// HybridVulnerableFrac is the fraction of written bytes the hybrid
+	// model exposed in volatile memory (the reliability price).
+	HybridVulnerableFrac float64
+
+	// Whole-file vs block-level consistency (all traces, infinite NVRAM).
+	WholeFileCalledBackFrac float64
+	BlockCalledBackFrac     float64
+
+	// LFS cleaner policy on a hot/cold workload: blocks copied by the
+	// garbage collector (write amplification) under each policy.
+	GreedyCopied      int64
+	CostBenefitCopied int64
+}
+
+// Ablations runs the three ablation studies.
+func Ablations(ws *Workspace) (*AblationResult, error) {
+	res := &AblationResult{}
+	ops, err := ws.Ops(ModelTrace)
+	if err != nil {
+		return nil, err
+	}
+
+	// 1. Dirty preference in the volatile model. A small (0.5 MB) cache
+	// is used so replacement pressure actually reaches dirty blocks; in a
+	// larger cache the 30-second cleaner flushes them first and the
+	// policy choice is moot.
+	runVol := func(prefer bool) (*cache.Traffic, error) {
+		r, err := sim.Run(ops, sim.Config{
+			Model: cache.ModelVolatile,
+			Cache: cache.Config{
+				VolatileBlocks:  sim.BlocksForBytes(sim.MB/2, cache.DefaultBlockSize),
+				DirtyPreference: prefer,
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &r.Traffic, nil
+	}
+	plain, err := runVol(false)
+	if err != nil {
+		return nil, err
+	}
+	prefer, err := runVol(true)
+	if err != nil {
+		return nil, err
+	}
+	res.PlainNetWrite, res.PlainNetTotal = plain.NetWriteFrac(), plain.NetTotalFrac()
+	res.PreferNetWrite, res.PreferNetTotal = prefer.NetWriteFrac(), prefer.NetTotalFrac()
+	res.PlainReplBytes = plain.WriteBack[cache.CauseReplacement]
+	res.PreferReplBytes = prefer.WriteBack[cache.CauseReplacement]
+
+	// 2. Hybrid vs unified at a *small* NVRAM (one-quarter megabyte):
+	// Section 2.6 predicts the hybrid's advantage exactly there, where
+	// the unified model's replacement pool for new writes is only the
+	// tiny NVRAM while the hybrid can use the whole cache.
+	runNV := func(model cache.ModelKind) (*cache.Traffic, error) {
+		r, err := sim.Run(ops, sim.Config{
+			Model: model,
+			Cache: cache.Config{
+				VolatileBlocks: sim.BlocksForBytes(8*sim.MB, cache.DefaultBlockSize),
+				NVRAMBlocks:    sim.BlocksForBytes(sim.MB/4, cache.DefaultBlockSize),
+				Policy:         cache.LRU,
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &r.Traffic, nil
+	}
+	uni, err := runNV(cache.ModelUnified)
+	if err != nil {
+		return nil, err
+	}
+	hyb, err := runNV(cache.ModelHybrid)
+	if err != nil {
+		return nil, err
+	}
+	res.UnifiedNetTotal, res.UnifiedNetWrite = uni.NetTotalFrac(), uni.NetWriteFrac()
+	res.HybridNetTotal, res.HybridNetWrite = hyb.NetTotalFrac(), hyb.NetWriteFrac()
+	if hyb.AppWriteBytes > 0 {
+		res.HybridVulnerableFrac = float64(hyb.VulnerableWriteBytes) / float64(hyb.AppWriteBytes)
+	}
+
+	// 3. Whole-file vs block-level consistency, summed over all traces.
+	var wfCalled, wfTotal, blCalled, blTotal int64
+	for _, tr := range AllTraces() {
+		tOps, err := ws.Ops(tr)
+		if err != nil {
+			return nil, err
+		}
+		wf, err := ws.Analysis(tr)
+		if err != nil {
+			return nil, err
+		}
+		bl, err := lifetime.AnalyzeWith(tOps, lifetime.Options{BlockConsistency: true})
+		if err != nil {
+			return nil, err
+		}
+		wfCalled += wf.Fate.CalledBack
+		wfTotal += wf.Fate.Total
+		blCalled += bl.Fate.CalledBack
+		blTotal += bl.Fate.Total
+	}
+	if wfTotal > 0 {
+		res.WholeFileCalledBackFrac = float64(wfCalled) / float64(wfTotal)
+	}
+	if blTotal > 0 {
+		res.BlockCalledBackFrac = float64(blCalled) / float64(blTotal)
+	}
+
+	// 4. LFS cleaner policy: sustained hot/cold random updates at high
+	// disk utilization, the regime Rosenblum's cost-benefit rule targets:
+	// greedy keeps re-cleaning hot segments just before they empty, while
+	// cost-benefit compacts cold, aged segments once and leaves the hot
+	// ones to die.
+	res.GreedyCopied = cleanerCopied(lfs.CleanGreedy)
+	res.CostBenefitCopied = cleanerCopied(lfs.CleanCostBenefit)
+	return res, nil
+}
+
+// cleanerCopied measures garbage-collector write amplification for a
+// cleaner policy under sustained hot/cold random block updates at ~70%
+// disk utilization.
+func cleanerCopied(policy lfs.CleanPolicy) int64 {
+	fs := lfs.New(lfs.Config{
+		DiskSegments: 96, CleanLowWater: 10, CleanHighWater: 16,
+		Cleaner: policy,
+	}, disk.New(disk.DefaultParams()))
+	per := int64(fs.Config().BlocksPerSegment())
+	blk := int64(4 << 10)
+	liveBlocks := 60 * per // ~62% of the disk is live data
+	var now int64
+	fs.Write(now, 1, 0, liveBlocks*blk)
+	// Deterministic hot/cold updates: 90% of writes hit the hottest 10%
+	// of the file.
+	rng := rand.New(rand.NewSource(5))
+	hot := liveBlocks / 10
+	for i := 0; i < 40000; i++ {
+		now += 50_000 // 50 ms apart: steady stream, no age flushes
+		var b int64
+		if rng.Intn(10) != 0 {
+			b = rng.Int63n(hot)
+		} else {
+			b = hot + rng.Int63n(liveBlocks-hot)
+		}
+		fs.Write(now, 1, b*blk, blk)
+	}
+	return fs.Stats().CleanerBlocksCopied
+}
+
+// Render writes the ablation comparison.
+func (r *AblationResult) Render(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Ablations (design choices the paper discusses but does not simulate)")
+	fmt.Fprintln(tw, "\n1. Dirty-block replacement preference (volatile model, trace 7, 0.5 MB):")
+	fmt.Fprintln(tw, "variant\tnet write %\tnet total %\treplacement MB")
+	fmt.Fprintf(tw, "no preference (paper's model)\t%5.1f\t%5.1f\t%.1f\n", r.PlainNetWrite*100, r.PlainNetTotal*100, float64(r.PlainReplBytes)/(1<<20))
+	fmt.Fprintf(tw, "prefer clean victims (real Sprite)\t%5.1f\t%5.1f\t%.1f\n", r.PreferNetWrite*100, r.PreferNetTotal*100, float64(r.PreferReplBytes)/(1<<20))
+	fmt.Fprintln(tw, "(net write barely moves: the 30-second write-back, not replacement,")
+	fmt.Fprintln(tw, " dominates write traffic — the paper's own premise)")
+	fmt.Fprintln(tw, "\n2. Hybrid organization (Section 2.6 sketch; 8 MB + 0.25 MB, trace 7):")
+	fmt.Fprintln(tw, "model\tnet write %\tnet total %\tvulnerable writes %")
+	fmt.Fprintf(tw, "unified\t%5.1f\t%5.1f\t0.0\n", r.UnifiedNetWrite*100, r.UnifiedNetTotal*100)
+	fmt.Fprintf(tw, "hybrid\t%5.1f\t%5.1f\t%5.1f\n", r.HybridNetWrite*100, r.HybridNetTotal*100, r.HybridVulnerableFrac*100)
+	fmt.Fprintln(tw, "\n3. Consistency protocol (infinite NVRAM, all traces):")
+	fmt.Fprintln(tw, "protocol\tcalled-back % of written bytes")
+	fmt.Fprintf(tw, "whole-file recall (Sprite)\t%5.2f\n", r.WholeFileCalledBackFrac*100)
+	fmt.Fprintf(tw, "block-by-block recall [21]\t%5.2f\n", r.BlockCalledBackFrac*100)
+	fmt.Fprintln(tw, "\n4. LFS cleaner policy (hot/cold workload, blocks copied by the GC):")
+	fmt.Fprintf(tw, "greedy\t%d\n", r.GreedyCopied)
+	fmt.Fprintf(tw, "cost-benefit (Sprite LFS)\t%d\n", r.CostBenefitCopied)
+	return tw.Flush()
+}

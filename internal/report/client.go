@@ -1,0 +1,433 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"nvramfs/internal/cache"
+	"nvramfs/internal/lifetime"
+	"nvramfs/internal/sim"
+	"nvramfs/internal/workload"
+)
+
+// DefaultDelayMinutes is the write-back-delay sweep of Figure 2 (log
+// scale, 0.01 to 10000 minutes; 0.5 min is Sprite's 30-second delay).
+var DefaultDelayMinutes = []float64{0.01, 0.03, 0.1, 0.3, 0.5, 1, 3, 10, 30, 100, 300, 1000, 10000}
+
+// DefaultNVRAMSizesMB is the NVRAM size sweep of Figures 3 and 4.
+var DefaultNVRAMSizesMB = []float64{0.0625, 0.125, 0.25, 0.5, 1, 2, 4, 8, 16, 32}
+
+// DefaultExtraMB is the added-memory sweep of Figures 5 and 6.
+var DefaultExtraMB = []float64{0, 0.5, 1, 2, 4, 6, 8}
+
+// ModelTrace is the trace the paper uses for its model and policy
+// comparisons (Figures 4-6): "a typical trace (Trace 7)".
+const ModelTrace = 7
+
+// --- Figure 2: byte lifetimes ---
+
+// Figure2Result holds net write traffic (fraction of written bytes
+// eventually sent to the server) per trace and write-back delay.
+type Figure2Result struct {
+	DelayMinutes []float64
+	// Frac[trace][i] is the net write fraction of standard trace (index
+	// 0 = trace 1) at DelayMinutes[i].
+	Frac [][]float64
+	// Dead30s is the fraction of written bytes dying within 30 seconds,
+	// the paper's headline lifetime statistic per trace.
+	Dead30s []float64
+}
+
+// Figure2 runs the byte-lifetime sweep over the standard traces.
+func Figure2(ws *Workspace) (*Figure2Result, error) {
+	res := &Figure2Result{DelayMinutes: DefaultDelayMinutes}
+	for _, tr := range AllTraces() {
+		a, err := ws.Analysis(tr)
+		if err != nil {
+			return nil, err
+		}
+		row := make([]float64, len(res.DelayMinutes))
+		for i, m := range res.DelayMinutes {
+			row[i] = a.NetWriteFracAt(Minutes(m))
+		}
+		res.Frac = append(res.Frac, row)
+		res.Dead30s = append(res.Dead30s, float64(a.DeadWithin(Minutes(0.5)))/float64(a.Fate.Total))
+	}
+	return res, nil
+}
+
+// Render writes the figure as a table of series.
+func (r *Figure2Result) Render(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Figure 2: net write traffic (%) vs write-back delay (minutes), infinite cache")
+	fmt.Fprint(tw, "delay(min)")
+	for i := range r.Frac {
+		fmt.Fprintf(tw, "\ttrace%d", i+1)
+	}
+	fmt.Fprintln(tw)
+	for i, m := range r.DelayMinutes {
+		fmt.Fprintf(tw, "%10.2f", m)
+		for _, row := range r.Frac {
+			fmt.Fprintf(tw, "\t%5.1f", row[i]*100)
+		}
+		fmt.Fprintln(tw)
+	}
+	return tw.Flush()
+}
+
+// --- Table 2: fate of written bytes ---
+
+// Table2Result aggregates byte fates across all traces and across the
+// typical traces (all but 3 and 4), as the paper's Table 2 does.
+type Table2Result struct {
+	All      lifetime.Fate
+	Typical  lifetime.Fate // excluding traces 3 and 4
+	PerTrace map[int]lifetime.Fate
+}
+
+// Table2 runs the infinite-cache fate analysis over the standard traces.
+func Table2(ws *Workspace) (*Table2Result, error) {
+	res := &Table2Result{PerTrace: make(map[int]lifetime.Fate)}
+	add := func(dst *lifetime.Fate, f lifetime.Fate) {
+		dst.Overwritten += f.Overwritten
+		dst.Deleted += f.Deleted
+		dst.CalledBack += f.CalledBack
+		dst.Concurrent += f.Concurrent
+		dst.Remaining += f.Remaining
+		dst.Total += f.Total
+	}
+	for _, tr := range AllTraces() {
+		a, err := ws.Analysis(tr)
+		if err != nil {
+			return nil, err
+		}
+		res.PerTrace[tr] = a.Fate
+		add(&res.All, a.Fate)
+		if !workload.HeavyTrace(tr) {
+			add(&res.Typical, a.Fate)
+		}
+	}
+	return res, nil
+}
+
+// Render writes the fate table with megabyte and percentage columns.
+func (r *Table2Result) Render(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Table 2: fate of all bytes written into an infinite non-volatile cache")
+	fmt.Fprintln(tw, "traffic type\tMB all\tMB no3/4\t% all\t% no3/4")
+	row := func(name string, get func(lifetime.Fate) int64) {
+		a, t := r.All, r.Typical
+		fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%.2f\t%.2f\n", name,
+			float64(get(a))/(1<<20), float64(get(t))/(1<<20),
+			pct(get(a), a.Total), pct(get(t), t.Total))
+	}
+	row("Never overwritten", func(f lifetime.Fate) int64 { return f.Overwritten })
+	row("Deleted", func(f lifetime.Fate) int64 { return f.Deleted })
+	row("Total absorbed", func(f lifetime.Fate) int64 { return f.Absorbed() })
+	row("Called back", func(f lifetime.Fate) int64 { return f.CalledBack })
+	row("Concurrent writes", func(f lifetime.Fate) int64 { return f.Concurrent })
+	row("Total server writes", func(f lifetime.Fate) int64 { return f.ServerBytes() })
+	row("Remaining", func(f lifetime.Fate) int64 { return f.Remaining })
+	row("Total application writes", func(f lifetime.Fate) int64 { return f.Total })
+	return tw.Flush()
+}
+
+func pct(part, total int64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(part) / float64(total)
+}
+
+// --- Figures 3 and 4: replacement policies ---
+
+// PolicySweepResult holds net write traffic per NVRAM size for one or
+// more (trace, policy) series.
+type PolicySweepResult struct {
+	SizesMB []float64
+	// Series maps a label (e.g. "trace7/lru") to net write fractions.
+	Labels []string
+	Frac   [][]float64
+}
+
+// Figure3 runs the omniscient unified-model sweep for every standard
+// trace (writes only, as in the paper's Figure 3 methodology).
+func Figure3(ws *Workspace) (*PolicySweepResult, error) {
+	res := &PolicySweepResult{SizesMB: DefaultNVRAMSizesMB}
+	for _, tr := range AllTraces() {
+		row, err := policySweep(ws, tr, cache.Omniscient, true)
+		if err != nil {
+			return nil, err
+		}
+		res.Labels = append(res.Labels, fmt.Sprintf("trace%d", tr))
+		res.Frac = append(res.Frac, row)
+	}
+	return res, nil
+}
+
+// Figure4 compares LRU, random, and omniscient replacement on the model
+// trace. The realistic policies include read traffic's effect on
+// replacement; the omniscient series, as in the paper, does not.
+func Figure4(ws *Workspace) (*PolicySweepResult, error) {
+	res := &PolicySweepResult{SizesMB: DefaultNVRAMSizesMB}
+	for _, pc := range []struct {
+		label      string
+		kind       cache.PolicyKind
+		writesOnly bool
+	}{
+		{"lru", cache.LRU, false},
+		{"random", cache.Random, false},
+		{"omniscient", cache.Omniscient, true},
+	} {
+		row, err := policySweep(ws, ModelTrace, pc.kind, pc.writesOnly)
+		if err != nil {
+			return nil, err
+		}
+		res.Labels = append(res.Labels, pc.label)
+		res.Frac = append(res.Frac, row)
+	}
+	return res, nil
+}
+
+func policySweep(ws *Workspace, trace int, kind cache.PolicyKind, writesOnly bool) ([]float64, error) {
+	ops, err := ws.Ops(trace)
+	if err != nil {
+		return nil, err
+	}
+	var sched cache.Schedule
+	if kind == cache.Omniscient {
+		s, err := ws.Schedule(trace)
+		if err != nil {
+			return nil, err
+		}
+		sched = s
+	}
+	row := make([]float64, len(DefaultNVRAMSizesMB))
+	for i, mb := range DefaultNVRAMSizesMB {
+		res, err := sim.Run(ops, sim.Config{
+			Model: cache.ModelUnified,
+			Cache: cache.Config{
+				VolatileBlocks: sim.BlocksForBytes(8*sim.MB, cache.DefaultBlockSize),
+				NVRAMBlocks:    sim.BlocksForBytes(int64(mb*float64(sim.MB)), cache.DefaultBlockSize),
+				Policy:         kind,
+				Schedule:       sched,
+			},
+			Seed:       int64(trace),
+			WritesOnly: writesOnly,
+		})
+		if err != nil {
+			return nil, err
+		}
+		row[i] = res.Traffic.NetWriteFrac()
+	}
+	return row, nil
+}
+
+// Render writes the sweep as a table of series.
+func (r *PolicySweepResult) Render(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Net write traffic (%) vs NVRAM size (MB), unified model")
+	fmt.Fprint(tw, "MB NVRAM")
+	for _, l := range r.Labels {
+		fmt.Fprintf(tw, "\t%s", l)
+	}
+	fmt.Fprintln(tw)
+	for i, mb := range r.SizesMB {
+		fmt.Fprintf(tw, "%8.3f", mb)
+		for _, row := range r.Frac {
+			fmt.Fprintf(tw, "\t%5.1f", row[i]*100)
+		}
+		fmt.Fprintln(tw)
+	}
+	return tw.Flush()
+}
+
+// --- Figures 5 and 6: cache model comparison ---
+
+// ModelCompareResult holds net total traffic per added megabyte for
+// several (model, base size) series.
+type ModelCompareResult struct {
+	ExtraMB []float64
+	Labels  []string
+	Frac    [][]float64
+}
+
+// Figure5 compares the three cache models on the model trace, each
+// starting from an 8 MB volatile cache: the volatile series adds volatile
+// memory, the NVRAM series add NVRAM.
+func Figure5(ws *Workspace) (*ModelCompareResult, error) {
+	res := &ModelCompareResult{ExtraMB: DefaultExtraMB}
+	for _, mc := range []struct {
+		label string
+		model cache.ModelKind
+	}{
+		{"volatile", cache.ModelVolatile},
+		{"write-aside", cache.ModelWriteAside},
+		{"unified", cache.ModelUnified},
+	} {
+		row, err := modelSweep(ws, mc.model, 8, res.ExtraMB)
+		if err != nil {
+			return nil, err
+		}
+		res.Labels = append(res.Labels, mc.label)
+		res.Frac = append(res.Frac, row)
+	}
+	return res, nil
+}
+
+// Figure6 compares volatile and unified growth from 8 MB and 16 MB bases.
+func Figure6(ws *Workspace) (*ModelCompareResult, error) {
+	res := &ModelCompareResult{ExtraMB: DefaultExtraMB}
+	for _, mc := range []struct {
+		label  string
+		model  cache.ModelKind
+		baseMB float64
+	}{
+		{"volatile-8MB", cache.ModelVolatile, 8},
+		{"volatile-16MB", cache.ModelVolatile, 16},
+		{"unified-8MB", cache.ModelUnified, 8},
+		{"unified-16MB", cache.ModelUnified, 16},
+	} {
+		row, err := modelSweep(ws, mc.model, mc.baseMB, res.ExtraMB)
+		if err != nil {
+			return nil, err
+		}
+		res.Labels = append(res.Labels, mc.label)
+		res.Frac = append(res.Frac, row)
+	}
+	return res, nil
+}
+
+// modelSweep measures net total traffic on the model trace for a cache
+// model growing from baseMB of volatile memory by the given extra
+// megabytes (volatile memory for the volatile model, NVRAM otherwise).
+func modelSweep(ws *Workspace, model cache.ModelKind, baseMB float64, extras []float64) ([]float64, error) {
+	ops, err := ws.Ops(ModelTrace)
+	if err != nil {
+		return nil, err
+	}
+	row := make([]float64, len(extras))
+	for i, extra := range extras {
+		cfg := sim.Config{Model: model, Seed: 7}
+		volMB, nvMB := baseMB, extra
+		if model == cache.ModelVolatile {
+			volMB, nvMB = baseMB+extra, 0
+		}
+		if nvMB == 0 && model != cache.ModelVolatile {
+			// Zero NVRAM degenerates to the volatile organization; all
+			// three series share their starting point.
+			cfg.Model = cache.ModelVolatile
+		}
+		cfg.Cache = cache.Config{
+			VolatileBlocks: sim.BlocksForBytes(int64(volMB*float64(sim.MB)), cache.DefaultBlockSize),
+			NVRAMBlocks:    sim.BlocksForBytes(int64(nvMB*float64(sim.MB)), cache.DefaultBlockSize),
+			Policy:         cache.LRU,
+		}
+		res, err := sim.Run(ops, cfg)
+		if err != nil {
+			return nil, err
+		}
+		row[i] = res.Traffic.NetTotalFrac()
+	}
+	return row, nil
+}
+
+// Render writes the comparison as a table of series.
+func (r *ModelCompareResult) Render(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Net total traffic (%) vs added memory (MB), Trace 7")
+	fmt.Fprint(tw, "extra MB")
+	for _, l := range r.Labels {
+		fmt.Fprintf(tw, "\t%s", l)
+	}
+	fmt.Fprintln(tw)
+	for i, mb := range r.ExtraMB {
+		fmt.Fprintf(tw, "%8.1f", mb)
+		for _, row := range r.Frac {
+			fmt.Fprintf(tw, "\t%5.1f", row[i]*100)
+		}
+		fmt.Fprintln(tw)
+	}
+	return tw.Flush()
+}
+
+// Series returns the labeled series as a map for further analysis (the
+// cost study consumes Figure 6 this way).
+func (r *ModelCompareResult) Series(label string) []float64 {
+	for i, l := range r.Labels {
+		if l == label {
+			return r.Frac[i]
+		}
+	}
+	return nil
+}
+
+// --- Section 2.6: memory bus and NVRAM access claims ---
+
+// BusResult quantifies the write-path memory-bus traffic and NVRAM
+// accesses of the two NVRAM models with 8 MB volatile + 8 MB NVRAM.
+type BusResult struct {
+	WriteAsideBusWrite int64
+	UnifiedBusWrite    int64
+	WriteAsideNVRAM    int64
+	UnifiedNVRAM       int64
+	AppWriteBytes      int64
+}
+
+// BusTraffic measures the Section 2.6 claims on the model trace:
+// write-aside stores every written byte twice (2x bus traffic), the
+// unified model stores once plus occasional transfers (>=25% less), and
+// the unified model makes 2-2.5x as many NVRAM accesses.
+func BusTraffic(ws *Workspace) (*BusResult, error) {
+	ops, err := ws.Ops(ModelTrace)
+	if err != nil {
+		return nil, err
+	}
+	run := func(model cache.ModelKind) (*cache.Traffic, error) {
+		res, err := sim.Run(ops, sim.Config{
+			Model: model,
+			Cache: cache.Config{
+				VolatileBlocks: sim.BlocksForBytes(8*sim.MB, cache.DefaultBlockSize),
+				NVRAMBlocks:    sim.BlocksForBytes(8*sim.MB, cache.DefaultBlockSize),
+				Policy:         cache.LRU,
+			},
+			Seed: 7,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &res.Traffic, nil
+	}
+	wa, err := run(cache.ModelWriteAside)
+	if err != nil {
+		return nil, err
+	}
+	un, err := run(cache.ModelUnified)
+	if err != nil {
+		return nil, err
+	}
+	return &BusResult{
+		WriteAsideBusWrite: wa.BusWriteBytes,
+		UnifiedBusWrite:    un.BusWriteBytes,
+		WriteAsideNVRAM:    wa.NVRAMAccesses,
+		UnifiedNVRAM:       un.NVRAMAccesses,
+		AppWriteBytes:      wa.AppWriteBytes,
+	}, nil
+}
+
+// Render writes the claim comparison.
+func (r *BusResult) Render(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Section 2.6: write-path bus traffic and NVRAM accesses (8 MB + 8 MB, Trace 7)")
+	fmt.Fprintf(tw, "write-aside bus-write bytes\t%d\t(%.2fx app writes)\n",
+		r.WriteAsideBusWrite, float64(r.WriteAsideBusWrite)/float64(r.AppWriteBytes))
+	fmt.Fprintf(tw, "unified bus-write bytes\t%d\t(%.2fx app writes)\n",
+		r.UnifiedBusWrite, float64(r.UnifiedBusWrite)/float64(r.AppWriteBytes))
+	fmt.Fprintf(tw, "unified/write-aside bus ratio\t%.2f\t(paper: at least 25%% less)\n",
+		float64(r.UnifiedBusWrite)/float64(r.WriteAsideBusWrite))
+	fmt.Fprintf(tw, "NVRAM accesses write-aside\t%d\n", r.WriteAsideNVRAM)
+	fmt.Fprintf(tw, "NVRAM accesses unified\t%d\t(%.2fx; paper: 2-2.5x)\n",
+		r.UnifiedNVRAM, float64(r.UnifiedNVRAM)/float64(r.WriteAsideNVRAM))
+	return tw.Flush()
+}

@@ -1,0 +1,80 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"text/tabwriter"
+
+	"nvramfs/internal/cost"
+)
+
+// RenderTable1 writes the paper's Table 1 price list.
+func RenderTable1(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Table 1: 1992 NVRAM component costs (list prices, lots of 5000+)")
+	fmt.Fprintln(tw, "component\tkind\tspeed(ns)\tbatteries\t$/MB\tmin config (MB)")
+	for _, c := range cost.Table1() {
+		fmt.Fprintf(tw, "%s\t%v\t%d\t%d\t$%.0f\t%.1f\n",
+			c.Name, c.Kind, c.SpeedNS, c.Batteries, c.PricePerMB, c.MinConfigMB)
+	}
+	fmt.Fprintf(tw, "UPS alternative\tUPS\t-\t-\t$%.0f minimum\t-\n", cost.UPSMinPrice)
+	return tw.Flush()
+}
+
+// CostRow compares one NVRAM purchase against its volatile equivalent.
+type CostRow struct {
+	BaseMB  float64
+	Verdict cost.Verdict
+}
+
+// CostStudyResult is the Section 2.7 analysis derived from the Figure 6
+// measurements.
+type CostStudyResult struct {
+	Rows []CostRow
+}
+
+// CostStudy derives the cost-effectiveness comparison from Figure 6's
+// measured curves: for each base cache size and NVRAM amount, how much
+// volatile memory buys the same total traffic reduction, and which is
+// cheaper at Table 1 prices.
+func CostStudy(fig6 *ModelCompareResult) *CostStudyResult {
+	res := &CostStudyResult{}
+	for _, base := range []float64{8, 16} {
+		uni := cost.Curve{MB: fig6.ExtraMB, Frac: fig6.Series(fmt.Sprintf("unified-%.0fMB", base))}
+		vol := cost.Curve{MB: fig6.ExtraMB, Frac: fig6.Series(fmt.Sprintf("volatile-%.0fMB", base))}
+		if uni.Frac == nil || vol.Frac == nil {
+			continue
+		}
+		for _, nv := range []float64{0.5, 1, 2, 4} {
+			res.Rows = append(res.Rows, CostRow{
+				BaseMB:  base,
+				Verdict: cost.Compare(uni, vol, nv),
+			})
+		}
+	}
+	return res
+}
+
+// Render writes the cost comparison.
+func (r *CostStudyResult) Render(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Section 2.7: NVRAM vs volatile memory cost-effectiveness (from Figure 6 curves)")
+	fmt.Fprintln(tw, "base MB\tNVRAM MB\t= volatile MB\tNVRAM $\tvolatile $\twinner")
+	for _, row := range r.Rows {
+		v := row.Verdict
+		eq := "unreachable"
+		volCost := "-"
+		if !math.IsInf(v.EquivalentMB, 1) {
+			eq = fmt.Sprintf("%.1f", v.EquivalentMB)
+			volCost = fmt.Sprintf("$%.0f", v.VolatileCost)
+		}
+		winner := "volatile"
+		if v.NVRAMWins() {
+			winner = "NVRAM"
+		}
+		fmt.Fprintf(tw, "%.0f\t%.1f\t%s\t$%.0f\t%s\t%s\n",
+			row.BaseMB, v.NVRAMMB, eq, v.NVRAMCost, volCost, winner)
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,184 @@
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"nvramfs/internal/lifetime"
+)
+
+// Tabular is implemented by every experiment result that can export its
+// data as rows for plotting (cmd/nvreport -csv).
+type Tabular interface {
+	// CSV returns a header row followed by data rows.
+	CSV() [][]string
+}
+
+// WriteCSV writes a Tabular's rows to w in RFC-4180 form.
+func WriteCSV(w io.Writer, t Tabular) error {
+	cw := csv.NewWriter(w)
+	if err := cw.WriteAll(t.CSV()); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func f(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
+func i(v int64) string   { return strconv.FormatInt(v, 10) }
+
+// CSV exports delay (minutes) vs per-trace net write fractions.
+func (r *Figure2Result) CSV() [][]string {
+	head := []string{"delay_minutes"}
+	for idx := range r.Frac {
+		head = append(head, fmt.Sprintf("trace%d", idx+1))
+	}
+	rows := [][]string{head}
+	for j, m := range r.DelayMinutes {
+		row := []string{f(m)}
+		for _, series := range r.Frac {
+			row = append(row, f(series[j]))
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// CSV exports the fate categories in megabytes and percentages.
+func (r *Table2Result) CSV() [][]string {
+	rows := [][]string{{"category", "mb_all", "mb_typical", "pct_all", "pct_typical"}}
+	emit := func(name string, get func(lifetime.Fate) int64) {
+		a, t := r.All, r.Typical
+		rows = append(rows, []string{
+			name,
+			f(float64(get(a)) / (1 << 20)), f(float64(get(t)) / (1 << 20)),
+			f(pct(get(a), a.Total)), f(pct(get(t), t.Total)),
+		})
+	}
+	emit("overwritten", func(x lifetime.Fate) int64 { return x.Overwritten })
+	emit("deleted", func(x lifetime.Fate) int64 { return x.Deleted })
+	emit("called_back", func(x lifetime.Fate) int64 { return x.CalledBack })
+	emit("concurrent", func(x lifetime.Fate) int64 { return x.Concurrent })
+	emit("remaining", func(x lifetime.Fate) int64 { return x.Remaining })
+	emit("total", func(x lifetime.Fate) int64 { return x.Total })
+	return rows
+}
+
+// CSV exports NVRAM size vs per-series net write fractions.
+func (r *PolicySweepResult) CSV() [][]string {
+	head := append([]string{"nvram_mb"}, r.Labels...)
+	rows := [][]string{head}
+	for j, mb := range r.SizesMB {
+		row := []string{f(mb)}
+		for _, series := range r.Frac {
+			row = append(row, f(series[j]))
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// CSV exports extra memory vs per-series net total fractions.
+func (r *ModelCompareResult) CSV() [][]string {
+	head := append([]string{"extra_mb"}, r.Labels...)
+	rows := [][]string{head}
+	for j, mb := range r.ExtraMB {
+		row := []string{f(mb)}
+		for _, series := range r.Frac {
+			row = append(row, f(series[j]))
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// CSV exports the per-file-system server measurements.
+func (r *ServerStudyResult) CSV() [][]string {
+	rows := [][]string{{
+		"file_system", "partial_frac", "fsync_partial_frac", "share_of_segments",
+		"kb_per_partial", "kb_per_fsync_partial", "fsync_traffic_frac",
+		"space_overhead_frac", "disk_writes", "disk_writes_buffered", "reduction",
+	}}
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Name, f(row.PartialFrac), f(row.FsyncPartialFrac), f(row.ShareOfSegments),
+			f(row.KBPerPartial), f(row.KBPerFsyncPartial), f(row.FsyncTrafficFrac),
+			f(row.SpaceOverheadFrac), i(row.DiskWrites), i(row.DiskWritesBuffer), f(row.Reduction()),
+		})
+	}
+	return rows
+}
+
+// CSV exports buffer depth vs utilization.
+func (r *SortedBufferResult) CSV() [][]string {
+	rows := [][]string{{"buffered_ios", "nvram_bytes", "utilization"}}
+	for j, n := range r.Depths {
+		rows = append(rows, []string{
+			strconv.Itoa(n), i(r.BufferBytes[j]), f(r.Utilization[j]),
+		})
+	}
+	return rows
+}
+
+// CSV exports the server NVRAM cache sweep.
+func (r *ServerCacheResult) CSV() [][]string {
+	head := []string{"file_system"}
+	for _, mb := range r.NVRAMSizesMB {
+		head = append(head, fmt.Sprintf("writes_at_%gmb", mb))
+	}
+	rows := [][]string{head}
+	for idx, name := range r.Names {
+		row := []string{name}
+		for _, v := range r.DiskWrites[idx] {
+			row = append(row, i(v))
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// CSV exports the end-to-end stack comparison.
+func (r *StackResult) CSV() [][]string {
+	rows := [][]string{{
+		"configuration", "net_write_frac", "net_total_frac",
+		"disk_writes", "disk_reads", "partial_segments",
+		"fsyncs_forced", "fsyncs_absorbed",
+	}}
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Label, f(row.NetWriteFrac), f(row.NetTotalFrac),
+			i(row.ServerDiskWrites), i(row.ServerDiskReads), i(row.PartialSegments),
+			i(row.FsyncsForced), i(row.FsyncsAbsorbed),
+		})
+	}
+	return rows
+}
+
+// CSV exports the fsync latency comparison (durations in microseconds).
+func (r *LatencyResult) CSV() [][]string {
+	rows := [][]string{{"path", "mean_us", "worst_us"}}
+	names := []string{"server-disk", "server-nvram", "client-nvram"}
+	for idx, name := range names {
+		rows = append(rows, []string{
+			name,
+			i(r.Mean[idx].Microseconds()),
+			i(r.Worst[idx].Microseconds()),
+		})
+	}
+	return rows
+}
+
+// CSV exports the cost verdicts.
+func (r *CostStudyResult) CSV() [][]string {
+	rows := [][]string{{"base_mb", "nvram_mb", "equivalent_volatile_mb", "nvram_cost", "volatile_cost", "nvram_wins"}}
+	for _, row := range r.Rows {
+		v := row.Verdict
+		rows = append(rows, []string{
+			f(row.BaseMB), f(v.NVRAMMB), f(v.EquivalentMB),
+			f(v.NVRAMCost), f(v.VolatileCost), strconv.FormatBool(v.NVRAMWins()),
+		})
+	}
+	return rows
+}

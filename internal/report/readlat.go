@@ -1,0 +1,99 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"nvramfs/internal/disk"
+)
+
+// ReadResponseResult reproduces the analytic study the paper cites from
+// [3] at the end of Section 3: very large write I/Os delay the synchronous
+// reads that queue behind them. "The optimal write size for an LFS is
+// approximately two disk tracks, typically 50-70 kilobytes. ... the
+// increase in mean read response time due to full segment writes is
+// sometimes as much as 37%, but typically about 14%."
+//
+// Model: writes of unit size u arrive as a Poisson stream sustaining a
+// byte rate B (rate B/u), each occupying the disk for the deterministic
+// service time S(u) = positioning + u/transfer. By PASTA, a read's mean
+// added wait from in-progress writes is the M/G/1 partial-workload term
+// (B/u)·S(u)²/2; dividing by the base 4 KB read response gives the
+// percentage increase. The optimal unit minimizing read interference is
+// u* = positioning × transfer-rate — about one to two tracks on the
+// modeled disk, exactly the regime [3] identifies.
+type ReadResponseResult struct {
+	WriteUnitKB []float64
+	// IncreaseTypical and IncreaseHeavy are the mean-read-response
+	// increases at the typical and heavy write byte rates.
+	IncreaseTypical []float64
+	IncreaseHeavy   []float64
+	// OptimalKB is the interference-minimizing write unit.
+	OptimalKB float64
+	// TrackKB is the disk's track size, for the "two tracks" comparison.
+	TrackKB float64
+	// Rates used, in bytes/second.
+	TypicalRate, HeavyRate int64
+}
+
+// DefaultWriteUnitsKB is the write-unit sweep (8 KB to the 512 KB segment).
+var DefaultWriteUnitsKB = []float64{8, 16, 32, 64, 128, 256, 512}
+
+// ReadResponseStudy computes the analysis on the default disk.
+func ReadResponseStudy() *ReadResponseResult {
+	p := disk.DefaultParams()
+	res := &ReadResponseResult{
+		WriteUnitKB: DefaultWriteUnitsKB,
+		TrackKB:     float64(p.TrackSize) / 1024,
+		TypicalRate: 24 << 10, // ~2 GB/day of segment writes per volume
+		HeavyRate:   64 << 10,
+	}
+	baseRead := p.AccessTime(4 << 10).Seconds()
+	increase := func(byteRate int64, unit int64) float64 {
+		s := p.AccessTime(unit).Seconds()
+		wait := float64(byteRate) / float64(unit) * s * s / 2
+		return wait / baseRead
+	}
+	for _, kb := range res.WriteUnitKB {
+		u := int64(kb * 1024)
+		res.IncreaseTypical = append(res.IncreaseTypical, increase(res.TypicalRate, u))
+		res.IncreaseHeavy = append(res.IncreaseHeavy, increase(res.HeavyRate, u))
+	}
+	// d/du [(pos + u/r)^2 / u] = 0  =>  u* = pos * r.
+	res.OptimalKB = p.PositioningTime().Seconds() * float64(p.TransferRate) / 1024
+	return res
+}
+
+// IncreaseAt returns the typical-rate increase at the given unit (kB),
+// or -1 if the unit is not in the sweep.
+func (r *ReadResponseResult) IncreaseAt(kb float64) float64 {
+	for j, u := range r.WriteUnitKB {
+		if u == kb {
+			return r.IncreaseTypical[j]
+		}
+	}
+	return -1
+}
+
+// Render writes the tradeoff table.
+func (r *ReadResponseResult) Render(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Read response vs LFS write size ([3] analysis; default disk)")
+	fmt.Fprintf(tw, "optimal write unit: %.0f KB (~%.1f tracks; [3]: about two tracks, 50-70 KB)\n",
+		r.OptimalKB, r.OptimalKB/r.TrackKB)
+	fmt.Fprintf(tw, "write unit KB\tread increase %% @%d KB/s\t@%d KB/s\n", r.TypicalRate>>10, r.HeavyRate>>10)
+	for j, kb := range r.WriteUnitKB {
+		fmt.Fprintf(tw, "%8.0f\t%6.1f\t%6.1f\n", kb, r.IncreaseTypical[j]*100, r.IncreaseHeavy[j]*100)
+	}
+	return tw.Flush()
+}
+
+// CSV exports the sweep.
+func (r *ReadResponseResult) CSV() [][]string {
+	rows := [][]string{{"write_unit_kb", "increase_typical", "increase_heavy"}}
+	for j, kb := range r.WriteUnitKB {
+		rows = append(rows, []string{f(kb), f(r.IncreaseTypical[j]), f(r.IncreaseHeavy[j])})
+	}
+	return rows
+}

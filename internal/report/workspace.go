@@ -1,0 +1,134 @@
+// Package report regenerates every table and figure of the paper's
+// evaluation from the simulators: the byte-lifetime curves (Figure 2), the
+// fate-of-bytes summary (Table 2), the omniscient and realistic
+// replacement-policy sweeps (Figures 3-4), the cache-model and
+// cost-effectiveness comparisons (Figures 5-6, Table 1), the memory-bus
+// and NVRAM-access claims of Section 2.6, and the LFS partial-segment and
+// write-buffer studies (Tables 3-4, Section 3).
+//
+// Each experiment returns a typed result and can render itself as text;
+// cmd/nvreport and the benchmarks in the repository root drive them.
+package report
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"nvramfs/internal/cache"
+	"nvramfs/internal/lifetime"
+	"nvramfs/internal/prep"
+	"nvramfs/internal/workload"
+)
+
+// Workspace generates and caches the canonical op streams, lifetime
+// analyses, and omniscient schedules for the standard traces, so that the
+// experiment drivers can share passes the way the paper's simulator did.
+type Workspace struct {
+	// Scale is the workload volume scale (1.0 = paper scale). Experiments
+	// in tests use small scales for speed.
+	Scale float64
+
+	mu       sync.Mutex
+	ops      map[int][]prep.Op
+	stats    map[int]prep.Stats
+	analyses map[int]*lifetime.Analysis
+	scheds   map[int]*lifetime.Schedule
+}
+
+// NewWorkspace returns a workspace at the given scale.
+func NewWorkspace(scale float64) *Workspace {
+	if scale <= 0 {
+		scale = 1.0
+	}
+	return &Workspace{
+		Scale:    scale,
+		ops:      make(map[int][]prep.Op),
+		stats:    make(map[int]prep.Stats),
+		analyses: make(map[int]*lifetime.Analysis),
+		scheds:   make(map[int]*lifetime.Schedule),
+	}
+}
+
+// Ops returns the canonical op stream for the given standard trace
+// (1-based), generating it on first use.
+func (ws *Workspace) Ops(trace int) ([]prep.Op, error) {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	return ws.opsLocked(trace)
+}
+
+func (ws *Workspace) opsLocked(trace int) ([]prep.Op, error) {
+	if ops, ok := ws.ops[trace]; ok {
+		return ops, nil
+	}
+	evs, err := workload.GenerateEvents(workload.StandardProfile(trace, ws.Scale))
+	if err != nil {
+		return nil, fmt.Errorf("report: generating trace %d: %w", trace, err)
+	}
+	ops, st, err := prep.CanonicalizeAll(evs)
+	if err != nil {
+		return nil, fmt.Errorf("report: canonicalizing trace %d: %w", trace, err)
+	}
+	ws.ops[trace] = ops
+	ws.stats[trace] = st
+	return ops, nil
+}
+
+// TraceStats returns the canonical-op statistics for a trace.
+func (ws *Workspace) TraceStats(trace int) (prep.Stats, error) {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	if _, err := ws.opsLocked(trace); err != nil {
+		return prep.Stats{}, err
+	}
+	return ws.stats[trace], nil
+}
+
+// Analysis returns the infinite-cache lifetime analysis for a trace.
+func (ws *Workspace) Analysis(trace int) (*lifetime.Analysis, error) {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	if a, ok := ws.analyses[trace]; ok {
+		return a, nil
+	}
+	ops, err := ws.opsLocked(trace)
+	if err != nil {
+		return nil, err
+	}
+	a, err := lifetime.Analyze(ops)
+	if err != nil {
+		return nil, fmt.Errorf("report: analyzing trace %d: %w", trace, err)
+	}
+	ws.analyses[trace] = a
+	return a, nil
+}
+
+// Schedule returns the omniscient next-modify schedule for a trace.
+func (ws *Workspace) Schedule(trace int) (*lifetime.Schedule, error) {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	if s, ok := ws.scheds[trace]; ok {
+		return s, nil
+	}
+	ops, err := ws.opsLocked(trace)
+	if err != nil {
+		return nil, err
+	}
+	s := lifetime.BuildSchedule(ops, cache.DefaultBlockSize)
+	ws.scheds[trace] = s
+	return s, nil
+}
+
+// AllTraces lists the standard trace indices.
+func AllTraces() []int {
+	out := make([]int, workload.NumStandardTraces)
+	for i := range out {
+		out[i] = i + 1
+	}
+	return out
+}
+
+// Minutes converts minutes to simulated microseconds (including
+// fractional minutes, for the log sweep of Figure 2).
+func Minutes(m float64) int64 { return int64(m * float64(time.Minute/time.Microsecond)) }

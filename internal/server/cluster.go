@@ -1,0 +1,180 @@
+package server
+
+import (
+	"fmt"
+
+	"nvramfs/internal/disk"
+)
+
+// Cluster models the real deployment shape of Sprite's main file server:
+// one large main-memory cache (128 MB) shared by several log-structured
+// volumes, each on its own disk. A busy volume (like /user6 and its
+// database benchmark) can use cache capacity an idle volume doesn't need —
+// something the per-volume Server cannot express.
+//
+// The cluster is built from per-volume Servers that share a single block
+// budget: before any volume admits a new block, the cluster evicts the
+// globally least-recently-used block across all volumes.
+type Cluster struct {
+	cfg     Config
+	servers []*Server
+	names   map[string]int
+	// clock provides a global recency order across volumes.
+	clock int64
+}
+
+// NewCluster builds a cluster of volumes sharing the configured cache.
+// Each volume gets its own disk and file system. cfg.CacheBlocks is the
+// *shared* budget, partitioned dynamically by global LRU; cfg.NVRAMBlocks
+// (a physically attached component) applies per volume.
+func NewCluster(cfg Config, volumes []string) (*Cluster, error) {
+	if len(volumes) == 0 {
+		return nil, fmt.Errorf("server: cluster needs at least one volume")
+	}
+	cfg.fillDefaults()
+	c := &Cluster{cfg: cfg, names: make(map[string]int, len(volumes))}
+	for i, name := range volumes {
+		if _, dup := c.names[name]; dup {
+			return nil, fmt.Errorf("server: duplicate volume %q", name)
+		}
+		vcfg := cfg
+		vcfg.FS.Name = name
+		// Each volume can individually grow to the full shared budget;
+		// the cluster enforces the global bound.
+		s := New(vcfg, disk.New(disk.DefaultParams()))
+		c.servers = append(c.servers, s)
+		c.names[name] = i
+	}
+	return c, nil
+}
+
+// Volume returns the per-volume server by name.
+func (c *Cluster) Volume(name string) (*Server, bool) {
+	i, ok := c.names[name]
+	if !ok {
+		return nil, false
+	}
+	return c.servers[i], true
+}
+
+// Volumes lists the volume names in order.
+func (c *Cluster) Volumes() []string {
+	out := make([]string, len(c.servers))
+	for name, i := range c.names {
+		out[i] = name
+	}
+	return out
+}
+
+// totalBlocks is the cluster-wide resident block count.
+func (c *Cluster) totalBlocks() int {
+	var n int
+	for _, s := range c.servers {
+		n += len(s.blocks)
+	}
+	return n
+}
+
+// rebalance evicts globally least-recently-used blocks until the cluster
+// fits its shared budget.
+func (c *Cluster) rebalance(now int64) {
+	budget := c.cfg.CacheBlocks + c.cfg.NVRAMBlocks*len(c.servers)
+	for c.totalBlocks() > budget {
+		// Find the volume whose LRU block is globally oldest.
+		victim := -1
+		var oldest int64
+		for i, s := range c.servers {
+			e := s.lru.Back()
+			if e == nil {
+				continue
+			}
+			b := s.blocks[e.Value.(blockID)]
+			if victim == -1 || b.stamp < oldest {
+				victim = i
+				oldest = b.stamp
+			}
+		}
+		if victim == -1 {
+			return
+		}
+		c.servers[victim].evictOne(now)
+	}
+}
+
+// stamp marks a volume's MRU block with the cluster clock so recency is
+// comparable across volumes.
+func (c *Cluster) stamp(vol int) {
+	s := c.servers[vol]
+	if e := s.lru.Front(); e != nil {
+		c.clock++
+		s.blocks[e.Value.(blockID)].stamp = c.clock
+	}
+}
+
+func (c *Cluster) vol(name string) (*Server, int) {
+	i, ok := c.names[name]
+	if !ok {
+		return nil, -1
+	}
+	return c.servers[i], i
+}
+
+// Write stores client write traffic into the named volume.
+func (c *Cluster) Write(volume string, now int64, file uint64, off, n int64) error {
+	s, i := c.vol(volume)
+	if s == nil {
+		return fmt.Errorf("server: unknown volume %q", volume)
+	}
+	s.Write(now, file, off, n)
+	c.stamp(i)
+	c.rebalance(now)
+	return nil
+}
+
+// Read serves a client miss from the named volume.
+func (c *Cluster) Read(volume string, now int64, file uint64, off, n int64) error {
+	s, i := c.vol(volume)
+	if s == nil {
+		return fmt.Errorf("server: unknown volume %q", volume)
+	}
+	s.Read(now, file, off, n)
+	c.stamp(i)
+	c.rebalance(now)
+	return nil
+}
+
+// Fsync makes a file durable on the named volume.
+func (c *Cluster) Fsync(volume string, now int64, file uint64) error {
+	s, _ := c.vol(volume)
+	if s == nil {
+		return fmt.Errorf("server: unknown volume %q", volume)
+	}
+	s.Fsync(now, file)
+	return nil
+}
+
+// Delete removes a file from the named volume.
+func (c *Cluster) Delete(volume string, now int64, file uint64) error {
+	s, _ := c.vol(volume)
+	if s == nil {
+		return fmt.Errorf("server: unknown volume %q", volume)
+	}
+	s.Delete(now, file)
+	return nil
+}
+
+// Shutdown drains every volume.
+func (c *Cluster) Shutdown(now int64) {
+	for _, s := range c.servers {
+		s.Shutdown(now)
+	}
+}
+
+// DiskWrites sums disk write accesses across volumes.
+func (c *Cluster) DiskWrites() int64 {
+	var n int64
+	for _, s := range c.servers {
+		n += s.Disk().Writes
+	}
+	return n
+}

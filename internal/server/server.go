@@ -1,0 +1,344 @@
+// Package server models a Sprite file server: a large main-memory block
+// cache (128 MB on Sprite's main server) in front of a log-structured file
+// system, with an optional battery-backed partition.
+//
+// The paper's Section 3 opens by noting that "servers can also use NVRAM
+// file caches to absorb write traffic, producing reductions in the
+// server-disk traffic similar to those in the client-server traffic",
+// before focusing on the write-buffer organization. This package lets both
+// be measured: dirty blocks held in the volatile region obey the 30-second
+// write-back into the LFS (whose fsync and age flushes force partial
+// segments), while dirty blocks held in a server NVRAM region are already
+// permanent — fsync completes immediately, and the data flows to the LFS
+// only when a full segment's worth accumulates or the region fills.
+package server
+
+import (
+	"container/heap"
+	"container/list"
+	"fmt"
+
+	"nvramfs/internal/disk"
+	"nvramfs/internal/lfs"
+)
+
+// Config parameterizes the server.
+type Config struct {
+	// CacheBlocks is the volatile cache capacity in blocks.
+	CacheBlocks int
+	// NVRAMBlocks is the battery-backed region capacity in blocks
+	// (0 disables it).
+	NVRAMBlocks int
+	// BlockSize defaults to 4 KB.
+	BlockSize int64
+	// WriteBackDelay is the volatile dirty-data age limit; default 30 s.
+	WriteBackDelay int64
+	// FS configures the underlying log-structured file system.
+	FS lfs.Config
+}
+
+func (c *Config) fillDefaults() {
+	if c.BlockSize <= 0 {
+		c.BlockSize = 4 << 10
+	}
+	if c.WriteBackDelay <= 0 {
+		c.WriteBackDelay = 30 * 1e6
+	}
+	if c.CacheBlocks <= 0 {
+		c.CacheBlocks = (128 << 20) / int(c.BlockSize) // Sprite's 128 MB
+	}
+}
+
+// Stats accumulates server-level counters (the LFS keeps its own).
+type Stats struct {
+	ReadBytes      int64 // bytes requested by clients
+	ReadHitBytes   int64 // served from the cache
+	DiskReadBytes  int64 // block fetches from the file system
+	WriteBytes     int64 // bytes written by clients
+	AbsorbedBlocks int64 // dirty blocks that died in the server cache
+	FsyncsAbsorbed int64 // fsyncs satisfied by the NVRAM region
+	FsyncsForced   int64 // fsyncs that had to reach the disk
+	NVRAMBlocksIn  int64 // dirty blocks placed in the NVRAM region
+}
+
+type blockID struct {
+	file  uint64
+	index int64
+}
+
+// entry is one cached block.
+type entry struct {
+	id         blockID
+	dirty      bool
+	inNVRAM    bool
+	firstDirty int64
+	lru        *list.Element // position in the LRU list (front = MRU)
+	stamp      int64         // cluster-wide recency stamp (see Cluster)
+}
+
+// Server is the simulated file server.
+type Server struct {
+	cfg Config
+	fs  *lfs.FS
+	d   *disk.Disk
+	now int64
+
+	blocks map[blockID]*entry
+	lru    *list.List // of blockID; front = most recently used
+	nDirty int
+	nNV    int
+	ageHp  srvAgeHeap
+
+	stats Stats
+}
+
+// New builds a server over a fresh LFS on the given disk.
+//
+// In Sprite the server cache and the LFS staging buffer are the same
+// memory: the 30-second write-back from the server's cache is what hands
+// data to LFS segment assembly. The Server owns that 30-second clock, so
+// the inner file system's own age flush is set to expire immediately —
+// data the server pushes down goes to disk at the file system's next
+// 5-second flusher tick, not after a second 30-second wait.
+func New(cfg Config, d *disk.Disk) *Server {
+	cfg.fillDefaults()
+	if cfg.FS.AgeFlush <= 0 {
+		cfg.FS.AgeFlush = 1 // microsecond: due at the next flusher tick
+	}
+	return &Server{
+		cfg:    cfg,
+		fs:     lfs.New(cfg.FS, d),
+		d:      d,
+		blocks: make(map[blockID]*entry),
+		lru:    list.New(),
+	}
+}
+
+// FS exposes the underlying file system (for its segment statistics).
+func (s *Server) FS() *lfs.FS { return s.fs }
+
+// Disk exposes the shared disk.
+func (s *Server) Disk() *disk.Disk { return s.d }
+
+// Stats returns the server-level counters.
+func (s *Server) Stats() *Stats { return &s.stats }
+
+// srvAgeHeap orders volatile dirty blocks by first-dirty time.
+type srvAgeEntry struct {
+	at int64
+	id blockID
+}
+type srvAgeHeap []srvAgeEntry
+
+func (h srvAgeHeap) Len() int            { return len(h) }
+func (h srvAgeHeap) Less(i, j int) bool  { return h[i].at < h[j].at }
+func (h srvAgeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *srvAgeHeap) Push(x interface{}) { *h = append(*h, x.(srvAgeEntry)) }
+func (h *srvAgeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Advance flushes volatile dirty blocks older than the write-back delay
+// into the file system (where they become LFS dirty data subject to its
+// own segment assembly).
+func (s *Server) Advance(now int64) {
+	for len(s.ageHp) > 0 && s.ageHp[0].at+s.cfg.WriteBackDelay <= now {
+		e := heap.Pop(&s.ageHp).(srvAgeEntry)
+		b := s.blocks[e.id]
+		if b == nil || !b.dirty || b.inNVRAM || b.firstDirty != e.at {
+			continue
+		}
+		s.flushBlock(e.at+s.cfg.WriteBackDelay, b)
+	}
+	s.now = now
+	s.fs.Advance(now)
+}
+
+// flushBlock writes one dirty block into the file system and marks it
+// clean (it stays cached).
+func (s *Server) flushBlock(now int64, b *entry) {
+	s.fs.Write(now, b.id.file, b.id.index*s.cfg.BlockSize, s.cfg.BlockSize)
+	if b.inNVRAM {
+		b.inNVRAM = false
+		s.nNV--
+	}
+	b.dirty = false
+	s.nDirty--
+}
+
+// capacity returns the total block capacity.
+func (s *Server) capacity() int { return s.cfg.CacheBlocks + s.cfg.NVRAMBlocks }
+
+// evictOne removes the least-recently-used block, flushing it first when
+// dirty.
+func (s *Server) evictOne(now int64) {
+	e := s.lru.Back()
+	if e == nil {
+		return
+	}
+	victim := s.blocks[e.Value.(blockID)]
+	if victim.dirty {
+		s.flushBlock(now, victim)
+	}
+	s.lru.Remove(e)
+	delete(s.blocks, victim.id)
+}
+
+// ensure returns the cached entry (promoted to MRU), creating and
+// evicting as needed.
+func (s *Server) ensure(now int64, id blockID) *entry {
+	if b := s.blocks[id]; b != nil {
+		s.lru.MoveToFront(b.lru)
+		return b
+	}
+	if len(s.blocks) >= s.capacity() {
+		s.evictOne(now)
+	}
+	b := &entry{id: id}
+	b.lru = s.lru.PushFront(id)
+	s.blocks[id] = b
+	return b
+}
+
+// Write stores client write-back traffic into the server cache. Dirty
+// blocks prefer the NVRAM region while it has room.
+func (s *Server) Write(now int64, file uint64, off, n int64) {
+	s.Advance(now)
+	s.stats.WriteBytes += n
+	for idx := off / s.cfg.BlockSize; idx*s.cfg.BlockSize < off+n; idx++ {
+		id := blockID{file, idx}
+		b := s.ensure(now, id)
+		if b.dirty {
+			// Overwritten before reaching the disk: absorbed. The age
+			// clock keeps running from the block's first dirtying, as
+			// Sprite's cleaner measures it.
+			s.stats.AbsorbedBlocks++
+			continue
+		}
+		b.dirty = true
+		s.nDirty++
+		if s.cfg.NVRAMBlocks > 0 && s.nNV < s.cfg.NVRAMBlocks {
+			// Permanent immediately; exempt from the age flush.
+			b.inNVRAM = true
+			s.nNV++
+			s.stats.NVRAMBlocksIn++
+		} else {
+			b.firstDirty = now
+			heap.Push(&s.ageHp, srvAgeEntry{at: now, id: id})
+		}
+	}
+	s.drainNVRAMIfSegmentReady(now)
+}
+
+// drainNVRAMIfSegmentReady moves NVRAM-resident dirty blocks into the file
+// system once a full segment's worth has accumulated, so they reach the
+// disk at full-segment efficiency.
+func (s *Server) drainNVRAMIfSegmentReady(now int64) {
+	per := s.fs.Config().BlocksPerSegment()
+	for s.nNV >= per {
+		moved := 0
+		for _, b := range s.blocks {
+			if b.dirty && b.inNVRAM {
+				s.flushBlock(now, b)
+				moved++
+				if moved >= per {
+					break
+				}
+			}
+		}
+		if moved == 0 {
+			return
+		}
+	}
+}
+
+// Read serves a client cache miss: a hit costs nothing, a miss reads the
+// block from the file system's disk.
+func (s *Server) Read(now int64, file uint64, off, n int64) {
+	s.Advance(now)
+	s.stats.ReadBytes += n
+	for idx := off / s.cfg.BlockSize; idx*s.cfg.BlockSize < off+n; idx++ {
+		id := blockID{file, idx}
+		if b := s.blocks[id]; b != nil {
+			s.lru.MoveToFront(b.lru)
+			s.stats.ReadHitBytes += s.cfg.BlockSize
+			continue
+		}
+		s.stats.DiskReadBytes += s.cfg.BlockSize
+		s.d.Read(s.cfg.BlockSize)
+		s.ensure(now, id)
+	}
+}
+
+// Fsync makes a file durable. With a server NVRAM region holding all of
+// the file's dirty blocks, the fsync completes without touching the disk;
+// otherwise the volatile dirty blocks are pushed into the file system and
+// the file system is fsync'd (forcing a partial segment, as Section 3
+// measures).
+func (s *Server) Fsync(now int64, file uint64) {
+	s.Advance(now)
+	forced := false
+	for id, b := range s.blocks {
+		if id.file != file || !b.dirty {
+			continue
+		}
+		if b.inNVRAM {
+			continue // already permanent
+		}
+		s.flushBlock(now, b)
+		forced = true
+	}
+	if forced {
+		s.stats.FsyncsForced++
+		s.fs.Fsync(now, file)
+	} else {
+		s.stats.FsyncsAbsorbed++
+	}
+}
+
+// Delete removes a file: cached dirty blocks die, and the file system
+// reclaims its on-disk blocks.
+func (s *Server) Delete(now int64, file uint64) {
+	s.Advance(now)
+	for id, b := range s.blocks {
+		if id.file != file {
+			continue
+		}
+		if b.dirty {
+			s.stats.AbsorbedBlocks++
+			if b.inNVRAM {
+				s.nNV--
+			}
+			s.nDirty--
+		}
+		s.lru.Remove(b.lru)
+		delete(s.blocks, id)
+	}
+	s.fs.Delete(now, file)
+}
+
+// Shutdown flushes everything to disk.
+func (s *Server) Shutdown(now int64) {
+	s.Advance(now)
+	for _, b := range s.blocks {
+		if b.dirty {
+			s.flushBlock(now, b)
+		}
+	}
+	s.fs.Shutdown(now)
+}
+
+// DirtyBlocks returns currently dirty cached blocks (for tests).
+func (s *Server) DirtyBlocks() int { return s.nDirty }
+
+// NVRAMBlocksHeld returns dirty blocks currently in the NVRAM region.
+func (s *Server) NVRAMBlocksHeld() int { return s.nNV }
+
+func (s *Server) String() string {
+	return fmt.Sprintf("server{cache %d/%d blocks, %d dirty, %d in NVRAM}",
+		len(s.blocks), s.capacity(), s.nDirty, s.nNV)
+}

@@ -1,0 +1,252 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"nvramfs/internal/disk"
+	"nvramfs/internal/serverload"
+)
+
+const (
+	sec = int64(1e6)
+	kb  = int64(1 << 10)
+)
+
+func newServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	return New(cfg, disk.New(disk.DefaultParams()))
+}
+
+func TestWriteAbsorbedByOverwrite(t *testing.T) {
+	s := newServer(t, Config{CacheBlocks: 64})
+	s.Write(0, 1, 0, 4*kb)
+	s.Write(5*sec, 1, 0, 4*kb)
+	if s.Stats().AbsorbedBlocks != 1 {
+		t.Fatalf("absorbed = %d", s.Stats().AbsorbedBlocks)
+	}
+	// The block's age clock runs from the first write: the server flushes
+	// ~30s after t=0 (not after the overwrite), and the file system
+	// writes the partial segment at its next 5-second flusher tick.
+	s.Advance(36 * sec)
+	if s.DirtyBlocks() != 0 {
+		t.Fatal("dirty after age flush")
+	}
+	if s.FS().Stats().SegmentsWritten == 0 {
+		t.Fatal("nothing reached the disk")
+	}
+}
+
+func TestReadHitsAndMisses(t *testing.T) {
+	s := newServer(t, Config{CacheBlocks: 64})
+	s.Write(0, 1, 0, 8*kb)
+	s.Read(1, 1, 0, 8*kb) // hits: just written
+	st := s.Stats()
+	if st.ReadHitBytes != 8*kb || st.DiskReadBytes != 0 {
+		t.Fatalf("hit=%d disk=%d", st.ReadHitBytes, st.DiskReadBytes)
+	}
+	s.Read(2, 2, 0, 4*kb) // cold miss
+	if st.DiskReadBytes != 4*kb {
+		t.Fatalf("disk read = %d", st.DiskReadBytes)
+	}
+	if s.Disk().Reads != 1 {
+		t.Fatalf("disk read accesses = %d", s.Disk().Reads)
+	}
+}
+
+func TestFsyncForcedWithoutNVRAM(t *testing.T) {
+	s := newServer(t, Config{CacheBlocks: 64})
+	s.Write(0, 1, 0, 4*kb)
+	s.Fsync(1, 1)
+	st := s.Stats()
+	if st.FsyncsForced != 1 || st.FsyncsAbsorbed != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+	// The forced fsync produced a partial segment in the LFS.
+	if s.FS().Stats().PartialFsyncSegments != 1 {
+		t.Fatalf("lfs: %+v", s.FS().Stats())
+	}
+}
+
+func TestFsyncAbsorbedByServerNVRAM(t *testing.T) {
+	s := newServer(t, Config{CacheBlocks: 64, NVRAMBlocks: 64})
+	s.Write(0, 1, 0, 4*kb)
+	s.Fsync(1, 1)
+	st := s.Stats()
+	if st.FsyncsAbsorbed != 1 || st.FsyncsForced != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if s.FS().Stats().SegmentsWritten != 0 {
+		t.Fatal("NVRAM-held fsync still wrote a segment")
+	}
+	if s.NVRAMBlocksHeld() != 1 {
+		t.Fatalf("nvram held = %d", s.NVRAMBlocksHeld())
+	}
+	// NVRAM-resident data is exempt from the 30-second flush.
+	s.Advance(120 * sec)
+	if s.FS().Stats().SegmentsWritten != 0 {
+		t.Fatal("NVRAM data age-flushed")
+	}
+}
+
+func TestNVRAMDrainsAtFullSegment(t *testing.T) {
+	s := newServer(t, Config{CacheBlocks: 1024, NVRAMBlocks: 256})
+	per := int64(s.FS().Config().BlocksPerSegment())
+	s.Write(0, 1, 0, per*4*kb) // fills a segment's worth of NVRAM blocks
+	fsStats := s.FS().Stats()
+	if fsStats.FullSegments == 0 {
+		t.Fatalf("no full segment after drain: %+v", fsStats)
+	}
+	if fsStats.PartialSegments() != 0 {
+		t.Fatalf("partials from NVRAM drain: %+v", fsStats)
+	}
+}
+
+func TestDeleteAbsorbsDirty(t *testing.T) {
+	s := newServer(t, Config{CacheBlocks: 64})
+	s.Write(0, 1, 0, 8*kb)
+	s.Delete(1, 1)
+	if s.Stats().AbsorbedBlocks != 2 {
+		t.Fatalf("absorbed = %d", s.Stats().AbsorbedBlocks)
+	}
+	s.Advance(60 * sec)
+	if s.FS().Stats().SegmentsWritten != 0 {
+		t.Fatal("deleted data written")
+	}
+}
+
+func TestEvictionFlushesDirty(t *testing.T) {
+	s := newServer(t, Config{CacheBlocks: 2})
+	s.Write(0, 1, 0, 4*kb)
+	s.Write(1, 2, 0, 4*kb)
+	s.Write(2, 3, 0, 4*kb) // evicts the oldest (dirty) block
+	if s.DirtyBlocks() != 2 {
+		t.Fatalf("dirty = %d", s.DirtyBlocks())
+	}
+	if s.FS().PendingBlocks()+s.FS().LiveBlocks() == 0 {
+		t.Fatal("evicted dirty block vanished")
+	}
+}
+
+func TestShutdownDrainsEverything(t *testing.T) {
+	s := newServer(t, Config{CacheBlocks: 64, NVRAMBlocks: 16})
+	s.Write(0, 1, 0, 16*kb)
+	s.Write(1, 2, 0, 16*kb)
+	s.Shutdown(10 * sec)
+	if s.DirtyBlocks() != 0 || s.FS().PendingBlocks() != 0 {
+		t.Fatal("data pending after shutdown")
+	}
+	if s.FS().LiveBlocks() != 8 {
+		t.Fatalf("live = %d", s.FS().LiveBlocks())
+	}
+}
+
+// TestServerNVRAMReducesDiskWrites reproduces the Section 3 remark:
+// a server NVRAM cache absorbs write traffic, cutting server-disk writes,
+// here on the fsync-heavy /user6 workload.
+func TestServerNVRAMReducesDiskWrites(t *testing.T) {
+	run := func(nvBlocks int) int64 {
+		p, _ := serverload.ProfileByName("/user6")
+		s := New(Config{CacheBlocks: 4096, NVRAMBlocks: nvBlocks}, disk.New(disk.DefaultParams()))
+		driveProfile(p, s, 6*time.Hour)
+		return s.Disk().Writes
+	}
+	plain := run(0)
+	nv := run(256) // one megabyte of server NVRAM
+	if nv >= plain {
+		t.Fatalf("server NVRAM did not reduce disk writes: %d -> %d", plain, nv)
+	}
+	if reduction := 1 - float64(nv)/float64(plain); reduction < 0.5 {
+		t.Errorf("reduction = %.2f on the fsync-heavy volume, expected large", reduction)
+	}
+}
+
+// driveProfile adapts a serverload profile to the Server API (serverload
+// drives a bare lfs.FS; here the server cache sits in front).
+func driveProfile(p serverload.Profile, s *Server, d time.Duration) {
+	serverload.RunAgainst(p, serverload.Target{
+		Write:  s.Write,
+		Fsync:  s.Fsync,
+		Delete: s.Delete,
+		Shutdown: func(now int64) {
+			s.Shutdown(now)
+		},
+	}, d)
+}
+
+func TestClusterSharedBudget(t *testing.T) {
+	// A 16-block shared cache over two volumes: the busy volume should be
+	// able to use nearly everything while the idle one holds little.
+	c, err := NewCluster(Config{CacheBlocks: 16}, []string{"/busy", "/idle"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var now int64
+	// One old block on the idle volume.
+	if err := c.Write("/idle", now, 1, 0, 4*kb); err != nil {
+		t.Fatal(err)
+	}
+	// The busy volume streams far more than the budget.
+	for i := int64(0); i < 64; i++ {
+		now += sec
+		if err := c.Write("/busy", now, 2, i*4*kb, 4*kb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.totalBlocks(); got > 16 {
+		t.Fatalf("cluster over budget: %d blocks", got)
+	}
+	busy, _ := c.Volume("/busy")
+	idle, _ := c.Volume("/idle")
+	if len(busy.blocks) < 14 {
+		t.Errorf("busy volume holds only %d blocks of the shared 16", len(busy.blocks))
+	}
+	if len(idle.blocks) > 2 {
+		t.Errorf("idle volume still holds %d blocks", len(idle.blocks))
+	}
+}
+
+func TestClusterBasics(t *testing.T) {
+	c, err := NewCluster(Config{CacheBlocks: 64}, []string{"/a", "/b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewCluster(Config{}, nil); err == nil {
+		t.Fatal("empty cluster accepted")
+	}
+	if _, err := NewCluster(Config{}, []string{"/a", "/a"}); err == nil {
+		t.Fatal("duplicate volume accepted")
+	}
+	if got := c.Volumes(); len(got) != 2 || got[0] != "/a" {
+		t.Fatalf("volumes: %v", got)
+	}
+	if err := c.Write("/a", 0, 1, 0, 8*kb); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Fsync("/a", 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Read("/a", 2, 1, 0, 8*kb); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Delete("/a", 3, 1); err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range []error{
+		c.Write("/nope", 0, 1, 0, 1),
+		c.Read("/nope", 0, 1, 0, 1),
+		c.Fsync("/nope", 0, 1),
+		c.Delete("/nope", 0, 1),
+	} {
+		if op == nil {
+			t.Fatal("unknown volume accepted")
+		}
+	}
+	c.Shutdown(10 * sec)
+	if c.DiskWrites() == 0 {
+		t.Fatal("no disk writes recorded")
+	}
+	if _, ok := c.Volume("/nope"); ok {
+		t.Fatal("unknown volume found")
+	}
+}

@@ -1,0 +1,334 @@
+// Package serverload generates server-side write/fsync workloads for the
+// eight LFS file systems measured in the paper's Section 3 (Tables 3-4).
+//
+// The paper sampled kernel counters on Sprite's main file server every half
+// hour for two weeks. Those counters are not available, so this package
+// substitutes per-file-system workload models whose write and fsync
+// mixtures are tuned to the characteristics the paper reports: /user6
+// carries a database benchmark issuing five fsyncs after every transaction
+// (92% of its segment writes are fsync-forced partials of ~8 KB); /swap1
+// receives paging traffic that applications never fsync; /local sees
+// sporadic program installations; the home-directory file systems see
+// editor-style saves with occasional fsyncs; /sprite/src/kernel carries
+// kernel-build output; /scratch4 collects long-running trace data.
+package serverload
+
+import (
+	"math/rand"
+	"time"
+
+	"nvramfs/internal/lfs"
+)
+
+// Stream is one activity source on a file system.
+type Stream struct {
+	// Every bounds the interval between write bursts.
+	Every [2]time.Duration
+	// Bytes bounds the size of a normal burst.
+	Bytes [2]int64
+	// BigProb is the probability a burst is a large one (full-segment
+	// producing), drawn from BigBytes.
+	BigProb  float64
+	BigBytes [2]int64
+	// FsyncProb is the probability a burst is followed by fsyncs.
+	FsyncProb float64
+	// Fsyncs is how many fsync calls follow such a burst (the /user6
+	// database benchmark issues five per transaction).
+	Fsyncs int
+	// Overwrite is the probability a burst overwrites blocks of an
+	// existing file rather than appending new data.
+	Overwrite float64
+	// FileLifetime bounds how long appended files live before deletion
+	// (zero means files are kept, subject only to rotation).
+	FileLifetime [2]time.Duration
+	// RotateBytes is the file size at which appends move to a new file.
+	RotateBytes int64
+}
+
+// Profile describes one file system's workload.
+type Profile struct {
+	// Name is the file system's mount point, e.g. "/user6".
+	Name string
+	// Seed determines the workload's randomness.
+	Seed int64
+	// Streams are the activity sources running concurrently.
+	Streams []Stream
+}
+
+// DefaultDuration is the measurement period of the paper's study.
+const DefaultDuration = 14 * 24 * time.Hour
+
+// StandardProfiles returns the eight file systems of Tables 3 and 4, in
+// the paper's order of segment-write share.
+func StandardProfiles() []Profile {
+	day := 24 * time.Hour
+	return []Profile{
+		{
+			// Home directories plus a user running long database
+			// benchmarks that fsync five times per transaction.
+			Name: "/user6", Seed: 601,
+			Streams: []Stream{
+				{ // database transactions
+					Every:     [2]time.Duration{4 * time.Second, 10 * time.Second},
+					Bytes:     [2]int64{4 << 10, 8 << 10},
+					FsyncProb: 1.0, Fsyncs: 5,
+					Overwrite:    0.6,
+					RotateBytes:  2 << 20,
+					FileLifetime: [2]time.Duration{2 * time.Hour, 8 * time.Hour},
+				},
+				{ // background home-directory activity
+					Every:   [2]time.Duration{3 * time.Minute, 10 * time.Minute},
+					Bytes:   [2]int64{8 << 10, 48 << 10},
+					BigProb: 0.03, BigBytes: [2]int64{512 << 10, 1 << 20},
+					FsyncProb: 0.1, Fsyncs: 1,
+					RotateBytes:  1 << 20,
+					FileLifetime: [2]time.Duration{4 * time.Hour, 2 * day},
+				},
+			},
+		},
+		{
+			// Locally installed programs: sporadic installs, almost no
+			// fsyncs, a heavy tail of large package writes.
+			Name: "/local", Seed: 602,
+			Streams: []Stream{{
+				Every:   [2]time.Duration{2 * time.Minute, 7 * time.Minute},
+				Bytes:   [2]int64{16 << 10, 56 << 10},
+				BigProb: 0.16, BigBytes: [2]int64{1 << 20, 4 << 20},
+				FsyncProb: 0.0002, Fsyncs: 1,
+				RotateBytes:  4 << 20,
+				FileLifetime: [2]time.Duration{1 * day, 6 * day},
+			}},
+		},
+		{
+			// The paging disk: applications never write it directly, so
+			// no fsyncs ever; page-outs come in medium bursts.
+			Name: "/swap1", Seed: 603,
+			Streams: []Stream{{
+				Every:   [2]time.Duration{1 * time.Minute, 3 * time.Minute},
+				Bytes:   [2]int64{24 << 10, 64 << 10},
+				BigProb: 0.18, BigBytes: [2]int64{512 << 10, 2 << 20},
+				Overwrite:    0.5,
+				RotateBytes:  8 << 20,
+				FileLifetime: [2]time.Duration{time.Hour, 8 * time.Hour},
+			}},
+		},
+		{
+			// Home directories: editor saves, some applications fsync.
+			Name: "/user1", Seed: 604,
+			Streams: []Stream{{
+				Every:   [2]time.Duration{1 * time.Minute, 4 * time.Minute},
+				Bytes:   [2]int64{6 << 10, 28 << 10},
+				BigProb: 0.05, BigBytes: [2]int64{768 << 10, 2 << 20},
+				FsyncProb: 0.19, Fsyncs: 1,
+				RotateBytes:  1 << 20,
+				FileLifetime: [2]time.Duration{6 * time.Hour, 3 * day},
+			}},
+		},
+		{
+			Name: "/user4", Seed: 605,
+			Streams: []Stream{{
+				Every:   [2]time.Duration{90 * time.Second, 5 * time.Minute},
+				Bytes:   [2]int64{8 << 10, 30 << 10},
+				BigProb: 0.04, BigBytes: [2]int64{768 << 10, 2 << 20},
+				FsyncProb: 0.11, Fsyncs: 1,
+				RotateBytes:  1 << 20,
+				FileLifetime: [2]time.Duration{6 * time.Hour, 3 * day},
+			}},
+		},
+		{
+			// Kernel development: compile and link output with the
+			// occasional fsync from build tools.
+			Name: "/sprite/src/kernel", Seed: 606,
+			Streams: []Stream{{
+				Every:   [2]time.Duration{2 * time.Minute, 8 * time.Minute},
+				Bytes:   [2]int64{24 << 10, 70 << 10},
+				BigProb: 0.13, BigBytes: [2]int64{1 << 20, 3 << 20},
+				FsyncProb: 0.26, Fsyncs: 1,
+				Overwrite:    0.2,
+				RotateBytes:  2 << 20,
+				FileLifetime: [2]time.Duration{2 * time.Hour, 1 * day},
+			}},
+		},
+		{
+			Name: "/user2", Seed: 607,
+			Streams: []Stream{{
+				Every:   [2]time.Duration{2 * time.Minute, 6 * time.Minute},
+				Bytes:   [2]int64{6 << 10, 30 << 10},
+				BigProb: 0.035, BigBytes: [2]int64{768 << 10, 2 << 20},
+				FsyncProb: 0.21, Fsyncs: 1,
+				RotateBytes:  1 << 20,
+				FileLifetime: [2]time.Duration{6 * time.Hour, 3 * day},
+			}},
+		},
+		{
+			// Scratch space for long-lived trace data: steady appends,
+			// no fsyncs, almost everything a partial.
+			Name: "/scratch4", Seed: 608,
+			Streams: []Stream{{
+				Every:   [2]time.Duration{1 * time.Minute, 2 * time.Minute},
+				Bytes:   [2]int64{12 << 10, 44 << 10},
+				BigProb: 0.01, BigBytes: [2]int64{512 << 10, 1 << 20},
+				RotateBytes:  16 << 20,
+				FileLifetime: [2]time.Duration{2 * day, 10 * day},
+			}},
+		},
+	}
+}
+
+// ProfileByName returns the standard profile with the given name.
+func ProfileByName(name string) (Profile, bool) {
+	for _, p := range StandardProfiles() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}
+
+// Target is the sink a workload drives: a bare log-structured file system
+// (Run) or a full server with a cache in front (server.Server).
+type Target struct {
+	Write    func(now int64, file uint64, off, n int64)
+	Fsync    func(now int64, file uint64)
+	Delete   func(now int64, file uint64)
+	Shutdown func(now int64)
+}
+
+// Run replays the profile against the file system for the given duration
+// and performs the final shutdown flush. The run is deterministic in the
+// profile's seed.
+func Run(p Profile, fs *lfs.FS, duration time.Duration) {
+	RunAgainst(p, Target{
+		Write:    fs.Write,
+		Fsync:    fs.Fsync,
+		Delete:   fs.Delete,
+		Shutdown: fs.Shutdown,
+	}, duration)
+}
+
+// RunAgainst replays the profile against an arbitrary target.
+func RunAgainst(p Profile, tgt Target, duration time.Duration) {
+	horizon := int64(duration / time.Microsecond)
+	rng := rand.New(rand.NewSource(p.Seed))
+	states := make([]*streamState, len(p.Streams))
+	for i := range p.Streams {
+		states[i] = &streamState{
+			s:   &p.Streams[i],
+			rng: rand.New(rand.NewSource(rng.Int63())),
+		}
+		states[i].next = states[i].interval() / 2
+	}
+	fileID := uint64(1)
+	for {
+		// Pick the stream with the earliest pending burst.
+		best := -1
+		for i, st := range states {
+			if st.next >= horizon {
+				continue
+			}
+			if best == -1 || st.next < states[best].next {
+				best = i
+			}
+		}
+		if best == -1 {
+			break
+		}
+		st := states[best]
+		st.burst(tgt, &fileID)
+		st.next += st.interval()
+	}
+	tgt.Shutdown(horizon)
+}
+
+// streamState is a Stream's runtime state.
+type streamState struct {
+	s    *Stream
+	rng  *rand.Rand
+	next int64 // time of next burst, microseconds
+
+	cur     uint64 // current append target
+	curSize int64
+	files   []agedFile
+}
+
+type agedFile struct {
+	id    uint64
+	size  int64
+	dieAt int64
+}
+
+func (st *streamState) interval() int64 {
+	lo, hi := int64(st.s.Every[0]/time.Microsecond), int64(st.s.Every[1]/time.Microsecond)
+	if hi <= lo {
+		return lo
+	}
+	return lo + st.rng.Int63n(hi-lo)
+}
+
+func (st *streamState) bytes() int64 {
+	b := st.s.Bytes
+	if st.s.BigProb > 0 && st.rng.Float64() < st.s.BigProb {
+		b = st.s.BigBytes
+	}
+	if b[1] <= b[0] {
+		return b[0]
+	}
+	return b[0] + st.rng.Int63n(b[1]-b[0])
+}
+
+// burst performs one write burst (with its fsyncs and due deletions).
+func (st *streamState) burst(tgt Target, fileID *uint64) {
+	now := st.next
+	// Expire old files first.
+	kept := st.files[:0]
+	for _, f := range st.files {
+		if f.dieAt > 0 && f.dieAt <= now {
+			tgt.Delete(now, f.id)
+			continue
+		}
+		kept = append(kept, f)
+	}
+	st.files = kept
+
+	n := st.bytes()
+	if st.s.Overwrite > 0 && len(st.files) > 0 && st.rng.Float64() < st.s.Overwrite {
+		// Overwrite a random region of an existing file.
+		f := &st.files[st.rng.Intn(len(st.files))]
+		off := int64(0)
+		if f.size > n {
+			off = st.rng.Int63n(f.size - n)
+		}
+		tgt.Write(now, f.id, off, n)
+	} else {
+		// Append to the current file, rotating when it grows large.
+		if st.cur == 0 || (st.s.RotateBytes > 0 && st.curSize >= st.s.RotateBytes) {
+			if st.cur != 0 {
+				st.remember(now)
+			}
+			st.cur = *fileID
+			*fileID++
+			st.curSize = 0
+		}
+		tgt.Write(now, st.cur, st.curSize, n)
+		st.curSize += n
+	}
+	if st.s.Fsyncs > 0 && st.rng.Float64() < st.s.FsyncProb {
+		for i := 0; i < st.s.Fsyncs; i++ {
+			tgt.Fsync(now+int64(i+1)*1000, st.cur)
+		}
+	}
+}
+
+// remember queues the finished append file for later deletion.
+func (st *streamState) remember(now int64) {
+	dieAt := int64(0)
+	if st.s.FileLifetime[1] > 0 {
+		lo := int64(st.s.FileLifetime[0] / time.Microsecond)
+		hi := int64(st.s.FileLifetime[1] / time.Microsecond)
+		if hi <= lo {
+			hi = lo + 1
+		}
+		dieAt = now + lo + st.rng.Int63n(hi-lo)
+	}
+	st.files = append(st.files, agedFile{id: st.cur, size: st.curSize, dieAt: dieAt})
+}

@@ -1,0 +1,104 @@
+package serverload
+
+import (
+	"testing"
+	"time"
+
+	"nvramfs/internal/disk"
+	"nvramfs/internal/lfs"
+)
+
+func runProfile(t *testing.T, name string, dur time.Duration, bufferBytes int64) *lfs.FS {
+	t.Helper()
+	p, ok := ProfileByName(name)
+	if !ok {
+		t.Fatalf("unknown profile %q", name)
+	}
+	fs := lfs.New(lfs.Config{Name: name, BufferBytes: bufferBytes}, disk.New(disk.DefaultParams()))
+	Run(p, fs, dur)
+	return fs
+}
+
+func TestStandardProfilesComplete(t *testing.T) {
+	ps := StandardProfiles()
+	if len(ps) != 8 {
+		t.Fatalf("%d profiles, want 8", len(ps))
+	}
+	want := []string{"/user6", "/local", "/swap1", "/user1", "/user4", "/sprite/src/kernel", "/user2", "/scratch4"}
+	for i, name := range want {
+		if ps[i].Name != name {
+			t.Fatalf("profile %d = %q, want %q", i, ps[i].Name, name)
+		}
+		if len(ps[i].Streams) == 0 {
+			t.Fatalf("profile %q has no streams", name)
+		}
+	}
+	if _, ok := ProfileByName("/nope"); ok {
+		t.Fatal("unknown profile found")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a := runProfile(t, "/user1", 6*time.Hour, 0).Stats()
+	b := runProfile(t, "/user1", 6*time.Hour, 0).Stats()
+	if *a != *b {
+		t.Fatalf("runs differ:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestUser6IsFsyncDominated(t *testing.T) {
+	st := runProfile(t, "/user6", 12*time.Hour, 0).Stats()
+	if f := st.FsyncPartialFrac(); f < 0.80 {
+		t.Errorf("/user6 fsync-partial fraction = %.2f, paper band ~0.92", f)
+	}
+	if f := st.PartialFrac(); f < 0.90 {
+		t.Errorf("/user6 partial fraction = %.2f, paper band ~0.97", f)
+	}
+	if kb := st.KBPerPartial(); kb < 4 || kb > 16 {
+		t.Errorf("/user6 KB/partial = %.1f, paper reports ~8", kb)
+	}
+}
+
+func TestSwapHasNoFsyncPartials(t *testing.T) {
+	st := runProfile(t, "/swap1", 12*time.Hour, 0).Stats()
+	if st.PartialFsyncSegments != 0 {
+		t.Errorf("/swap1 fsync partials = %d, applications never fsync the swap disk", st.PartialFsyncSegments)
+	}
+	if f := st.PartialFrac(); f < 0.4 {
+		t.Errorf("/swap1 partial fraction = %.2f, paper band ~0.70", f)
+	}
+}
+
+func TestHomeDirectoriesModerateFsyncShare(t *testing.T) {
+	st := runProfile(t, "/user1", 12*time.Hour, 0).Stats()
+	if f := st.FsyncPartialFrac(); f < 0.05 || f > 0.40 {
+		t.Errorf("/user1 fsync-partial fraction = %.2f, paper band ~0.18", f)
+	}
+	if f := st.PartialFrac(); f < 0.70 {
+		t.Errorf("/user1 partial fraction = %.2f, paper band ~0.90", f)
+	}
+}
+
+func TestWriteBufferReducesUser6DiskWrites(t *testing.T) {
+	without := runProfile(t, "/user6", 12*time.Hour, 0)
+	with := runProfile(t, "/user6", 12*time.Hour, 512<<10)
+	w0 := without.Disk().Writes
+	w1 := with.Disk().Writes
+	if w1 >= w0 {
+		t.Fatalf("buffer did not reduce disk writes: %d -> %d", w0, w1)
+	}
+	reduction := 1 - float64(w1)/float64(w0)
+	if reduction < 0.6 {
+		t.Errorf("/user6 disk-write reduction = %.2f, paper reports ~0.90", reduction)
+	}
+}
+
+func TestWriteBufferModestOnHomeDirs(t *testing.T) {
+	without := runProfile(t, "/user1", 12*time.Hour, 0)
+	with := runProfile(t, "/user1", 12*time.Hour, 512<<10)
+	w0, w1 := without.Disk().Writes, with.Disk().Writes
+	reduction := 1 - float64(w1)/float64(w0)
+	if reduction < 0.03 || reduction > 0.45 {
+		t.Errorf("/user1 disk-write reduction = %.2f, paper band 0.10-0.25", reduction)
+	}
+}

@@ -1,0 +1,230 @@
+// Package sim drives trace-driven simulations of the client cache models:
+// it feeds canonical trace operations through per-client caches and the
+// Sprite consistency protocol, and accumulates the cluster-wide traffic
+// that the paper's Figures 3-6 report.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"nvramfs/internal/cache"
+	"nvramfs/internal/consist"
+	"nvramfs/internal/prep"
+)
+
+// Config parameterizes one simulation run.
+type Config struct {
+	// Model selects the cache organization.
+	Model cache.ModelKind
+	// Cache is the per-client cache configuration. Rand and Schedule may
+	// be left nil; Run installs a seeded source for the random policy.
+	Cache cache.Config
+	// Seed drives the random replacement policy.
+	Seed int64
+	// WritesOnly ignores read operations, reproducing the paper's
+	// Figure 3 omniscient setup, which measured write traffic without the
+	// effects of read traffic on cache replacement.
+	WritesOnly bool
+}
+
+// Result is the outcome of a simulation run.
+type Result struct {
+	// Traffic is the cluster-wide total.
+	Traffic cache.Traffic
+	// PerClient holds each client's counters.
+	PerClient map[uint16]*cache.Traffic
+	// Recalls and DisableEvents summarize the consistency server.
+	Recalls       int64
+	DisableEvents int64
+	// EndTime is the time of the last processed op.
+	EndTime int64
+}
+
+// Run simulates the canonical op stream under the configured cache model.
+func Run(ops []prep.Op, cfg Config) (*Result, error) {
+	if cfg.Cache.BlockSize <= 0 {
+		cfg.Cache.BlockSize = cache.DefaultBlockSize
+	}
+	d := &driver{
+		cfg:    cfg,
+		server: consist.NewServer(),
+		models: make(map[uint16]cache.Model),
+		sizes:  make(map[uint64]int64),
+	}
+	for _, op := range ops {
+		if err := d.apply(op); err != nil {
+			return nil, err
+		}
+	}
+	d.finish()
+	res := &Result{
+		PerClient:     make(map[uint16]*cache.Traffic, len(d.models)),
+		Recalls:       d.server.Recalls,
+		DisableEvents: d.server.DisableEvents,
+		EndTime:       d.now,
+	}
+	for c, m := range d.models {
+		res.PerClient[c] = m.Traffic()
+		res.Traffic.Add(m.Traffic())
+	}
+	return res, nil
+}
+
+type driver struct {
+	cfg    Config
+	server *consist.Server
+	models map[uint16]cache.Model
+	sizes  map[uint64]int64
+	now    int64
+}
+
+// model returns (creating on first use) the cache for a client.
+func (d *driver) model(client uint16) (cache.Model, error) {
+	if m, ok := d.models[client]; ok {
+		return m, nil
+	}
+	cc := d.cfg.Cache
+	if cc.Rand == nil {
+		cc.Rand = rand.New(rand.NewSource(d.cfg.Seed + int64(client)*7919))
+	}
+	m, err := cache.NewModel(d.cfg.Model, cc)
+	if err != nil {
+		return nil, fmt.Errorf("sim: client %d: %w", client, err)
+	}
+	d.models[client] = m
+	return m, nil
+}
+
+func (d *driver) apply(op prep.Op) error {
+	d.now = op.Time
+	m, err := d.model(op.Client)
+	if err != nil {
+		return err
+	}
+	m.Advance(op.Time)
+
+	switch op.Kind {
+	case prep.Open:
+		res := d.server.Open(op.Client, op.File, op.WriteMode)
+		if res.RecallFrom != consist.NoClient {
+			wm, err := d.model(res.RecallFrom)
+			if err != nil {
+				return err
+			}
+			wm.Advance(op.Time)
+			if wm.FlushFile(op.Time, op.File, cache.CauseCallback) > 0 {
+				d.server.Flushed(res.RecallFrom, op.File)
+			}
+		}
+		if res.JustDisabled {
+			// Concurrent write-sharing: every cached copy is flushed and
+			// invalidated; subsequent I/O bypasses the caches.
+			for _, cm := range d.models {
+				cm.Invalidate(op.Time, op.File)
+			}
+		} else if res.InvalidateOpener {
+			m.Invalidate(op.Time, op.File)
+		}
+
+	case prep.Close:
+		d.server.Close(op.Client, op.File)
+
+	case prep.Read:
+		if d.cfg.WritesOnly {
+			return nil
+		}
+		if d.server.Disabled(op.File) {
+			m.NoteConcurrent(true, op.Range.Len())
+			if h := d.cfg.Cache.Hooks; h != nil && h.Read != nil {
+				h.Read(op.Time, op.File, op.Range)
+			}
+			return nil
+		}
+		size := d.sizes[op.File]
+		if op.Range.End > size {
+			size = op.Range.End
+			d.sizes[op.File] = size
+		}
+		m.Read(op.Time, op.File, op.Range, size)
+
+	case prep.Write:
+		if op.Range.End > d.sizes[op.File] {
+			d.sizes[op.File] = op.Range.End
+		}
+		if d.server.Disabled(op.File) {
+			m.NoteConcurrent(false, op.Range.Len())
+			if h := d.cfg.Cache.Hooks; h != nil && h.Write != nil {
+				h.Write(op.Time, op.File, op.Range, cache.CauseConcurrent)
+			}
+			d.server.Write(op.Client, op.File)
+			return nil
+		}
+		m.Write(op.Time, op.File, op.Range)
+		d.server.Write(op.Client, op.File)
+
+	case prep.DeleteRange:
+		// Deletion is cluster-visible: every client's cached copy of the
+		// dead bytes is discarded, and the writer's dirty bytes die in
+		// place (absorption).
+		for _, cm := range d.models {
+			cm.Advance(op.Time)
+			cm.DeleteRange(op.Time, op.File, op.Range)
+		}
+		if h := d.cfg.Cache.Hooks; h != nil && h.Delete != nil {
+			h.Delete(op.Time, op.File, op.Range)
+		}
+		if size := d.sizes[op.File]; op.Range.Start == 0 && op.Range.End >= size {
+			delete(d.sizes, op.File)
+			d.server.Deleted(op.File)
+		} else if op.Range.End >= size {
+			d.sizes[op.File] = op.Range.Start
+		}
+
+	case prep.Fsync:
+		m.Fsync(op.Time, op.File)
+		if m.Kind() == cache.ModelVolatile {
+			d.server.Flushed(op.Client, op.File)
+		}
+
+	case prep.MigrateFlush:
+		m.FlushAll(op.Time, cache.CauseMigration)
+		d.server.FlushedClient(op.Client)
+
+	default:
+		return fmt.Errorf("sim: unknown op kind %v", op.Kind)
+	}
+	return nil
+}
+
+// finish advances every cache to the end of the trace and flushes the
+// remaining dirty bytes (counted pessimistically as server traffic, as the
+// paper's figures do).
+func (d *driver) finish() {
+	clients := make([]uint16, 0, len(d.models))
+	for c := range d.models {
+		clients = append(clients, c)
+	}
+	sort.Slice(clients, func(i, j int) bool { return clients[i] < clients[j] })
+	for _, c := range clients {
+		m := d.models[c]
+		m.Advance(d.now)
+		m.FlushAll(d.now, cache.CauseEnd)
+	}
+}
+
+// BlocksForBytes converts a memory size in bytes to whole cache blocks.
+func BlocksForBytes(bytes, blockSize int64) int {
+	if blockSize <= 0 {
+		blockSize = cache.DefaultBlockSize
+	}
+	n := bytes / blockSize
+	if n < 1 {
+		n = 1
+	}
+	return int(n)
+}
+
+// MB is one megabyte (the unit of the paper's memory-size sweeps).
+const MB = int64(1 << 20)

@@ -1,0 +1,94 @@
+package stats
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLogHistogram(t *testing.T) {
+	h := NewLogHistogram()
+	h.Add(1, 10)    // bucket 0
+	h.Add(1000, 30) // bucket 9
+	h.Add(1<<20, 60)
+	if h.Total() != 100 {
+		t.Fatalf("total = %d", h.Total())
+	}
+	if got := h.CumulativeAt(1); got != 0.1 {
+		t.Fatalf("CumulativeAt(1) = %f", got)
+	}
+	if got := h.CumulativeAt(2000); got != 0.4 {
+		t.Fatalf("CumulativeAt(2000) = %f", got)
+	}
+	if got := h.CumulativeAt(1 << 30); got != 1.0 {
+		t.Fatalf("CumulativeAt(max) = %f", got)
+	}
+	lows, weights := h.Buckets()
+	if len(lows) != 3 || len(weights) != 3 {
+		t.Fatalf("buckets: %v %v", lows, weights)
+	}
+	for i := 1; i < len(lows); i++ {
+		if lows[i] <= lows[i-1] {
+			t.Fatal("bucket bounds not ascending")
+		}
+	}
+	// Zero and negative weights are ignored.
+	h.Add(5, 0)
+	h.Add(5, -3)
+	if h.Total() != 100 {
+		t.Fatal("non-positive weight recorded")
+	}
+}
+
+// Property: cumulative fraction is monotone in the threshold.
+func TestQuickHistogramMonotone(t *testing.T) {
+	f := func(values []uint16) bool {
+		h := NewLogHistogram()
+		for _, v := range values {
+			h.Add(int64(v), 1)
+		}
+		prev := -1.0
+		for v := int64(1); v < 1<<17; v *= 2 {
+			c := h.CumulativeAt(v)
+			if c < prev {
+				return false
+			}
+			prev = c
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMean(t *testing.T) {
+	var m Mean
+	if m.Value() != 0 {
+		t.Fatal("empty mean not zero")
+	}
+	m.Add(2)
+	m.Add(4)
+	if m.Value() != 3 || m.N() != 2 {
+		t.Fatalf("mean = %f, n = %d", m.Value(), m.N())
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := map[int64]string{
+		512:     "512 B",
+		2048:    "2.0 KiB",
+		1 << 20: "1.0 MiB",
+		3 << 30: "3.0 GiB",
+	}
+	for n, want := range cases {
+		if got := FormatBytes(n); got != want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", n, got, want)
+		}
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := Pct(0.125); got != " 12.5%" {
+		t.Fatalf("Pct = %q", got)
+	}
+}

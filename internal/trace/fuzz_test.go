@@ -1,0 +1,106 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"time"
+)
+
+// FuzzReader feeds arbitrary bytes to the trace reader: it must reject or
+// cleanly EOF on any input — never panic, never allocate absurdly — and
+// any event it does yield must be valid.
+func FuzzReader(f *testing.F) {
+	// Seed with a well-formed trace and a few mutations of it.
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, Header{Name: "seed", Clients: 3, Duration: time.Hour, Seed: 1})
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, e := range sampleEvents() {
+		if err := w.Write(e); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		f.Fatal(err)
+	}
+	good := buf.Bytes()
+	f.Add(good)
+	f.Add(good[:len(good)/2])
+	f.Add([]byte("NVFT"))
+	f.Add([]byte{})
+	mutated := append([]byte(nil), good...)
+	if len(mutated) > 10 {
+		mutated[8] ^= 0xff
+		mutated[len(mutated)-3] ^= 0x55
+	}
+	f.Add(mutated)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return // rejected cleanly
+		}
+		for i := 0; i < 100000; i++ {
+			e, err := r.Read()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				return // corruption detected cleanly
+			}
+			if verr := e.Validate(); verr != nil {
+				t.Fatalf("reader yielded invalid event %+v: %v", e, verr)
+			}
+		}
+	})
+}
+
+// FuzzRoundTrip checks that any sequence of field values that encodes
+// successfully decodes to identical events.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(int64(5), uint16(1), uint8(4), uint64(9), int64(0), int64(100), uint8(1), uint16(2))
+	f.Add(int64(0), uint16(0), uint8(8), uint64(0), int64(0), int64(0), uint8(0), uint16(0))
+	f.Fuzz(func(t *testing.T, tm int64, client uint16, op uint8, file uint64,
+		off, length int64, flags uint8, target uint16) {
+		e := Event{
+			Time: tm, Client: client, Op: Op(op), File: file,
+			Offset: off, Length: length, Flags: flags, Target: target,
+		}
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf, Header{Name: "rt"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Write(e); err != nil {
+			return // invalid event rejected at write time
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		r, err := NewReader(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := r.Read()
+		if err != nil {
+			t.Fatalf("decode failed: %v", err)
+		}
+		// Fields not carried for this op are normalized to zero on decode.
+		want := e
+		switch e.Op {
+		case OpRead, OpWrite:
+			want.Flags, want.Target = 0, 0
+		case OpOpen:
+			want.Length, want.Target = 0, 0
+		case OpMigrate:
+			want.Length, want.Flags = 0, 0
+		default:
+			want.Length, want.Flags, want.Target = 0, 0, 0
+		}
+		if got != want {
+			t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", want, got)
+		}
+	})
+}

@@ -1,0 +1,189 @@
+package trace
+
+import (
+	"container/heap"
+	"fmt"
+	"io"
+	"time"
+)
+
+// This file provides stream tooling over the binary trace format: merging
+// several traces into one (preserving time order), filtering a trace by
+// client or time window, and time-shifting — the operations needed to
+// compose custom workloads out of recorded pieces.
+
+// Merge combines several trace streams into one, preserving global time
+// order. Client ids are offset per input so distinct traces never collide
+// (input i's clients are shifted by i*ClientStride), and file ids are
+// offset likewise. The header takes name, with Clients/Duration covering
+// all inputs.
+func Merge(w io.Writer, name string, inputs ...*Reader) error {
+	if len(inputs) == 0 {
+		return fmt.Errorf("trace: nothing to merge")
+	}
+	var clients int
+	var duration time.Duration
+	for _, in := range inputs {
+		h := in.Header()
+		clients += h.Clients
+		if h.Duration > duration {
+			duration = h.Duration
+		}
+	}
+	tw, err := NewWriter(w, Header{Name: name, Clients: clients, Duration: duration})
+	if err != nil {
+		return err
+	}
+
+	// k-way merge over the already-sorted inputs.
+	h := &mergeHeap{}
+	pull := func(src int) error {
+		ev, err := inputs[src].Read()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		heap.Push(h, mergeHead{ev, src})
+		return nil
+	}
+	for i := range inputs {
+		if err := pull(i); err != nil {
+			return err
+		}
+	}
+	for h.Len() > 0 {
+		top := heap.Pop(h).(mergeHead)
+		ev := top.ev
+		ev.Client += uint16(top.src * ClientStride)
+		if ev.Op == OpMigrate {
+			ev.Target += uint16(top.src * ClientStride)
+		}
+		ev.File += uint64(top.src) * FileStride
+		if err := tw.Write(ev); err != nil {
+			return err
+		}
+		if err := pull(top.src); err != nil {
+			return err
+		}
+	}
+	return tw.Close()
+}
+
+// ClientStride separates the client-id spaces of merged traces.
+const ClientStride = 1000
+
+// FileStride separates the file-id spaces of merged traces.
+const FileStride = 1 << 40
+
+type mergeHead struct {
+	ev  Event
+	src int
+}
+
+type mergeHeap []mergeHead
+
+func (m mergeHeap) Len() int { return len(m) }
+func (m mergeHeap) Less(i, j int) bool {
+	if m[i].ev.Time != m[j].ev.Time {
+		return m[i].ev.Time < m[j].ev.Time
+	}
+	return m[i].src < m[j].src
+}
+func (m mergeHeap) Swap(i, j int)       { m[i], m[j] = m[j], m[i] }
+func (m *mergeHeap) Push(x interface{}) { *m = append(*m, x.(mergeHead)) }
+func (m *mergeHeap) Pop() interface{} {
+	old := *m
+	n := len(old)
+	v := old[n-1]
+	*m = old[:n-1]
+	return v
+}
+
+// FilterFunc selects events to keep.
+type FilterFunc func(Event) bool
+
+// ByClients keeps events from the given clients (migration targets are
+// kept if either endpoint matches).
+func ByClients(clients ...uint16) FilterFunc {
+	set := make(map[uint16]bool, len(clients))
+	for _, c := range clients {
+		set[c] = true
+	}
+	return func(e Event) bool {
+		if set[e.Client] {
+			return true
+		}
+		return e.Op == OpMigrate && set[e.Target]
+	}
+}
+
+// ByWindow keeps events with from <= Time < to (microseconds).
+func ByWindow(from, to int64) FilterFunc {
+	return func(e Event) bool { return e.Time >= from && e.Time < to }
+}
+
+// Filter copies in to w, keeping only events accepted by every filter.
+// The header is preserved apart from the new name.
+func Filter(w io.Writer, in *Reader, name string, filters ...FilterFunc) (kept int64, err error) {
+	h := in.Header()
+	h.Name = name
+	tw, err := NewWriter(w, h)
+	if err != nil {
+		return 0, err
+	}
+	for {
+		ev, err := in.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return kept, err
+		}
+		ok := true
+		for _, f := range filters {
+			if !f(ev) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		if err := tw.Write(ev); err != nil {
+			return kept, err
+		}
+		kept++
+	}
+	return kept, tw.Close()
+}
+
+// Shift copies in to w with all event times offset by delta microseconds
+// (events whose shifted time would be negative are clamped to zero; order
+// is preserved).
+func Shift(w io.Writer, in *Reader, name string, delta int64) error {
+	h := in.Header()
+	h.Name = name
+	tw, err := NewWriter(w, h)
+	if err != nil {
+		return err
+	}
+	for {
+		ev, err := in.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		ev.Time += delta
+		if ev.Time < 0 {
+			ev.Time = 0
+		}
+		if err := tw.Write(ev); err != nil {
+			return err
+		}
+	}
+	return tw.Close()
+}

@@ -1,0 +1,156 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// writeTrace builds a trace file from events.
+func writeTrace(t *testing.T, name string, clients int, events []Event) *bytes.Buffer {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, Header{Name: name, Clients: clients, Duration: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range events {
+		if err := w.Write(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return &buf
+}
+
+func reader(t *testing.T, buf *bytes.Buffer) *Reader {
+	t.Helper()
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestMergePreservesOrderAndSeparatesIDs(t *testing.T) {
+	a := writeTrace(t, "a", 2, []Event{
+		{Time: 10, Client: 1, Op: OpWrite, File: 5, Length: 100},
+		{Time: 30, Client: 1, Op: OpDelete, File: 5},
+	})
+	b := writeTrace(t, "b", 2, []Event{
+		{Time: 5, Client: 1, Op: OpWrite, File: 5, Length: 50},
+		{Time: 20, Client: 1, Op: OpMigrate, Target: 2},
+	})
+	var merged bytes.Buffer
+	if err := Merge(&merged, "ab", reader(t, a), reader(t, b)); err != nil {
+		t.Fatal(err)
+	}
+	r := reader(t, &merged)
+	if h := r.Header(); h.Name != "ab" || h.Clients != 4 {
+		t.Fatalf("header: %+v", h)
+	}
+	evs, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 4 {
+		t.Fatalf("%d events", len(evs))
+	}
+	// Global time order.
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Time < evs[i-1].Time {
+			t.Fatal("merge broke time order")
+		}
+	}
+	// Input 1's ids are shifted.
+	if evs[0].Client != 1+ClientStride || evs[0].File != 5+FileStride {
+		t.Fatalf("first event (from b) not shifted: %+v", evs[0])
+	}
+	if evs[1].Client != 1 || evs[1].File != 5 {
+		t.Fatalf("event from a wrongly shifted: %+v", evs[1])
+	}
+	// Migration targets shift with their trace.
+	if evs[2].Op != OpMigrate || evs[2].Target != 2+ClientStride {
+		t.Fatalf("migrate not shifted: %+v", evs[2])
+	}
+}
+
+func TestMergeEmpty(t *testing.T) {
+	var out bytes.Buffer
+	if err := Merge(&out, "x"); err == nil {
+		t.Fatal("merging nothing succeeded")
+	}
+}
+
+func TestFilterByClients(t *testing.T) {
+	src := writeTrace(t, "src", 3, []Event{
+		{Time: 1, Client: 1, Op: OpWrite, File: 1, Length: 10},
+		{Time: 2, Client: 2, Op: OpWrite, File: 2, Length: 10},
+		{Time: 3, Client: 1, Op: OpMigrate, Target: 3},
+		{Time: 4, Client: 3, Op: OpMigrate, Target: 2},
+	})
+	var out bytes.Buffer
+	kept, err := Filter(&out, reader(t, src), "c2", ByClients(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kept != 2 {
+		t.Fatalf("kept %d, want the client-2 write and the migrate targeting 2", kept)
+	}
+	evs, err := reader(t, &out).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evs[0].Client != 2 || evs[1].Target != 2 {
+		t.Fatalf("wrong events kept: %+v", evs)
+	}
+}
+
+func TestFilterByWindowComposes(t *testing.T) {
+	src := writeTrace(t, "src", 2, []Event{
+		{Time: 1, Client: 1, Op: OpWrite, File: 1, Length: 10},
+		{Time: 50, Client: 1, Op: OpWrite, File: 1, Length: 10},
+		{Time: 99, Client: 2, Op: OpWrite, File: 2, Length: 10},
+		{Time: 150, Client: 1, Op: OpWrite, File: 1, Length: 10},
+	})
+	var out bytes.Buffer
+	kept, err := Filter(&out, reader(t, src), "win", ByWindow(10, 100), ByClients(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kept != 1 {
+		t.Fatalf("kept %d, want 1 (time 50, client 1)", kept)
+	}
+}
+
+func TestShift(t *testing.T) {
+	src := writeTrace(t, "src", 2, []Event{
+		{Time: 10, Client: 1, Op: OpWrite, File: 1, Length: 10},
+		{Time: 20, Client: 1, Op: OpWrite, File: 1, Length: 10},
+	})
+	var out bytes.Buffer
+	if err := Shift(&out, reader(t, src), "shifted", 100); err != nil {
+		t.Fatal(err)
+	}
+	evs, err := reader(t, &out).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evs[0].Time != 110 || evs[1].Time != 120 {
+		t.Fatalf("times: %d, %d", evs[0].Time, evs[1].Time)
+	}
+	// Negative shifts clamp at zero but preserve order.
+	var out2 bytes.Buffer
+	if err := Shift(&out2, reader(t, &out), "back", -115); err != nil {
+		t.Fatal(err)
+	}
+	evs2, err := reader(t, &out2).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evs2[0].Time != 0 || evs2[1].Time != 5 {
+		t.Fatalf("clamped times: %d, %d", evs2[0].Time, evs2[1].Time)
+	}
+}

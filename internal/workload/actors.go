@@ -1,0 +1,571 @@
+package workload
+
+import (
+	"math/rand"
+	"time"
+
+	"nvramfs/internal/trace"
+)
+
+// behavior is one application model. step performs the actor's next action
+// burst starting at now (emitting events via the actor helpers, possibly
+// with timestamps later than now) and must advance a.when past now.
+type behavior interface {
+	step(a *actor, now int64) error
+}
+
+// actor binds a behavior to a client, an RNG, and the generator.
+type actor struct {
+	cfg      ActorConfig
+	g        *generator
+	rng      *rand.Rand
+	scale    float64 // Profile.Scale * ActorConfig.Intensity
+	when     int64   // time of next step, microseconds
+	behavior behavior
+}
+
+func newActor(cfg ActorConfig, scale float64, rng *rand.Rand, g *generator) *actor {
+	a := &actor{cfg: cfg, g: g, rng: rng, scale: scale * cfg.Intensity}
+	switch cfg.Kind {
+	case KindEditor:
+		a.behavior = &editor{}
+	case KindBuild:
+		a.behavior = &build{}
+	case KindSim:
+		a.behavior = &simjob{}
+	case KindMail:
+		a.behavior = &mail{}
+	case KindShared:
+		a.behavior = &shared{}
+	case KindConcurrent:
+		a.behavior = &concurrent{}
+	case KindLog:
+		a.behavior = &logger{}
+	case KindMigrate:
+		a.behavior = &migrator{}
+	default:
+		a.behavior = &logger{}
+	}
+	return a
+}
+
+// file is a generated file with its current size.
+type file struct {
+	id   uint64
+	size int64
+}
+
+// --- emission helpers ---
+
+func us(d time.Duration) int64 { return int64(d / time.Microsecond) }
+
+// dur returns a random duration in [lo, hi] as microseconds.
+func (a *actor) dur(lo, hi time.Duration) int64 {
+	l, h := us(lo), us(hi)
+	if h <= l {
+		return l
+	}
+	return l + a.rng.Int63n(h-l)
+}
+
+// size returns a random byte count in [lo, hi] multiplied by the actor's
+// volume scale, with a 512-byte floor so scaled-down traces still exercise
+// sub-block writes.
+func (a *actor) size(lo, hi int64) int64 {
+	n := lo
+	if hi > lo {
+		n += a.rng.Int63n(hi - lo)
+	}
+	n = int64(float64(n) * a.scale)
+	if n < 512 {
+		n = 512
+	}
+	return n
+}
+
+// p returns true with the given probability.
+func (a *actor) p(prob float64) bool { return a.rng.Float64() < prob }
+
+// tick advances the local time cursor by a random interval in [lo, hi].
+func (a *actor) tick(t *int64, lo, hi time.Duration) int64 {
+	*t += a.dur(lo, hi)
+	return *t
+}
+
+func (a *actor) openOn(t int64, client uint16, f uint64, flags uint8) {
+	a.g.add(trace.Event{Time: t, Client: client, Op: trace.OpOpen, File: f, Flags: flags})
+}
+
+func (a *actor) closeOn(t int64, client uint16, f uint64) {
+	a.g.add(trace.Event{Time: t, Client: client, Op: trace.OpClose, File: f})
+}
+
+func (a *actor) writeOn(t int64, client uint16, f uint64, off, n int64) {
+	a.g.add(trace.Event{Time: t, Client: client, Op: trace.OpWrite, File: f, Offset: off, Length: n})
+}
+
+func (a *actor) readOn(t int64, client uint16, f uint64, off, n int64) {
+	a.g.add(trace.Event{Time: t, Client: client, Op: trace.OpRead, File: f, Offset: off, Length: n})
+}
+
+func (a *actor) open(t int64, f uint64, flags uint8)   { a.openOn(t, a.cfg.Client, f, flags) }
+func (a *actor) close(t int64, f uint64)               { a.closeOn(t, a.cfg.Client, f) }
+func (a *actor) write(t int64, f uint64, off, n int64) { a.writeOn(t, a.cfg.Client, f, off, n) }
+func (a *actor) read(t int64, f uint64, off, n int64)  { a.readOn(t, a.cfg.Client, f, off, n) }
+
+func (a *actor) fsync(t int64, f uint64) {
+	a.g.add(trace.Event{Time: t, Client: a.cfg.Client, Op: trace.OpFsync, File: f})
+}
+
+func (a *actor) deleteOn(t int64, client uint16, f uint64) {
+	a.g.add(trace.Event{Time: t, Client: client, Op: trace.OpDelete, File: f})
+}
+
+func (a *actor) del(t int64, f uint64) { a.deleteOn(t, a.cfg.Client, f) }
+
+func (a *actor) truncate(t int64, f uint64, newSize int64) {
+	a.g.add(trace.Event{Time: t, Client: a.cfg.Client, Op: trace.OpTruncate, File: f, Offset: newSize})
+}
+
+func (a *actor) migrate(t int64, from, to uint16) {
+	a.g.add(trace.Event{Time: t, Client: from, Op: trace.OpMigrate, Target: to})
+}
+
+// writeChunks writes n bytes at off in chunks of at most chunk bytes, with a
+// brief pause between chunks, returning the time after the last write.
+func (a *actor) writeChunks(t int64, client uint16, f uint64, off, n, chunk int64) int64 {
+	for n > 0 {
+		c := chunk
+		if c > n {
+			c = n
+		}
+		a.writeOn(t, client, f, off, c)
+		off += c
+		n -= c
+		t += a.dur(time.Millisecond, 50*time.Millisecond)
+	}
+	return t
+}
+
+// readWhole opens, reads, and closes a file.
+func (a *actor) readWhole(t int64, client uint16, f file) int64 {
+	a.openOn(t, client, f.id, trace.FlagRead)
+	t += a.dur(time.Millisecond, 10*time.Millisecond)
+	a.readOn(t, client, f.id, 0, f.size)
+	t += a.dur(time.Millisecond, 20*time.Millisecond)
+	a.closeOn(t, client, f.id)
+	return t + 1
+}
+
+// corpus is a set of long-lived read-only files re-read with a Zipf rank
+// distribution: a hot head that any cache captures and a long tail whose
+// hit rate keeps improving as client cache memory grows — the read
+// locality that drives the memory-size curves of Figures 5 and 6.
+type corpus struct {
+	files []file
+	zipf  *rand.Zipf
+}
+
+// newCorpus builds n files with sizes in [lo, hi] (scaled).
+func newCorpus(a *actor, n int, lo, hi int64) *corpus {
+	c := &corpus{}
+	for i := 0; i < n; i++ {
+		c.files = append(c.files, file{id: a.g.newFile(), size: a.size(lo, hi)})
+	}
+	// A nearly-flat Zipf spreads re-reads deep into the tail, so the read
+	// miss rate keeps falling as client cache memory grows.
+	c.zipf = rand.NewZipf(a.rng, 1.02, 1, uint64(n-1))
+	return c
+}
+
+// pick returns a Zipf-ranked member.
+func (c *corpus) pick() file { return c.files[c.zipf.Uint64()] }
+
+// --- editor: documents re-saved (overwritten) every few minutes ---
+//
+// Fate signature: nearly all bytes are overwritten by the next save within
+// 2-10 minutes; the final save of each document remains. ~4 MB/day nominal,
+// the dominant source of "Never Overwritten" bytes in Table 2.
+type editor struct {
+	doc  file
+	docs *corpus // previously written documents, browsed occasionally
+}
+
+func (ed *editor) step(a *actor, now int64) error {
+	t := now
+	if ed.docs == nil {
+		ed.docs = newCorpus(a, 120, 4<<10, 48<<10)
+	}
+	// Browse older documents now and then (read-only traffic with
+	// long-tail locality).
+	if a.p(0.3) {
+		for i, n := 0, 1+a.rng.Intn(3); i < n; i++ {
+			t = a.readWhole(t, a.cfg.Client, ed.docs.pick())
+			a.tick(&t, time.Second, 20*time.Second)
+		}
+	}
+	fresh := ed.doc.id == 0 || a.p(0.12)
+	if fresh {
+		ed.doc = file{id: a.g.newFile(), size: a.size(4<<10, 32<<10)}
+	}
+	a.open(t, ed.doc.id, trace.FlagRead|trace.FlagWrite)
+	a.tick(&t, time.Millisecond, 20*time.Millisecond)
+	if fresh {
+		// Load the document into the editor.
+		a.read(t, ed.doc.id, 0, ed.doc.size)
+		a.tick(&t, 100*time.Millisecond, 2*time.Second)
+	}
+	// Save: rewrite the whole document, occasionally growing it a little.
+	if a.p(0.4) {
+		ed.doc.size += a.size(256, 2<<10)
+	}
+	a.write(t, ed.doc.id, 0, ed.doc.size)
+	a.tick(&t, time.Millisecond, 30*time.Millisecond)
+	if a.p(0.35) {
+		a.fsync(t, ed.doc.id)
+		a.tick(&t, time.Millisecond, 10*time.Millisecond)
+	}
+	a.close(t, ed.doc.id)
+	a.when = now + a.dur(2*time.Minute, 10*time.Minute)
+	return nil
+}
+
+// --- build: compile/link cycles ---
+//
+// Fate signature per nominal actor-day: ~23 MB of temporaries deleted within
+// 2-20 seconds (the bulk of the "die within 30s" mass in Figure 2), ~7 MB of
+// object files deleted at the next cycle 8-20 minutes later, ~5 MB of
+// executables deleted on relink. Sources and headers are re-read every
+// cycle, giving the client cache its read locality.
+type build struct {
+	sources []file
+	headers *corpus // system headers and libraries: ~25 MB, Zipf re-reads
+	objects []file
+	exec    file
+	cycle   int
+}
+
+func (b *build) step(a *actor, now int64) error {
+	t := now
+	if b.sources == nil {
+		n := 20 + a.rng.Intn(20)
+		for i := 0; i < n; i++ {
+			b.sources = append(b.sources, file{id: a.g.newFile(), size: a.size(2<<10, 20<<10)})
+		}
+		b.headers = newCorpus(a, 1300, 8<<10, 48<<10)
+	}
+	// Read a subset of sources, plus the headers and libraries each
+	// compilation pulls in. The header corpus is larger than the client
+	// cache, so its long tail keeps missing — extra cache memory keeps
+	// helping, as in the paper's Figures 5 and 6.
+	nRead := 12 + a.rng.Intn(18)
+	for i := 0; i < nRead; i++ {
+		src := b.sources[a.rng.Intn(len(b.sources))]
+		t = a.readWhole(t, a.cfg.Client, src)
+		a.tick(&t, time.Millisecond, 200*time.Millisecond)
+	}
+	for i, n := 0, 30+a.rng.Intn(40); i < n; i++ {
+		t = a.readWhole(t, a.cfg.Client, b.headers.pick())
+		a.tick(&t, time.Millisecond, 100*time.Millisecond)
+	}
+	// Temporaries: written, read back by the next compilation stage, and
+	// deleted seconds later (cpp writes what cc1 reads, and so on). The
+	// read-back means recently written — hence dirty — data is re-read,
+	// which in the unified NVRAM model is a read from the NVRAM.
+	nTemp := 4 + a.rng.Intn(5)
+	for i := 0; i < nTemp; i++ {
+		tmp := file{id: a.g.newFile(), size: a.size(32<<10, 64<<10)}
+		a.open(t, tmp.id, trace.FlagWrite)
+		t = a.writeChunks(t+1, a.cfg.Client, tmp.id, 0, tmp.size, 16<<10)
+		a.close(t, tmp.id)
+		rt := t + a.dur(500*time.Millisecond, 2*time.Second)
+		rt = a.readWhole(rt, a.cfg.Client, tmp)
+		a.deleteOn(rt+a.dur(time.Second, 25*time.Second), a.cfg.Client, tmp.id)
+		a.tick(&t, 2*time.Second, 12*time.Second)
+	}
+	// Object files: delete the stale object and write a fresh one.
+	if b.objects == nil {
+		b.objects = make([]file, 8+a.rng.Intn(8))
+	}
+	nObj := 3 + a.rng.Intn(4)
+	for i := 0; i < nObj; i++ {
+		slot := a.rng.Intn(len(b.objects))
+		if old := b.objects[slot]; old.id != 0 {
+			a.del(t, old.id)
+			a.tick(&t, time.Millisecond, 50*time.Millisecond)
+		}
+		obj := file{id: a.g.newFile(), size: a.size(8<<10, 24<<10)}
+		a.open(t, obj.id, trace.FlagWrite)
+		t = a.writeChunks(t+1, a.cfg.Client, obj.id, 0, obj.size, 16<<10)
+		a.close(t, obj.id)
+		b.objects[slot] = obj
+		a.tick(&t, 500*time.Millisecond, 3*time.Second)
+	}
+	// Relink the executable every few cycles: the linker reads every
+	// object file (freshly written data again) and writes the binary.
+	b.cycle++
+	if b.cycle%6 == 0 {
+		for _, obj := range b.objects {
+			if obj.id != 0 {
+				t = a.readWhole(t, a.cfg.Client, obj)
+			}
+		}
+		if b.exec.id != 0 {
+			a.del(t, b.exec.id)
+			a.tick(&t, time.Millisecond, 20*time.Millisecond)
+		}
+		b.exec = file{id: a.g.newFile(), size: a.size(128<<10, 512<<10)}
+		a.open(t, b.exec.id, trace.FlagWrite)
+		t = a.writeChunks(t+1, a.cfg.Client, b.exec.id, 0, b.exec.size, 64<<10)
+		a.close(t, b.exec.id)
+	}
+	a.when = now + a.dur(8*time.Minute, 20*time.Minute)
+	return nil
+}
+
+// --- simjob: long-running simulation on large files (traces 3 and 4) ---
+//
+// Streams ~1 GB/day of output into 10-30 MB files that are deleted 2-10
+// minutes after completion, and rewrites a multi-megabyte checkpoint every
+// ~15 minutes: more than 80% of bytes die within half an hour, but almost
+// none within 30 seconds, reproducing the distinctive lifetime curves of
+// traces 3 and 4 in Figure 2.
+type simjob struct {
+	out        file
+	outTarget  int64
+	checkpoint file
+	lastCkpt   int64
+}
+
+func (s *simjob) step(a *actor, now int64) error {
+	t := now
+	if s.out.id == 0 {
+		s.out = file{id: a.g.newFile()}
+		s.outTarget = a.size(6<<20, 16<<20)
+		a.open(t, s.out.id, trace.FlagWrite)
+		a.tick(&t, time.Millisecond, 10*time.Millisecond)
+	}
+	// Append the burst produced since the last step.
+	burst := a.size(500<<10, 1800<<10)
+	t = a.writeChunks(t, a.cfg.Client, s.out.id, s.out.size, burst, 256<<10)
+	s.out.size += burst
+	if s.out.size >= s.outTarget {
+		a.close(t, s.out.id)
+		// A postprocessing step consumes then removes the output.
+		done := t + a.dur(1*time.Minute, 6*time.Minute)
+		a.readOn(done-1, a.cfg.Client, s.out.id, 0, s.out.size)
+		a.deleteOn(done, a.cfg.Client, s.out.id)
+		s.out = file{}
+	}
+	// Periodic checkpoint overwrite. Kept small relative to the streamed
+	// output so the trace's byte fates stay deletion-dominated, as the
+	// paper's Table 2 reports for traces 3 and 4.
+	if now-s.lastCkpt > us(30*time.Minute) {
+		s.lastCkpt = now
+		if s.checkpoint.id == 0 {
+			s.checkpoint = file{id: a.g.newFile(), size: a.size(1<<20, 3<<20)}
+		}
+		a.open(t, s.checkpoint.id, trace.FlagWrite)
+		t = a.writeChunks(t+1, a.cfg.Client, s.checkpoint.id, 0, s.checkpoint.size, 256<<10)
+		a.fsync(t, s.checkpoint.id)
+		a.closeOn(t+1, a.cfg.Client, s.checkpoint.id)
+	}
+	a.when = now + a.dur(1*time.Minute, 3*time.Minute)
+	return nil
+}
+
+// --- mail: mailbox appends and news reading ---
+//
+// Mailbox bytes live for hours until the mailbox is archived (truncated);
+// news files are read-only traffic.
+type mail struct {
+	mailbox  file
+	news     *corpus
+	lastArch int64
+}
+
+func (m *mail) step(a *actor, now int64) error {
+	t := now
+	if m.mailbox.id == 0 {
+		m.mailbox = file{id: a.g.newFile()}
+		m.news = newCorpus(a, 250, 8<<10, 32<<10)
+	}
+	if a.p(0.5) {
+		// New mail arrives: append to the mailbox.
+		msg := a.size(2<<10, 8<<10)
+		a.open(t, m.mailbox.id, trace.FlagWrite)
+		a.write(t+1, m.mailbox.id, m.mailbox.size, msg)
+		a.close(t+2, m.mailbox.id)
+		m.mailbox.size += msg
+	} else {
+		// Read a few news articles.
+		for i, n := 0, 2+a.rng.Intn(6); i < n; i++ {
+			t = a.readWhole(t, a.cfg.Client, m.news.pick())
+			a.tick(&t, time.Second, 30*time.Second)
+		}
+	}
+	// Archive the mailbox every ~4 hours: read it and truncate to empty.
+	if m.mailbox.size > 0 && now-m.lastArch > us(4*time.Hour) {
+		m.lastArch = now
+		a.open(t, m.mailbox.id, trace.FlagRead|trace.FlagWrite)
+		a.read(t+1, m.mailbox.id, 0, m.mailbox.size)
+		a.truncate(t+2, m.mailbox.id, 0)
+		a.close(t+3, m.mailbox.id)
+		m.mailbox.size = 0
+	}
+	a.when = now + a.dur(5*time.Minute, 20*time.Minute)
+	return nil
+}
+
+// --- shared: producer/consumer recall traffic ---
+//
+// The producer writes a result file; minutes later the consumer on another
+// client opens it, so the server recalls the producer's dirty bytes
+// ("called back" in Table 2). The file is deleted later, after the bytes
+// have already left the producer's cache.
+type shared struct {
+	seq int
+}
+
+func (s *shared) step(a *actor, now int64) error {
+	t := now
+	f := file{id: a.g.newFile(), size: a.size(128<<10, 640<<10)}
+	a.open(t, f.id, trace.FlagWrite)
+	t = a.writeChunks(t+1, a.cfg.Client, f.id, 0, f.size, 32<<10)
+	a.close(t, f.id)
+	// The consumer picks the result up shortly afterwards — sometimes
+	// reading the whole file, sometimes only examining a prefix. (Partial
+	// reads matter to the block-level-consistency ablation: Sprite's
+	// whole-file recall flushes everything at open either way.)
+	ct := t + a.dur(30*time.Second, 5*time.Minute)
+	if a.p(0.5) {
+		ct = a.readWhole(ct, a.cfg.Peer, f)
+	} else {
+		part := f.size / int64(2+a.rng.Intn(6))
+		a.openOn(ct, a.cfg.Peer, f.id, trace.FlagRead)
+		a.readOn(ct+1, a.cfg.Peer, f.id, 0, part)
+		a.closeOn(ct+2, a.cfg.Peer, f.id)
+		ct += 3
+	}
+	// And removes it once processed.
+	a.deleteOn(ct+a.dur(5*time.Minute, 20*time.Minute), a.cfg.Peer, f.id)
+	s.seq++
+	a.when = now + a.dur(20*time.Minute, 60*time.Minute)
+	return nil
+}
+
+// --- concurrent: simultaneous write-sharing ---
+//
+// Two clients hold the same file open for writing at once; Sprite disables
+// caching on the file, so these bytes bypass the client caches entirely
+// (the minuscule "Concurrent writes" row of Table 2).
+type concurrent struct {
+	f file
+}
+
+func (c *concurrent) step(a *actor, now int64) error {
+	t := now
+	if c.f.id == 0 {
+		c.f = file{id: a.g.newFile(), size: a.size(64<<10, 128<<10)}
+	}
+	a.openOn(t, a.cfg.Client, c.f.id, trace.FlagRead|trace.FlagWrite)
+	a.openOn(t+us(time.Second), a.cfg.Peer, c.f.id, trace.FlagRead|trace.FlagWrite)
+	t += us(2 * time.Second)
+	for i, n := 0, 8+a.rng.Intn(9); i < n; i++ {
+		off := a.rng.Int63n(c.f.size)
+		n := a.size(8<<10, 24<<10)
+		if off+n > c.f.size {
+			off = c.f.size - n
+			if off < 0 {
+				off = 0
+			}
+		}
+		client := a.cfg.Client
+		if i%2 == 1 {
+			client = a.cfg.Peer
+		}
+		a.writeOn(t, client, c.f.id, off, n)
+		a.tick(&t, time.Second, 10*time.Second)
+	}
+	a.closeOn(t, a.cfg.Client, c.f.id)
+	a.closeOn(t+1, a.cfg.Peer, c.f.id)
+	a.when = now + a.dur(40*time.Minute, 2*time.Hour)
+	return nil
+}
+
+// --- logger: append-only long-lived data ---
+//
+// These bytes are never overwritten or deleted; they are the "Remaining"
+// row of Table 2 and the long tail of Figure 2.
+type logger struct {
+	log file
+}
+
+func (l *logger) step(a *actor, now int64) error {
+	t := now
+	if l.log.id == 0 {
+		l.log = file{id: a.g.newFile()}
+	}
+	n := a.size(32<<10, 80<<10)
+	a.open(t, l.log.id, trace.FlagWrite)
+	a.write(t+1, l.log.id, l.log.size, n)
+	if a.p(0.2) {
+		a.fsync(t+2, l.log.id)
+	}
+	a.close(t+3, l.log.id)
+	l.log.size += n
+	a.when = now + a.dur(2*time.Minute, 10*time.Minute)
+	return nil
+}
+
+// --- migrator: process migration ---
+//
+// A job writes scratch data on one client, migrates to the peer (flushing
+// the source client's dirty bytes, per Sprite's migration policy), and
+// continues there. Less than one percent of server write traffic in the
+// paper.
+type migrator struct {
+	job     file
+	home    uint16 // current client
+	started bool
+	steps   int
+}
+
+func (m *migrator) step(a *actor, now int64) error {
+	t := now
+	if !m.started {
+		m.started = true
+		m.home = a.cfg.Client
+		m.job = file{id: a.g.newFile()}
+		a.openOn(t, m.home, m.job.id, trace.FlagWrite)
+		t++
+	}
+	n := a.size(64<<10, 256<<10)
+	a.writeOn(t, m.home, m.job.id, m.job.size, n)
+	m.job.size += n
+	m.steps++
+	if m.steps%6 == 0 {
+		// Offload to the idle peer: Sprite flushes dirty data on migration.
+		dest := a.cfg.Peer
+		if m.home == a.cfg.Peer {
+			dest = a.cfg.Client
+		}
+		a.closeOn(t+1, m.home, m.job.id)
+		a.migrate(t+2, m.home, dest)
+		m.home = dest
+		a.openOn(t+3, m.home, m.job.id, trace.FlagWrite)
+	}
+	if m.steps >= 24 {
+		// Job complete: results discarded after a final read.
+		a.closeOn(t+4, m.home, m.job.id)
+		a.readOn(t+5, m.home, m.job.id, 0, m.job.size)
+		a.deleteOn(t+us(30*time.Minute), m.home, m.job.id)
+		m.started = false
+		m.steps = 0
+		m.job = file{}
+		a.when = now + a.dur(2*time.Hour, 5*time.Hour)
+		return nil
+	}
+	a.when = now + a.dur(2*time.Minute, 5*time.Minute)
+	return nil
+}

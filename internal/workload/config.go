@@ -1,0 +1,137 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// ProfileSpec is the JSON form of a workload profile, so users can define
+// their own trace workloads without writing Go (cmd/nvtrace -config).
+//
+//	{
+//	  "name": "mycluster",
+//	  "seed": 42,
+//	  "duration_hours": 24,
+//	  "scale": 1.0,
+//	  "clients": 10,
+//	  "actors": [
+//	    {"kind": "editor", "client": 1},
+//	    {"kind": "build", "client": 2, "intensity": 1.5},
+//	    {"kind": "shared", "client": 3, "peer": 4}
+//	  ]
+//	}
+type ProfileSpec struct {
+	Name          string      `json:"name"`
+	Seed          int64       `json:"seed"`
+	DurationHours float64     `json:"duration_hours"`
+	Scale         float64     `json:"scale"`
+	Clients       int         `json:"clients"`
+	Actors        []ActorSpec `json:"actors"`
+}
+
+// ActorSpec is one actor in a ProfileSpec.
+type ActorSpec struct {
+	Kind      string  `json:"kind"`
+	Client    uint16  `json:"client"`
+	Peer      uint16  `json:"peer,omitempty"`
+	Intensity float64 `json:"intensity,omitempty"`
+}
+
+// kindByName maps the JSON names to actor kinds.
+var kindByName = map[string]Kind{
+	"editor":     KindEditor,
+	"build":      KindBuild,
+	"sim":        KindSim,
+	"mail":       KindMail,
+	"shared":     KindShared,
+	"concurrent": KindConcurrent,
+	"log":        KindLog,
+	"migrate":    KindMigrate,
+}
+
+// KindNames lists the accepted actor kind names.
+func KindNames() []string {
+	return []string{"editor", "build", "sim", "mail", "shared", "concurrent", "log", "migrate"}
+}
+
+// Profile converts the spec into a runnable profile.
+func (s ProfileSpec) Profile() (Profile, error) {
+	if s.Name == "" {
+		return Profile{}, fmt.Errorf("workload: profile needs a name")
+	}
+	if len(s.Actors) == 0 {
+		return Profile{}, fmt.Errorf("workload: profile %q has no actors", s.Name)
+	}
+	p := Profile{
+		Name:    s.Name,
+		Seed:    s.Seed,
+		Scale:   s.Scale,
+		Clients: s.Clients,
+	}
+	if s.DurationHours > 0 {
+		p.Duration = time.Duration(s.DurationHours * float64(time.Hour))
+	}
+	maxClient := uint16(0)
+	for i, a := range s.Actors {
+		kind, ok := kindByName[a.Kind]
+		if !ok {
+			return Profile{}, fmt.Errorf("workload: actor %d: unknown kind %q (valid: %v)", i, a.Kind, KindNames())
+		}
+		if (kind == KindShared || kind == KindConcurrent || kind == KindMigrate) && a.Peer == a.Client {
+			return Profile{}, fmt.Errorf("workload: actor %d: kind %q needs a distinct peer client", i, a.Kind)
+		}
+		p.Actors = append(p.Actors, ActorConfig{
+			Kind:      kind,
+			Client:    a.Client,
+			Peer:      a.Peer,
+			Intensity: a.Intensity,
+		})
+		if a.Client > maxClient {
+			maxClient = a.Client
+		}
+		if a.Peer > maxClient {
+			maxClient = a.Peer
+		}
+	}
+	if p.Clients <= int(maxClient) {
+		p.Clients = int(maxClient) + 1
+	}
+	return p, nil
+}
+
+// ParseProfile reads a JSON ProfileSpec and converts it.
+func ParseProfile(r io.Reader) (Profile, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var spec ProfileSpec
+	if err := dec.Decode(&spec); err != nil {
+		return Profile{}, fmt.Errorf("workload: parsing profile: %w", err)
+	}
+	return spec.Profile()
+}
+
+// Spec converts a profile back to its JSON form (for writing templates).
+func (p Profile) Spec() ProfileSpec {
+	s := ProfileSpec{
+		Name:          p.Name,
+		Seed:          p.Seed,
+		DurationHours: p.Duration.Hours(),
+		Scale:         p.Scale,
+		Clients:       p.Clients,
+	}
+	nameByKind := make(map[Kind]string, len(kindByName))
+	for n, k := range kindByName {
+		nameByKind[k] = n
+	}
+	for _, a := range p.Actors {
+		s.Actors = append(s.Actors, ActorSpec{
+			Kind:      nameByKind[a.Kind],
+			Client:    a.Client,
+			Peer:      a.Peer,
+			Intensity: a.Intensity,
+		})
+	}
+	return s
+}

@@ -1,0 +1,81 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// NumStandardTraces is the number of traces in the paper's study.
+const NumStandardTraces = 8
+
+// HeavyTrace reports whether trace i (1-based) is one of the two traces —
+// 3 and 4 — during which users ran long simulations on large files. Several
+// of the paper's summaries report results both with and without them.
+func HeavyTrace(i int) bool { return i == 3 || i == 4 }
+
+// StandardProfile returns the profile for trace i (1-based, 1..8) at the
+// given volume scale (1.0 = paper scale). Traces 3 and 4 include two users
+// running long simulations on large files; the rest record similar typical
+// workloads with per-trace seed and intensity variation.
+func StandardProfile(i int, scale float64) Profile {
+	if i < 1 || i > NumStandardTraces {
+		panic(fmt.Sprintf("workload: trace index %d out of range 1..%d", i, NumStandardTraces))
+	}
+	seed := int64(1000 + 77*i)
+	rng := rand.New(rand.NewSource(seed))
+	// jitter returns a per-actor intensity near 1.0 so the eight traces are
+	// similar but not identical, like the real trace set.
+	jitter := func() float64 { return 0.8 + 0.4*rng.Float64() }
+
+	var actors []ActorConfig
+	add := func(k Kind, client, peer uint16) {
+		actors = append(actors, ActorConfig{Kind: k, Client: client, Peer: peer, Intensity: jitter()})
+	}
+	// Interactive users: editors and mail on the first few workstations.
+	for c := uint16(1); c <= 6; c++ {
+		add(KindEditor, c, 0)
+	}
+	for _, c := range []uint16{2, 5, 8, 14} {
+		add(KindMail, c, 0)
+	}
+	// Development activity: compile/link cycles.
+	for c := uint16(7); c <= 12; c++ {
+		add(KindBuild, c, 0)
+	}
+	// Producer/consumer pairs (called-back traffic).
+	for j := uint16(0); j < 4; j++ {
+		add(KindShared, 13+j, 17+j)
+	}
+	// Long-lived logs scattered over interactive machines.
+	for _, c := range []uint16{1, 3, 21, 22, 23} {
+		add(KindLog, c, 0)
+	}
+	// One concurrently write-shared file and one migrating job.
+	add(KindConcurrent, 18, 19)
+	add(KindMigrate, 26, 27)
+
+	if HeavyTrace(i) {
+		// Two users running long simulations on large files.
+		add(KindSim, 28, 0)
+		add(KindSim, 29, 0)
+	}
+
+	return Profile{
+		Name:     fmt.Sprintf("trace%d", i),
+		Seed:     seed,
+		Duration: 24 * time.Hour,
+		Scale:    scale,
+		Clients:  30,
+		Actors:   actors,
+	}
+}
+
+// StandardProfiles returns all eight trace profiles at the given scale.
+func StandardProfiles(scale float64) []Profile {
+	ps := make([]Profile, NumStandardTraces)
+	for i := range ps {
+		ps[i] = StandardProfile(i+1, scale)
+	}
+	return ps
+}

@@ -1,0 +1,227 @@
+// Package workload synthesizes multi-client file-system traces with the
+// population statistics of the Sprite traces used in the paper.
+//
+// The original eight 24-hour Berkeley Sprite traces are not publicly
+// available, so this package substitutes a synthetic generator built from
+// per-application behaviour models: editor sessions that repeatedly save
+// (overwrite) documents, compile/link cycles whose temporary files die
+// within seconds, long-running simulations that stream large output files
+// and delete them within half an hour (traces 3 and 4), mail activity,
+// shared files recalled by the server's consistency mechanism, occasional
+// concurrent write-sharing, process migration, and long-lived log data that
+// survives the trace.
+//
+// The generator is calibrated so that the derived marginals match what the
+// paper reports about its traces (see DESIGN.md §5): on typical traces
+// roughly 35-50% of written bytes die within 30 seconds and ~60% within a
+// few hours; on traces 3 and 4 only 5-10% die within 30 seconds but more
+// than 80% within half an hour; called-back bytes are ~8-17% of application
+// writes and concurrent-write-sharing bytes are well under 1%.
+//
+// Everything is deterministic: a Profile's Seed fully determines the trace.
+package workload
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"nvramfs/internal/trace"
+)
+
+// Profile describes one synthetic trace to generate.
+type Profile struct {
+	// Name labels the trace, e.g. "trace1".
+	Name string
+	// Seed determines all randomness in the trace.
+	Seed int64
+	// Duration is the simulated length of the trace (24h in the paper).
+	Duration time.Duration
+	// Scale multiplies all data volumes. 1.0 reproduces paper-scale volumes
+	// (~320 MB of application writes on a typical trace, ~2.3 GB on traces
+	// 3 and 4); tests use smaller scales for speed.
+	Scale float64
+	// Actors is the cast of activity generators, assigned to clients.
+	Actors []ActorConfig
+	// Clients is the number of workstations in the cluster.
+	Clients int
+}
+
+// Header builds the trace file header for this profile.
+func (p Profile) Header() trace.Header {
+	d := p.Duration
+	if d <= 0 {
+		d = 24 * time.Hour
+	}
+	return trace.Header{Name: p.Name, Clients: p.Clients, Duration: d, Seed: p.Seed}
+}
+
+// Kind selects an application behaviour model.
+type Kind uint8
+
+// Actor kinds. Each produces a distinct byte-fate signature; the mixture
+// determines the trace's lifetime marginals.
+const (
+	// KindEditor models interactive editing: documents are re-saved
+	// (overwritten in place) every few minutes, sometimes fsync'd.
+	KindEditor Kind = iota
+	// KindBuild models compile/link cycles: temporary files die within
+	// seconds, object files are deleted and recreated each cycle,
+	// executables relinked, sources and headers re-read.
+	KindBuild
+	// KindSim models a long-running simulation streaming large outputs
+	// that are consumed and deleted within tens of minutes (traces 3-4).
+	KindSim
+	// KindMail models small mailbox appends and news reading.
+	KindMail
+	// KindShared models producer/consumer sharing across two clients: the
+	// server recalls the producer's dirty bytes when the consumer opens
+	// the file ("called back" traffic).
+	KindShared
+	// KindConcurrent models simultaneous write-sharing of one file by two
+	// clients, which disables caching for the file.
+	KindConcurrent
+	// KindLog models append-only long-lived data that survives the trace.
+	KindLog
+	// KindMigrate models process migration: the migrating client's dirty
+	// data is flushed to the server.
+	KindMigrate
+)
+
+var kindNames = map[Kind]string{
+	KindEditor:     "editor",
+	KindBuild:      "build",
+	KindSim:        "sim",
+	KindMail:       "mail",
+	KindShared:     "shared",
+	KindConcurrent: "concurrent",
+	KindLog:        "log",
+	KindMigrate:    "migrate",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// ActorConfig instantiates one actor on a client.
+type ActorConfig struct {
+	Kind   Kind
+	Client uint16
+	// Peer is the second client for Shared and Concurrent actors.
+	Peer uint16
+	// Intensity scales this actor's data volume (1.0 = nominal).
+	Intensity float64
+}
+
+// Generate synthesizes the trace described by p and hands every event, in
+// time order, to emit. It returns the total number of events generated.
+//
+// Actors are stepped through a scheduling heap; each step may emit a burst
+// of events spanning simulated time (e.g. a compile writing temporaries that
+// are deleted seconds later), so the stream is buffered and stably sorted by
+// timestamp before delivery.
+func Generate(p Profile, emit func(trace.Event) error) (int64, error) {
+	if p.Scale <= 0 {
+		p.Scale = 1.0
+	}
+	if p.Duration <= 0 {
+		p.Duration = 24 * time.Hour
+	}
+	g := &generator{
+		horizon: int64(p.Duration / time.Microsecond),
+		nextID:  1,
+	}
+	base := rand.New(rand.NewSource(p.Seed))
+	var queue actorQueue
+	for i, ac := range p.Actors {
+		if ac.Intensity <= 0 {
+			ac.Intensity = 1.0
+		}
+		rng := rand.New(rand.NewSource(base.Int63() + int64(i)))
+		a := newActor(ac, p.Scale, rng, g)
+		// Stagger actor start times through the first hour so activity
+		// doesn't arrive in lockstep.
+		a.when = rng.Int63n(int64(time.Hour / time.Microsecond))
+		heap.Push(&queue, a)
+	}
+	for queue.Len() > 0 {
+		a := heap.Pop(&queue).(*actor)
+		if a.when >= g.horizon {
+			continue
+		}
+		prev := a.when
+		if err := a.behavior.step(a, a.when); err != nil {
+			return 0, err
+		}
+		if a.when <= prev {
+			return 0, fmt.Errorf("workload: %v actor did not advance time", a.cfg.Kind)
+		}
+		if a.when < g.horizon {
+			heap.Push(&queue, a)
+		}
+	}
+	sort.SliceStable(g.buf, func(i, j int) bool { return g.buf[i].Time < g.buf[j].Time })
+	for _, e := range g.buf {
+		if err := emit(e); err != nil {
+			return 0, err
+		}
+	}
+	return int64(len(g.buf)), nil
+}
+
+// GenerateToWriter synthesizes the trace into a trace.Writer.
+func GenerateToWriter(p Profile, w *trace.Writer) (int64, error) {
+	return Generate(p, w.Write)
+}
+
+// GenerateEvents synthesizes the trace into memory.
+func GenerateEvents(p Profile) ([]trace.Event, error) {
+	var evs []trace.Event
+	_, err := Generate(p, func(e trace.Event) error {
+		evs = append(evs, e)
+		return nil
+	})
+	return evs, err
+}
+
+// generator carries shared state for one trace synthesis run.
+type generator struct {
+	buf     []trace.Event
+	horizon int64 // trace end, microseconds
+	nextID  uint64
+}
+
+// newFile allocates a cluster-wide file id.
+func (g *generator) newFile() uint64 {
+	id := g.nextID
+	g.nextID++
+	return id
+}
+
+// add buffers one event, dropping events at or past the trace horizon.
+func (g *generator) add(e trace.Event) {
+	if e.Time >= g.horizon {
+		return
+	}
+	g.buf = append(g.buf, e)
+}
+
+// actorQueue is a min-heap of actors ordered by next action time.
+type actorQueue []*actor
+
+func (q actorQueue) Len() int            { return len(q) }
+func (q actorQueue) Less(i, j int) bool  { return q[i].when < q[j].when }
+func (q actorQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *actorQueue) Push(x interface{}) { *q = append(*q, x.(*actor)) }
+func (q *actorQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	a := old[n-1]
+	*q = old[:n-1]
+	return a
+}

@@ -1,0 +1,428 @@
+// Package nvramfs reproduces the systems and experiments of Baker, Asami,
+// Deprit, Ousterhout & Seltzer, "Non-Volatile Memory for Fast, Reliable
+// File Systems" (ASPLOS V, 1992).
+//
+// The library contains two trace-driven simulation studies:
+//
+//   - Client-side NVRAM file caches (paper Section 2): synthetic
+//     Sprite-like multi-client traces are replayed through the volatile,
+//     write-aside, and unified cache organizations under LRU, random, and
+//     omniscient replacement, with Sprite's cache-consistency protocol
+//     (recalls, concurrent write-sharing, migration flushes) in the loop.
+//
+//   - Server-side NVRAM write buffers for a log-structured file system
+//     (Section 3): workload models of the Sprite server's eight LFS
+//     volumes drive a segment-based LFS simulator — with summary and
+//     metadata overheads, a 30-second delayed write-back, fsync-forced
+//     partial segments, and a garbage collector — with and without a
+//     half-megabyte NVRAM buffer in front of the disk.
+//
+// Quick start:
+//
+//	tr, _ := nvramfs.StandardTrace(7, 1.0)
+//	res, _ := tr.RunCache(nvramfs.CacheConfig{
+//		Model: "unified", Policy: "lru", VolatileMB: 8, NVRAMMB: 1,
+//	})
+//	fmt.Printf("net write traffic: %.1f%%\n", res.Traffic.NetWriteFrac()*100)
+//
+// The report helpers (Figure2 .. Table4) regenerate every table and figure
+// of the paper's evaluation; cmd/nvreport prints them all.
+package nvramfs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"nvramfs/internal/cache"
+	"nvramfs/internal/disk"
+	"nvramfs/internal/lfs"
+	"nvramfs/internal/lifetime"
+	"nvramfs/internal/nvram"
+	"nvramfs/internal/prep"
+	"nvramfs/internal/report"
+	"nvramfs/internal/serverload"
+	"nvramfs/internal/sim"
+	"nvramfs/internal/trace"
+	"nvramfs/internal/workload"
+)
+
+// Re-exported result and helper types. These are the package's public
+// data model; the implementation lives in internal packages.
+type (
+	// Traffic is the client-server traffic accounting of one simulation.
+	Traffic = cache.Traffic
+	// CacheResult is the outcome of a client cache simulation.
+	CacheResult = sim.Result
+	// Lifetime is the infinite-cache byte-lifetime analysis (Figure 2,
+	// Table 2).
+	Lifetime = lifetime.Analysis
+	// Fate tallies written bytes into the Table 2 categories.
+	Fate = lifetime.Fate
+	// LFSStats holds the server file-system measurements (Tables 3-4).
+	LFSStats = lfs.Stats
+	// TraceStats summarizes a canonicalized trace.
+	TraceStats = prep.Stats
+	// Workspace caches trace passes shared between experiments.
+	Workspace = report.Workspace
+
+	// Experiment results, one per table/figure.
+	Figure2Result      = report.Figure2Result
+	Table2Result       = report.Table2Result
+	PolicySweepResult  = report.PolicySweepResult
+	ModelCompareResult = report.ModelCompareResult
+	BusResult          = report.BusResult
+	ServerStudyResult  = report.ServerStudyResult
+	SortedBufferResult = report.SortedBufferResult
+	CostStudyResult    = report.CostStudyResult
+	AblationResult     = report.AblationResult
+	ServerCacheResult  = report.ServerCacheResult
+	LatencyResult      = report.LatencyResult
+	StackResult        = report.StackResult
+	ReadResponseResult = report.ReadResponseResult
+
+	// Tabular is any experiment result exportable as CSV rows.
+	Tabular = report.Tabular
+
+	// FS is the log-structured file system simulator, exposed for direct
+	// use (segment writes, fsync behavior, checkpoints, crash recovery).
+	FS = lfs.FS
+	// RecoveryReport describes a crash-recovery outcome.
+	RecoveryReport = lfs.RecoveryReport
+	// Store is a battery-backed client memory with crash/detach modeling
+	// (the paper's Section 4 reliability discussion).
+	Store = nvram.Store
+)
+
+// NumStandardTraces is the number of standard traces (eight 24-hour
+// traces, as in the paper).
+const NumStandardTraces = workload.NumStandardTraces
+
+// Trace is a canonicalized file-system trace ready for simulation.
+type Trace struct {
+	Name  string
+	ops   []prep.Op
+	stats prep.Stats
+}
+
+// StandardTrace synthesizes standard trace i (1..8) at the given volume
+// scale (1.0 = paper scale; traces 3 and 4 carry the heavy simulation
+// workloads).
+func StandardTrace(i int, scale float64) (*Trace, error) {
+	if i < 1 || i > NumStandardTraces {
+		return nil, fmt.Errorf("nvramfs: trace index %d out of range 1..%d", i, NumStandardTraces)
+	}
+	p := workload.StandardProfile(i, scale)
+	evs, err := workload.GenerateEvents(p)
+	if err != nil {
+		return nil, err
+	}
+	ops, st, err := prep.CanonicalizeAll(evs)
+	if err != nil {
+		return nil, err
+	}
+	return &Trace{Name: p.Name, ops: ops, stats: st}, nil
+}
+
+// WorkloadTemplate writes an example JSON workload profile (the standard
+// trace 1 cast) that can be edited and fed back via CustomTrace or
+// cmd/nvtrace -config.
+func WorkloadTemplate(w io.Writer) error {
+	spec := workload.StandardProfile(1, 1.0).Spec()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(spec)
+}
+
+// CustomTrace synthesizes a trace from a JSON workload profile (see
+// workload.ProfileSpec's documentation for the schema; cmd/nvtrace
+// -config uses this).
+func CustomTrace(config io.Reader) (*Trace, error) {
+	p, err := workload.ParseProfile(config)
+	if err != nil {
+		return nil, err
+	}
+	evs, err := workload.GenerateEvents(p)
+	if err != nil {
+		return nil, err
+	}
+	ops, st, err := prep.CanonicalizeAll(evs)
+	if err != nil {
+		return nil, err
+	}
+	return &Trace{Name: p.Name, ops: ops, stats: st}, nil
+}
+
+// WriteCustomTrace synthesizes a trace from a JSON workload profile and
+// writes it in the binary trace format, returning the event count.
+func WriteCustomTrace(w io.Writer, config io.Reader) (int64, error) {
+	p, err := workload.ParseProfile(config)
+	if err != nil {
+		return 0, err
+	}
+	tw, err := trace.NewWriter(w, p.Header())
+	if err != nil {
+		return 0, err
+	}
+	n, err := workload.GenerateToWriter(p, tw)
+	if err != nil {
+		return n, err
+	}
+	return n, tw.Close()
+}
+
+// ReadTrace loads a trace from the binary trace format (as written by
+// cmd/nvtrace or WriteStandardTrace).
+func ReadTrace(r io.Reader) (*Trace, error) {
+	tr, err := trace.NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	evs, err := tr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	ops, st, err := prep.CanonicalizeAll(evs)
+	if err != nil {
+		return nil, err
+	}
+	return &Trace{Name: tr.Header().Name, ops: ops, stats: st}, nil
+}
+
+// WriteStandardTrace synthesizes standard trace i and writes it in the
+// binary trace format, returning the event count.
+func WriteStandardTrace(w io.Writer, i int, scale float64) (int64, error) {
+	if i < 1 || i > NumStandardTraces {
+		return 0, fmt.Errorf("nvramfs: trace index %d out of range 1..%d", i, NumStandardTraces)
+	}
+	p := workload.StandardProfile(i, scale)
+	tw, err := trace.NewWriter(w, p.Header())
+	if err != nil {
+		return 0, err
+	}
+	n, err := workload.GenerateToWriter(p, tw)
+	if err != nil {
+		return n, err
+	}
+	return n, tw.Close()
+}
+
+// Stats returns trace-level totals (events, bytes read/written, files).
+func (t *Trace) Stats() TraceStats { return t.stats }
+
+// DumpTrace pretty-prints a trace file's header and first n events (all
+// when n <= 0); a trace-inspection aid for cmd/nvtrace -dump.
+func DumpTrace(w io.Writer, r io.Reader, n int) error {
+	tr, err := trace.NewReader(r)
+	if err != nil {
+		return err
+	}
+	h := tr.Header()
+	fmt.Fprintf(w, "trace %q: %d clients, %v, seed %d\n", h.Name, h.Clients, h.Duration, h.Seed)
+	count := 0
+	for n <= 0 || count < n {
+		e, err := tr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, e)
+		count++
+	}
+	fmt.Fprintf(w, "(%d events shown)\n", count)
+	return nil
+}
+
+// Analyze runs the infinite-cache lifetime analysis (Figure 2, Table 2).
+func (t *Trace) Analyze() (*Lifetime, error) { return lifetime.Analyze(t.ops) }
+
+// CacheConfig parameterizes a client cache simulation.
+type CacheConfig struct {
+	// Model is "volatile", "write-aside", or "unified".
+	Model string
+	// Policy is the NVRAM replacement policy: "lru" (default), "random",
+	// or "omniscient" (the omniscient schedule is built automatically).
+	Policy string
+	// VolatileMB and NVRAMMB size the two memories per client.
+	VolatileMB float64
+	NVRAMMB    float64
+	// WritesOnly ignores read traffic (the paper's Figure 3 methodology).
+	WritesOnly bool
+	// Seed drives the random policy.
+	Seed int64
+}
+
+// RunCache simulates the trace under the configured client cache model.
+func (t *Trace) RunCache(cfg CacheConfig) (*CacheResult, error) {
+	var model cache.ModelKind
+	switch cfg.Model {
+	case "volatile", "":
+		model = cache.ModelVolatile
+	case "write-aside":
+		model = cache.ModelWriteAside
+	case "unified":
+		model = cache.ModelUnified
+	case "hybrid":
+		model = cache.ModelHybrid
+	default:
+		return nil, fmt.Errorf("nvramfs: unknown cache model %q", cfg.Model)
+	}
+	var policy cache.PolicyKind
+	var sched cache.Schedule
+	switch cfg.Policy {
+	case "lru", "":
+		policy = cache.LRU
+	case "random":
+		policy = cache.Random
+	case "omniscient":
+		policy = cache.Omniscient
+		sched = lifetime.BuildSchedule(t.ops, cache.DefaultBlockSize)
+	default:
+		return nil, fmt.Errorf("nvramfs: unknown policy %q", cfg.Policy)
+	}
+	return sim.Run(t.ops, sim.Config{
+		Model: model,
+		Cache: cache.Config{
+			VolatileBlocks: sim.BlocksForBytes(int64(cfg.VolatileMB*float64(sim.MB)), cache.DefaultBlockSize),
+			NVRAMBlocks:    sim.BlocksForBytes(int64(cfg.NVRAMMB*float64(sim.MB)), cache.DefaultBlockSize),
+			Policy:         policy,
+			Schedule:       sched,
+		},
+		Seed:       cfg.Seed,
+		WritesOnly: cfg.WritesOnly,
+	})
+}
+
+// ServerResult is the outcome of one server file-system run.
+type ServerResult struct {
+	Name       string
+	Stats      LFSStats
+	DiskWrites int64
+	DiskReads  int64
+	// DiskBusy is total disk service time.
+	DiskBusy time.Duration
+}
+
+// ServerFileSystems lists the eight standard LFS volumes of Tables 3-4.
+func ServerFileSystems() []string {
+	var names []string
+	for _, p := range serverload.StandardProfiles() {
+		names = append(names, p.Name)
+	}
+	return names
+}
+
+// RunServer replays the named standard file-system workload (e.g.
+// "/user6") for the given duration against the LFS simulator, with an
+// optional NVRAM write buffer of bufferBytes in front of the disk
+// (0 disables it; the paper studies 512 KiB).
+func RunServer(fsName string, duration time.Duration, bufferBytes int64) (*ServerResult, error) {
+	p, ok := serverload.ProfileByName(fsName)
+	if !ok {
+		return nil, fmt.Errorf("nvramfs: unknown file system %q (see ServerFileSystems)", fsName)
+	}
+	if duration <= 0 {
+		duration = serverload.DefaultDuration
+	}
+	d := disk.New(disk.DefaultParams())
+	fs := lfs.New(lfs.Config{Name: fsName, BufferBytes: bufferBytes}, d)
+	serverload.Run(p, fs, duration)
+	return &ServerResult{
+		Name:       fsName,
+		Stats:      *fs.Stats(),
+		DiskWrites: d.Writes,
+		DiskReads:  d.Reads,
+		DiskBusy:   d.BusyTime,
+	}, nil
+}
+
+// NewRecoverableFS builds a log-structured file system on a default disk
+// with an optional NVRAM write buffer (0 disables it), for direct
+// experimentation with segments, fsync behavior, checkpoints, and crash
+// recovery.
+func NewRecoverableFS(bufferBytes int64) (*FS, error) {
+	if bufferBytes < 0 {
+		return nil, fmt.Errorf("nvramfs: negative buffer size %d", bufferBytes)
+	}
+	return lfs.New(lfs.Config{BufferBytes: bufferBytes}, disk.New(disk.DefaultParams())), nil
+}
+
+// NewStore returns a battery-backed store with the given number of
+// lithium batteries (Table 1's components carry one to three).
+func NewStore(batteries int) *Store { return nvram.NewStore(batteries) }
+
+// NewWorkspace returns a workspace for the experiment drivers below at
+// the given workload scale (1.0 = paper scale).
+func NewWorkspace(scale float64) *Workspace { return report.NewWorkspace(scale) }
+
+// Experiment drivers: one per table and figure in the paper's evaluation.
+// Each result renders itself as text via its Render method(s).
+
+// Figure2 sweeps write-back delay against net write traffic per trace.
+func Figure2(ws *Workspace) (*Figure2Result, error) { return report.Figure2(ws) }
+
+// Table2 tallies the fate of every written byte with infinite NVRAM.
+func Table2(ws *Workspace) (*Table2Result, error) { return report.Table2(ws) }
+
+// Figure3 sweeps NVRAM size under the omniscient policy for every trace.
+func Figure3(ws *Workspace) (*PolicySweepResult, error) { return report.Figure3(ws) }
+
+// Figure4 compares LRU, random, and omniscient replacement on trace 7.
+func Figure4(ws *Workspace) (*PolicySweepResult, error) { return report.Figure4(ws) }
+
+// Figure5 compares the three cache models' total traffic on trace 7.
+func Figure5(ws *Workspace) (*ModelCompareResult, error) { return report.Figure5(ws) }
+
+// Figure6 compares volatile vs unified growth from 8 MB and 16 MB bases.
+func Figure6(ws *Workspace) (*ModelCompareResult, error) { return report.Figure6(ws) }
+
+// BusTraffic measures the Section 2.6 memory-bus and NVRAM-access claims.
+func BusTraffic(ws *Workspace) (*BusResult, error) { return report.BusTraffic(ws) }
+
+// ServerStudy produces Tables 3-4 and the write-buffer comparison.
+func ServerStudy(duration time.Duration) (*ServerStudyResult, error) {
+	return report.ServerStudy(duration)
+}
+
+// SortedBuffer reproduces the buffered-and-sorted write analysis ([20]).
+func SortedBuffer() *SortedBufferResult { return report.SortedBuffer() }
+
+// CostStudy derives the Section 2.7 cost-effectiveness verdicts from a
+// Figure 6 result.
+func CostStudy(fig6 *ModelCompareResult) *CostStudyResult { return report.CostStudy(fig6) }
+
+// RenderTable1 writes the paper's Table 1 NVRAM price list.
+func RenderTable1(w io.Writer) error { return report.RenderTable1(w) }
+
+// WriteCSV exports an experiment result's data rows as CSV (for external
+// plotting tools).
+func WriteCSV(w io.Writer, t Tabular) error { return report.WriteCSV(w, t) }
+
+// Ablations runs the design-choice ablations DESIGN.md calls out: dirty-
+// block replacement preference, the hybrid cache organization of Section
+// 2.6, and block-level consistency (Section 2.3).
+func Ablations(ws *Workspace) (*AblationResult, error) { return report.Ablations(ws) }
+
+// ServerCacheStudy sweeps a server-side NVRAM cache region over the
+// standard file-system workloads (the Section 3 opening remark).
+func ServerCacheStudy(duration time.Duration) (*ServerCacheResult, error) {
+	return report.ServerCacheStudy(duration)
+}
+
+// FsyncLatencyStudy prices fsync latency under volatile, server-NVRAM,
+// and client-NVRAM organizations (extension; the paper's Prestoserve and
+// IBM 3990 latency motivation).
+func FsyncLatencyStudy(ws *Workspace) (*LatencyResult, error) {
+	return report.FsyncLatencyStudy(ws)
+}
+
+// StackStudy runs the end-to-end pipeline — client caches feeding a file
+// server (cache + LFS + disk) — under three NVRAM placements.
+func StackStudy(ws *Workspace) (*StackResult, error) { return report.StackStudy(ws) }
+
+// ReadResponseStudy computes the [3] analysis: read-response increase vs
+// LFS write size, and the interference-minimizing write unit.
+func ReadResponseStudy() *ReadResponseResult { return report.ReadResponseStudy() }
