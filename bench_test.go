@@ -11,6 +11,7 @@ package nvramfs
 // numbers and comparison).
 
 import (
+	"context"
 	"sync"
 	"testing"
 	"time"
@@ -172,6 +173,24 @@ func BenchmarkSortedBuffer(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkWorkspaceSerial and BenchmarkWorkspaceParallel compare the
+// one-worker and all-CPU engine on the same work: prewarming every
+// trace's ops, lifetime analysis, and omniscient schedule from scratch.
+
+func benchPrewarm(b *testing.B, workers int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		ws := NewWorkspace(0.05)
+		ws.SetEngine(NewEngine(workers))
+		if err := ws.Prewarm(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWorkspaceSerial(b *testing.B)   { benchPrewarm(b, 1) }
+func BenchmarkWorkspaceParallel(b *testing.B) { benchPrewarm(b, 0) }
 
 // Microbenchmarks of the simulator itself.
 

@@ -1,0 +1,17 @@
+#!/bin/sh
+# Tier-1 gate (see ROADMAP.md): formatting, vet, build, and the full test
+# suite under the race detector. Everything must pass before a merge.
+set -eu
+
+cd "$(dirname "$0")"
+
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
+go vet ./...
+go build ./...
+go test -race ./...

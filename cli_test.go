@@ -75,16 +75,25 @@ func TestCLI(t *testing.T) {
 		t.Fatalf("nvlfs output: %s", out)
 	}
 
-	// One quick report experiment with CSV export.
+	// One quick report experiment with CSV export, on two workers.
 	csvDir := filepath.Join(dir, "csv")
 	if err := os.Mkdir(csvDir, 0o755); err != nil {
 		t.Fatal(err)
 	}
-	out = run("nvreport", "-exp", "table1,sort", "-csv", csvDir)
+	out = run("nvreport", "-exp", "table1,sort", "-csv", csvDir, "-j", "2")
 	if !strings.Contains(out, "Table 1") {
 		t.Fatalf("nvreport output: %s", out)
 	}
 	if _, err := os.Stat(filepath.Join(csvDir, "sort.csv")); err != nil {
 		t.Fatalf("CSV not written: %v", err)
+	}
+
+	// An unknown experiment name must fail and list the valid ones.
+	badOut, err := exec.Command(bin("nvreport"), "-exp", "bogus").CombinedOutput()
+	if err == nil {
+		t.Fatalf("nvreport -exp bogus succeeded:\n%s", badOut)
+	}
+	if !strings.Contains(string(badOut), "bogus") || !strings.Contains(string(badOut), "fig2") {
+		t.Fatalf("nvreport -exp bogus output should name the bad and valid experiments:\n%s", badOut)
 	}
 }

@@ -5,22 +5,35 @@
 //	nvreport                      # everything, at paper scale
 //	nvreport -exp fig2,table2     # selected experiments
 //	nvreport -scale 0.1           # faster, smaller workloads
+//	nvreport -j 4 -progress       # four workers, job progress on stderr
 //
 // Experiments: table1 fig2 table2 fig3 fig4 fig5 fig6 bus cost table3
 // table4 buffer sort servercache fsynclat readlat stack ablate.
+//
+// Experiment output is written to stdout and is byte-identical at any
+// worker count; progress and the wall-clock summary go to stderr.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
 	"time"
 
 	"nvramfs"
 )
+
+// experiments lists every valid -exp name in report order.
+var experiments = []string{
+	"table1", "fig2", "table2", "fig3", "fig4", "fig5", "fig6", "bus",
+	"cost", "table3", "table4", "buffer", "sort", "servercache",
+	"fsynclat", "readlat", "stack", "ablate",
+}
 
 func main() {
 	log.SetFlags(0)
@@ -31,17 +44,50 @@ func main() {
 		serverDays = flag.Float64("server-days", 14, "server study duration in days")
 		csvDir     = flag.String("csv", "", "also write each experiment's data as CSV into this directory")
 		plot       = flag.Bool("plot", false, "also draw ASCII charts for the figures")
+		jobs       = flag.Int("j", 0, "worker goroutines for the experiment engine (0 = all CPUs)")
+		progress   = flag.Bool("progress", false, "report per-job progress on stderr")
 	)
 	flag.Parse()
 
+	valid := map[string]bool{}
+	for _, e := range experiments {
+		valid[e] = true
+	}
 	want := map[string]bool{}
 	all := *expList == "all"
-	for _, e := range strings.Split(*expList, ",") {
-		want[strings.TrimSpace(e)] = true
+	if !all {
+		for _, e := range strings.Split(*expList, ",") {
+			e = strings.TrimSpace(e)
+			if !valid[e] {
+				log.Fatalf("unknown experiment %q; valid names: %s",
+					e, strings.Join(experiments, " "))
+			}
+			want[e] = true
+		}
 	}
 	sel := func(name string) bool { return all || want[name] }
 
+	// Ctrl-C cancels the running job grid; in-flight jobs finish, queued
+	// ones are skipped, and the first error (the cancellation) is fatal.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	eng := nvramfs.NewEngine(*jobs)
+	if *progress {
+		eng.SetHooks(nvramfs.EngineHooks{
+			JobFinished: func(index, total int, err error) {
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "nvreport: job %d/%d failed: %v\n", index+1, total, err)
+					return
+				}
+				fmt.Fprintf(os.Stderr, "nvreport: job %d/%d done\n", index+1, total)
+			},
+		})
+	}
 	ws := nvramfs.NewWorkspace(*scale)
+	ws.SetEngine(eng)
+	start := time.Now()
+
 	out := os.Stdout
 	section := func(name string) {
 		fmt.Fprintf(out, "\n===== %s =====\n", name)
@@ -67,7 +113,7 @@ func main() {
 	}
 	if sel("fig2") {
 		section("fig2")
-		r, err := nvramfs.Figure2(ws)
+		r, err := nvramfs.Figure2Context(ctx, ws)
 		check(err)
 		check(r.Render(out))
 		if *plot {
@@ -77,21 +123,21 @@ func main() {
 	}
 	if sel("table2") {
 		section("table2")
-		r, err := nvramfs.Table2(ws)
+		r, err := nvramfs.Table2Context(ctx, ws)
 		check(err)
 		check(r.Render(out))
 		saveCSV("table2", r)
 	}
 	if sel("fig3") {
 		section("fig3 (omniscient policy, all traces)")
-		r, err := nvramfs.Figure3(ws)
+		r, err := nvramfs.Figure3Context(ctx, ws)
 		check(err)
 		check(r.Render(out))
 		saveCSV("fig3", r)
 	}
 	if sel("fig4") {
 		section("fig4 (replacement policies, trace 7)")
-		r, err := nvramfs.Figure4(ws)
+		r, err := nvramfs.Figure4Context(ctx, ws)
 		check(err)
 		check(r.Render(out))
 		if *plot {
@@ -101,7 +147,7 @@ func main() {
 	}
 	if sel("fig5") {
 		section("fig5 (cache models, trace 7)")
-		r, err := nvramfs.Figure5(ws)
+		r, err := nvramfs.Figure5Context(ctx, ws)
 		check(err)
 		check(r.Render(out))
 		if *plot {
@@ -112,7 +158,7 @@ func main() {
 	var fig6 *nvramfs.ModelCompareResult
 	if sel("fig6") || sel("cost") {
 		var err error
-		fig6, err = nvramfs.Figure6(ws)
+		fig6, err = nvramfs.Figure6Context(ctx, ws)
 		check(err)
 	}
 	if sel("fig6") {
@@ -131,13 +177,13 @@ func main() {
 	}
 	if sel("bus") {
 		section("bus (section 2.6)")
-		r, err := nvramfs.BusTraffic(ws)
+		r, err := nvramfs.BusTrafficContext(ctx, ws)
 		check(err)
 		check(r.Render(out))
 	}
 	if sel("table3") || sel("table4") || sel("buffer") {
 		duration := time.Duration(*serverDays * float64(24*time.Hour))
-		r, err := nvramfs.ServerStudy(duration)
+		r, err := nvramfs.ServerStudyContext(ctx, eng, duration)
 		check(err)
 		if sel("table3") {
 			section("table3")
@@ -162,14 +208,14 @@ func main() {
 	if sel("servercache") {
 		duration := time.Duration(*serverDays * float64(24*time.Hour))
 		section("servercache (server NVRAM cache, section 3 remark)")
-		r, err := nvramfs.ServerCacheStudy(duration)
+		r, err := nvramfs.ServerCacheStudyContext(ctx, eng, duration)
 		check(err)
 		check(r.Render(out))
 		saveCSV("servercache", r)
 	}
 	if sel("fsynclat") {
 		section("fsynclat (fsync latency, extension)")
-		r, err := nvramfs.FsyncLatencyStudy(ws)
+		r, err := nvramfs.FsyncLatencyStudyContext(ctx, ws)
 		check(err)
 		check(r.Render(out))
 		saveCSV("fsynclat", r)
@@ -182,15 +228,20 @@ func main() {
 	}
 	if sel("stack") {
 		section("stack (end-to-end client+server pipeline, extension)")
-		r, err := nvramfs.StackStudy(ws)
+		r, err := nvramfs.StackStudyContext(ctx, ws)
 		check(err)
 		check(r.Render(out))
 		saveCSV("stack", r)
 	}
 	if sel("ablate") {
 		section("ablate (design-choice ablations)")
-		r, err := nvramfs.Ablations(ws)
+		r, err := nvramfs.AblationsContext(ctx, ws)
 		check(err)
 		check(r.Render(out))
 	}
+
+	m := eng.Metrics()
+	fmt.Fprintf(os.Stderr, "nvreport: %d jobs on %d workers in %v (%v busy)\n",
+		m.JobsFinished, eng.Workers(), time.Since(start).Round(time.Millisecond),
+		m.Busy.Round(time.Millisecond))
 }

@@ -1,6 +1,9 @@
 package cache
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // Pool is a fixed-capacity collection of cache blocks with a replacement
 // policy. It indexes blocks both by id and by file so whole-file operations
@@ -121,7 +124,9 @@ func (p *Pool) VictimPreferring(pred func(*Block) bool) *Block {
 	return p.Victim()
 }
 
-// FileBlocks returns the cached blocks of one file in unspecified order.
+// FileBlocks returns the cached blocks of one file in index order. The
+// order is part of the contract: callers flush these blocks through hooks
+// into shared downstream models, so it must not vary run to run.
 func (p *Pool) FileBlocks(file uint64) []*Block {
 	m := p.byFile[file]
 	if len(m) == 0 {
@@ -131,14 +136,22 @@ func (p *Pool) FileBlocks(file uint64) []*Block {
 	for _, b := range m {
 		out = append(out, b)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID.Index < out[j].ID.Index })
 	return out
 }
 
-// Blocks returns all cached blocks in unspecified order.
+// Blocks returns all cached blocks in (file, index) order (see FileBlocks
+// for why the order is fixed).
 func (p *Pool) Blocks() []*Block {
 	out := make([]*Block, 0, len(p.blocks))
 	for _, b := range p.blocks {
 		out = append(out, b)
 	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].ID.File != out[j].ID.File {
+			return out[i].ID.File < out[j].ID.File
+		}
+		return out[i].ID.Index < out[j].ID.Index
+	})
 	return out
 }

@@ -1,0 +1,215 @@
+// Package engine is the repository's concurrent experiment runner: a
+// small, deterministic worker pool with context cancellation, per-key
+// singleflight memoization (Memo), and progress/metrics hooks.
+//
+// The experiment drivers in internal/report declare their work as job
+// grids — one job per (trace, configuration) cell — and submit them via
+// Run or Map. The determinism contract the drivers rely on:
+//
+//   - Jobs are identified by index and write their result into a
+//     preallocated slot (Map does this), so assembled results do not
+//     depend on scheduling order.
+//   - Every job is a pure function of its index and seeded inputs; the
+//     engine adds no randomness of its own.
+//   - When several jobs fail, Run reports the error of the lowest-indexed
+//     failed job, so even error reporting is scheduling-independent.
+//
+// Together these make a run with one worker byte-identical to a run with
+// N workers.
+package engine
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Hooks observe the job lifecycle, for progress reporting. Callbacks run
+// on worker goroutines but are serialized by the engine, so they may
+// write to a shared sink without locking.
+type Hooks struct {
+	// JobStarted is called before a job runs; index is the job's position
+	// in its grid of total jobs.
+	JobStarted func(index, total int)
+	// JobFinished is called after a job returns.
+	JobFinished func(index, total int, err error)
+}
+
+// Metrics is a snapshot of an engine's cumulative counters across every
+// Run it has executed.
+type Metrics struct {
+	JobsStarted  int64
+	JobsFinished int64
+	JobsFailed   int64
+	// Busy is the summed execution time of all finished jobs (it exceeds
+	// wall-clock time when workers run in parallel).
+	Busy time.Duration
+}
+
+// Engine is a fixed-size worker pool. The zero value is not usable; use
+// New. A nil *Engine is valid everywhere and degenerates to a serial
+// runner with no hooks or metrics.
+type Engine struct {
+	workers int
+
+	mu    sync.Mutex // serializes hook callbacks
+	hooks Hooks
+
+	started  atomic.Int64
+	finished atomic.Int64
+	failed   atomic.Int64
+	busyNS   atomic.Int64
+}
+
+// New returns an engine with the given worker count; workers <= 0 selects
+// runtime.NumCPU.
+func New(workers int) *Engine {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	return &Engine{workers: workers}
+}
+
+// Workers reports the pool size (1 for a nil engine).
+func (e *Engine) Workers() int {
+	if e == nil {
+		return 1
+	}
+	return e.workers
+}
+
+// SetHooks installs progress callbacks. Not safe to call concurrently
+// with Run.
+func (e *Engine) SetHooks(h Hooks) {
+	if e == nil {
+		return
+	}
+	e.hooks = h
+}
+
+// Metrics returns the cumulative counters.
+func (e *Engine) Metrics() Metrics {
+	if e == nil {
+		return Metrics{}
+	}
+	return Metrics{
+		JobsStarted:  e.started.Load(),
+		JobsFinished: e.finished.Load(),
+		JobsFailed:   e.failed.Load(),
+		Busy:         time.Duration(e.busyNS.Load()),
+	}
+}
+
+// Run executes fn(ctx, i) for every i in [0, n) on the worker pool. The
+// first job failure cancels the context passed to the remaining jobs and
+// Run returns, after all in-flight jobs complete, the error of the
+// lowest-indexed failed job. If ctx is cancelled externally Run stops
+// dispatching and returns ctx.Err().
+func (e *Engine) Run(ctx context.Context, n int, fn func(ctx context.Context, i int) error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if n <= 0 {
+		return nil
+	}
+	workers := e.Workers()
+	if workers > n {
+		workers = n
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		next     atomic.Int64
+		mu       sync.Mutex
+		errIndex = -1
+		firstErr error
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || runCtx.Err() != nil {
+					return
+				}
+				e.jobStarted(i, n)
+				start := time.Now()
+				err := fn(runCtx, i)
+				e.jobFinished(i, n, time.Since(start), err)
+				if err != nil {
+					mu.Lock()
+					if errIndex < 0 || i < errIndex {
+						errIndex, firstErr = i, err
+					}
+					mu.Unlock()
+					cancel()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if errIndex >= 0 {
+		return firstErr
+	}
+	return ctx.Err()
+}
+
+// RunFuncs executes a heterogeneous job list (each closure writes its own
+// result slot) with Run's cancellation and error semantics.
+func (e *Engine) RunFuncs(ctx context.Context, jobs ...func(ctx context.Context) error) error {
+	return e.Run(ctx, len(jobs), func(ctx context.Context, i int) error {
+		return jobs[i](ctx)
+	})
+}
+
+// Map runs fn for every index in [0, n) and assembles the results in
+// index order. On error the partial results are discarded.
+func Map[T any](ctx context.Context, e *Engine, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := e.Run(ctx, n, func(ctx context.Context, i int) error {
+		v, err := fn(ctx, i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (e *Engine) jobStarted(i, n int) {
+	if e == nil {
+		return
+	}
+	e.started.Add(1)
+	e.mu.Lock()
+	if e.hooks.JobStarted != nil {
+		e.hooks.JobStarted(i, n)
+	}
+	e.mu.Unlock()
+}
+
+func (e *Engine) jobFinished(i, n int, d time.Duration, err error) {
+	if e == nil {
+		return
+	}
+	e.finished.Add(1)
+	if err != nil {
+		e.failed.Add(1)
+	}
+	e.busyNS.Add(int64(d))
+	e.mu.Lock()
+	if e.hooks.JobFinished != nil {
+		e.hooks.JobFinished(i, n, err)
+	}
+	e.mu.Unlock()
+}

@@ -1,0 +1,42 @@
+package engine
+
+import "sync"
+
+// Memo is a per-key singleflight cache: the first caller for a key runs
+// the build function while concurrent callers for the same key block and
+// share its result; callers for other keys proceed independently. Results
+// — including errors — are cached for the Memo's lifetime, which suits
+// deterministic builds (the same inputs would fail the same way again).
+//
+// The zero Memo is ready to use.
+type Memo[K comparable, V any] struct {
+	mu sync.Mutex
+	m  map[K]*flight[V]
+}
+
+type flight[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// Do returns the cached result for key, running build exactly once per
+// key across all goroutines.
+func (m *Memo[K, V]) Do(key K, build func() (V, error)) (V, error) {
+	m.mu.Lock()
+	if m.m == nil {
+		m.m = make(map[K]*flight[V])
+	}
+	if f, ok := m.m[key]; ok {
+		m.mu.Unlock()
+		<-f.done
+		return f.val, f.err
+	}
+	f := &flight[V]{done: make(chan struct{})}
+	m.m[key] = f
+	m.mu.Unlock()
+
+	f.val, f.err = build()
+	close(f.done)
+	return f.val, f.err
+}

@@ -250,6 +250,17 @@ type blockID struct {
 	index int64
 }
 
+// sortBlockIDs orders ids by (file, index), the canonical order for
+// batches whose source is an unordered map.
+func sortBlockIDs(ids []blockID) {
+	sort.Slice(ids, func(i, j int) bool {
+		if ids[i].file != ids[j].file {
+			return ids[i].file < ids[j].file
+		}
+		return ids[i].index < ids[j].index
+	})
+}
+
 // FS is one simulated log-structured file system.
 type FS struct {
 	cfg  Config
@@ -444,12 +455,21 @@ func (fs *FS) drainFullSegments() {
 // takePending removes up to n pending blocks, oldest buffered data first.
 func (fs *FS) takePending(n int) []blockID {
 	batch := make([]blockID, 0, n)
-	for id := range fs.buffered {
-		if len(batch) >= n {
-			break
+	if len(fs.buffered) > 0 {
+		// Sorted, not map order: segment membership decides what the
+		// cleaner later copies, so replays must be deterministic.
+		buffered := make([]blockID, 0, len(fs.buffered))
+		for id := range fs.buffered {
+			buffered = append(buffered, id)
 		}
-		batch = append(batch, id)
-		delete(fs.buffered, id)
+		sortBlockIDs(buffered)
+		for _, id := range buffered {
+			if len(batch) >= n {
+				break
+			}
+			batch = append(batch, id)
+			delete(fs.buffered, id)
+		}
 	}
 	if len(batch) < n {
 		// Oldest dirty blocks first, for age fairness.
@@ -522,6 +542,7 @@ func (fs *FS) Fsync(now int64, file uint64) {
 	for id := range fs.dirty {
 		batch = append(batch, id)
 	}
+	sortBlockIDs(batch)
 	fs.dirty = make(map[blockID]int64)
 	fs.writeSegments(batch, SegFsync)
 }
@@ -707,12 +728,7 @@ func (fs *FS) clean() {
 		fs.segLive[c.seg] = 0
 		fs.free = append(fs.free, c.seg)
 	}
-	sort.Slice(copied, func(i, j int) bool {
-		if copied[i].file != copied[j].file {
-			return copied[i].file < copied[j].file
-		}
-		return copied[i].index < copied[j].index
-	})
+	sortBlockIDs(copied)
 	if len(copied) > 0 {
 		fs.writeSegments(copied, SegCleaner)
 	}

@@ -1,6 +1,7 @@
 package report
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -45,19 +46,27 @@ type AblationResult struct {
 	CostBenefitCopied int64
 }
 
-// Ablations runs the three ablation studies.
+// Ablations runs the four ablation studies.
 func Ablations(ws *Workspace) (*AblationResult, error) {
+	return AblationsContext(context.Background(), ws)
+}
+
+// AblationsContext runs every independent ablation measurement — the two
+// dirty-preference runs, the two hybrid-vs-unified runs, the per-trace
+// consistency analyses, and the two cleaner-policy runs — as one job list
+// on the workspace engine, then assembles the result in a fixed order.
+func AblationsContext(ctx context.Context, ws *Workspace) (*AblationResult, error) {
 	res := &AblationResult{}
-	ops, err := ws.Ops(ModelTrace)
-	if err != nil {
-		return nil, err
-	}
 
 	// 1. Dirty preference in the volatile model. A small (0.5 MB) cache
 	// is used so replacement pressure actually reaches dirty blocks; in a
 	// larger cache the 30-second cleaner flushes them first and the
 	// policy choice is moot.
-	runVol := func(prefer bool) (*cache.Traffic, error) {
+	runVol := func(ctx context.Context, prefer bool) (*cache.Traffic, error) {
+		ops, err := ws.OpsContext(ctx, ModelTrace)
+		if err != nil {
+			return nil, err
+		}
 		r, err := sim.Run(ops, sim.Config{
 			Model: cache.ModelVolatile,
 			Cache: cache.Config{
@@ -70,24 +79,16 @@ func Ablations(ws *Workspace) (*AblationResult, error) {
 		}
 		return &r.Traffic, nil
 	}
-	plain, err := runVol(false)
-	if err != nil {
-		return nil, err
-	}
-	prefer, err := runVol(true)
-	if err != nil {
-		return nil, err
-	}
-	res.PlainNetWrite, res.PlainNetTotal = plain.NetWriteFrac(), plain.NetTotalFrac()
-	res.PreferNetWrite, res.PreferNetTotal = prefer.NetWriteFrac(), prefer.NetTotalFrac()
-	res.PlainReplBytes = plain.WriteBack[cache.CauseReplacement]
-	res.PreferReplBytes = prefer.WriteBack[cache.CauseReplacement]
 
 	// 2. Hybrid vs unified at a *small* NVRAM (one-quarter megabyte):
 	// Section 2.6 predicts the hybrid's advantage exactly there, where
 	// the unified model's replacement pool for new writes is only the
 	// tiny NVRAM while the hybrid can use the whole cache.
-	runNV := func(model cache.ModelKind) (*cache.Traffic, error) {
+	runNV := func(ctx context.Context, model cache.ModelKind) (*cache.Traffic, error) {
+		ops, err := ws.OpsContext(ctx, ModelTrace)
+		if err != nil {
+			return nil, err
+		}
 		r, err := sim.Run(ops, sim.Config{
 			Model: model,
 			Cache: cache.Config{
@@ -101,39 +102,65 @@ func Ablations(ws *Workspace) (*AblationResult, error) {
 		}
 		return &r.Traffic, nil
 	}
-	uni, err := runNV(cache.ModelUnified)
-	if err != nil {
+
+	var plain, prefer, uni, hyb *cache.Traffic
+	// 3. Whole-file vs block-level consistency, per trace; summed below.
+	traces := AllTraces()
+	type consistCell struct{ wf, bl lifetime.Fate }
+	cells := make([]consistCell, len(traces))
+
+	jobs := []func(context.Context) error{
+		func(ctx context.Context) error { var err error; plain, err = runVol(ctx, false); return err },
+		func(ctx context.Context) error { var err error; prefer, err = runVol(ctx, true); return err },
+		func(ctx context.Context) error { var err error; uni, err = runNV(ctx, cache.ModelUnified); return err },
+		func(ctx context.Context) error { var err error; hyb, err = runNV(ctx, cache.ModelHybrid); return err },
+		// 4. LFS cleaner policy: sustained hot/cold random updates at high
+		// disk utilization, the regime Rosenblum's cost-benefit rule
+		// targets: greedy keeps re-cleaning hot segments just before they
+		// empty, while cost-benefit compacts cold, aged segments once and
+		// leaves the hot ones to die.
+		func(context.Context) error { res.GreedyCopied = cleanerCopied(lfs.CleanGreedy); return nil },
+		func(context.Context) error { res.CostBenefitCopied = cleanerCopied(lfs.CleanCostBenefit); return nil },
+	}
+	for i, tr := range traces {
+		jobs = append(jobs, func(ctx context.Context) error {
+			tOps, err := ws.OpsContext(ctx, tr)
+			if err != nil {
+				return err
+			}
+			wf, err := ws.AnalysisContext(ctx, tr)
+			if err != nil {
+				return err
+			}
+			bl, err := lifetime.AnalyzeWith(tOps, lifetime.Options{BlockConsistency: true})
+			if err != nil {
+				return err
+			}
+			cells[i] = consistCell{wf: wf.Fate, bl: bl.Fate}
+			return nil
+		})
+	}
+	if err := ws.Engine().RunFuncs(ctx, jobs...); err != nil {
 		return nil, err
 	}
-	hyb, err := runNV(cache.ModelHybrid)
-	if err != nil {
-		return nil, err
-	}
+
+	res.PlainNetWrite, res.PlainNetTotal = plain.NetWriteFrac(), plain.NetTotalFrac()
+	res.PreferNetWrite, res.PreferNetTotal = prefer.NetWriteFrac(), prefer.NetTotalFrac()
+	res.PlainReplBytes = plain.WriteBack[cache.CauseReplacement]
+	res.PreferReplBytes = prefer.WriteBack[cache.CauseReplacement]
+
 	res.UnifiedNetTotal, res.UnifiedNetWrite = uni.NetTotalFrac(), uni.NetWriteFrac()
 	res.HybridNetTotal, res.HybridNetWrite = hyb.NetTotalFrac(), hyb.NetWriteFrac()
 	if hyb.AppWriteBytes > 0 {
 		res.HybridVulnerableFrac = float64(hyb.VulnerableWriteBytes) / float64(hyb.AppWriteBytes)
 	}
 
-	// 3. Whole-file vs block-level consistency, summed over all traces.
 	var wfCalled, wfTotal, blCalled, blTotal int64
-	for _, tr := range AllTraces() {
-		tOps, err := ws.Ops(tr)
-		if err != nil {
-			return nil, err
-		}
-		wf, err := ws.Analysis(tr)
-		if err != nil {
-			return nil, err
-		}
-		bl, err := lifetime.AnalyzeWith(tOps, lifetime.Options{BlockConsistency: true})
-		if err != nil {
-			return nil, err
-		}
-		wfCalled += wf.Fate.CalledBack
-		wfTotal += wf.Fate.Total
-		blCalled += bl.Fate.CalledBack
-		blTotal += bl.Fate.Total
+	for _, c := range cells {
+		wfCalled += c.wf.CalledBack
+		wfTotal += c.wf.Total
+		blCalled += c.bl.CalledBack
+		blTotal += c.bl.Total
 	}
 	if wfTotal > 0 {
 		res.WholeFileCalledBackFrac = float64(wfCalled) / float64(wfTotal)
@@ -141,14 +168,6 @@ func Ablations(ws *Workspace) (*AblationResult, error) {
 	if blTotal > 0 {
 		res.BlockCalledBackFrac = float64(blCalled) / float64(blTotal)
 	}
-
-	// 4. LFS cleaner policy: sustained hot/cold random updates at high
-	// disk utilization, the regime Rosenblum's cost-benefit rule targets:
-	// greedy keeps re-cleaning hot segments just before they empty, while
-	// cost-benefit compacts cold, aged segments once and leaves the hot
-	// ones to die.
-	res.GreedyCopied = cleanerCopied(lfs.CleanGreedy)
-	res.CostBenefitCopied = cleanerCopied(lfs.CleanCostBenefit)
 	return res, nil
 }
 

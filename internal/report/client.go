@@ -1,11 +1,13 @@
 package report
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"text/tabwriter"
 
 	"nvramfs/internal/cache"
+	"nvramfs/internal/engine"
 	"nvramfs/internal/lifetime"
 	"nvramfs/internal/sim"
 	"nvramfs/internal/workload"
@@ -41,18 +43,36 @@ type Figure2Result struct {
 
 // Figure2 runs the byte-lifetime sweep over the standard traces.
 func Figure2(ws *Workspace) (*Figure2Result, error) {
-	res := &Figure2Result{DelayMinutes: DefaultDelayMinutes}
-	for _, tr := range AllTraces() {
-		a, err := ws.Analysis(tr)
+	return Figure2Context(context.Background(), ws)
+}
+
+// Figure2Context is Figure2 with cancellation; the per-trace analyses run
+// concurrently on the workspace engine.
+func Figure2Context(ctx context.Context, ws *Workspace) (*Figure2Result, error) {
+	traces := AllTraces()
+	type traceRow struct {
+		frac []float64
+		dead float64
+	}
+	rows, err := engine.Map(ctx, ws.Engine(), len(traces), func(ctx context.Context, i int) (traceRow, error) {
+		a, err := ws.AnalysisContext(ctx, traces[i])
 		if err != nil {
-			return nil, err
+			return traceRow{}, err
 		}
-		row := make([]float64, len(res.DelayMinutes))
-		for i, m := range res.DelayMinutes {
-			row[i] = a.NetWriteFracAt(Minutes(m))
+		row := traceRow{frac: make([]float64, len(DefaultDelayMinutes))}
+		for j, m := range DefaultDelayMinutes {
+			row.frac[j] = a.NetWriteFracAt(Minutes(m))
 		}
-		res.Frac = append(res.Frac, row)
-		res.Dead30s = append(res.Dead30s, float64(a.DeadWithin(Minutes(0.5)))/float64(a.Fate.Total))
+		row.dead = float64(a.DeadWithin(Minutes(0.5))) / float64(a.Fate.Total)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Figure2Result{DelayMinutes: DefaultDelayMinutes}
+	for _, row := range rows {
+		res.Frac = append(res.Frac, row.frac)
+		res.Dead30s = append(res.Dead30s, row.dead)
 	}
 	return res, nil
 }
@@ -88,6 +108,23 @@ type Table2Result struct {
 
 // Table2 runs the infinite-cache fate analysis over the standard traces.
 func Table2(ws *Workspace) (*Table2Result, error) {
+	return Table2Context(context.Background(), ws)
+}
+
+// Table2Context is Table2 with cancellation; analyses run concurrently
+// and the cross-trace totals are accumulated in trace order.
+func Table2Context(ctx context.Context, ws *Workspace) (*Table2Result, error) {
+	traces := AllTraces()
+	fates, err := engine.Map(ctx, ws.Engine(), len(traces), func(ctx context.Context, i int) (lifetime.Fate, error) {
+		a, err := ws.AnalysisContext(ctx, traces[i])
+		if err != nil {
+			return lifetime.Fate{}, err
+		}
+		return a.Fate, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	res := &Table2Result{PerTrace: make(map[int]lifetime.Fate)}
 	add := func(dst *lifetime.Fate, f lifetime.Fate) {
 		dst.Overwritten += f.Overwritten
@@ -97,15 +134,11 @@ func Table2(ws *Workspace) (*Table2Result, error) {
 		dst.Remaining += f.Remaining
 		dst.Total += f.Total
 	}
-	for _, tr := range AllTraces() {
-		a, err := ws.Analysis(tr)
-		if err != nil {
-			return nil, err
-		}
-		res.PerTrace[tr] = a.Fate
-		add(&res.All, a.Fate)
+	for i, tr := range traces {
+		res.PerTrace[tr] = fates[i]
+		add(&res.All, fates[i])
 		if !workload.HeavyTrace(tr) {
-			add(&res.Typical, a.Fate)
+			add(&res.Typical, fates[i])
 		}
 	}
 	return res, nil
@@ -154,74 +187,98 @@ type PolicySweepResult struct {
 // Figure3 runs the omniscient unified-model sweep for every standard
 // trace (writes only, as in the paper's Figure 3 methodology).
 func Figure3(ws *Workspace) (*PolicySweepResult, error) {
-	res := &PolicySweepResult{SizesMB: DefaultNVRAMSizesMB}
-	for _, tr := range AllTraces() {
-		row, err := policySweep(ws, tr, cache.Omniscient, true)
-		if err != nil {
-			return nil, err
-		}
-		res.Labels = append(res.Labels, fmt.Sprintf("trace%d", tr))
-		res.Frac = append(res.Frac, row)
-	}
-	return res, nil
+	return Figure3Context(context.Background(), ws)
 }
 
-// Figure4 compares LRU, random, and omniscient replacement on the model
-// trace. The realistic policies include read traffic's effect on
-// replacement; the omniscient series, as in the paper, does not.
-func Figure4(ws *Workspace) (*PolicySweepResult, error) {
-	res := &PolicySweepResult{SizesMB: DefaultNVRAMSizesMB}
-	for _, pc := range []struct {
-		label      string
-		kind       cache.PolicyKind
-		writesOnly bool
-	}{
-		{"lru", cache.LRU, false},
-		{"random", cache.Random, false},
-		{"omniscient", cache.Omniscient, true},
-	} {
-		row, err := policySweep(ws, ModelTrace, pc.kind, pc.writesOnly)
-		if err != nil {
-			return nil, err
-		}
-		res.Labels = append(res.Labels, pc.label)
-		res.Frac = append(res.Frac, row)
-	}
-	return res, nil
-}
-
-func policySweep(ws *Workspace, trace int, kind cache.PolicyKind, writesOnly bool) ([]float64, error) {
-	ops, err := ws.Ops(trace)
+// Figure3Context submits the full (trace, NVRAM size) grid — every cell
+// is one simulation — and assembles the rows in trace order.
+func Figure3Context(ctx context.Context, ws *Workspace) (*PolicySweepResult, error) {
+	traces := AllTraces()
+	sizes := DefaultNVRAMSizesMB
+	cells, err := engine.Map(ctx, ws.Engine(), len(traces)*len(sizes), func(ctx context.Context, k int) (float64, error) {
+		return policyCell(ctx, ws, traces[k/len(sizes)], cache.Omniscient, true, sizes[k%len(sizes)])
+	})
 	if err != nil {
 		return nil, err
 	}
+	res := &PolicySweepResult{SizesMB: sizes}
+	for i, tr := range traces {
+		res.Labels = append(res.Labels, fmt.Sprintf("trace%d", tr))
+		res.Frac = append(res.Frac, cells[i*len(sizes):(i+1)*len(sizes)])
+	}
+	return res, nil
+}
+
+// figure4Series are the replacement policies Figure 4 compares on the
+// model trace. The realistic policies include read traffic's effect on
+// replacement; the omniscient series, as in the paper, does not.
+var figure4Series = []struct {
+	label      string
+	kind       cache.PolicyKind
+	writesOnly bool
+}{
+	{"lru", cache.LRU, false},
+	{"random", cache.Random, false},
+	{"omniscient", cache.Omniscient, true},
+}
+
+// Figure4 compares LRU, random, and omniscient replacement on the model
+// trace.
+func Figure4(ws *Workspace) (*PolicySweepResult, error) {
+	return Figure4Context(context.Background(), ws)
+}
+
+// Figure4Context submits the (policy, NVRAM size) grid for the model
+// trace and assembles the series in declaration order.
+func Figure4Context(ctx context.Context, ws *Workspace) (*PolicySweepResult, error) {
+	sizes := DefaultNVRAMSizesMB
+	cells, err := engine.Map(ctx, ws.Engine(), len(figure4Series)*len(sizes), func(ctx context.Context, k int) (float64, error) {
+		pc := figure4Series[k/len(sizes)]
+		return policyCell(ctx, ws, ModelTrace, pc.kind, pc.writesOnly, sizes[k%len(sizes)])
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &PolicySweepResult{SizesMB: sizes}
+	for i, pc := range figure4Series {
+		res.Labels = append(res.Labels, pc.label)
+		res.Frac = append(res.Frac, cells[i*len(sizes):(i+1)*len(sizes)])
+	}
+	return res, nil
+}
+
+// policyCell runs one (trace, policy, NVRAM size) simulation of the
+// Figure 3/4 grids. The shared op stream and omniscient schedule come
+// from the workspace's singleflight caches and are read-only here, so any
+// number of cells can run concurrently.
+func policyCell(ctx context.Context, ws *Workspace, trace int, kind cache.PolicyKind, writesOnly bool, mb float64) (float64, error) {
+	ops, err := ws.OpsContext(ctx, trace)
+	if err != nil {
+		return 0, err
+	}
 	var sched cache.Schedule
 	if kind == cache.Omniscient {
-		s, err := ws.Schedule(trace)
+		s, err := ws.ScheduleContext(ctx, trace)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
 		sched = s
 	}
-	row := make([]float64, len(DefaultNVRAMSizesMB))
-	for i, mb := range DefaultNVRAMSizesMB {
-		res, err := sim.Run(ops, sim.Config{
-			Model: cache.ModelUnified,
-			Cache: cache.Config{
-				VolatileBlocks: sim.BlocksForBytes(8*sim.MB, cache.DefaultBlockSize),
-				NVRAMBlocks:    sim.BlocksForBytes(int64(mb*float64(sim.MB)), cache.DefaultBlockSize),
-				Policy:         kind,
-				Schedule:       sched,
-			},
-			Seed:       int64(trace),
-			WritesOnly: writesOnly,
-		})
-		if err != nil {
-			return nil, err
-		}
-		row[i] = res.Traffic.NetWriteFrac()
+	res, err := sim.Run(ops, sim.Config{
+		Model: cache.ModelUnified,
+		Cache: cache.Config{
+			VolatileBlocks: sim.BlocksForBytes(8*sim.MB, cache.DefaultBlockSize),
+			NVRAMBlocks:    sim.BlocksForBytes(int64(mb*float64(sim.MB)), cache.DefaultBlockSize),
+			Policy:         kind,
+			Schedule:       sched,
+		},
+		Seed:       int64(trace),
+		WritesOnly: writesOnly,
+	})
+	if err != nil {
+		return 0, err
 	}
-	return row, nil
+	return res.Traffic.NetWriteFrac(), nil
 }
 
 // Render writes the sweep as a table of series.
@@ -253,84 +310,96 @@ type ModelCompareResult struct {
 	Frac    [][]float64
 }
 
+// modelSeries is one series of the Figure 5/6 comparisons: a cache model
+// growing from a base volatile size.
+type modelSeries struct {
+	label  string
+	model  cache.ModelKind
+	baseMB float64
+}
+
+var figure5Series = []modelSeries{
+	{"volatile", cache.ModelVolatile, 8},
+	{"write-aside", cache.ModelWriteAside, 8},
+	{"unified", cache.ModelUnified, 8},
+}
+
+var figure6Series = []modelSeries{
+	{"volatile-8MB", cache.ModelVolatile, 8},
+	{"volatile-16MB", cache.ModelVolatile, 16},
+	{"unified-8MB", cache.ModelUnified, 8},
+	{"unified-16MB", cache.ModelUnified, 16},
+}
+
 // Figure5 compares the three cache models on the model trace, each
 // starting from an 8 MB volatile cache: the volatile series adds volatile
 // memory, the NVRAM series add NVRAM.
 func Figure5(ws *Workspace) (*ModelCompareResult, error) {
-	res := &ModelCompareResult{ExtraMB: DefaultExtraMB}
-	for _, mc := range []struct {
-		label string
-		model cache.ModelKind
-	}{
-		{"volatile", cache.ModelVolatile},
-		{"write-aside", cache.ModelWriteAside},
-		{"unified", cache.ModelUnified},
-	} {
-		row, err := modelSweep(ws, mc.model, 8, res.ExtraMB)
-		if err != nil {
-			return nil, err
-		}
-		res.Labels = append(res.Labels, mc.label)
-		res.Frac = append(res.Frac, row)
-	}
-	return res, nil
+	return Figure5Context(context.Background(), ws)
+}
+
+// Figure5Context is Figure5 with cancellation, run as a grid.
+func Figure5Context(ctx context.Context, ws *Workspace) (*ModelCompareResult, error) {
+	return modelCompare(ctx, ws, figure5Series)
 }
 
 // Figure6 compares volatile and unified growth from 8 MB and 16 MB bases.
 func Figure6(ws *Workspace) (*ModelCompareResult, error) {
-	res := &ModelCompareResult{ExtraMB: DefaultExtraMB}
-	for _, mc := range []struct {
-		label  string
-		model  cache.ModelKind
-		baseMB float64
-	}{
-		{"volatile-8MB", cache.ModelVolatile, 8},
-		{"volatile-16MB", cache.ModelVolatile, 16},
-		{"unified-8MB", cache.ModelUnified, 8},
-		{"unified-16MB", cache.ModelUnified, 16},
-	} {
-		row, err := modelSweep(ws, mc.model, mc.baseMB, res.ExtraMB)
-		if err != nil {
-			return nil, err
-		}
+	return Figure6Context(context.Background(), ws)
+}
+
+// Figure6Context is Figure6 with cancellation, run as a grid.
+func Figure6Context(ctx context.Context, ws *Workspace) (*ModelCompareResult, error) {
+	return modelCompare(ctx, ws, figure6Series)
+}
+
+// modelCompare submits the (series, extra MB) grid and assembles the
+// series in declaration order.
+func modelCompare(ctx context.Context, ws *Workspace, series []modelSeries) (*ModelCompareResult, error) {
+	extras := DefaultExtraMB
+	cells, err := engine.Map(ctx, ws.Engine(), len(series)*len(extras), func(ctx context.Context, k int) (float64, error) {
+		mc := series[k/len(extras)]
+		return modelCell(ctx, ws, mc.model, mc.baseMB, extras[k%len(extras)])
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &ModelCompareResult{ExtraMB: extras}
+	for i, mc := range series {
 		res.Labels = append(res.Labels, mc.label)
-		res.Frac = append(res.Frac, row)
+		res.Frac = append(res.Frac, cells[i*len(extras):(i+1)*len(extras)])
 	}
 	return res, nil
 }
 
-// modelSweep measures net total traffic on the model trace for a cache
-// model growing from baseMB of volatile memory by the given extra
-// megabytes (volatile memory for the volatile model, NVRAM otherwise).
-func modelSweep(ws *Workspace, model cache.ModelKind, baseMB float64, extras []float64) ([]float64, error) {
-	ops, err := ws.Ops(ModelTrace)
+// modelCell measures net total traffic on the model trace for a cache
+// model growing from baseMB of volatile memory by extra megabytes
+// (volatile memory for the volatile model, NVRAM otherwise).
+func modelCell(ctx context.Context, ws *Workspace, model cache.ModelKind, baseMB, extra float64) (float64, error) {
+	ops, err := ws.OpsContext(ctx, ModelTrace)
 	if err != nil {
-		return nil, err
+		return 0, err
 	}
-	row := make([]float64, len(extras))
-	for i, extra := range extras {
-		cfg := sim.Config{Model: model, Seed: 7}
-		volMB, nvMB := baseMB, extra
-		if model == cache.ModelVolatile {
-			volMB, nvMB = baseMB+extra, 0
-		}
-		if nvMB == 0 && model != cache.ModelVolatile {
-			// Zero NVRAM degenerates to the volatile organization; all
-			// three series share their starting point.
-			cfg.Model = cache.ModelVolatile
-		}
-		cfg.Cache = cache.Config{
-			VolatileBlocks: sim.BlocksForBytes(int64(volMB*float64(sim.MB)), cache.DefaultBlockSize),
-			NVRAMBlocks:    sim.BlocksForBytes(int64(nvMB*float64(sim.MB)), cache.DefaultBlockSize),
-			Policy:         cache.LRU,
-		}
-		res, err := sim.Run(ops, cfg)
-		if err != nil {
-			return nil, err
-		}
-		row[i] = res.Traffic.NetTotalFrac()
+	cfg := sim.Config{Model: model, Seed: 7}
+	volMB, nvMB := baseMB, extra
+	if model == cache.ModelVolatile {
+		volMB, nvMB = baseMB+extra, 0
 	}
-	return row, nil
+	if nvMB == 0 && model != cache.ModelVolatile {
+		// Zero NVRAM degenerates to the volatile organization; all
+		// three series share their starting point.
+		cfg.Model = cache.ModelVolatile
+	}
+	cfg.Cache = cache.Config{
+		VolatileBlocks: sim.BlocksForBytes(int64(volMB*float64(sim.MB)), cache.DefaultBlockSize),
+		NVRAMBlocks:    sim.BlocksForBytes(int64(nvMB*float64(sim.MB)), cache.DefaultBlockSize),
+		Policy:         cache.LRU,
+	}
+	res, err := sim.Run(ops, cfg)
+	if err != nil {
+		return 0, err
+	}
+	return res.Traffic.NetTotalFrac(), nil
 }
 
 // Render writes the comparison as a table of series.
@@ -380,13 +449,19 @@ type BusResult struct {
 // unified model stores once plus occasional transfers (>=25% less), and
 // the unified model makes 2-2.5x as many NVRAM accesses.
 func BusTraffic(ws *Workspace) (*BusResult, error) {
-	ops, err := ws.Ops(ModelTrace)
-	if err != nil {
-		return nil, err
-	}
-	run := func(model cache.ModelKind) (*cache.Traffic, error) {
+	return BusTrafficContext(context.Background(), ws)
+}
+
+// BusTrafficContext runs the two model simulations concurrently.
+func BusTrafficContext(ctx context.Context, ws *Workspace) (*BusResult, error) {
+	models := []cache.ModelKind{cache.ModelWriteAside, cache.ModelUnified}
+	traffics, err := engine.Map(ctx, ws.Engine(), len(models), func(ctx context.Context, i int) (*cache.Traffic, error) {
+		ops, err := ws.OpsContext(ctx, ModelTrace)
+		if err != nil {
+			return nil, err
+		}
 		res, err := sim.Run(ops, sim.Config{
-			Model: model,
+			Model: models[i],
 			Cache: cache.Config{
 				VolatileBlocks: sim.BlocksForBytes(8*sim.MB, cache.DefaultBlockSize),
 				NVRAMBlocks:    sim.BlocksForBytes(8*sim.MB, cache.DefaultBlockSize),
@@ -398,15 +473,11 @@ func BusTraffic(ws *Workspace) (*BusResult, error) {
 			return nil, err
 		}
 		return &res.Traffic, nil
-	}
-	wa, err := run(cache.ModelWriteAside)
+	})
 	if err != nil {
 		return nil, err
 	}
-	un, err := run(cache.ModelUnified)
-	if err != nil {
-		return nil, err
-	}
+	wa, un := traffics[0], traffics[1]
 	return &BusResult{
 		WriteAsideBusWrite: wa.BusWriteBytes,
 		UnifiedBusWrite:    un.BusWriteBytes,

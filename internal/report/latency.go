@@ -1,6 +1,7 @@
 package report
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"text/tabwriter"
@@ -29,7 +30,14 @@ type LatencyResult struct {
 // payload (the file's bytes written since its last flush) and pricing it
 // under the three paths.
 func FsyncLatencyStudy(ws *Workspace) (*LatencyResult, error) {
-	ops, err := ws.Ops(ModelTrace)
+	return FsyncLatencyStudyContext(context.Background(), ws)
+}
+
+// FsyncLatencyStudyContext is FsyncLatencyStudy with cancellation. The
+// study is a single sequential trace pass, so only the shared trace build
+// fans out.
+func FsyncLatencyStudyContext(ctx context.Context, ws *Workspace) (*LatencyResult, error) {
+	ops, err := ws.OpsContext(ctx, ModelTrace)
 	if err != nil {
 		return nil, err
 	}

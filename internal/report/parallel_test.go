@@ -1,0 +1,149 @@
+package report
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"reflect"
+	"sync"
+	"testing"
+
+	"nvramfs/internal/cache"
+	"nvramfs/internal/engine"
+	"nvramfs/internal/lifetime"
+	"nvramfs/internal/prep"
+	"nvramfs/internal/workload"
+)
+
+// TestWorkspaceConcurrentAccess hammers the workspace's memoized passes —
+// Ops, Analysis, Schedule — for every trace from parallel goroutines and
+// checks each result against an independently built serial reference.
+// Run with -race this is the singleflight correctness test: every
+// goroutine must observe the one shared build, never a torn or duplicate
+// one.
+func TestWorkspaceConcurrentAccess(t *testing.T) {
+	const scale = 0.02
+	ws := NewWorkspace(scale)
+	traces := AllTraces()
+
+	// Serial reference, built outside the workspace.
+	refOps := make(map[int][]prep.Op)
+	refAn := make(map[int]*lifetime.Analysis)
+	refSched := make(map[int]*lifetime.Schedule)
+	for _, tr := range traces {
+		events, err := workload.GenerateEvents(workload.StandardProfile(tr, scale))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ops, _, err := prep.CanonicalizeAll(events)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refOps[tr] = ops
+		if refAn[tr], err = lifetime.Analyze(ops); err != nil {
+			t.Fatal(err)
+		}
+		refSched[tr] = lifetime.BuildSchedule(ops, cache.DefaultBlockSize)
+	}
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines*len(traces))
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, tr := range traces {
+				ops, err := ws.Ops(tr)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !reflect.DeepEqual(ops, refOps[tr]) {
+					t.Errorf("trace %d: concurrent Ops differ from serial build", tr)
+				}
+				an, err := ws.Analysis(tr)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if an.Fate != refAn[tr].Fate {
+					t.Errorf("trace %d: concurrent Analysis fate = %+v, serial %+v",
+						tr, an.Fate, refAn[tr].Fate)
+				}
+				sched, err := ws.Schedule(tr)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !reflect.DeepEqual(sched, refSched[tr]) {
+					t.Errorf("trace %d: concurrent Schedule differs from serial build", tr)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Singleflight: all goroutines must have shared one Analysis build.
+	an, err := ws.Analysis(traces[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	an2, err := ws.Analysis(traces[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an != an2 {
+		t.Fatal("repeated Analysis returned distinct builds")
+	}
+}
+
+// TestDriversDeterministicAcrossWorkerCounts renders a cross-section of
+// the sweep drivers on a one-worker engine and again on an eight-worker
+// engine and requires byte-identical output — the engine's core contract.
+func TestDriversDeterministicAcrossWorkerCounts(t *testing.T) {
+	const scale = 0.02
+	render := func(workers int) string {
+		ws := NewWorkspace(scale)
+		ws.SetEngine(engine.New(workers))
+		var buf bytes.Buffer
+		renderAll := func(r interface{ Render(io.Writer) error }, err error) {
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := r.Render(&buf); err != nil {
+				t.Fatal(err)
+			}
+		}
+		renderAll(Figure2(ws))
+		renderAll(Table2(ws))
+		renderAll(Figure4(ws))
+		renderAll(Figure5(ws))
+		renderAll(StackStudy(ws))
+		return buf.String()
+	}
+	serial := render(1)
+	parallel := render(8)
+	if serial != parallel {
+		t.Fatalf("output differs between 1 and 8 workers:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			serial, parallel)
+	}
+}
+
+// TestDriverCancellation checks that a cancelled context aborts a sweep
+// with the context's error rather than a partial result.
+func TestDriverCancellation(t *testing.T) {
+	ws := NewWorkspace(0.02)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Figure2Context(ctx, ws); err == nil {
+		t.Fatal("cancelled Figure2Context returned nil error")
+	}
+	if _, err := StackStudyContext(ctx, ws); err == nil {
+		t.Fatal("cancelled StackStudyContext returned nil error")
+	}
+}

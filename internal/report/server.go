@@ -1,12 +1,14 @@
 package report
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"text/tabwriter"
 	"time"
 
 	"nvramfs/internal/disk"
+	"nvramfs/internal/engine"
 	"nvramfs/internal/lfs"
 	"nvramfs/internal/nvram"
 	"nvramfs/internal/serverload"
@@ -51,19 +53,41 @@ type ServerStudyResult struct {
 // and with a one-half megabyte NVRAM write buffer — and collects the
 // measurements behind Tables 3 and 4 and the Section 3 buffer claims.
 func ServerStudy(duration time.Duration) (*ServerStudyResult, error) {
+	return ServerStudyContext(context.Background(), engine.New(0), duration)
+}
+
+// ServerStudyContext runs the (file system, buffer) grid — sixteen
+// independent LFS replays — on eng, assembling rows in profile order.
+func ServerStudyContext(ctx context.Context, eng *engine.Engine, duration time.Duration) (*ServerStudyResult, error) {
 	if duration <= 0 {
 		duration = serverload.DefaultDuration
 	}
 	const bufferBytes = 512 << 10
+	profiles := serverload.StandardProfiles()
+	type cell struct {
+		stats  lfs.Stats
+		writes int64
+	}
+	// Grid cell k: profile k/2, buffered when k%2 == 1. Each cell owns
+	// its disk and file system; profiles are replayed read-only.
+	cells, err := engine.Map(ctx, eng, 2*len(profiles), func(ctx context.Context, k int) (cell, error) {
+		p := profiles[k/2]
+		var buf int64
+		if k%2 == 1 {
+			buf = bufferBytes
+		}
+		d := disk.New(disk.DefaultParams())
+		fs := lfs.New(lfs.Config{Name: p.Name, BufferBytes: buf}, d)
+		serverload.Run(p, fs, duration)
+		return cell{stats: *fs.Stats(), writes: d.Writes}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	res := &ServerStudyResult{Duration: duration, BufferBytes: bufferBytes}
 	var totalSegs int64
-	for _, p := range serverload.StandardProfiles() {
-		plain := lfs.New(lfs.Config{Name: p.Name}, disk.New(disk.DefaultParams()))
-		serverload.Run(p, plain, duration)
-		buffered := lfs.New(lfs.Config{Name: p.Name, BufferBytes: bufferBytes}, disk.New(disk.DefaultParams()))
-		serverload.Run(p, buffered, duration)
-
-		st := plain.Stats()
+	for i, p := range profiles {
+		st := cells[2*i].stats
 		row := ServerRow{
 			Name:              p.Name,
 			PartialFrac:       st.PartialFrac(),
@@ -71,8 +95,8 @@ func ServerStudy(duration time.Duration) (*ServerStudyResult, error) {
 			KBPerPartial:      st.KBPerPartial(),
 			SpaceOverheadFrac: st.SpaceOverheadFrac(),
 			Segments:          st.FullSegments + st.PartialSegments(),
-			DiskWrites:        plain.Disk().Writes,
-			DiskWritesBuffer:  buffered.Disk().Writes,
+			DiskWrites:        cells[2*i].writes,
+			DiskWritesBuffer:  cells[2*i+1].writes,
 		}
 		if st.PartialFsyncSegments > 0 {
 			row.KBPerFsyncPartial = float64(st.FsyncPartialBytes) / 1024 / float64(st.PartialFsyncSegments)

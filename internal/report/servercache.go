@@ -1,12 +1,14 @@
 package report
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"text/tabwriter"
 	"time"
 
 	"nvramfs/internal/disk"
+	"nvramfs/internal/engine"
 	"nvramfs/internal/server"
 	"nvramfs/internal/serverload"
 )
@@ -33,28 +35,40 @@ var DefaultServerCacheSizesMB = []float64{0, 0.5, 1, 2}
 // file-system workloads. The volatile server cache is fixed at 16 MB per
 // file system (Sprite's 128 MB shared across its volumes).
 func ServerCacheStudy(duration time.Duration) (*ServerCacheResult, error) {
+	return ServerCacheStudyContext(context.Background(), engine.New(0), duration)
+}
+
+// ServerCacheStudyContext runs the (file system, NVRAM size) grid on eng,
+// one server + LFS replay per cell, assembled in profile order.
+func ServerCacheStudyContext(ctx context.Context, eng *engine.Engine, duration time.Duration) (*ServerCacheResult, error) {
 	if duration <= 0 {
 		duration = serverload.DefaultDuration
 	}
-	res := &ServerCacheResult{Duration: duration, NVRAMSizesMB: DefaultServerCacheSizesMB}
-	for _, p := range serverload.StandardProfiles() {
+	sizes := DefaultServerCacheSizesMB
+	profiles := serverload.StandardProfiles()
+	cells, err := engine.Map(ctx, eng, len(profiles)*len(sizes), func(ctx context.Context, k int) (int64, error) {
+		p := profiles[k/len(sizes)]
+		mb := sizes[k%len(sizes)]
+		d := disk.New(disk.DefaultParams())
+		s := server.New(server.Config{
+			CacheBlocks: (16 << 20) / 4096,
+			NVRAMBlocks: int(mb * float64(1<<20) / 4096),
+		}, d)
+		serverload.RunAgainst(p, serverload.Target{
+			Write:    s.Write,
+			Fsync:    s.Fsync,
+			Delete:   s.Delete,
+			Shutdown: s.Shutdown,
+		}, duration)
+		return d.Writes, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &ServerCacheResult{Duration: duration, NVRAMSizesMB: sizes}
+	for i, p := range profiles {
 		res.Names = append(res.Names, p.Name)
-		row := make([]int64, len(res.NVRAMSizesMB))
-		for j, mb := range res.NVRAMSizesMB {
-			d := disk.New(disk.DefaultParams())
-			s := server.New(server.Config{
-				CacheBlocks: (16 << 20) / 4096,
-				NVRAMBlocks: int(mb * float64(1<<20) / 4096),
-			}, d)
-			serverload.RunAgainst(p, serverload.Target{
-				Write:    s.Write,
-				Fsync:    s.Fsync,
-				Delete:   s.Delete,
-				Shutdown: s.Shutdown,
-			}, duration)
-			row[j] = d.Writes
-		}
-		res.DiskWrites = append(res.DiskWrites, row)
+		res.DiskWrites = append(res.DiskWrites, cells[i*len(sizes):(i+1)*len(sizes)])
 	}
 	return res, nil
 }

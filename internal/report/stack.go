@@ -1,12 +1,14 @@
 package report
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"text/tabwriter"
 
 	"nvramfs/internal/cache"
 	"nvramfs/internal/disk"
+	"nvramfs/internal/engine"
 	"nvramfs/internal/interval"
 	"nvramfs/internal/server"
 	"nvramfs/internal/sim"
@@ -33,27 +35,36 @@ type StackResult struct {
 	Rows []StackRow
 }
 
+// stackConfigs are the three NVRAM placements the study compares.
+var stackConfigs = []struct {
+	label    string
+	model    cache.ModelKind
+	clientNV float64 // MB per client
+	serverNV int     // blocks
+}{
+	{"volatile clients, plain server", cache.ModelVolatile, 0, 0},
+	{"client NVRAM (1 MB), plain server", cache.ModelUnified, 1, 0},
+	{"client NVRAM (1 MB) + server NVRAM (1 MB)", cache.ModelUnified, 1, 256},
+}
+
 // StackStudy replays the model trace through three configurations:
 // all-volatile, client NVRAM only, and client NVRAM plus a server NVRAM
 // region. Client write-backs, misses, fsyncs, and deletions flow into the
 // server via the cache hooks; the server stages them into the LFS, whose
 // disk access counts close the loop.
 func StackStudy(ws *Workspace) (*StackResult, error) {
-	ops, err := ws.Ops(ModelTrace)
+	return StackStudyContext(context.Background(), ws)
+}
+
+// StackStudyContext runs the three configurations concurrently; each job
+// owns its entire client-to-disk pipeline.
+func StackStudyContext(ctx context.Context, ws *Workspace) (*StackResult, error) {
+	ops, err := ws.OpsContext(ctx, ModelTrace)
 	if err != nil {
 		return nil, err
 	}
-	res := &StackResult{}
-	for _, c := range []struct {
-		label    string
-		model    cache.ModelKind
-		clientNV float64 // MB per client
-		serverNV int     // blocks
-	}{
-		{"volatile clients, plain server", cache.ModelVolatile, 0, 0},
-		{"client NVRAM (1 MB), plain server", cache.ModelUnified, 1, 0},
-		{"client NVRAM (1 MB) + server NVRAM (1 MB)", cache.ModelUnified, 1, 256},
-	} {
+	rows, err := engine.Map(ctx, ws.Engine(), len(stackConfigs), func(_ context.Context, i int) (StackRow, error) {
+		c := stackConfigs[i]
 		srv := server.New(server.Config{
 			CacheBlocks: (16 << 20) / 4096,
 			NVRAMBlocks: c.serverNV,
@@ -83,10 +94,10 @@ func StackStudy(ws *Workspace) (*StackResult, error) {
 		}
 		r, err := sim.Run(ops, cfg)
 		if err != nil {
-			return nil, err
+			return StackRow{}, err
 		}
 		srv.Shutdown(r.EndTime)
-		res.Rows = append(res.Rows, StackRow{
+		return StackRow{
 			Label:            c.label,
 			NetWriteFrac:     r.Traffic.NetWriteFrac(),
 			NetTotalFrac:     r.Traffic.NetTotalFrac(),
@@ -95,9 +106,12 @@ func StackStudy(ws *Workspace) (*StackResult, error) {
 			PartialSegments:  srv.FS().Stats().PartialSegments(),
 			FsyncsForced:     srv.Stats().FsyncsForced,
 			FsyncsAbsorbed:   srv.Stats().FsyncsAbsorbed,
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &StackResult{Rows: rows}, nil
 }
 
 // Render writes the end-to-end comparison.

@@ -8,14 +8,23 @@
 //
 // Each experiment returns a typed result and can render itself as text;
 // cmd/nvreport and the benchmarks in the repository root drive them.
+//
+// The paper's evaluation is embarrassingly parallel — eight independent
+// traces, each swept across models, policies, and NVRAM sizes — so every
+// driver declares its work as a (trace, configuration) job grid and
+// submits it to an internal/engine worker pool, assembling results in
+// index order. Because each cell is a pure function of seeded inputs, the
+// output is byte-identical whether the grid runs on one worker or many;
+// the XxxContext variants additionally propagate cancellation.
 package report
 
 import (
+	"context"
 	"fmt"
-	"sync"
 	"time"
 
 	"nvramfs/internal/cache"
+	"nvramfs/internal/engine"
 	"nvramfs/internal/lifetime"
 	"nvramfs/internal/prep"
 	"nvramfs/internal/workload"
@@ -24,100 +33,158 @@ import (
 // Workspace generates and caches the canonical op streams, lifetime
 // analyses, and omniscient schedules for the standard traces, so that the
 // experiment drivers can share passes the way the paper's simulator did.
+//
+// Every cached pass is built under per-trace singleflight: concurrent
+// callers for the same trace share one build, while different traces
+// build in parallel. The cached values (op slices, analyses, schedules)
+// are immutable after construction and safe to read from any goroutine.
 type Workspace struct {
 	// Scale is the workload volume scale (1.0 = paper scale). Experiments
 	// in tests use small scales for speed.
 	Scale float64
 
-	mu       sync.Mutex
-	ops      map[int][]prep.Op
-	stats    map[int]prep.Stats
-	analyses map[int]*lifetime.Analysis
-	scheds   map[int]*lifetime.Schedule
+	eng *engine.Engine
+
+	ops      engine.Memo[int, tracePasses]
+	analyses engine.Memo[int, *lifetime.Analysis]
+	scheds   engine.Memo[int, *lifetime.Schedule]
 }
 
-// NewWorkspace returns a workspace at the given scale.
+// tracePasses is the first-pass product for one trace: the canonical op
+// stream and its statistics.
+type tracePasses struct {
+	ops   []prep.Op
+	stats prep.Stats
+}
+
+// NewWorkspace returns a workspace at the given scale, running its
+// experiment grids on a default engine sized by runtime.NumCPU.
 func NewWorkspace(scale float64) *Workspace {
 	if scale <= 0 {
 		scale = 1.0
 	}
-	return &Workspace{
-		Scale:    scale,
-		ops:      make(map[int][]prep.Op),
-		stats:    make(map[int]prep.Stats),
-		analyses: make(map[int]*lifetime.Analysis),
-		scheds:   make(map[int]*lifetime.Schedule),
-	}
+	return &Workspace{Scale: scale, eng: engine.New(0)}
 }
+
+// SetEngine routes the workspace's trace builds and the drivers' job
+// grids through e (nil restores the default engine). Call before handing
+// the workspace to concurrent users.
+func (ws *Workspace) SetEngine(e *engine.Engine) {
+	if e == nil {
+		e = engine.New(0)
+	}
+	ws.eng = e
+}
+
+// Engine returns the runner the experiment drivers submit their grids to.
+func (ws *Workspace) Engine() *engine.Engine { return ws.eng }
 
 // Ops returns the canonical op stream for the given standard trace
 // (1-based), generating it on first use.
 func (ws *Workspace) Ops(trace int) ([]prep.Op, error) {
-	ws.mu.Lock()
-	defer ws.mu.Unlock()
-	return ws.opsLocked(trace)
+	return ws.OpsContext(context.Background(), trace)
 }
 
-func (ws *Workspace) opsLocked(trace int) ([]prep.Op, error) {
-	if ops, ok := ws.ops[trace]; ok {
-		return ops, nil
-	}
-	evs, err := workload.GenerateEvents(workload.StandardProfile(trace, ws.Scale))
+// OpsContext is Ops with cancellation: a cancelled context fails fast
+// before a build starts (an in-flight build always runs to completion so
+// its cached result stays valid for other callers).
+func (ws *Workspace) OpsContext(ctx context.Context, trace int) ([]prep.Op, error) {
+	p, err := ws.passes(ctx, trace)
 	if err != nil {
-		return nil, fmt.Errorf("report: generating trace %d: %w", trace, err)
+		return nil, err
 	}
-	ops, st, err := prep.CanonicalizeAll(evs)
-	if err != nil {
-		return nil, fmt.Errorf("report: canonicalizing trace %d: %w", trace, err)
+	return p.ops, nil
+}
+
+func (ws *Workspace) passes(ctx context.Context, trace int) (tracePasses, error) {
+	if err := ctx.Err(); err != nil {
+		return tracePasses{}, err
 	}
-	ws.ops[trace] = ops
-	ws.stats[trace] = st
-	return ops, nil
+	return ws.ops.Do(trace, func() (tracePasses, error) {
+		evs, err := workload.GenerateEvents(workload.StandardProfile(trace, ws.Scale))
+		if err != nil {
+			return tracePasses{}, fmt.Errorf("report: generating trace %d: %w", trace, err)
+		}
+		ops, st, err := prep.CanonicalizeAll(evs)
+		if err != nil {
+			return tracePasses{}, fmt.Errorf("report: canonicalizing trace %d: %w", trace, err)
+		}
+		return tracePasses{ops: ops, stats: st}, nil
+	})
 }
 
 // TraceStats returns the canonical-op statistics for a trace.
 func (ws *Workspace) TraceStats(trace int) (prep.Stats, error) {
-	ws.mu.Lock()
-	defer ws.mu.Unlock()
-	if _, err := ws.opsLocked(trace); err != nil {
+	return ws.TraceStatsContext(context.Background(), trace)
+}
+
+// TraceStatsContext is TraceStats with cancellation.
+func (ws *Workspace) TraceStatsContext(ctx context.Context, trace int) (prep.Stats, error) {
+	p, err := ws.passes(ctx, trace)
+	if err != nil {
 		return prep.Stats{}, err
 	}
-	return ws.stats[trace], nil
+	return p.stats, nil
 }
 
 // Analysis returns the infinite-cache lifetime analysis for a trace.
 func (ws *Workspace) Analysis(trace int) (*lifetime.Analysis, error) {
-	ws.mu.Lock()
-	defer ws.mu.Unlock()
-	if a, ok := ws.analyses[trace]; ok {
-		return a, nil
-	}
-	ops, err := ws.opsLocked(trace)
-	if err != nil {
+	return ws.AnalysisContext(context.Background(), trace)
+}
+
+// AnalysisContext is Analysis with cancellation.
+func (ws *Workspace) AnalysisContext(ctx context.Context, trace int) (*lifetime.Analysis, error) {
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	a, err := lifetime.Analyze(ops)
-	if err != nil {
-		return nil, fmt.Errorf("report: analyzing trace %d: %w", trace, err)
-	}
-	ws.analyses[trace] = a
-	return a, nil
+	return ws.analyses.Do(trace, func() (*lifetime.Analysis, error) {
+		// Deliberately not the caller's ctx: a build that has started runs
+		// to completion so a bystander's cancellation can never be cached
+		// as this trace's permanent result.
+		ops, err := ws.OpsContext(context.Background(), trace)
+		if err != nil {
+			return nil, err
+		}
+		a, err := lifetime.Analyze(ops)
+		if err != nil {
+			return nil, fmt.Errorf("report: analyzing trace %d: %w", trace, err)
+		}
+		return a, nil
+	})
 }
 
 // Schedule returns the omniscient next-modify schedule for a trace.
 func (ws *Workspace) Schedule(trace int) (*lifetime.Schedule, error) {
-	ws.mu.Lock()
-	defer ws.mu.Unlock()
-	if s, ok := ws.scheds[trace]; ok {
-		return s, nil
-	}
-	ops, err := ws.opsLocked(trace)
-	if err != nil {
+	return ws.ScheduleContext(context.Background(), trace)
+}
+
+// ScheduleContext is Schedule with cancellation.
+func (ws *Workspace) ScheduleContext(ctx context.Context, trace int) (*lifetime.Schedule, error) {
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	s := lifetime.BuildSchedule(ops, cache.DefaultBlockSize)
-	ws.scheds[trace] = s
-	return s, nil
+	return ws.scheds.Do(trace, func() (*lifetime.Schedule, error) {
+		ops, err := ws.OpsContext(context.Background(), trace)
+		if err != nil {
+			return nil, err
+		}
+		return lifetime.BuildSchedule(ops, cache.DefaultBlockSize), nil
+	})
+}
+
+// Prewarm builds every standard trace's canonical ops, lifetime analysis,
+// and omniscient schedule concurrently on the workspace engine. The
+// drivers hit the same singleflight entries, so a prewarmed workspace
+// serves every experiment from cache.
+func (ws *Workspace) Prewarm(ctx context.Context) error {
+	traces := AllTraces()
+	return ws.eng.Run(ctx, len(traces), func(ctx context.Context, i int) error {
+		if _, err := ws.AnalysisContext(ctx, traces[i]); err != nil {
+			return err
+		}
+		_, err := ws.ScheduleContext(ctx, traces[i])
+		return err
+	})
 }
 
 // AllTraces lists the standard trace indices.

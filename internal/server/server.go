@@ -17,6 +17,7 @@ import (
 	"container/heap"
 	"container/list"
 	"fmt"
+	"sort"
 
 	"nvramfs/internal/disk"
 	"nvramfs/internal/lfs"
@@ -234,6 +235,27 @@ func (s *Server) Write(now int64, file uint64, off, n int64) {
 	s.drainNVRAMIfSegmentReady(now)
 }
 
+// selectBlocks returns the cached entries matching keep, sorted by
+// (file, index). Map iteration order is randomized per range, but the
+// order blocks enter the file system decides segment layout and so disk
+// access counts; every bulk walk over s.blocks goes through here so a
+// replay is deterministic run to run.
+func (s *Server) selectBlocks(keep func(*entry) bool) []*entry {
+	var picked []*entry
+	for _, b := range s.blocks {
+		if keep(b) {
+			picked = append(picked, b)
+		}
+	}
+	sort.Slice(picked, func(i, j int) bool {
+		if picked[i].id.file != picked[j].id.file {
+			return picked[i].id.file < picked[j].id.file
+		}
+		return picked[i].id.index < picked[j].id.index
+	})
+	return picked
+}
+
 // drainNVRAMIfSegmentReady moves NVRAM-resident dirty blocks into the file
 // system once a full segment's worth has accumulated, so they reach the
 // disk at full-segment efficiency.
@@ -241,13 +263,11 @@ func (s *Server) drainNVRAMIfSegmentReady(now int64) {
 	per := s.fs.Config().BlocksPerSegment()
 	for s.nNV >= per {
 		moved := 0
-		for _, b := range s.blocks {
-			if b.dirty && b.inNVRAM {
-				s.flushBlock(now, b)
-				moved++
-				if moved >= per {
-					break
-				}
+		for _, b := range s.selectBlocks(func(b *entry) bool { return b.dirty && b.inNVRAM }) {
+			s.flushBlock(now, b)
+			moved++
+			if moved >= per {
+				break
 			}
 		}
 		if moved == 0 {
@@ -282,13 +302,10 @@ func (s *Server) Read(now int64, file uint64, off, n int64) {
 func (s *Server) Fsync(now int64, file uint64) {
 	s.Advance(now)
 	forced := false
-	for id, b := range s.blocks {
-		if id.file != file || !b.dirty {
-			continue
-		}
-		if b.inNVRAM {
-			continue // already permanent
-		}
+	for _, b := range s.selectBlocks(func(b *entry) bool {
+		// NVRAM-resident blocks are already permanent.
+		return b.id.file == file && b.dirty && !b.inNVRAM
+	}) {
 		s.flushBlock(now, b)
 		forced = true
 	}
@@ -304,10 +321,7 @@ func (s *Server) Fsync(now int64, file uint64) {
 // reclaims its on-disk blocks.
 func (s *Server) Delete(now int64, file uint64) {
 	s.Advance(now)
-	for id, b := range s.blocks {
-		if id.file != file {
-			continue
-		}
+	for _, b := range s.selectBlocks(func(b *entry) bool { return b.id.file == file }) {
 		if b.dirty {
 			s.stats.AbsorbedBlocks++
 			if b.inNVRAM {
@@ -316,7 +330,7 @@ func (s *Server) Delete(now int64, file uint64) {
 			s.nDirty--
 		}
 		s.lru.Remove(b.lru)
-		delete(s.blocks, id)
+		delete(s.blocks, b.id)
 	}
 	s.fs.Delete(now, file)
 }
@@ -324,10 +338,8 @@ func (s *Server) Delete(now int64, file uint64) {
 // Shutdown flushes everything to disk.
 func (s *Server) Shutdown(now int64) {
 	s.Advance(now)
-	for _, b := range s.blocks {
-		if b.dirty {
-			s.flushBlock(now, b)
-		}
+	for _, b := range s.selectBlocks(func(b *entry) bool { return b.dirty }) {
+		s.flushBlock(now, b)
 	}
 	s.fs.Shutdown(now)
 }

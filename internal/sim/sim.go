@@ -121,8 +121,8 @@ func (d *driver) apply(op prep.Op) error {
 		if res.JustDisabled {
 			// Concurrent write-sharing: every cached copy is flushed and
 			// invalidated; subsequent I/O bypasses the caches.
-			for _, cm := range d.models {
-				cm.Invalidate(op.Time, op.File)
+			for _, c := range d.clientOrder() {
+				d.models[c].Invalidate(op.Time, op.File)
 			}
 		} else if res.InvalidateOpener {
 			m.Invalidate(op.Time, op.File)
@@ -167,10 +167,11 @@ func (d *driver) apply(op prep.Op) error {
 	case prep.DeleteRange:
 		// Deletion is cluster-visible: every client's cached copy of the
 		// dead bytes is discarded, and the writer's dirty bytes die in
-		// place (absorption).
-		for _, cm := range d.models {
-			cm.Advance(op.Time)
-			cm.DeleteRange(op.Time, op.File, op.Range)
+		// place (absorption). Client order, not map order: the models'
+		// hooks feed a shared server whose replay must be deterministic.
+		for _, c := range d.clientOrder() {
+			d.models[c].Advance(op.Time)
+			d.models[c].DeleteRange(op.Time, op.File, op.Range)
 		}
 		if h := d.cfg.Cache.Hooks; h != nil && h.Delete != nil {
 			h.Delete(op.Time, op.File, op.Range)
@@ -198,16 +199,21 @@ func (d *driver) apply(op prep.Op) error {
 	return nil
 }
 
-// finish advances every cache to the end of the trace and flushes the
-// remaining dirty bytes (counted pessimistically as server traffic, as the
-// paper's figures do).
-func (d *driver) finish() {
+// clientOrder returns the known clients sorted by id.
+func (d *driver) clientOrder() []uint16 {
 	clients := make([]uint16, 0, len(d.models))
 	for c := range d.models {
 		clients = append(clients, c)
 	}
 	sort.Slice(clients, func(i, j int) bool { return clients[i] < clients[j] })
-	for _, c := range clients {
+	return clients
+}
+
+// finish advances every cache to the end of the trace and flushes the
+// remaining dirty bytes (counted pessimistically as server traffic, as the
+// paper's figures do).
+func (d *driver) finish() {
+	for _, c := range d.clientOrder() {
 		m := d.models[c]
 		m.Advance(d.now)
 		m.FlushAll(d.now, cache.CauseEnd)

@@ -30,6 +30,7 @@
 package nvramfs
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -37,6 +38,7 @@ import (
 
 	"nvramfs/internal/cache"
 	"nvramfs/internal/disk"
+	"nvramfs/internal/engine"
 	"nvramfs/internal/lfs"
 	"nvramfs/internal/lifetime"
 	"nvramfs/internal/nvram"
@@ -64,8 +66,22 @@ type (
 	LFSStats = lfs.Stats
 	// TraceStats summarizes a canonicalized trace.
 	TraceStats = prep.Stats
-	// Workspace caches trace passes shared between experiments.
+	// Workspace caches trace passes shared between experiments. Its
+	// builds run under per-trace singleflight, so one workspace may be
+	// used from many goroutines; SetEngine controls the parallelism of
+	// the experiment drivers below.
 	Workspace = report.Workspace
+	// Engine is the concurrent experiment runner the drivers submit
+	// their job grids to: a worker pool with context cancellation on
+	// first error and progress/metrics hooks. Results are always
+	// assembled in deterministic index order, so experiment output is
+	// byte-identical at any worker count.
+	Engine = engine.Engine
+	// EngineHooks observe job starts and finishes (cmd/nvreport's
+	// -progress flag uses them).
+	EngineHooks = engine.Hooks
+	// EngineMetrics is a snapshot of an engine's job counters.
+	EngineMetrics = engine.Metrics
 
 	// Experiment results, one per table/figure.
 	Figure2Result      = report.Figure2Result
@@ -355,36 +371,89 @@ func NewRecoverableFS(bufferBytes int64) (*FS, error) {
 func NewStore(batteries int) *Store { return nvram.NewStore(batteries) }
 
 // NewWorkspace returns a workspace for the experiment drivers below at
-// the given workload scale (1.0 = paper scale).
+// the given workload scale (1.0 = paper scale). Its default engine uses
+// every CPU; use SetEngine(NewEngine(n)) to bound or serialize it.
 func NewWorkspace(scale float64) *Workspace { return report.NewWorkspace(scale) }
+
+// NewEngine returns a parallel experiment runner with the given worker
+// count (<= 0 selects runtime.NumCPU). Pass it to a workspace via
+// SetEngine and to the server studies' Context variants.
+func NewEngine(workers int) *Engine { return engine.New(workers) }
 
 // Experiment drivers: one per table and figure in the paper's evaluation.
 // Each result renders itself as text via its Render method(s).
+//
+// Every driver has a Context variant that propagates cancellation into
+// the job grid (the first error or a cancelled context stops the
+// remaining jobs); the plain forms run with context.Background(). Either
+// way the sweep cells run concurrently on the workspace's engine and are
+// assembled in deterministic index order.
 
 // Figure2 sweeps write-back delay against net write traffic per trace.
 func Figure2(ws *Workspace) (*Figure2Result, error) { return report.Figure2(ws) }
 
+// Figure2Context is Figure2 with cancellation.
+func Figure2Context(ctx context.Context, ws *Workspace) (*Figure2Result, error) {
+	return report.Figure2Context(ctx, ws)
+}
+
 // Table2 tallies the fate of every written byte with infinite NVRAM.
 func Table2(ws *Workspace) (*Table2Result, error) { return report.Table2(ws) }
+
+// Table2Context is Table2 with cancellation.
+func Table2Context(ctx context.Context, ws *Workspace) (*Table2Result, error) {
+	return report.Table2Context(ctx, ws)
+}
 
 // Figure3 sweeps NVRAM size under the omniscient policy for every trace.
 func Figure3(ws *Workspace) (*PolicySweepResult, error) { return report.Figure3(ws) }
 
+// Figure3Context is Figure3 with cancellation.
+func Figure3Context(ctx context.Context, ws *Workspace) (*PolicySweepResult, error) {
+	return report.Figure3Context(ctx, ws)
+}
+
 // Figure4 compares LRU, random, and omniscient replacement on trace 7.
 func Figure4(ws *Workspace) (*PolicySweepResult, error) { return report.Figure4(ws) }
+
+// Figure4Context is Figure4 with cancellation.
+func Figure4Context(ctx context.Context, ws *Workspace) (*PolicySweepResult, error) {
+	return report.Figure4Context(ctx, ws)
+}
 
 // Figure5 compares the three cache models' total traffic on trace 7.
 func Figure5(ws *Workspace) (*ModelCompareResult, error) { return report.Figure5(ws) }
 
+// Figure5Context is Figure5 with cancellation.
+func Figure5Context(ctx context.Context, ws *Workspace) (*ModelCompareResult, error) {
+	return report.Figure5Context(ctx, ws)
+}
+
 // Figure6 compares volatile vs unified growth from 8 MB and 16 MB bases.
 func Figure6(ws *Workspace) (*ModelCompareResult, error) { return report.Figure6(ws) }
+
+// Figure6Context is Figure6 with cancellation.
+func Figure6Context(ctx context.Context, ws *Workspace) (*ModelCompareResult, error) {
+	return report.Figure6Context(ctx, ws)
+}
 
 // BusTraffic measures the Section 2.6 memory-bus and NVRAM-access claims.
 func BusTraffic(ws *Workspace) (*BusResult, error) { return report.BusTraffic(ws) }
 
+// BusTrafficContext is BusTraffic with cancellation.
+func BusTrafficContext(ctx context.Context, ws *Workspace) (*BusResult, error) {
+	return report.BusTrafficContext(ctx, ws)
+}
+
 // ServerStudy produces Tables 3-4 and the write-buffer comparison.
 func ServerStudy(duration time.Duration) (*ServerStudyResult, error) {
 	return report.ServerStudy(duration)
+}
+
+// ServerStudyContext is ServerStudy with cancellation, running its
+// sixteen LFS replays on eng (nil runs them serially).
+func ServerStudyContext(ctx context.Context, eng *Engine, duration time.Duration) (*ServerStudyResult, error) {
+	return report.ServerStudyContext(ctx, eng, duration)
 }
 
 // SortedBuffer reproduces the buffered-and-sorted write analysis ([20]).
@@ -406,10 +475,21 @@ func WriteCSV(w io.Writer, t Tabular) error { return report.WriteCSV(w, t) }
 // 2.6, and block-level consistency (Section 2.3).
 func Ablations(ws *Workspace) (*AblationResult, error) { return report.Ablations(ws) }
 
+// AblationsContext is Ablations with cancellation.
+func AblationsContext(ctx context.Context, ws *Workspace) (*AblationResult, error) {
+	return report.AblationsContext(ctx, ws)
+}
+
 // ServerCacheStudy sweeps a server-side NVRAM cache region over the
 // standard file-system workloads (the Section 3 opening remark).
 func ServerCacheStudy(duration time.Duration) (*ServerCacheResult, error) {
 	return report.ServerCacheStudy(duration)
+}
+
+// ServerCacheStudyContext is ServerCacheStudy with cancellation, running
+// its (file system, NVRAM size) grid on eng (nil runs it serially).
+func ServerCacheStudyContext(ctx context.Context, eng *Engine, duration time.Duration) (*ServerCacheResult, error) {
+	return report.ServerCacheStudyContext(ctx, eng, duration)
 }
 
 // FsyncLatencyStudy prices fsync latency under volatile, server-NVRAM,
@@ -419,9 +499,19 @@ func FsyncLatencyStudy(ws *Workspace) (*LatencyResult, error) {
 	return report.FsyncLatencyStudy(ws)
 }
 
+// FsyncLatencyStudyContext is FsyncLatencyStudy with cancellation.
+func FsyncLatencyStudyContext(ctx context.Context, ws *Workspace) (*LatencyResult, error) {
+	return report.FsyncLatencyStudyContext(ctx, ws)
+}
+
 // StackStudy runs the end-to-end pipeline — client caches feeding a file
 // server (cache + LFS + disk) — under three NVRAM placements.
 func StackStudy(ws *Workspace) (*StackResult, error) { return report.StackStudy(ws) }
+
+// StackStudyContext is StackStudy with cancellation.
+func StackStudyContext(ctx context.Context, ws *Workspace) (*StackResult, error) {
+	return report.StackStudyContext(ctx, ws)
+}
 
 // ReadResponseStudy computes the [3] analysis: read-response increase vs
 // LFS write size, and the interference-minimizing write unit.
