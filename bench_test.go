@@ -42,6 +42,10 @@ func benchWorkspace(b *testing.B) *Workspace {
 }
 
 func BenchmarkTable1(b *testing.B) {
+	// Table 1 is the static price list — no traces to synthesize — so the
+	// benchmark times rendering alone.
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := RenderTable1(discard{}); err != nil {
 			b.Fatal(err)
@@ -51,6 +55,7 @@ func BenchmarkTable1(b *testing.B) {
 
 func BenchmarkFigure2(b *testing.B) {
 	ws := benchWorkspace(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		r, err := Figure2(ws)
@@ -65,6 +70,7 @@ func BenchmarkFigure2(b *testing.B) {
 
 func BenchmarkTable2(b *testing.B) {
 	ws := benchWorkspace(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		r, err := Table2(ws)
@@ -79,6 +85,7 @@ func BenchmarkTable2(b *testing.B) {
 
 func BenchmarkFigure3(b *testing.B) {
 	ws := benchWorkspace(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := Figure3(ws); err != nil {
@@ -89,6 +96,7 @@ func BenchmarkFigure3(b *testing.B) {
 
 func BenchmarkFigure4(b *testing.B) {
 	ws := benchWorkspace(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := Figure4(ws); err != nil {
@@ -99,6 +107,7 @@ func BenchmarkFigure4(b *testing.B) {
 
 func BenchmarkFigure5(b *testing.B) {
 	ws := benchWorkspace(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := Figure5(ws); err != nil {
@@ -109,6 +118,7 @@ func BenchmarkFigure5(b *testing.B) {
 
 func BenchmarkFigure6(b *testing.B) {
 	ws := benchWorkspace(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		fig6, err := Figure6(ws)
@@ -124,6 +134,7 @@ func BenchmarkFigure6(b *testing.B) {
 
 func BenchmarkBusTraffic(b *testing.B) {
 	ws := benchWorkspace(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := BusTraffic(ws); err != nil {
@@ -137,8 +148,14 @@ func BenchmarkBusTraffic(b *testing.B) {
 const benchServerDuration = 6 * time.Hour
 
 func BenchmarkTable3and4(b *testing.B) {
+	// Reuse the shared workspace's engine rather than building a fresh
+	// worker pool per iteration, so the benchmark times the LFS replays.
+	ws := benchWorkspace(b)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		r, err := ServerStudy(benchServerDuration)
+		r, err := ServerStudyContext(ctx, ws.Engine(), benchServerDuration)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -150,6 +167,7 @@ func BenchmarkTable3and4(b *testing.B) {
 
 func BenchmarkWriteBuffer(b *testing.B) {
 	// The write-buffer comparison on the fsync-dominated file system.
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		plain, err := RunServer("/user6", benchServerDuration, 0)
 		if err != nil {
@@ -166,6 +184,7 @@ func BenchmarkWriteBuffer(b *testing.B) {
 }
 
 func BenchmarkSortedBuffer(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r := SortedBuffer()
 		if len(r.Depths) == 0 {
@@ -180,6 +199,7 @@ func BenchmarkSortedBuffer(b *testing.B) {
 
 func benchPrewarm(b *testing.B, workers int) {
 	b.Helper()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		ws := NewWorkspace(0.05)
 		ws.SetEngine(NewEngine(workers))
@@ -199,6 +219,7 @@ func BenchmarkSimUnifiedTrace7(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := tr.RunCache(CacheConfig{Model: "unified", VolatileMB: 8, NVRAMMB: 1})
@@ -214,6 +235,7 @@ func BenchmarkLifetimeAnalysis(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := tr.Analyze(); err != nil {

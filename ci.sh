@@ -15,3 +15,8 @@ fi
 go vet ./...
 go build ./...
 go test -race ./...
+
+# Bench smoke: one iteration of every benchmark under the race detector, so
+# benchmarks can't rot (and the allocation-budget tests above can't drift
+# from what the benchmarks actually exercise).
+go test -race -run '^$' -bench . -benchtime 1x ./...

@@ -1,0 +1,135 @@
+// Command nvbench records the repo's performance trajectory: it runs the
+// benchmark suite (or parses a previously captured `go test -bench` log),
+// extracts ns/op, B/op, and allocs/op for every benchmark, and writes them
+// as JSON so future PRs have a baseline to compare against.
+//
+// Usage:
+//
+//	nvbench                           # run go test -bench . -benchmem, write BENCH_1.json
+//	nvbench -benchtime 5x -o out.json # longer runs, custom output
+//	nvbench -input old_bench.txt      # parse a saved log instead of running
+//	nvbench -pkg ./... -bench Sim     # restrict packages / benchmarks
+//
+// The JSON maps benchmark name → {ns_per_op, b_per_op, allocs_per_op};
+// map keys marshal sorted, so successive files diff cleanly.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"os/exec"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark's measurements.
+type Entry struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"b_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// File is the schema of BENCH_1.json.
+type File struct {
+	// Benchtime echoes the -benchtime the numbers were collected at
+	// (comparisons across different benchtimes are apples to oranges).
+	Benchtime  string           `json:"benchtime"`
+	Benchmarks map[string]Entry `json:"benchmarks"`
+}
+
+// benchLine matches `go test -bench -benchmem` result lines, e.g.
+//
+//	BenchmarkSimUnifiedTrace7-4   5  109223732 ns/op  3145.52 MB/s  22823630 B/op  334588 allocs/op
+//
+// The GOMAXPROCS suffix and MB/s column are optional; the -benchmem columns
+// are required (a line without them carries no allocation data to record).
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:\s+[0-9.]+ MB/s)?\s+(\d+) B/op\s+(\d+) allocs/op`)
+
+// parse extracts benchmark entries from a `go test -bench` log.
+func parse(r io.Reader) (map[string]Entry, error) {
+	out := map[string]Entry{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad ns/op in %q: %w", sc.Text(), err)
+		}
+		bytes, err := strconv.ParseInt(m[4], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad B/op in %q: %w", sc.Text(), err)
+		}
+		allocs, err := strconv.ParseInt(m[5], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad allocs/op in %q: %w", sc.Text(), err)
+		}
+		out[m[1]] = Entry{NsPerOp: ns, BytesPerOp: bytes, AllocsPerOp: allocs}
+	}
+	return out, sc.Err()
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("nvbench: ")
+	var (
+		bench     = flag.String("bench", ".", "benchmark name regexp passed to go test -bench")
+		benchtime = flag.String("benchtime", "1x", "go test -benchtime value")
+		pkg       = flag.String("pkg", "./...", "package pattern to benchmark")
+		out       = flag.String("o", "BENCH_1.json", "output JSON path")
+		input     = flag.String("input", "", "parse this saved bench log instead of running go test")
+	)
+	flag.Parse()
+
+	var entries map[string]Entry
+	if *input != "" {
+		f, err := os.Open(*input)
+		if err != nil {
+			log.Fatal(err)
+		}
+		entries, err = parse(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		args := []string{"test", "-run", "^$",
+			"-bench", *bench, "-benchmem", "-benchtime", *benchtime}
+		args = append(args, strings.Fields(*pkg)...)
+		cmd := exec.Command("go", args...)
+		var buf strings.Builder
+		cmd.Stdout = io.MultiWriter(&buf, os.Stderr)
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			log.Fatalf("go test -bench failed: %v", err)
+		}
+		var err error
+		entries, err = parse(strings.NewReader(buf.String()))
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	if len(entries) == 0 {
+		log.Fatal("no benchmark result lines found (is -benchmem output present?)")
+	}
+
+	data, err := json.MarshalIndent(File{Benchtime: *benchtime, Benchmarks: entries}, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s (%d benchmarks)", *out, len(entries))
+}

@@ -33,6 +33,11 @@ func (id BlockID) String() string { return fmt.Sprintf("f%d/b%d", id.File, id.In
 // block's extent hold data (file-absolute offsets); Dirty records the
 // unwritten-back subset, tagged with write times. Dirty is always a subset
 // of Valid.
+//
+// A block is owned by at most one Pool at a time; the intrusive link and
+// index fields below belong to that pool's structures (the per-file chain
+// and the replacement policy), so steady-state pool operations touch no
+// auxiliary heap nodes.
 type Block struct {
 	ID    BlockID
 	Valid interval.Set
@@ -45,10 +50,75 @@ type Block struct {
 	// became dirty, or -1 while clean. The volatile model's block cleaner
 	// keys on it.
 	FirstDirty int64
+
+	// lruPrev/lruNext are the LRU policy's intrusive list links (non-nil
+	// exactly while the block is tracked by an lruPolicy).
+	lruPrev, lruNext *Block
+	// filePrev/fileNext chain the pool's blocks of one file in ascending
+	// index order (the incrementally-maintained replacement for the old
+	// sorted byFile index).
+	filePrev, fileNext *Block
+	// polIdx is the block's slot in a slice-backed policy (random's member
+	// array, omniscient's heap); -1 while untracked.
+	polIdx int
+	// nextMod is the omniscient policy's heap key: the block's next modify
+	// time as of its last insert/modify.
+	nextMod int64
 }
 
 func newBlock(id BlockID, now int64) *Block {
-	return &Block{ID: id, LastAccess: now, FirstDirty: -1}
+	return &Block{ID: id, LastAccess: now, FirstDirty: -1, polIdx: -1}
+}
+
+// BlockArena recycles evicted blocks within a simulation run and across a
+// workspace's grid cells, so the steady-state insert/evict churn of a full
+// cache performs no heap allocation. An arena is not safe for concurrent
+// use; concurrent grid cells each take their own (see the report package's
+// arena pool).
+type BlockArena struct {
+	free []*Block
+}
+
+// NewBlockArena returns an empty arena.
+func NewBlockArena() *BlockArena { return &BlockArena{} }
+
+// Get returns a reset block, recycling a freed one when available. A nil
+// arena degrades to plain allocation.
+func (a *BlockArena) Get(id BlockID, now int64) *Block {
+	if a == nil || len(a.free) == 0 {
+		return newBlock(id, now)
+	}
+	b := a.free[len(a.free)-1]
+	a.free = a.free[:len(a.free)-1]
+	b.ID = id
+	b.LastAccess = now
+	return b
+}
+
+// Put recycles a block that has left its pool for good. The block must
+// already be unlinked (Pool.Remove does this); its Valid/Dirty buffers keep
+// their capacity for the next tenant. A nil arena drops the block.
+func (a *BlockArena) Put(b *Block) {
+	if a == nil || b == nil {
+		return
+	}
+	b.Valid.Clear()
+	b.Dirty.Clear()
+	b.LastAccess, b.LastModify = 0, 0
+	b.FirstDirty = -1
+	b.lruPrev, b.lruNext = nil, nil
+	b.filePrev, b.fileNext = nil, nil
+	b.polIdx = -1
+	b.nextMod = 0
+	a.free = append(a.free, b)
+}
+
+// Len reports the number of blocks currently free in the arena.
+func (a *BlockArena) Len() int {
+	if a == nil {
+		return 0
+	}
+	return len(a.free)
 }
 
 // IsDirty reports whether the block holds any unwritten-back bytes.
@@ -73,6 +143,11 @@ func blockSpan(r interval.Range, blockSize int64, fn func(index int64, sub inter
 			fn(idx, sub)
 		}
 	}
+}
+
+// blockRange returns the file-absolute extent of block idx, unclipped.
+func blockRange(idx, blockSize int64) interval.Range {
+	return interval.Range{Start: idx * blockSize, End: (idx + 1) * blockSize}
 }
 
 // blockExtent returns the file-absolute extent of block idx clipped to the

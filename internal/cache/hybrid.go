@@ -1,8 +1,6 @@
 package cache
 
 import (
-	"container/heap"
-
 	"nvramfs/internal/interval"
 )
 
@@ -44,7 +42,7 @@ func (m *hybridModel) Traffic() *Traffic { return &m.traffic }
 // Advance runs the cleaner over volatile-resident dirty blocks only.
 func (m *hybridModel) Advance(now int64) {
 	for len(m.cleaner) > 0 && m.cleaner[0].at+m.cfg.WriteBackDelay <= now {
-		e := heap.Pop(&m.cleaner).(cleanerEntry)
+		e := m.cleaner.pop()
 		b := m.vol.Get(e.id)
 		if b == nil || !b.IsDirty() || b.FirstDirty != e.at {
 			continue
@@ -67,17 +65,20 @@ func (m *hybridModel) locate(id BlockID) (b *Block, inNV bool) {
 // evictFrom removes the pool's victim, flushing dirty bytes.
 func (m *hybridModel) evictFrom(now int64, p *Pool) {
 	v := p.EvictVictim()
-	if v != nil && v.IsDirty() {
+	if v == nil {
+		return
+	}
+	if v.IsDirty() {
 		segs := v.Dirty.RemoveAll()
 		m.traffic.WriteBack[CauseReplacement] += segsLen(segs)
 		m.cfg.Hooks.emitWrite(now, v.ID.File, segs, CauseReplacement)
 	}
+	m.cfg.Arena.Put(v)
 }
 
 // place installs a new block, choosing the memory per the model's global
 // replacement rule, and reports which memory received it.
 func (m *hybridModel) place(now int64, id BlockID) (*Block, bool) {
-	b := newBlock(id, now)
 	intoNV := false
 	switch {
 	case m.nv.Capacity() > 0 && !m.nv.Full():
@@ -91,6 +92,7 @@ func (m *hybridModel) place(now int64, id BlockID) (*Block, bool) {
 			intoNV = true
 		}
 	}
+	b := m.cfg.Arena.Get(id, now)
 	if intoNV {
 		if m.nv.Full() {
 			m.evictFrom(now, m.nv)
@@ -120,7 +122,7 @@ func (m *hybridModel) Write(now int64, file uint64, r interval.Range) {
 		if inNV {
 			m.traffic.NVRAMWriteBytes += sub.Len()
 			m.traffic.NVRAMAccesses++
-			m.nv.Modify(id, now)
+			m.nv.Modify(b, now)
 			return
 		}
 		// Dirty data in volatile memory: vulnerable until the cleaner
@@ -128,9 +130,9 @@ func (m *hybridModel) Write(now int64, file uint64, r interval.Range) {
 		m.traffic.VulnerableWriteBytes += sub.Len()
 		if b.FirstDirty == -1 {
 			b.FirstDirty = now
-			heap.Push(&m.cleaner, cleanerEntry{at: now, id: id})
+			m.cleaner.push(cleanerEntry{at: now, id: id})
 		}
-		m.vol.Modify(id, now)
+		m.vol.Modify(b, now)
 	})
 }
 
@@ -148,9 +150,9 @@ func (m *hybridModel) Read(now int64, file uint64, r interval.Range, fileSize in
 			if inNV {
 				m.traffic.NVRAMReadBytes += sub.Len()
 				m.traffic.NVRAMAccesses++
-				m.nv.Touch(id, now)
+				m.nv.Touch(b, now)
 			} else {
-				m.vol.Touch(id, now)
+				m.vol.Touch(b, now)
 			}
 			return
 		}
@@ -167,61 +169,64 @@ func (m *hybridModel) Read(now int64, file uint64, r interval.Range, fileSize in
 		if inNV {
 			m.traffic.NVRAMWriteBytes += missing
 			m.traffic.NVRAMAccesses++
-			m.nv.Touch(id, now)
+			m.nv.Touch(b, now)
 		} else {
-			m.vol.Touch(id, now)
+			m.vol.Touch(b, now)
 		}
 	})
 }
 
 func (m *hybridModel) DeleteRange(now int64, file uint64, r interval.Range) {
-	blockSpan(r, m.cfg.BlockSize, func(idx int64, sub interval.Range) {
-		id := BlockID{file, idx}
-		for _, p := range [2]*Pool{m.nv, m.vol} {
-			b := p.Get(id)
-			if b == nil {
-				continue
+	// Chain walk per pool; a block is resident in exactly one pool, so the
+	// two walks cover disjoint blocks.
+	for _, p := range [2]*Pool{m.nv, m.vol} {
+		p.ForEachFileBlock(file, func(b *Block) {
+			sub := r.Intersect(blockRange(b.ID.Index, m.cfg.BlockSize))
+			if sub.Empty() {
+				return
 			}
 			m.traffic.AbsorbedDeleteBytes += segsLen(b.Dirty.Remove(sub))
 			b.Valid.Remove(sub)
 			if b.Valid.Len() == 0 {
-				p.Remove(id)
+				p.Remove(b.ID)
+				m.cfg.Arena.Put(b)
 			} else if !b.IsDirty() {
 				b.FirstDirty = -1
 			}
-		}
-	})
+		})
+	}
 }
 
 // Fsync flushes only the volatile-resident dirty bytes: data already in
 // NVRAM is permanent.
 func (m *hybridModel) Fsync(now int64, file uint64) {
 	var n int64
-	for _, b := range m.vol.FileBlocks(file) {
+	m.vol.ForEachFileBlock(file, func(b *Block) {
 		if b.IsDirty() {
 			segs := b.Dirty.RemoveAll()
 			n += segsLen(segs)
 			m.cfg.Hooks.emitWrite(now, b.ID.File, segs, CauseFsync)
 			b.markClean()
 		}
-	}
+	})
 	m.traffic.WriteBack[CauseFsync] += n
 }
 
 func (m *hybridModel) flushPools(now int64, file uint64, all bool, cause Cause) int64 {
 	var n int64
-	for _, p := range [2]*Pool{m.nv, m.vol} {
-		blocks := p.FileBlocks(file)
-		if all {
-			blocks = p.Blocks()
+	flush := func(b *Block) {
+		if b.IsDirty() {
+			segs := b.Dirty.RemoveAll()
+			n += segsLen(segs)
+			m.cfg.Hooks.emitWrite(now, b.ID.File, segs, cause)
+			b.markClean()
 		}
-		for _, b := range blocks {
-			if b.IsDirty() {
-				segs := b.Dirty.RemoveAll()
-				n += segsLen(segs)
-				m.cfg.Hooks.emitWrite(now, b.ID.File, segs, cause)
-				b.markClean()
-			}
+	}
+	for _, p := range [2]*Pool{m.nv, m.vol} {
+		if all {
+			p.ForEachBlock(flush)
+		} else {
+			p.ForEachFileBlock(file, flush)
 		}
 	}
 	m.traffic.WriteBack[cause] += n
@@ -239,9 +244,10 @@ func (m *hybridModel) FlushAll(now int64, cause Cause) int64 {
 func (m *hybridModel) Invalidate(now int64, file uint64) {
 	m.FlushFile(now, file, CauseCallback)
 	for _, p := range [2]*Pool{m.nv, m.vol} {
-		for _, b := range p.FileBlocks(file) {
+		p.ForEachFileBlock(file, func(b *Block) {
 			p.Remove(b.ID)
-		}
+			m.cfg.Arena.Put(b)
+		})
 	}
 }
 
@@ -250,11 +256,15 @@ func (m *hybridModel) NoteConcurrent(read bool, n int64) { noteConcurrent(&m.tra
 func (m *hybridModel) DirtyBytes() int64 {
 	var n int64
 	for _, p := range [2]*Pool{m.nv, m.vol} {
-		for _, b := range p.Blocks() {
-			n += b.Dirty.Len()
-		}
+		p.ForEachBlock(func(b *Block) { n += b.Dirty.Len() })
 	}
 	return n
 }
 
 func (m *hybridModel) CachedBlocks() int { return m.vol.Len() + m.nv.Len() }
+
+func (m *hybridModel) Release() {
+	m.vol.Drain(m.cfg.Arena)
+	m.nv.Drain(m.cfg.Arena)
+	m.cleaner = m.cleaner[:0]
+}

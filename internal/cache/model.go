@@ -75,6 +75,11 @@ type Config struct {
 	// the cache generates, so a server model can be attached downstream
 	// (the end-to-end stack study).
 	Hooks *ServerHooks
+	// Arena recycles evicted blocks. When nil the model allocates a
+	// private arena, so within-run recycling always works; the simulation
+	// driver shares one arena across a run's clients, and the report
+	// drivers share arenas across a workspace's grid cells.
+	Arena *BlockArena
 }
 
 // ServerHooks receives the client-server traffic a cache model generates.
@@ -124,6 +129,9 @@ func (c *Config) fillDefaults() {
 	if c.WriteBackDelay <= 0 {
 		c.WriteBackDelay = 30 * 1e6
 	}
+	if c.Arena == nil {
+		c.Arena = NewBlockArena()
+	}
 }
 
 // Model is a client file cache under simulation. The simulation driver
@@ -163,6 +171,10 @@ type Model interface {
 	DirtyBytes() int64
 	// CachedBlocks reports the number of resident blocks across memories.
 	CachedBlocks() int
+	// Release returns every resident block to the configured arena. The
+	// model must not be used afterwards; callers invoke it after the run's
+	// results have been collected so the arena can serve the next run.
+	Release()
 }
 
 // NewModel constructs a cache model.

@@ -1,8 +1,6 @@
 package cache
 
 import (
-	"container/heap"
-	"container/list"
 	"fmt"
 	"math"
 	"math/rand"
@@ -43,15 +41,17 @@ type Schedule interface {
 }
 
 // Policy selects replacement victims among a pool's blocks. Implementations
-// are informed of every insertion, access, modification, and removal.
+// are informed of every insertion, access, modification, and removal, and
+// track membership intrusively through the Block's link/index fields, so no
+// policy operation allocates.
 type Policy interface {
-	Insert(id BlockID, now int64)
-	Touch(id BlockID, now int64)
-	Modify(id BlockID, now int64)
-	Remove(id BlockID)
+	Insert(b *Block, now int64)
+	Touch(b *Block, now int64)
+	Modify(b *Block, now int64)
+	Remove(b *Block)
 	// Victim returns the block the policy would replace next; ok is false
 	// when the policy tracks no blocks.
-	Victim() (id BlockID, ok bool)
+	Victim() (b *Block, ok bool)
 	Len() int
 }
 
@@ -65,183 +65,248 @@ func NewPolicy(kind PolicyKind, rng *rand.Rand, sched Schedule) (Policy, error) 
 		if rng == nil {
 			return nil, fmt.Errorf("cache: random policy requires a rand source")
 		}
-		return &randomPolicy{rng: rng, index: make(map[BlockID]int)}, nil
+		return &randomPolicy{rng: rng}, nil
 	case Omniscient:
 		if sched == nil {
 			return nil, fmt.Errorf("cache: omniscient policy requires a schedule")
 		}
-		return &omniscientPolicy{sched: sched, index: make(map[BlockID]int)}, nil
+		return &omniscientPolicy{sched: sched}, nil
 	default:
 		return nil, fmt.Errorf("cache: unknown policy kind %d", kind)
 	}
 }
 
 // --- LRU ---
+//
+// An intrusive circular doubly-linked list threaded through the blocks'
+// lruPrev/lruNext fields: root.lruNext is the most recently used block,
+// root.lruPrev the replacement victim. Membership is encoded by the links
+// themselves (non-nil while tracked), so there is no side map and no
+// per-block list node.
 
 type lruPolicy struct {
-	order *list.List // front = most recently used
-	elems map[BlockID]*list.Element
+	root Block // sentinel, never a member
+	n    int
 }
 
 func newLRUPolicy() *lruPolicy {
-	return &lruPolicy{order: list.New(), elems: make(map[BlockID]*list.Element)}
+	p := &lruPolicy{}
+	p.root.lruNext = &p.root
+	p.root.lruPrev = &p.root
+	return p
 }
 
-func (p *lruPolicy) Insert(id BlockID, now int64) {
-	if _, ok := p.elems[id]; ok {
-		p.Touch(id, now)
+// pushFront links an untracked block at the MRU end.
+func (p *lruPolicy) pushFront(b *Block) {
+	b.lruPrev = &p.root
+	b.lruNext = p.root.lruNext
+	b.lruPrev.lruNext = b
+	b.lruNext.lruPrev = b
+	p.n++
+}
+
+func (p *lruPolicy) unlink(b *Block) {
+	b.lruPrev.lruNext = b.lruNext
+	b.lruNext.lruPrev = b.lruPrev
+	b.lruPrev, b.lruNext = nil, nil
+	p.n--
+}
+
+func (p *lruPolicy) Insert(b *Block, now int64) {
+	if b.lruNext != nil {
+		p.Touch(b, now)
 		return
 	}
-	p.elems[id] = p.order.PushFront(id)
+	p.pushFront(b)
 }
 
-func (p *lruPolicy) Touch(id BlockID, now int64) {
-	if e, ok := p.elems[id]; ok {
-		p.order.MoveToFront(e)
+func (p *lruPolicy) Touch(b *Block, now int64) {
+	if b.lruNext == nil || p.root.lruNext == b {
+		return
+	}
+	p.unlink(b)
+	p.pushFront(b)
+}
+
+func (p *lruPolicy) Modify(b *Block, now int64) { p.Touch(b, now) }
+
+func (p *lruPolicy) Remove(b *Block) {
+	if b.lruNext != nil {
+		p.unlink(b)
 	}
 }
 
-func (p *lruPolicy) Modify(id BlockID, now int64) { p.Touch(id, now) }
-
-func (p *lruPolicy) Remove(id BlockID) {
-	if e, ok := p.elems[id]; ok {
-		p.order.Remove(e)
-		delete(p.elems, id)
+func (p *lruPolicy) Victim() (*Block, bool) {
+	if p.n == 0 {
+		return nil, false
 	}
-}
-
-func (p *lruPolicy) Victim() (BlockID, bool) {
-	e := p.order.Back()
-	if e == nil {
-		return BlockID{}, false
-	}
-	return e.Value.(BlockID), true
+	return p.root.lruPrev, true
 }
 
 // victims yields the tracked blocks from least- to most-recently used,
 // stopping when yield returns false. It powers dirty-preference victim
 // selection (Sprite replaces the first *clean* block on the LRU list).
-func (p *lruPolicy) victims(yield func(BlockID) bool) {
-	for e := p.order.Back(); e != nil; e = e.Prev() {
-		if !yield(e.Value.(BlockID)) {
+func (p *lruPolicy) victims(yield func(*Block) bool) {
+	for b := p.root.lruPrev; b != &p.root; b = b.lruPrev {
+		if !yield(b) {
 			return
 		}
 	}
 }
 
-func (p *lruPolicy) Len() int { return p.order.Len() }
+func (p *lruPolicy) Len() int { return p.n }
 
 // --- Random ---
+//
+// A flat member slice with swap-removal; each block stores its own slot in
+// polIdx, replacing the old id->index map.
 
 type randomPolicy struct {
-	rng   *rand.Rand
-	ids   []BlockID
-	index map[BlockID]int
+	rng  *rand.Rand
+	blks []*Block
 }
 
-func (p *randomPolicy) Insert(id BlockID, now int64) {
-	if _, ok := p.index[id]; ok {
+func (p *randomPolicy) Insert(b *Block, now int64) {
+	if b.polIdx >= 0 {
 		return
 	}
-	p.index[id] = len(p.ids)
-	p.ids = append(p.ids, id)
+	b.polIdx = len(p.blks)
+	p.blks = append(p.blks, b)
 }
 
-func (p *randomPolicy) Touch(BlockID, int64)  {}
-func (p *randomPolicy) Modify(BlockID, int64) {}
+func (p *randomPolicy) Touch(*Block, int64)  {}
+func (p *randomPolicy) Modify(*Block, int64) {}
 
-func (p *randomPolicy) Remove(id BlockID) {
-	i, ok := p.index[id]
-	if !ok {
+func (p *randomPolicy) Remove(b *Block) {
+	i := b.polIdx
+	if i < 0 {
 		return
 	}
-	last := len(p.ids) - 1
-	p.ids[i] = p.ids[last]
-	p.index[p.ids[i]] = i
-	p.ids = p.ids[:last]
-	delete(p.index, id)
+	last := len(p.blks) - 1
+	p.blks[i] = p.blks[last]
+	p.blks[i].polIdx = i
+	p.blks = p.blks[:last]
+	b.polIdx = -1
 }
 
-func (p *randomPolicy) Victim() (BlockID, bool) {
-	if len(p.ids) == 0 {
-		return BlockID{}, false
+func (p *randomPolicy) Victim() (*Block, bool) {
+	if len(p.blks) == 0 {
+		return nil, false
 	}
-	return p.ids[p.rng.Intn(len(p.ids))], true
+	return p.blks[p.rng.Intn(len(p.blks))], true
 }
 
-func (p *randomPolicy) Len() int { return len(p.ids) }
+func (p *randomPolicy) Len() int { return len(p.blks) }
 
 // --- Omniscient ---
 //
-// A max-heap keyed by each block's next modify time. A block's key is
-// (re)computed when it is inserted or modified: between modifications the
-// "next modify after the last write" remains the correct next modify time,
-// so no decay pass is needed.
-
-type omniEntry struct {
-	id  BlockID
-	key int64 // next modify time
-}
+// A max-heap keyed by each block's next modify time, stored in the block's
+// nextMod field with its heap slot in polIdx. A block's key is (re)computed
+// when it is inserted or modified: between modifications the "next modify
+// after the last write" remains the correct next modify time, so no decay
+// pass is needed.
+//
+// The sift routines replicate container/heap's algorithm exactly (including
+// its traversal order), so the heap layout — and therefore the victim chosen
+// among equal keys — is identical to the previous container/heap-based
+// implementation, without the per-operation interface boxing.
 
 type omniscientPolicy struct {
-	sched   Schedule
-	entries []omniEntry
-	index   map[BlockID]int
+	sched Schedule
+	heap  []*Block
 }
 
-func (p *omniscientPolicy) Len() int { return len(p.entries) }
+func (p *omniscientPolicy) Len() int { return len(p.heap) }
 
-func (p *omniscientPolicy) Less(i, j int) bool { return p.entries[i].key > p.entries[j].key }
+func (p *omniscientPolicy) less(i, j int) bool { return p.heap[i].nextMod > p.heap[j].nextMod }
 
-func (p *omniscientPolicy) Swap(i, j int) {
-	p.entries[i], p.entries[j] = p.entries[j], p.entries[i]
-	p.index[p.entries[i].id] = i
-	p.index[p.entries[j].id] = j
+func (p *omniscientPolicy) swap(i, j int) {
+	p.heap[i], p.heap[j] = p.heap[j], p.heap[i]
+	p.heap[i].polIdx = i
+	p.heap[j].polIdx = j
 }
 
-func (p *omniscientPolicy) Push(x interface{}) {
-	e := x.(omniEntry)
-	p.index[e.id] = len(p.entries)
-	p.entries = append(p.entries, e)
+func (p *omniscientPolicy) up(j int) {
+	for {
+		i := (j - 1) / 2 // parent
+		if i == j || !p.less(j, i) {
+			break
+		}
+		p.swap(i, j)
+		j = i
+	}
 }
 
-func (p *omniscientPolicy) Pop() interface{} {
-	n := len(p.entries) - 1
-	e := p.entries[n]
-	p.entries = p.entries[:n]
-	delete(p.index, e.id)
-	return e
+func (p *omniscientPolicy) down(i0, n int) bool {
+	i := i0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n || j1 < 0 {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && p.less(j2, j1) {
+			j = j2
+		}
+		if !p.less(j, i) {
+			break
+		}
+		p.swap(i, j)
+		i = j
+	}
+	return i > i0
 }
 
-func (p *omniscientPolicy) Insert(id BlockID, now int64) {
-	if i, ok := p.index[id]; ok {
-		p.entries[i].key = p.sched.NextModify(id, now)
-		heap.Fix(p, i)
+func (p *omniscientPolicy) fix(i int) {
+	if !p.down(i, len(p.heap)) {
+		p.up(i)
+	}
+}
+
+func (p *omniscientPolicy) Insert(b *Block, now int64) {
+	if b.polIdx >= 0 {
+		b.nextMod = p.sched.NextModify(b.ID, now)
+		p.fix(b.polIdx)
 		return
 	}
-	heap.Push(p, omniEntry{id: id, key: p.sched.NextModify(id, now)})
+	b.nextMod = p.sched.NextModify(b.ID, now)
+	b.polIdx = len(p.heap)
+	p.heap = append(p.heap, b)
+	p.up(b.polIdx)
 }
 
-func (p *omniscientPolicy) Touch(BlockID, int64) {}
+func (p *omniscientPolicy) Touch(*Block, int64) {}
 
-func (p *omniscientPolicy) Modify(id BlockID, now int64) {
-	if i, ok := p.index[id]; ok {
-		p.entries[i].key = p.sched.NextModify(id, now)
-		heap.Fix(p, i)
+func (p *omniscientPolicy) Modify(b *Block, now int64) {
+	if b.polIdx >= 0 {
+		b.nextMod = p.sched.NextModify(b.ID, now)
+		p.fix(b.polIdx)
 	}
 }
 
-func (p *omniscientPolicy) Remove(id BlockID) {
-	if i, ok := p.index[id]; ok {
-		heap.Remove(p, i)
+func (p *omniscientPolicy) Remove(b *Block) {
+	i := b.polIdx
+	if i < 0 {
+		return
 	}
+	n := len(p.heap) - 1
+	if n != i {
+		p.swap(i, n)
+		p.heap = p.heap[:n]
+		if !p.down(i, n) {
+			p.up(i)
+		}
+	} else {
+		p.heap = p.heap[:n]
+	}
+	b.polIdx = -1
 }
 
-func (p *omniscientPolicy) Victim() (BlockID, bool) {
-	if len(p.entries) == 0 {
-		return BlockID{}, false
+func (p *omniscientPolicy) Victim() (*Block, bool) {
+	if len(p.heap) == 0 {
+		return nil, false
 	}
-	return p.entries[0].id, true
+	return p.heap[0], true
 }
 
 // NeverModified is the schedule key for blocks with no future writes.

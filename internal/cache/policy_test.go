@@ -8,21 +8,35 @@ import (
 
 func bid(f uint64, i int64) BlockID { return BlockID{File: f, Index: i} }
 
+// blockSet hands tests a stable *Block per id, since policies now track
+// blocks rather than ids.
+type blockSet map[BlockID]*Block
+
+func (s blockSet) get(id BlockID) *Block {
+	b := s[id]
+	if b == nil {
+		b = newBlock(id, 0)
+		s[id] = b
+	}
+	return b
+}
+
 func TestLRUPolicyOrder(t *testing.T) {
+	s := blockSet{}
 	p := newLRUPolicy()
-	p.Insert(bid(1, 0), 0)
-	p.Insert(bid(1, 1), 1)
-	p.Insert(bid(1, 2), 2)
-	if v, _ := p.Victim(); v != bid(1, 0) {
-		t.Fatalf("victim = %v, want oldest", v)
+	p.Insert(s.get(bid(1, 0)), 0)
+	p.Insert(s.get(bid(1, 1)), 1)
+	p.Insert(s.get(bid(1, 2)), 2)
+	if v, _ := p.Victim(); v.ID != bid(1, 0) {
+		t.Fatalf("victim = %v, want oldest", v.ID)
 	}
-	p.Touch(bid(1, 0), 3)
-	if v, _ := p.Victim(); v != bid(1, 1) {
-		t.Fatalf("victim after touch = %v", v)
+	p.Touch(s.get(bid(1, 0)), 3)
+	if v, _ := p.Victim(); v.ID != bid(1, 1) {
+		t.Fatalf("victim after touch = %v", v.ID)
 	}
-	p.Remove(bid(1, 1))
-	if v, _ := p.Victim(); v != bid(1, 2) {
-		t.Fatalf("victim after remove = %v", v)
+	p.Remove(s.get(bid(1, 1)))
+	if v, _ := p.Victim(); v.ID != bid(1, 2) {
+		t.Fatalf("victim after remove = %v", v.ID)
 	}
 	if p.Len() != 2 {
 		t.Fatalf("Len = %d", p.Len())
@@ -30,12 +44,13 @@ func TestLRUPolicyOrder(t *testing.T) {
 }
 
 func TestLRUPolicyModifyCountsAsUse(t *testing.T) {
+	s := blockSet{}
 	p := newLRUPolicy()
-	p.Insert(bid(1, 0), 0)
-	p.Insert(bid(1, 1), 1)
-	p.Modify(bid(1, 0), 2)
-	if v, _ := p.Victim(); v != bid(1, 1) {
-		t.Fatalf("victim = %v", v)
+	p.Insert(s.get(bid(1, 0)), 0)
+	p.Insert(s.get(bid(1, 1)), 1)
+	p.Modify(s.get(bid(1, 0)), 2)
+	if v, _ := p.Victim(); v.ID != bid(1, 1) {
+		t.Fatalf("victim = %v", v.ID)
 	}
 }
 
@@ -51,25 +66,26 @@ func TestRandomPolicy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	s := blockSet{}
 	ids := map[BlockID]bool{}
 	for i := int64(0); i < 10; i++ {
-		p.Insert(bid(1, i), i)
+		p.Insert(s.get(bid(1, i)), i)
 		ids[bid(1, i)] = true
 	}
 	seen := map[BlockID]bool{}
 	for i := 0; i < 200; i++ {
 		v, ok := p.Victim()
-		if !ok || !ids[v] {
+		if !ok || !ids[v.ID] {
 			t.Fatalf("victim %v not a member", v)
 		}
-		seen[v] = true
+		seen[v.ID] = true
 	}
 	if len(seen) < 5 {
 		t.Fatalf("random victims not spread: %d distinct", len(seen))
 	}
-	p.Remove(bid(1, 3))
+	p.Remove(s.get(bid(1, 3)))
 	for i := 0; i < 100; i++ {
-		if v, _ := p.Victim(); v == bid(1, 3) {
+		if v, _ := p.Victim(); v.ID == bid(1, 3) {
 			t.Fatal("removed block still selected")
 		}
 	}
@@ -100,16 +116,17 @@ func TestOmniscientPolicyPicksFurthest(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p.Insert(bid(1, 0), 0)
-	p.Insert(bid(1, 1), 0)
-	p.Insert(bid(1, 2), 0)
-	if v, _ := p.Victim(); v != bid(1, 1) {
-		t.Fatalf("victim = %v, want the block modified furthest in the future", v)
+	s := blockSet{}
+	p.Insert(s.get(bid(1, 0)), 0)
+	p.Insert(s.get(bid(1, 1)), 0)
+	p.Insert(s.get(bid(1, 2)), 0)
+	if v, _ := p.Victim(); v.ID != bid(1, 1) {
+		t.Fatalf("victim = %v, want the block modified furthest in the future", v.ID)
 	}
 	// A block never modified again is the perfect victim.
-	p.Insert(bid(1, 3), 0)
-	if v, _ := p.Victim(); v != bid(1, 3) {
-		t.Fatalf("victim = %v, want never-modified block", v)
+	p.Insert(s.get(bid(1, 3)), 0)
+	if v, _ := p.Victim(); v.ID != bid(1, 3) {
+		t.Fatalf("victim = %v, want never-modified block", v.ID)
 	}
 }
 
@@ -119,15 +136,43 @@ func TestOmniscientPolicyRekeysOnModify(t *testing.T) {
 		bid(1, 1): {500},
 	}
 	p, _ := NewPolicy(Omniscient, nil, sched)
-	p.Insert(bid(1, 0), 0) // next modify 100
-	p.Insert(bid(1, 1), 0) // next modify 500
-	if v, _ := p.Victim(); v != bid(1, 1) {
-		t.Fatalf("victim = %v", v)
+	s := blockSet{}
+	p.Insert(s.get(bid(1, 0)), 0) // next modify 100
+	p.Insert(s.get(bid(1, 1)), 0) // next modify 500
+	if v, _ := p.Victim(); v.ID != bid(1, 1) {
+		t.Fatalf("victim = %v", v.ID)
 	}
 	// Block 0 is modified at t=100; its next modify becomes 1000.
-	p.Modify(bid(1, 0), 100)
-	if v, _ := p.Victim(); v != bid(1, 0) {
-		t.Fatalf("victim after rekey = %v", v)
+	p.Modify(s.get(bid(1, 0)), 100)
+	if v, _ := p.Victim(); v.ID != bid(1, 0) {
+		t.Fatalf("victim after rekey = %v", v.ID)
+	}
+}
+
+func TestOmniscientPolicyRemove(t *testing.T) {
+	sched := fixedSchedule{
+		bid(1, 0): {100},
+		bid(1, 1): {500},
+		bid(1, 2): {200},
+		bid(1, 3): {400},
+	}
+	p, _ := NewPolicy(Omniscient, nil, sched)
+	s := blockSet{}
+	for i := int64(0); i < 4; i++ {
+		p.Insert(s.get(bid(1, i)), 0)
+	}
+	p.Remove(s.get(bid(1, 1)))
+	if v, _ := p.Victim(); v.ID != bid(1, 3) {
+		t.Fatalf("victim after remove = %v", v.ID)
+	}
+	p.Remove(s.get(bid(1, 3)))
+	p.Remove(s.get(bid(1, 2)))
+	if v, _ := p.Victim(); v.ID != bid(1, 0) {
+		t.Fatalf("victim = %v", v.ID)
+	}
+	p.Remove(s.get(bid(1, 0)))
+	if _, ok := p.Victim(); ok || p.Len() != 0 {
+		t.Fatal("policy not empty after removing everything")
 	}
 }
 
@@ -153,6 +198,7 @@ func TestPolicyKindString(t *testing.T) {
 // tracked block with the earliest last-use, matching a reference model.
 func TestQuickLRUMatchesReference(t *testing.T) {
 	f := func(ops []uint16) bool {
+		s := blockSet{}
 		p := newLRUPolicy()
 		lastUse := map[BlockID]int64{}
 		clock := int64(0)
@@ -161,19 +207,15 @@ func TestQuickLRUMatchesReference(t *testing.T) {
 			clock++
 			switch (op >> 4) % 3 {
 			case 0:
-				p.Insert(id, clock)
-				if _, ok := lastUse[id]; !ok {
-					lastUse[id] = clock
-				} else {
-					lastUse[id] = clock
-				}
+				p.Insert(s.get(id), clock)
+				lastUse[id] = clock
 			case 1:
-				p.Touch(id, clock)
+				p.Touch(s.get(id), clock)
 				if _, ok := lastUse[id]; ok {
 					lastUse[id] = clock
 				}
 			case 2:
-				p.Remove(id)
+				p.Remove(s.get(id))
 				delete(lastUse, id)
 			}
 			// Check the victim matches the reference oldest.
@@ -189,7 +231,7 @@ func TestQuickLRUMatchesReference(t *testing.T) {
 						oldest, oldestT = id, t
 					}
 				}
-				if v != oldest {
+				if v.ID != oldest {
 					return false
 				}
 			}

@@ -2,17 +2,29 @@ package cache
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 )
 
+// fileChain heads the doubly-linked list of one file's cached blocks,
+// threaded through the blocks' filePrev/fileNext links in ascending index
+// order. Keeping the chain sorted incrementally (inserts walk from the tail,
+// where append-order workloads land immediately) replaces the old
+// map-then-sort FileBlocks path.
+type fileChain struct {
+	head, tail *Block
+}
+
 // Pool is a fixed-capacity collection of cache blocks with a replacement
-// policy. It indexes blocks both by id and by file so whole-file operations
-// (flush, invalidate) are cheap.
+// policy. It indexes blocks by id and chains each file's blocks in index
+// order so whole-file operations (flush, invalidate) are cheap and need no
+// sorting.
 type Pool struct {
 	capacity int // in blocks; 0 means the pool holds nothing
 	policy   Policy
 	blocks   map[BlockID]*Block
-	byFile   map[uint64]map[int64]*Block
+	files    map[uint64]fileChain
+
+	fileScratch []uint64 // reused by ForEachBlock for file ordering
 }
 
 // NewPool returns a pool holding at most capBlocks blocks.
@@ -20,8 +32,8 @@ func NewPool(capBlocks int, p Policy) *Pool {
 	return &Pool{
 		capacity: capBlocks,
 		policy:   p,
-		blocks:   make(map[BlockID]*Block),
-		byFile:   make(map[uint64]map[int64]*Block),
+		blocks:   make(map[BlockID]*Block, capBlocks),
+		files:    make(map[uint64]fileChain),
 	}
 }
 
@@ -47,13 +59,60 @@ func (p *Pool) Put(b *Block, now int64) {
 		panic(fmt.Sprintf("cache: duplicate Put of %v", b.ID))
 	}
 	p.blocks[b.ID] = b
-	m := p.byFile[b.ID.File]
-	if m == nil {
-		m = make(map[int64]*Block)
-		p.byFile[b.ID.File] = m
+	p.chainInsert(b)
+	p.policy.Insert(b, now)
+}
+
+// chainInsert links b into its file's chain at the slot keeping the chain
+// sorted by block index. Sequential writes append past the tail, so the
+// backward walk from the tail is O(1) for the common case.
+func (p *Pool) chainInsert(b *Block) {
+	c := p.files[b.ID.File]
+	after := c.tail
+	for after != nil && after.ID.Index > b.ID.Index {
+		after = after.filePrev
 	}
-	m[b.ID.Index] = b
-	p.policy.Insert(b.ID, now)
+	if after == nil {
+		b.fileNext = c.head
+		if c.head != nil {
+			c.head.filePrev = b
+		}
+		c.head = b
+		if c.tail == nil {
+			c.tail = b
+		}
+	} else {
+		b.filePrev = after
+		b.fileNext = after.fileNext
+		if after.fileNext != nil {
+			after.fileNext.filePrev = b
+		} else {
+			c.tail = b
+		}
+		after.fileNext = b
+	}
+	p.files[b.ID.File] = c
+}
+
+// chainRemove unlinks b from its file's chain.
+func (p *Pool) chainRemove(b *Block) {
+	c := p.files[b.ID.File]
+	if b.filePrev != nil {
+		b.filePrev.fileNext = b.fileNext
+	} else {
+		c.head = b.fileNext
+	}
+	if b.fileNext != nil {
+		b.fileNext.filePrev = b.filePrev
+	} else {
+		c.tail = b.filePrev
+	}
+	b.filePrev, b.fileNext = nil, nil
+	if c.head == nil {
+		delete(p.files, b.ID.File)
+	} else {
+		p.files[b.ID.File] = c
+	}
 }
 
 // Remove deletes the block from the pool and returns it (nil if absent).
@@ -63,44 +122,40 @@ func (p *Pool) Remove(id BlockID) *Block {
 		return nil
 	}
 	delete(p.blocks, id)
-	m := p.byFile[id.File]
-	delete(m, id.Index)
-	if len(m) == 0 {
-		delete(p.byFile, id.File)
-	}
-	p.policy.Remove(id)
+	p.chainRemove(b)
+	p.policy.Remove(b)
 	return b
 }
 
 // Touch notes an access for the replacement policy.
-func (p *Pool) Touch(id BlockID, now int64) { p.policy.Touch(id, now) }
+func (p *Pool) Touch(b *Block, now int64) { p.policy.Touch(b, now) }
 
 // Modify notes a write for the replacement policy.
-func (p *Pool) Modify(id BlockID, now int64) { p.policy.Modify(id, now) }
+func (p *Pool) Modify(b *Block, now int64) { p.policy.Modify(b, now) }
 
 // Victim returns the policy's replacement candidate without removing it.
 func (p *Pool) Victim() *Block {
-	id, ok := p.policy.Victim()
+	b, ok := p.policy.Victim()
 	if !ok {
 		return nil
 	}
-	return p.blocks[id]
+	return b
 }
 
 // EvictVictim removes and returns the policy's replacement candidate, or
 // nil if the pool is empty.
 func (p *Pool) EvictVictim() *Block {
-	id, ok := p.policy.Victim()
+	b, ok := p.policy.Victim()
 	if !ok {
 		return nil
 	}
-	return p.Remove(id)
+	return p.Remove(b.ID)
 }
 
 // orderedPolicy is implemented by policies that can enumerate victims in
 // replacement order (currently LRU).
 type orderedPolicy interface {
-	victims(yield func(BlockID) bool)
+	victims(yield func(*Block) bool)
 }
 
 // VictimPreferring returns the first block in replacement order satisfying
@@ -110,8 +165,8 @@ type orderedPolicy interface {
 func (p *Pool) VictimPreferring(pred func(*Block) bool) *Block {
 	if op, ok := p.policy.(orderedPolicy); ok {
 		var found *Block
-		op.victims(func(id BlockID) bool {
-			if b := p.blocks[id]; b != nil && pred(b) {
+		op.victims(func(b *Block) bool {
+			if pred(b) {
 				found = b
 				return false
 			}
@@ -124,34 +179,65 @@ func (p *Pool) VictimPreferring(pred func(*Block) bool) *Block {
 	return p.Victim()
 }
 
-// FileBlocks returns the cached blocks of one file in index order. The
+// ForEachFileBlock calls fn for each cached block of one file in index
+// order, without allocating. fn may remove the block it was handed (and no
+// other) from the pool.
+func (p *Pool) ForEachFileBlock(file uint64, fn func(*Block)) {
+	b := p.files[file].head
+	for b != nil {
+		next := b.fileNext
+		fn(b)
+		b = next
+	}
+}
+
+// ForEachBlock calls fn for each cached block in (file, index) order. The
 // order is part of the contract: callers flush these blocks through hooks
-// into shared downstream models, so it must not vary run to run.
+// into shared downstream models, so it must not vary run to run. Only the
+// file keys are sorted (into a reused scratch slice); within a file the
+// chain is already ordered. fn may remove the block it was handed.
+func (p *Pool) ForEachBlock(fn func(*Block)) {
+	fs := p.fileScratch[:0]
+	for f := range p.files {
+		fs = append(fs, f)
+	}
+	slices.Sort(fs)
+	p.fileScratch = fs
+	for _, f := range fs {
+		p.ForEachFileBlock(f, fn)
+	}
+}
+
+// FileBlocks returns the cached blocks of one file in index order. Prefer
+// ForEachFileBlock in hot paths; this allocates the result slice.
 func (p *Pool) FileBlocks(file uint64) []*Block {
-	m := p.byFile[file]
-	if len(m) == 0 {
+	c := p.files[file]
+	if c.head == nil {
 		return nil
 	}
-	out := make([]*Block, 0, len(m))
-	for _, b := range m {
+	var out []*Block
+	for b := c.head; b != nil; b = b.fileNext {
 		out = append(out, b)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID.Index < out[j].ID.Index })
 	return out
 }
 
-// Blocks returns all cached blocks in (file, index) order (see FileBlocks
-// for why the order is fixed).
+// Blocks returns all cached blocks in (file, index) order (see ForEachBlock
+// for why the order is fixed). Prefer ForEachBlock in hot paths.
 func (p *Pool) Blocks() []*Block {
 	out := make([]*Block, 0, len(p.blocks))
-	for _, b := range p.blocks {
-		out = append(out, b)
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].ID.File != out[j].ID.File {
-			return out[i].ID.File < out[j].ID.File
-		}
-		return out[i].ID.Index < out[j].ID.Index
-	})
+	p.ForEachBlock(func(b *Block) { out = append(out, b) })
 	return out
+}
+
+// Drain removes every block from the pool and hands it to the arena. It is
+// called once at the end of a run, so enumeration order does not matter
+// (nothing observes the arena's free-list order).
+func (p *Pool) Drain(arena *BlockArena) {
+	for id, b := range p.blocks {
+		delete(p.blocks, id)
+		p.chainRemove(b)
+		p.policy.Remove(b)
+		arena.Put(b)
+	}
 }

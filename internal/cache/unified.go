@@ -42,14 +42,18 @@ func (m *unifiedModel) Advance(int64)     {}
 // volatile cache; otherwise b is dropped.
 func (m *unifiedModel) maybeToVolatile(now int64, b *Block) {
 	if m.vol.Capacity() == 0 || b.Valid.Len() == 0 {
+		m.cfg.Arena.Put(b)
 		return
 	}
 	if m.vol.Full() {
 		lru := m.vol.Victim()
 		if lru.LastAccess >= b.LastAccess {
-			return // the block is older than everything in the volatile cache
+			// The block is older than everything in the volatile cache.
+			m.cfg.Arena.Put(b)
+			return
 		}
 		m.vol.Remove(lru.ID) // clean by invariant; just dropped
+		m.cfg.Arena.Put(lru)
 	}
 	n := b.Valid.Len()
 	m.traffic.NVRAMReadBytes += n
@@ -98,7 +102,7 @@ func (m *unifiedModel) Write(now int64, file uint64, r interval.Range) {
 				b = bv
 			} else {
 				m.makeRoomNV(now)
-				b = newBlock(id, now)
+				b = m.cfg.Arena.Get(id, now)
 				m.nv.Put(b, now)
 			}
 		}
@@ -108,7 +112,7 @@ func (m *unifiedModel) Write(now int64, file uint64, r interval.Range) {
 		m.traffic.BusWriteBytes += sub.Len()
 		m.traffic.NVRAMWriteBytes += sub.Len()
 		m.traffic.NVRAMAccesses++
-		m.nv.Modify(id, now)
+		m.nv.Modify(b, now)
 	})
 }
 
@@ -117,7 +121,6 @@ func (m *unifiedModel) Write(now int64, file uint64, r interval.Range) {
 // memory holds the older replacement candidate (preserving global LRU
 // semantics with respect to the volatile cache).
 func (m *unifiedModel) placeForRead(now int64, id BlockID) (*Block, bool) {
-	b := newBlock(id, now)
 	intoNV := false
 	switch {
 	case m.vol.Capacity() > 0 && !m.vol.Full():
@@ -131,12 +134,15 @@ func (m *unifiedModel) placeForRead(now int64, id BlockID) (*Block, bool) {
 			intoNV = true
 		}
 	}
+	b := m.cfg.Arena.Get(id, now)
 	if intoNV {
 		m.makeRoomNV(now)
 		m.nv.Put(b, now)
 	} else {
 		if m.vol.Full() {
-			m.vol.Remove(m.vol.Victim().ID) // clean; dropped
+			lru := m.vol.Victim() // clean; dropped
+			m.vol.Remove(lru.ID)
+			m.cfg.Arena.Put(lru)
 		}
 		m.vol.Put(b, now)
 	}
@@ -153,7 +159,7 @@ func (m *unifiedModel) Read(now int64, file uint64, r interval.Range, fileSize i
 		if b := m.vol.Get(id); b != nil && b.Valid.ContainsRange(sub) {
 			m.traffic.ReadHitBytes += sub.Len()
 			b.LastAccess = now
-			m.vol.Touch(id, now)
+			m.vol.Touch(b, now)
 			return
 		}
 		if b := m.nv.Get(id); b != nil && b.Valid.ContainsRange(sub) {
@@ -161,7 +167,7 @@ func (m *unifiedModel) Read(now int64, file uint64, r interval.Range, fileSize i
 			m.traffic.NVRAMReadBytes += sub.Len()
 			m.traffic.NVRAMAccesses++
 			b.LastAccess = now
-			m.nv.Touch(id, now)
+			m.nv.Touch(b, now)
 			return
 		}
 		// Miss (or partial miss): fetch the block's missing bytes into the
@@ -183,28 +189,38 @@ func (m *unifiedModel) Read(now int64, file uint64, r interval.Range, fileSize i
 		if inNV {
 			m.traffic.NVRAMWriteBytes += missing
 			m.traffic.NVRAMAccesses++
-			m.nv.Touch(id, now)
+			m.nv.Touch(b, now)
 		} else {
-			m.vol.Touch(id, now)
+			m.vol.Touch(b, now)
 		}
 	})
 }
 
 func (m *unifiedModel) DeleteRange(now int64, file uint64, r interval.Range) {
-	blockSpan(r, m.cfg.BlockSize, func(idx int64, sub interval.Range) {
-		id := BlockID{file, idx}
-		if b := m.nv.Get(id); b != nil {
-			m.traffic.AbsorbedDeleteBytes += segsLen(b.Dirty.Remove(sub))
-			b.Valid.Remove(sub)
-			if b.Valid.Len() == 0 {
-				m.nv.Remove(id)
-			}
+	// Walk each pool's per-file chain rather than probing both pools for
+	// every block index in the range (blocks are in at most one pool, so
+	// the two walks touch disjoint blocks).
+	m.nv.ForEachFileBlock(file, func(b *Block) {
+		sub := r.Intersect(blockRange(b.ID.Index, m.cfg.BlockSize))
+		if sub.Empty() {
+			return
 		}
-		if b := m.vol.Get(id); b != nil {
-			b.Valid.Remove(sub)
-			if b.Valid.Len() == 0 {
-				m.vol.Remove(id)
-			}
+		m.traffic.AbsorbedDeleteBytes += segsLen(b.Dirty.Remove(sub))
+		b.Valid.Remove(sub)
+		if b.Valid.Len() == 0 {
+			m.nv.Remove(b.ID)
+			m.cfg.Arena.Put(b)
+		}
+	})
+	m.vol.ForEachFileBlock(file, func(b *Block) {
+		sub := r.Intersect(blockRange(b.ID.Index, m.cfg.BlockSize))
+		if sub.Empty() {
+			return
+		}
+		b.Valid.Remove(sub)
+		if b.Valid.Len() == 0 {
+			m.vol.Remove(b.ID)
+			m.cfg.Arena.Put(b)
 		}
 	})
 }
@@ -230,26 +246,26 @@ func (m *unifiedModel) flushBlock(now int64, b *Block, cause Cause) int64 {
 
 func (m *unifiedModel) FlushFile(now int64, file uint64, cause Cause) int64 {
 	var n int64
-	for _, b := range m.nv.FileBlocks(file) {
+	m.nv.ForEachFileBlock(file, func(b *Block) {
 		if b.IsDirty() {
 			n += m.flushBlock(now, b, cause)
 		}
-	}
+	})
 	return n
 }
 
 func (m *unifiedModel) FlushAll(now int64, cause Cause) int64 {
 	var n int64
-	for _, b := range m.nv.Blocks() {
+	m.nv.ForEachBlock(func(b *Block) {
 		if b.IsDirty() {
 			n += m.flushBlock(now, b, cause)
 		}
-	}
+	})
 	return n
 }
 
 func (m *unifiedModel) Invalidate(now int64, file uint64) {
-	for _, b := range m.nv.FileBlocks(file) {
+	m.nv.ForEachFileBlock(file, func(b *Block) {
 		if b.IsDirty() {
 			segs := b.Dirty.RemoveAll()
 			n := segsLen(segs)
@@ -259,20 +275,25 @@ func (m *unifiedModel) Invalidate(now int64, file uint64) {
 			m.cfg.Hooks.emitWrite(now, b.ID.File, segs, CauseCallback)
 		}
 		m.nv.Remove(b.ID)
-	}
-	for _, b := range m.vol.FileBlocks(file) {
+		m.cfg.Arena.Put(b)
+	})
+	m.vol.ForEachFileBlock(file, func(b *Block) {
 		m.vol.Remove(b.ID)
-	}
+		m.cfg.Arena.Put(b)
+	})
 }
 
 func (m *unifiedModel) NoteConcurrent(read bool, n int64) { noteConcurrent(&m.traffic, read, n) }
 
 func (m *unifiedModel) DirtyBytes() int64 {
 	var n int64
-	for _, b := range m.nv.Blocks() {
-		n += b.Dirty.Len()
-	}
+	m.nv.ForEachBlock(func(b *Block) { n += b.Dirty.Len() })
 	return n
 }
 
 func (m *unifiedModel) CachedBlocks() int { return m.vol.Len() + m.nv.Len() }
+
+func (m *unifiedModel) Release() {
+	m.vol.Drain(m.cfg.Arena)
+	m.nv.Drain(m.cfg.Arena)
+}

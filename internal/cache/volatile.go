@@ -1,8 +1,6 @@
 package cache
 
 import (
-	"container/heap"
-
 	"nvramfs/internal/interval"
 )
 
@@ -28,6 +26,11 @@ func (m *volatileModel) Traffic() *Traffic { return &m.traffic }
 // time their dirty data first appeared. Entries are lazily invalidated: a
 // popped entry is ignored unless the block is still dirty with the same
 // first-dirty time.
+//
+// The heap is hand-rolled (mirroring container/heap's sift order exactly,
+// so equal-time entries pop in the same order as before) because
+// heap.Push/Pop box every entry through interface{}, which was a per-write
+// allocation on the hot path.
 type cleanerEntry struct {
 	at int64
 	id BlockID
@@ -35,16 +38,50 @@ type cleanerEntry struct {
 
 type cleanerHeap []cleanerEntry
 
-func (h cleanerHeap) Len() int            { return len(h) }
-func (h cleanerHeap) Less(i, j int) bool  { return h[i].at < h[j].at }
-func (h cleanerHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *cleanerHeap) Push(x interface{}) { *h = append(*h, x.(cleanerEntry)) }
-func (h *cleanerHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+func (h cleanerHeap) less(i, j int) bool { return h[i].at < h[j].at }
+
+func (h cleanerHeap) up(j int) {
+	for {
+		i := (j - 1) / 2 // parent
+		if i == j || !h.less(j, i) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		j = i
+	}
+}
+
+func (h cleanerHeap) down(i0, n int) {
+	i := i0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n || j1 < 0 {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && h.less(j2, j1) {
+			j = j2
+		}
+		if !h.less(j, i) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
+}
+
+func (h *cleanerHeap) push(e cleanerEntry) {
+	*h = append(*h, e)
+	h.up(len(*h) - 1)
+}
+
+func (h *cleanerHeap) pop() cleanerEntry {
+	s := *h
+	n := len(s) - 1
+	s[0], s[n] = s[n], s[0]
+	s.down(0, n)
+	*h = s[:n]
+	return s[n]
 }
 
 // Advance runs the block cleaner: blocks whose dirty data is older than the
@@ -53,7 +90,7 @@ func (h *cleanerHeap) Pop() interface{} {
 // equivalent idealization.)
 func (m *volatileModel) Advance(now int64) {
 	for len(m.cleaner) > 0 && m.cleaner[0].at+m.cfg.WriteBackDelay <= now {
-		e := heap.Pop(&m.cleaner).(cleanerEntry)
+		e := m.cleaner.pop()
 		b := m.pool.Get(e.id)
 		if b == nil || !b.IsDirty() || b.FirstDirty != e.at {
 			continue // stale entry
@@ -87,8 +124,9 @@ func (m *volatileModel) ensure(now int64, id BlockID) *Block {
 			m.traffic.WriteBack[CauseReplacement] += segsLen(segs)
 			m.cfg.Hooks.emitWrite(now, v.ID.File, segs, CauseReplacement)
 		}
+		m.cfg.Arena.Put(v)
 	}
-	b := newBlock(id, now)
+	b := m.cfg.Arena.Get(id, now)
 	m.pool.Put(b, now)
 	return b
 }
@@ -102,10 +140,10 @@ func (m *volatileModel) Write(now int64, file uint64, r interval.Range) {
 		b.Valid.Add(sub)
 		if b.FirstDirty == -1 {
 			b.FirstDirty = now
-			heap.Push(&m.cleaner, cleanerEntry{at: now, id: b.ID})
+			m.cleaner.push(cleanerEntry{at: now, id: b.ID})
 		}
 		b.LastAccess, b.LastModify = now, now
-		m.pool.Modify(b.ID, now)
+		m.pool.Modify(b, now)
 	})
 }
 
@@ -119,7 +157,7 @@ func (m *volatileModel) Read(now int64, file uint64, r interval.Range, fileSize 
 		if b := m.pool.Get(id); b != nil && b.Valid.ContainsRange(sub) {
 			m.traffic.ReadHitBytes += sub.Len()
 			b.LastAccess = now
-			m.pool.Touch(id, now)
+			m.pool.Touch(b, now)
 			return
 		}
 		b := m.ensure(now, id)
@@ -130,21 +168,24 @@ func (m *volatileModel) Read(now int64, file uint64, r interval.Range, fileSize 
 		m.cfg.Hooks.emitRead(now, id.File, &b.Valid, ext)
 		b.Valid.Add(ext)
 		b.LastAccess = now
-		m.pool.Touch(id, now)
+		m.pool.Touch(b, now)
 	})
 }
 
 func (m *volatileModel) DeleteRange(now int64, file uint64, r interval.Range) {
-	blockSpan(r, m.cfg.BlockSize, func(idx int64, sub interval.Range) {
-		id := BlockID{file, idx}
-		b := m.pool.Get(id)
-		if b == nil {
+	// Walk the file's resident blocks (index order via the chain) instead
+	// of probing the pool for every block index the range spans: whole-file
+	// deletes cover far more indexes than are ever cached.
+	m.pool.ForEachFileBlock(file, func(b *Block) {
+		sub := r.Intersect(blockRange(b.ID.Index, m.cfg.BlockSize))
+		if sub.Empty() {
 			return
 		}
 		m.traffic.AbsorbedDeleteBytes += segsLen(b.Dirty.Remove(sub))
 		b.Valid.Remove(sub)
 		if b.Valid.Len() == 0 {
-			m.pool.Remove(id)
+			m.pool.Remove(b.ID)
+			m.cfg.Arena.Put(b)
 			return
 		}
 		if tag, ok := b.Dirty.MinTag(); ok {
@@ -161,47 +202,51 @@ func (m *volatileModel) Fsync(now int64, file uint64) {
 
 func (m *volatileModel) FlushFile(now int64, file uint64, cause Cause) int64 {
 	var n int64
-	for _, b := range m.pool.FileBlocks(file) {
+	m.pool.ForEachFileBlock(file, func(b *Block) {
 		if b.IsDirty() {
 			segs := b.Dirty.RemoveAll()
 			n += segsLen(segs)
 			m.cfg.Hooks.emitWrite(now, b.ID.File, segs, cause)
 			b.markClean()
 		}
-	}
+	})
 	m.traffic.WriteBack[cause] += n
 	return n
 }
 
 func (m *volatileModel) FlushAll(now int64, cause Cause) int64 {
 	var n int64
-	for _, b := range m.pool.Blocks() {
+	m.pool.ForEachBlock(func(b *Block) {
 		if b.IsDirty() {
 			segs := b.Dirty.RemoveAll()
 			n += segsLen(segs)
 			m.cfg.Hooks.emitWrite(now, b.ID.File, segs, cause)
 			b.markClean()
 		}
-	}
+	})
 	m.traffic.WriteBack[cause] += n
 	return n
 }
 
 func (m *volatileModel) Invalidate(now int64, file uint64) {
 	m.FlushFile(now, file, CauseCallback)
-	for _, b := range m.pool.FileBlocks(file) {
+	m.pool.ForEachFileBlock(file, func(b *Block) {
 		m.pool.Remove(b.ID)
-	}
+		m.cfg.Arena.Put(b)
+	})
 }
 
 func (m *volatileModel) NoteConcurrent(read bool, n int64) { noteConcurrent(&m.traffic, read, n) }
 
 func (m *volatileModel) DirtyBytes() int64 {
 	var n int64
-	for _, b := range m.pool.Blocks() {
-		n += b.Dirty.Len()
-	}
+	m.pool.ForEachBlock(func(b *Block) { n += b.Dirty.Len() })
 	return n
 }
 
 func (m *volatileModel) CachedBlocks() int { return m.pool.Len() }
+
+func (m *volatileModel) Release() {
+	m.pool.Drain(m.cfg.Arena)
+	m.cleaner = m.cleaner[:0]
+}

@@ -45,6 +45,7 @@ func (m *writeAsideModel) flushShadow(now int64, bn *Block, cause Cause) int64 {
 	m.traffic.NVRAMAccesses++
 	m.cfg.Hooks.emitWrite(now, bn.ID.File, segs, cause)
 	m.nv.Remove(bn.ID)
+	m.cfg.Arena.Put(bn)
 	return n
 }
 
@@ -60,8 +61,9 @@ func (m *writeAsideModel) ensureVol(now int64, id BlockID) *Block {
 		if shadow := m.nv.Get(v.ID); shadow != nil {
 			m.flushShadow(now, shadow, CauseReplacement)
 		}
+		m.cfg.Arena.Put(v)
 	}
-	b := newBlock(id, now)
+	b := m.cfg.Arena.Get(id, now)
 	m.vol.Put(b, now)
 	return b
 }
@@ -76,7 +78,7 @@ func (m *writeAsideModel) Write(now int64, file uint64, r interval.Range) {
 		bv := m.ensureVol(now, id)
 		bv.Valid.Add(sub)
 		bv.LastAccess, bv.LastModify = now, now
-		m.vol.Modify(id, now)
+		m.vol.Modify(bv, now)
 
 		bn := m.nv.Get(id)
 		if bn == nil {
@@ -85,12 +87,12 @@ func (m *writeAsideModel) Write(now int64, file uint64, r interval.Range) {
 				// goes to the server; its volatile copy stays, now clean.
 				m.flushShadow(now, m.nv.Victim(), CauseReplacement)
 			}
-			bn = newBlock(id, now)
+			bn = m.cfg.Arena.Get(id, now)
 			m.nv.Put(bn, now)
 		}
 		m.traffic.AbsorbedOverwriteBytes += segsLen(bn.Dirty.Insert(sub, now))
 		bn.LastAccess, bn.LastModify = now, now
-		m.nv.Modify(id, now)
+		m.nv.Modify(bn, now)
 		m.traffic.NVRAMAccesses++
 	})
 }
@@ -107,7 +109,7 @@ func (m *writeAsideModel) Read(now int64, file uint64, r interval.Range, fileSiz
 		if b := m.vol.Get(id); b != nil && b.Valid.ContainsRange(sub) {
 			m.traffic.ReadHitBytes += sub.Len()
 			b.LastAccess = now
-			m.vol.Touch(id, now)
+			m.vol.Touch(b, now)
 			return
 		}
 		b := m.ensureVol(now, id)
@@ -118,29 +120,41 @@ func (m *writeAsideModel) Read(now int64, file uint64, r interval.Range, fileSiz
 		m.cfg.Hooks.emitRead(now, id.File, &b.Valid, ext)
 		b.Valid.Add(ext)
 		b.LastAccess = now
-		m.vol.Touch(id, now)
+		m.vol.Touch(b, now)
 	})
 }
 
 func (m *writeAsideModel) DeleteRange(now int64, file uint64, r interval.Range) {
-	blockSpan(r, m.cfg.BlockSize, func(idx int64, sub interval.Range) {
-		id := BlockID{file, idx}
-		if bn := m.nv.Get(id); bn != nil {
-			m.traffic.AbsorbedDeleteBytes += segsLen(bn.Dirty.Remove(sub))
-			if !bn.IsDirty() {
-				m.nv.Remove(id)
-			}
+	// Walk the per-file chains instead of probing both pools per block
+	// index. Each block id interacts only with its own shadow, so handling
+	// all shadows before all volatile copies leaves the same final state as
+	// the old per-index interleaving.
+	m.nv.ForEachFileBlock(file, func(bn *Block) {
+		sub := r.Intersect(blockRange(bn.ID.Index, m.cfg.BlockSize))
+		if sub.Empty() {
+			return
 		}
-		if bv := m.vol.Get(id); bv != nil {
-			bv.Valid.Remove(sub)
-			if bv.Valid.Len() == 0 {
-				m.vol.Remove(id)
-				if bn := m.nv.Get(id); bn != nil {
-					// Shadow of a fully-deleted block: its remaining dirty
-					// bytes (outside r) can only exist if the volatile copy
-					// had them valid, so by construction there are none.
-					m.nv.Remove(id)
-				}
+		m.traffic.AbsorbedDeleteBytes += segsLen(bn.Dirty.Remove(sub))
+		if !bn.IsDirty() {
+			m.nv.Remove(bn.ID)
+			m.cfg.Arena.Put(bn)
+		}
+	})
+	m.vol.ForEachFileBlock(file, func(bv *Block) {
+		sub := r.Intersect(blockRange(bv.ID.Index, m.cfg.BlockSize))
+		if sub.Empty() {
+			return
+		}
+		bv.Valid.Remove(sub)
+		if bv.Valid.Len() == 0 {
+			m.vol.Remove(bv.ID)
+			m.cfg.Arena.Put(bv)
+			if bn := m.nv.Get(bv.ID); bn != nil {
+				// Shadow of a fully-deleted block: its remaining dirty
+				// bytes (outside r) can only exist if the volatile copy
+				// had them valid, so by construction there are none.
+				m.nv.Remove(bn.ID)
+				m.cfg.Arena.Put(bn)
 			}
 		}
 	})
@@ -154,35 +168,39 @@ func (m *writeAsideModel) Fsync(int64, uint64) {}
 
 func (m *writeAsideModel) FlushFile(now int64, file uint64, cause Cause) int64 {
 	var n int64
-	for _, bn := range m.nv.FileBlocks(file) {
+	m.nv.ForEachFileBlock(file, func(bn *Block) {
 		n += m.flushShadow(now, bn, cause)
-	}
+	})
 	return n
 }
 
 func (m *writeAsideModel) FlushAll(now int64, cause Cause) int64 {
 	var n int64
-	for _, bn := range m.nv.Blocks() {
+	m.nv.ForEachBlock(func(bn *Block) {
 		n += m.flushShadow(now, bn, cause)
-	}
+	})
 	return n
 }
 
 func (m *writeAsideModel) Invalidate(now int64, file uint64) {
 	m.FlushFile(now, file, CauseCallback)
-	for _, b := range m.vol.FileBlocks(file) {
+	m.vol.ForEachFileBlock(file, func(b *Block) {
 		m.vol.Remove(b.ID)
-	}
+		m.cfg.Arena.Put(b)
+	})
 }
 
 func (m *writeAsideModel) NoteConcurrent(read bool, n int64) { noteConcurrent(&m.traffic, read, n) }
 
 func (m *writeAsideModel) DirtyBytes() int64 {
 	var n int64
-	for _, b := range m.nv.Blocks() {
-		n += b.Dirty.Len()
-	}
+	m.nv.ForEachBlock(func(b *Block) { n += b.Dirty.Len() })
 	return n
 }
 
 func (m *writeAsideModel) CachedBlocks() int { return m.vol.Len() + m.nv.Len() }
+
+func (m *writeAsideModel) Release() {
+	m.vol.Drain(m.cfg.Arena)
+	m.nv.Drain(m.cfg.Arena)
+}

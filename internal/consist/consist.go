@@ -25,19 +25,104 @@ import "fmt"
 // NoClient is the sentinel "no client" id.
 const NoClient uint16 = 0xffff
 
+// clientCounts is a tiny multiset of client ids. Files are typically open
+// at one or two clients, so a linear-scan slice pair beats a map (whose
+// uint16-key hashing dominated the simulator's consistency-check cost).
+type clientCounts struct {
+	ks []uint16
+	ns []int32
+	// Inline backing for the common case (a file shared by few clients);
+	// init points the slices here so small files never allocate.
+	ks0 [4]uint16
+	ns0 [4]int32
+}
+
+func (c *clientCounts) init() {
+	c.ks = c.ks0[:0]
+	c.ns = c.ns0[:0]
+}
+
+func (c *clientCounts) idx(k uint16) int {
+	for i, kk := range c.ks {
+		if kk == k {
+			return i
+		}
+	}
+	return -1
+}
+
+func (c *clientCounts) inc(k uint16) {
+	if i := c.idx(k); i >= 0 {
+		c.ns[i]++
+		return
+	}
+	c.ks = append(c.ks, k)
+	c.ns = append(c.ns, 1)
+}
+
+// dec decrements k's count if present, dropping the entry at zero.
+func (c *clientCounts) dec(k uint16) {
+	i := c.idx(k)
+	if i < 0 {
+		return
+	}
+	if c.ns[i]--; c.ns[i] == 0 {
+		last := len(c.ks) - 1
+		c.ks[i], c.ns[i] = c.ks[last], c.ns[last]
+		c.ks, c.ns = c.ks[:last], c.ns[:last]
+	}
+}
+
+func (c *clientCounts) len() int { return len(c.ks) }
+
 // fileState is the server's per-file consistency record.
 type fileState struct {
 	lastWriter uint16
-	version    uint64            // bumped on every write
-	seen       map[uint16]uint64 // version each client last cached
-	openers    map[uint16]int    // open counts per client
-	writers    map[uint16]int    // open-for-write counts per client
-	disabled   bool
+	version    uint64 // bumped on every write
+	// seenK/seenV record the version each client last cached (parallel
+	// slices, linear scan — see clientCounts).
+	seenK    []uint16
+	seenV    []uint64
+	seenK0   [4]uint16
+	seenV0   [4]uint64
+	openers  clientCounts // open counts per client
+	writers  clientCounts // open-for-write counts per client
+	disabled bool
+}
+
+// init readies a zeroed fileState, pointing its slices at their inline
+// backing. fileStates are always handled by pointer, so the
+// self-referential slices are safe.
+func (fs *fileState) init() {
+	fs.lastWriter = NoClient
+	fs.seenK = fs.seenK0[:0]
+	fs.seenV = fs.seenV0[:0]
+	fs.openers.init()
+	fs.writers.init()
+}
+
+func (fs *fileState) seenIdx(c uint16) int {
+	for i, k := range fs.seenK {
+		if k == c {
+			return i
+		}
+	}
+	return -1
+}
+
+func (fs *fileState) seenSet(c uint16, v uint64) {
+	if i := fs.seenIdx(c); i >= 0 {
+		fs.seenV[i] = v
+		return
+	}
+	fs.seenK = append(fs.seenK, c)
+	fs.seenV = append(fs.seenV, v)
 }
 
 // Server tracks consistency state for every file in the cluster.
 type Server struct {
 	files map[uint64]*fileState
+	slab  []fileState // batch-allocated backing for new fileStates
 
 	// Counters for reporting.
 	Recalls         int64 // opens that triggered a dirty-data recall
@@ -48,18 +133,24 @@ type Server struct {
 
 // NewServer returns an empty consistency server.
 func NewServer() *Server {
-	return &Server{files: make(map[uint64]*fileState)}
+	return NewServerSized(0)
+}
+
+// NewServerSized returns an empty server whose file table is pre-sized for
+// the given number of files (typically prep.Stats.Files).
+func NewServerSized(files int) *Server {
+	return &Server{files: make(map[uint64]*fileState, files)}
 }
 
 func (s *Server) file(f uint64) *fileState {
 	fs := s.files[f]
 	if fs == nil {
-		fs = &fileState{
-			lastWriter: NoClient,
-			seen:       make(map[uint16]uint64),
-			openers:    make(map[uint16]int),
-			writers:    make(map[uint16]int),
+		if len(s.slab) == 0 {
+			s.slab = make([]fileState, 64)
 		}
+		fs = &s.slab[0]
+		s.slab = s.slab[1:]
+		fs.init()
 		s.files[f] = fs
 	}
 	return fs
@@ -98,22 +189,27 @@ func (s *Server) Open(client uint16, f uint64, forWrite bool) OpenResult {
 
 	// Stale-copy check: the opener discards its cached copy if the file
 	// has been written since the opener last saw it.
-	if fs.seen[client] != fs.version {
-		if _, ever := fs.seen[client]; ever || fs.version > 0 {
+	if i := fs.seenIdx(client); i < 0 {
+		if fs.version > 0 {
 			res.InvalidateOpener = true
 			s.Invalidations++
 		}
-		fs.seen[client] = fs.version
+		fs.seenK = append(fs.seenK, client)
+		fs.seenV = append(fs.seenV, fs.version)
+	} else if fs.seenV[i] != fs.version {
+		res.InvalidateOpener = true
+		s.Invalidations++
+		fs.seenV[i] = fs.version
 	}
 
-	fs.openers[client]++
+	fs.openers.inc(client)
 	if forWrite {
-		fs.writers[client]++
+		fs.writers.inc(client)
 	}
 
 	// Concurrent write-sharing: >=2 distinct clients with the file open
 	// and at least one writer.
-	if !fs.disabled && len(fs.openers) >= 2 && len(fs.writers) >= 1 {
+	if !fs.disabled && fs.openers.len() >= 2 && fs.writers.len() >= 1 {
 		fs.disabled = true
 		res.JustDisabled = true
 		s.DisableEvents++
@@ -132,19 +228,9 @@ func (s *Server) Close(client uint16, f uint64) (reenabled bool) {
 	if fs == nil {
 		return false
 	}
-	if fs.openers[client] > 0 {
-		fs.openers[client]--
-		if fs.openers[client] == 0 {
-			delete(fs.openers, client)
-		}
-	}
-	if fs.writers[client] > 0 {
-		fs.writers[client]--
-		if fs.writers[client] == 0 {
-			delete(fs.writers, client)
-		}
-	}
-	if fs.disabled && len(fs.openers) == 0 {
+	fs.openers.dec(client)
+	fs.writers.dec(client)
+	if fs.disabled && fs.openers.len() == 0 {
 		fs.disabled = false
 		return true
 	}
@@ -158,7 +244,7 @@ func (s *Server) Close(client uint16, f uint64) (reenabled bool) {
 func (s *Server) Write(client uint16, f uint64) {
 	fs := s.file(f)
 	fs.version++
-	fs.seen[client] = fs.version
+	fs.seenSet(client, fs.version)
 	if fs.disabled {
 		fs.lastWriter = NoClient
 		return

@@ -1,0 +1,38 @@
+package interval
+
+import "testing"
+
+// Writes that land on byte ranges already tracked must not allocate: the
+// splice keeps survivor fragments in place and the returned overwritten
+// segments are scratch-backed. This is the TagMap half of the simulator's
+// zero-allocation steady state (a block overwritten in cache re-tags its
+// dirty segments on every write).
+
+func TestTagMapOverwriteAllocs(t *testing.T) {
+	m := NewTagMap()
+	m.Insert(Range{Start: 0, End: 4096}, 1)
+	tag := int64(2)
+	avg := testing.AllocsPerRun(200, func() {
+		m.Insert(Range{Start: 512, End: 1024}, tag)
+		tag++
+	})
+	if avg != 0 {
+		t.Fatalf("overwrite of an existing segment: %.1f allocs per run, want 0", avg)
+	}
+	if got := m.Len(); got != 4096 {
+		t.Fatalf("map lost bytes: len %d, want 4096", got)
+	}
+}
+
+func TestSetReAddAllocs(t *testing.T) {
+	var s Set
+	s.Add(Range{Start: 0, End: 4096})
+	avg := testing.AllocsPerRun(200, func() {
+		s.Add(Range{Start: 512, End: 1024})
+		s.Remove(Range{Start: 512, End: 1024})
+		s.Add(Range{Start: 512, End: 1024})
+	})
+	if avg != 0 {
+		t.Fatalf("re-add/remove inside an existing range: %.1f allocs per run, want 0", avg)
+	}
+}

@@ -132,7 +132,21 @@ func (s *Set) Add(r Range) {
 			r.End = s.rs[hi-1].End
 		}
 	}
-	s.rs = append(s.rs[:lo], append([]Range{r}, s.rs[hi:]...)...)
+	s.splice(lo, hi, r.Start, r.End)
+}
+
+// splice replaces s.rs[lo:hi] with the single range [start, end), shifting
+// the tail in place so steady-state adds and removes never reallocate.
+func (s *Set) splice(lo, hi int, start, end int64) {
+	if lo == hi {
+		// Pure insertion: grow by one and shift the tail right.
+		s.rs = append(s.rs, Range{})
+		copy(s.rs[lo+1:], s.rs[lo:])
+	} else if hi-lo > 1 {
+		// Net shrink: shift the tail left over the merged window.
+		s.rs = s.rs[:lo+1+copy(s.rs[lo+1:], s.rs[hi:])]
+	}
+	s.rs[lo] = Range{start, end}
 }
 
 // Remove deletes all bytes of r from the set and returns the number of bytes
@@ -147,18 +161,30 @@ func (s *Set) Remove(r Range) int64 {
 		return 0
 	}
 	var removed int64
-	var keep []Range
+	// Only the window's first and last ranges can leave survivors: a left
+	// fragment of rs[lo] and a right fragment of rs[hi-1].
+	var keep [2]Range
+	nk := 0
 	for i := lo; i < hi; i++ {
 		cur := s.rs[i]
 		removed += cur.Intersect(r).Len()
 		if cur.Start < r.Start {
-			keep = append(keep, Range{cur.Start, r.Start})
+			keep[nk] = Range{cur.Start, r.Start}
+			nk++
 		}
 		if cur.End > r.End {
-			keep = append(keep, Range{r.End, cur.End})
+			keep[nk] = Range{r.End, cur.End}
+			nk++
 		}
 	}
-	s.rs = append(s.rs[:lo], append(keep, s.rs[hi:]...)...)
+	switch shift := (hi - lo) - nk; {
+	case shift > 0:
+		s.rs = s.rs[:lo+nk+copy(s.rs[lo+nk:], s.rs[hi:])]
+	case shift < 0: // one covered range splits into two fragments
+		s.rs = append(s.rs, Range{})
+		copy(s.rs[hi+1:], s.rs[hi:])
+	}
+	copy(s.rs[lo:lo+nk], keep[:nk])
 	return removed
 }
 
@@ -180,9 +206,13 @@ func (s *Set) IntersectRange(r Range) []Range {
 
 // OverlapLen returns the number of bytes of r present in the set.
 func (s *Set) OverlapLen(r Range) int64 {
+	if r.Empty() {
+		return 0
+	}
+	lo := sort.Search(len(s.rs), func(i int) bool { return s.rs[i].End > r.Start })
 	var n int64
-	for _, iv := range s.IntersectRange(r) {
-		n += iv.Len()
+	for i := lo; i < len(s.rs) && s.rs[i].Start < r.End; i++ {
+		n += s.rs[i].Intersect(r).Len()
 	}
 	return n
 }

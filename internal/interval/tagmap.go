@@ -30,12 +30,28 @@ func (g Seg) String() string { return fmt.Sprintf("[%d,%d)@%d", g.Start, g.End, 
 // TagMap maps each byte of a sparse address space to an int64 tag. Segments
 // are kept sorted and disjoint; adjacent segments with equal tags are
 // coalesced. The zero value is an empty map ready to use.
+//
+// The mutating accessors (Insert, Remove, RemoveAll) return slices backed by
+// an internal scratch buffer that is reused across calls: a returned slice
+// is valid only until the map's next mutating call. Callers that need the
+// segments longer must copy them (Segs always copies).
 type TagMap struct {
-	segs []Seg
+	segs    []Seg
+	scratch []Seg // backs the slices returned by Insert/Remove/RemoveAll
 }
 
 // NewTagMap returns an empty TagMap.
 func NewTagMap() *TagMap { return &TagMap{} }
+
+// Grow pre-sizes the map for at least n segments, so the first n inserts
+// never reallocate.
+func (m *TagMap) Grow(n int) {
+	if cap(m.segs) < n {
+		segs := make([]Seg, len(m.segs), n)
+		copy(segs, m.segs)
+		m.segs = segs
+	}
+}
 
 // Len returns the total number of tagged bytes.
 func (m *TagMap) Len() int64 {
@@ -64,8 +80,9 @@ func (m *TagMap) Clear() { m.segs = m.segs[:0] }
 
 // Insert tags every byte of r with tag, replacing any previous tags. It
 // returns the segments that were overwritten (with their old tags), in
-// ascending order. The returned segments cover exactly the bytes of r that
-// were previously present in the map.
+// ascending order, valid until the map's next mutating call. The returned
+// segments cover exactly the bytes of r that were previously present in the
+// map.
 func (m *TagMap) Insert(r Range, tag int64) (overwritten []Seg) {
 	if r.Empty() {
 		return nil
@@ -83,12 +100,12 @@ func (m *TagMap) insertSeg(g Seg) {
 	if i > 0 && m.segs[i-1].End == g.Start && m.segs[i-1].Tag == g.Tag {
 		g.Start = m.segs[i-1].Start
 		i--
-		m.segs = append(m.segs[:i], m.segs[i+1:]...)
+		m.segs = m.segs[:i+copy(m.segs[i:], m.segs[i+1:])]
 	}
 	// Coalesce with right neighbour.
 	if i < len(m.segs) && m.segs[i].Start == g.End && m.segs[i].Tag == g.Tag {
 		g.End = m.segs[i].End
-		m.segs = append(m.segs[:i], m.segs[i+1:]...)
+		m.segs = m.segs[:i+copy(m.segs[i:], m.segs[i+1:])]
 	}
 	m.segs = append(m.segs, Seg{})
 	copy(m.segs[i+1:], m.segs[i:])
@@ -96,7 +113,8 @@ func (m *TagMap) insertSeg(g Seg) {
 }
 
 // Remove deletes all bytes of r from the map and returns the removed
-// segments (clipped to r) with their tags, in ascending order.
+// segments (clipped to r) with their tags, in ascending order. The returned
+// slice is valid until the map's next mutating call.
 func (m *TagMap) Remove(r Range) []Seg {
 	if r.Empty() || len(m.segs) == 0 {
 		return nil
@@ -106,27 +124,42 @@ func (m *TagMap) Remove(r Range) []Seg {
 	if lo >= hi {
 		return nil
 	}
-	var removed []Seg
-	var keep []Seg
+	removed := m.scratch[:0]
+	// Only the window's first and last segments can leave survivors: a
+	// left fragment of segs[lo] and a right fragment of segs[hi-1].
+	var keep [2]Seg
+	nk := 0
 	for i := lo; i < hi; i++ {
 		cur := m.segs[i]
 		iv := cur.Range().Intersect(r)
 		removed = append(removed, Seg{iv.Start, iv.End, cur.Tag})
 		if cur.Start < r.Start {
-			keep = append(keep, Seg{cur.Start, r.Start, cur.Tag})
+			keep[nk] = Seg{cur.Start, r.Start, cur.Tag}
+			nk++
 		}
 		if cur.End > r.End {
-			keep = append(keep, Seg{r.End, cur.End, cur.Tag})
+			keep[nk] = Seg{r.End, cur.End, cur.Tag}
+			nk++
 		}
 	}
-	m.segs = append(m.segs[:lo], append(keep, m.segs[hi:]...)...)
+	m.scratch = removed
+	switch shift := (hi - lo) - nk; {
+	case shift > 0:
+		m.segs = m.segs[:lo+nk+copy(m.segs[lo+nk:], m.segs[hi:])]
+	case shift < 0: // one covered segment splits into two fragments
+		m.segs = append(m.segs, Seg{})
+		copy(m.segs[hi+1:], m.segs[hi:])
+	}
+	copy(m.segs[lo:lo+nk], keep[:nk])
 	return removed
 }
 
-// RemoveAll empties the map and returns every segment it held.
+// RemoveAll empties the map and returns every segment it held, valid until
+// the map's next mutating call.
 func (m *TagMap) RemoveAll() []Seg {
-	out := m.segs
-	m.segs = nil
+	out := append(m.scratch[:0], m.segs...)
+	m.scratch = out
+	m.segs = m.segs[:0]
 	return out
 }
 

@@ -103,6 +103,9 @@ type Options struct {
 	// invalidation and flushing" [21]; this option measures that
 	// headroom.
 	BlockConsistency bool
+	// FilesHint pre-sizes the per-file maps (typically prep.Stats.Files);
+	// zero means no hint.
+	FilesHint int
 }
 
 // Analyze runs the infinite-cache simulation over a canonical op stream.
@@ -120,8 +123,17 @@ func AnalyzeWith(ops []prep.Op, opts Options) (*Analysis, error) {
 	// dirty[file] holds the file's unflushed bytes, tagged with write
 	// times. At most one client holds dirty data for a file at a time
 	// (consistency recalls enforce this), tracked in owner.
-	dirty := make(map[uint64]*interval.TagMap)
-	owner := make(map[uint64]uint16)
+	dirty := make(map[uint64]*interval.TagMap, opts.FilesHint)
+	owner := make(map[uint64]uint16, opts.FilesHint)
+
+	// Emptied TagMaps are recycled (keeping their segment capacity) instead
+	// of reallocated when the file is written again.
+	var tmFree []*interval.TagMap
+	release := func(f uint64, m *interval.TagMap) {
+		delete(dirty, f)
+		delete(owner, f)
+		tmFree = append(tmFree, m)
+	}
 
 	flushFile := func(f uint64) int64 {
 		m := dirty[f]
@@ -132,8 +144,7 @@ func AnalyzeWith(ops []prep.Op, opts Options) (*Analysis, error) {
 		for _, g := range m.RemoveAll() {
 			n += g.Len()
 		}
-		delete(dirty, f)
-		delete(owner, f)
+		release(f, m)
 		return n
 	}
 
@@ -165,7 +176,12 @@ func AnalyzeWith(ops []prep.Op, opts Options) (*Analysis, error) {
 			}
 			m := dirty[op.File]
 			if m == nil {
-				m = interval.NewTagMap()
+				if n := len(tmFree); n > 0 {
+					m = tmFree[n-1]
+					tmFree = tmFree[:n-1]
+				} else {
+					m = interval.NewTagMap()
+				}
 				dirty[op.File] = m
 			}
 			owner[op.File] = op.Client
@@ -186,8 +202,7 @@ func AnalyzeWith(ops []prep.Op, opts Options) (*Analysis, error) {
 					})
 				}
 				if m.Len() == 0 {
-					delete(dirty, op.File)
-					delete(owner, op.File)
+					release(op.File, m)
 				}
 			}
 
@@ -213,8 +228,7 @@ func AnalyzeWith(ops []prep.Op, opts Options) (*Analysis, error) {
 						a.Fate.CalledBack += g.Len()
 					}
 					if m.Len() == 0 {
-						delete(dirty, op.File)
-						delete(owner, op.File)
+						release(op.File, m)
 						server.Flushed(server.LastWriter(op.File), op.File)
 					}
 				}

@@ -95,8 +95,12 @@ type Stats struct {
 // this for well-formed traces).
 func Canonicalize(events []trace.Event, emit func(Op) error) (Stats, error) {
 	var st Stats
-	sizes := make(map[uint64]int64)
-	seen := make(map[uint64]bool)
+	// Pre-size the per-file maps: traces average a handful of events per
+	// file, so len(events)/4 is a cheap upper-ish bound that avoids the
+	// incremental rehash churn of growing from empty.
+	hint := len(events) / 4
+	sizes := make(map[uint64]int64, hint)
+	seen := make(map[uint64]bool, hint)
 	var last int64
 	out := func(o Op) error {
 		st.Ops++

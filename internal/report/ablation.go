@@ -67,7 +67,7 @@ func AblationsContext(ctx context.Context, ws *Workspace) (*AblationResult, erro
 		if err != nil {
 			return nil, err
 		}
-		r, err := sim.Run(ops, sim.Config{
+		r, err := ws.simCell(ctx, ModelTrace, ops, sim.Config{
 			Model: cache.ModelVolatile,
 			Cache: cache.Config{
 				VolatileBlocks:  sim.BlocksForBytes(sim.MB/2, cache.DefaultBlockSize),
@@ -89,7 +89,7 @@ func AblationsContext(ctx context.Context, ws *Workspace) (*AblationResult, erro
 		if err != nil {
 			return nil, err
 		}
-		r, err := sim.Run(ops, sim.Config{
+		r, err := ws.simCell(ctx, ModelTrace, ops, sim.Config{
 			Model: model,
 			Cache: cache.Config{
 				VolatileBlocks: sim.BlocksForBytes(8*sim.MB, cache.DefaultBlockSize),
@@ -132,7 +132,11 @@ func AblationsContext(ctx context.Context, ws *Workspace) (*AblationResult, erro
 			if err != nil {
 				return err
 			}
-			bl, err := lifetime.AnalyzeWith(tOps, lifetime.Options{BlockConsistency: true})
+			st, err := ws.TraceStatsContext(ctx, tr)
+			if err != nil {
+				return err
+			}
+			bl, err := lifetime.AnalyzeWith(tOps, lifetime.Options{BlockConsistency: true, FilesHint: st.Files})
 			if err != nil {
 				return err
 			}

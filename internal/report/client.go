@@ -264,7 +264,7 @@ func policyCell(ctx context.Context, ws *Workspace, trace int, kind cache.Policy
 		}
 		sched = s
 	}
-	res, err := sim.Run(ops, sim.Config{
+	res, err := ws.simCell(ctx, trace, ops, sim.Config{
 		Model: cache.ModelUnified,
 		Cache: cache.Config{
 			VolatileBlocks: sim.BlocksForBytes(8*sim.MB, cache.DefaultBlockSize),
@@ -395,7 +395,7 @@ func modelCell(ctx context.Context, ws *Workspace, model cache.ModelKind, baseMB
 		NVRAMBlocks:    sim.BlocksForBytes(int64(nvMB*float64(sim.MB)), cache.DefaultBlockSize),
 		Policy:         cache.LRU,
 	}
-	res, err := sim.Run(ops, cfg)
+	res, err := ws.simCell(ctx, ModelTrace, ops, cfg)
 	if err != nil {
 		return 0, err
 	}
@@ -460,7 +460,7 @@ func BusTrafficContext(ctx context.Context, ws *Workspace) (*BusResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := sim.Run(ops, sim.Config{
+		res, err := ws.simCell(ctx, ModelTrace, ops, sim.Config{
 			Model: models[i],
 			Cache: cache.Config{
 				VolatileBlocks: sim.BlocksForBytes(8*sim.MB, cache.DefaultBlockSize),

@@ -63,7 +63,7 @@ func StackStudyContext(ctx context.Context, ws *Workspace) (*StackResult, error)
 	if err != nil {
 		return nil, err
 	}
-	rows, err := engine.Map(ctx, ws.Engine(), len(stackConfigs), func(_ context.Context, i int) (StackRow, error) {
+	rows, err := engine.Map(ctx, ws.Engine(), len(stackConfigs), func(ctx context.Context, i int) (StackRow, error) {
 		c := stackConfigs[i]
 		srv := server.New(server.Config{
 			CacheBlocks: (16 << 20) / 4096,
@@ -92,7 +92,7 @@ func StackStudyContext(ctx context.Context, ws *Workspace) (*StackResult, error)
 			Policy:         cache.LRU,
 			Hooks:          hooks,
 		}
-		r, err := sim.Run(ops, cfg)
+		r, err := ws.simCell(ctx, ModelTrace, ops, cfg)
 		if err != nil {
 			return StackRow{}, err
 		}

@@ -21,14 +21,44 @@ package report
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"nvramfs/internal/cache"
 	"nvramfs/internal/engine"
 	"nvramfs/internal/lifetime"
 	"nvramfs/internal/prep"
+	"nvramfs/internal/sim"
 	"nvramfs/internal/workload"
 )
+
+// arenas recycles cache.BlockArenas across grid cells: each simulation cell
+// checks one out for its run, so a sweep's thousands of evict/insert cycles
+// reuse the same block objects instead of re-allocating them per cell.
+// sync.Pool keeps the arena count bounded by the engine's worker count.
+var arenas = sync.Pool{New: func() any { return cache.NewBlockArena() }}
+
+// getArena checks an arena out of the shared pool.
+func getArena() *cache.BlockArena { return arenas.Get().(*cache.BlockArena) }
+
+// putArena returns an arena (and the blocks a finished run released into
+// it) to the shared pool.
+func putArena(a *cache.BlockArena) { arenas.Put(a) }
+
+// simCell runs one grid cell's simulation over a trace's ops, attaching a
+// pooled block arena and the trace's file-count hint to the config. The
+// arena only recycles memory — it never changes simulation results — so
+// cells stay pure functions of their seeded inputs.
+func (ws *Workspace) simCell(ctx context.Context, trace int, ops []prep.Op, cfg sim.Config) (*sim.Result, error) {
+	if st, err := ws.TraceStatsContext(ctx, trace); err == nil {
+		cfg.FilesHint = st.Files
+	}
+	a := getArena()
+	cfg.Cache.Arena = a
+	res, err := sim.Run(ops, cfg)
+	putArena(a)
+	return res, err
+}
 
 // Workspace generates and caches the canonical op streams, lifetime
 // analyses, and omniscient schedules for the standard traces, so that the
@@ -141,11 +171,11 @@ func (ws *Workspace) AnalysisContext(ctx context.Context, trace int) (*lifetime.
 		// Deliberately not the caller's ctx: a build that has started runs
 		// to completion so a bystander's cancellation can never be cached
 		// as this trace's permanent result.
-		ops, err := ws.OpsContext(context.Background(), trace)
+		p, err := ws.passes(context.Background(), trace)
 		if err != nil {
 			return nil, err
 		}
-		a, err := lifetime.Analyze(ops)
+		a, err := lifetime.AnalyzeWith(p.ops, lifetime.Options{FilesHint: p.stats.Files})
 		if err != nil {
 			return nil, fmt.Errorf("report: analyzing trace %d: %w", trace, err)
 		}

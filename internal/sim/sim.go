@@ -7,7 +7,7 @@ package sim
 import (
 	"fmt"
 	"math/rand"
-	"sort"
+	"slices"
 
 	"nvramfs/internal/cache"
 	"nvramfs/internal/consist"
@@ -27,6 +27,9 @@ type Config struct {
 	// Figure 3 omniscient setup, which measured write traffic without the
 	// effects of read traffic on cache replacement.
 	WritesOnly bool
+	// FilesHint pre-sizes the per-file bookkeeping maps (typically
+	// prep.Stats.Files); zero means no hint.
+	FilesHint int
 }
 
 // Result is the outcome of a simulation run.
@@ -47,11 +50,17 @@ func Run(ops []prep.Op, cfg Config) (*Result, error) {
 	if cfg.Cache.BlockSize <= 0 {
 		cfg.Cache.BlockSize = cache.DefaultBlockSize
 	}
+	if cfg.Cache.Arena == nil {
+		// One arena per run: every client's evictions feed every client's
+		// allocations. Callers that run many configurations (the report
+		// drivers) pass a longer-lived arena instead.
+		cfg.Cache.Arena = cache.NewBlockArena()
+	}
 	d := &driver{
 		cfg:    cfg,
-		server: consist.NewServer(),
+		server: consist.NewServerSized(cfg.FilesHint),
 		models: make(map[uint16]cache.Model),
-		sizes:  make(map[uint64]int64),
+		sizes:  make(map[uint64]int64, cfg.FilesHint),
 	}
 	for _, op := range ops {
 		if err := d.apply(op); err != nil {
@@ -69,15 +78,23 @@ func Run(ops []prep.Op, cfg Config) (*Result, error) {
 		res.PerClient[c] = m.Traffic()
 		res.Traffic.Add(m.Traffic())
 	}
+	// Traffic counters are owned by the models but survive Release (they
+	// are referenced by the Result); the blocks go back to the arena for
+	// the caller's next run.
+	for _, m := range d.models {
+		m.Release()
+	}
 	return res, nil
 }
 
 type driver struct {
-	cfg    Config
-	server *consist.Server
-	models map[uint16]cache.Model
-	sizes  map[uint64]int64
-	now    int64
+	cfg     Config
+	server  *consist.Server
+	models  map[uint16]cache.Model
+	sizes   map[uint64]int64
+	clients []uint16 // known clients, sorted; rebuilt lazily
+	sorted  bool
+	now     int64
 }
 
 // model returns (creating on first use) the cache for a client.
@@ -94,6 +111,8 @@ func (d *driver) model(client uint16) (cache.Model, error) {
 		return nil, fmt.Errorf("sim: client %d: %w", client, err)
 	}
 	d.models[client] = m
+	d.clients = append(d.clients, client)
+	d.sorted = false
 	return m, nil
 }
 
@@ -199,14 +218,15 @@ func (d *driver) apply(op prep.Op) error {
 	return nil
 }
 
-// clientOrder returns the known clients sorted by id.
+// clientOrder returns the known clients sorted by id. The slice is cached
+// and re-sorted only when a new client appears, since cluster-wide events
+// (deletes, sharing disables) consult it per operation.
 func (d *driver) clientOrder() []uint16 {
-	clients := make([]uint16, 0, len(d.models))
-	for c := range d.models {
-		clients = append(clients, c)
+	if !d.sorted {
+		slices.Sort(d.clients)
+		d.sorted = true
 	}
-	sort.Slice(clients, func(i, j int) bool { return clients[i] < clients[j] })
-	return clients
+	return d.clients
 }
 
 // finish advances every cache to the end of the trace and flushes the

@@ -253,7 +253,9 @@ func DumpTrace(w io.Writer, r io.Reader, n int) error {
 }
 
 // Analyze runs the infinite-cache lifetime analysis (Figure 2, Table 2).
-func (t *Trace) Analyze() (*Lifetime, error) { return lifetime.Analyze(t.ops) }
+func (t *Trace) Analyze() (*Lifetime, error) {
+	return lifetime.AnalyzeWith(t.ops, lifetime.Options{FilesHint: t.stats.Files})
+}
 
 // CacheConfig parameterizes a client cache simulation.
 type CacheConfig struct {
@@ -309,6 +311,7 @@ func (t *Trace) RunCache(cfg CacheConfig) (*CacheResult, error) {
 		},
 		Seed:       cfg.Seed,
 		WritesOnly: cfg.WritesOnly,
+		FilesHint:  t.stats.Files,
 	})
 }
 
