@@ -14,6 +14,12 @@ fi
 
 go vet ./...
 go build ./...
+
+# Quick path first: the plain -short suite (including the crash-injection
+# sweeps) finishes in seconds and catches most breakage before the full
+# -race pass, which takes ~10 minutes on a 1-CPU box.
+go test -short ./...
+
 go test -race ./...
 
 # Bench smoke: one iteration of every benchmark under the race detector, so

@@ -8,7 +8,8 @@
 //	nvreport -j 4 -progress       # four workers, job progress on stderr
 //
 // Experiments: table1 fig2 table2 fig3 fig4 fig5 fig6 bus cost table3
-// table4 buffer sort servercache fsynclat readlat stack ablate.
+// table4 buffer sort servercache fsynclat readlat stack ablate
+// reliability.
 //
 // Experiment output is written to stdout and is byte-identical at any
 // worker count; progress and the wall-clock summary go to stderr.
@@ -34,7 +35,7 @@ import (
 var experiments = []string{
 	"table1", "fig2", "table2", "fig3", "fig4", "fig5", "fig6", "bus",
 	"cost", "table3", "table4", "buffer", "sort", "servercache",
-	"fsynclat", "readlat", "stack", "ablate",
+	"fsynclat", "readlat", "stack", "ablate", "reliability",
 }
 
 func main() {
@@ -266,6 +267,13 @@ func main() {
 		r, err := nvramfs.AblationsContext(ctx, ws)
 		check(err)
 		check(r.Render(out))
+	}
+	if sel("reliability") {
+		section("reliability (crash injection, extension)")
+		r, err := nvramfs.ReliabilityContext(ctx, ws)
+		check(err)
+		check(r.Render(out))
+		saveCSV("reliability", r)
 	}
 
 	m := eng.Metrics()

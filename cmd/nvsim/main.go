@@ -33,6 +33,7 @@ func main() {
 		writesOnly = flag.Bool("writes-only", false, "ignore read traffic (Figure 3 methodology)")
 		sweepNVRAM = flag.String("sweep-nvram", "", "comma-separated NVRAM sizes (MB) to sweep instead of a single run")
 		sweepModel = flag.Bool("sweep-models", false, "compare all cache models at the given sizes")
+		crashAt    = flag.Int("crash-at", -1, "inject a crash after N trace operations and report the loss model (-1 disables; 0 crashes before any work)")
 	)
 	flag.Parse()
 
@@ -54,6 +55,16 @@ func main() {
 		log.Fatal(err)
 	}
 
+	if *crashAt >= 0 {
+		injectCrash(tr, nvramfs.CacheConfig{
+			Model:      *model,
+			Policy:     *policy,
+			VolatileMB: *volatileMB,
+			NVRAMMB:    *nvramMB,
+			WritesOnly: *writesOnly,
+		}, *crashAt)
+		return
+	}
 	if *sweepNVRAM != "" {
 		sweep(tr, *model, *policy, *volatileMB, *sweepNVRAM, *writesOnly)
 		return
@@ -92,6 +103,31 @@ func main() {
 	fmt.Printf("net total traffic: %.1f%%   bus writes: %d B   NVRAM accesses: %d\n",
 		100*t.NetTotalFrac(), t.BusWriteBytes, t.NVRAMAccesses)
 	fmt.Printf("consistency: %d recalls, %d cache disables\n", res.Recalls, res.DisableEvents)
+}
+
+// injectCrash crashes the simulation at an event boundary and prints the
+// loss model's verdict (internal/crash).
+func injectCrash(tr *nvramfs.Trace, cfg nvramfs.CacheConfig, at int) {
+	out, err := tr.CrashCache(cfg, at)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("crash after %d ops (t=%.3fs): model=%s\n", out.Index, float64(out.Time)/1e6, cfg.Model)
+	fmt.Printf("at risk:   %12d B dirty client-side\n", out.AtRiskBytes())
+	fmt.Printf("lost:      %12d B (volatile only)\n", out.LostBytes)
+	fmt.Printf("survived:  %12d B (NVRAM)\n", out.SurvivedBytes)
+	if out.LostBytes > 0 {
+		fmt.Printf("oldest lost byte: %.3fs before the crash\n", float64(out.OldestLostAge)/1e6)
+	}
+	if len(out.Violations) == 0 {
+		fmt.Println("loss-model invariants: all held")
+		return
+	}
+	fmt.Printf("loss-model invariants: %d VIOLATED\n", len(out.Violations))
+	for _, v := range out.Violations {
+		fmt.Printf("  %s\n", v)
+	}
+	os.Exit(1)
 }
 
 // sweep runs one model across several NVRAM sizes.

@@ -261,6 +261,18 @@ func (m *hybridModel) DirtyBytes() int64 {
 	return n
 }
 
+// ForEachDirty enumerates the dirty runs: NVRAM-resident runs first
+// (stable — they survive a crash), then volatile-resident runs (protected
+// only by the delayed write-back, so a crash destroys them).
+func (m *hybridModel) ForEachDirty(fn func(file uint64, g interval.Seg, stable bool)) {
+	m.nv.ForEachBlock(func(b *Block) {
+		b.Dirty.ForEach(func(g interval.Seg) { fn(b.ID.File, g, true) })
+	})
+	m.vol.ForEachBlock(func(b *Block) {
+		b.Dirty.ForEach(func(g interval.Seg) { fn(b.ID.File, g, false) })
+	})
+}
+
 func (m *hybridModel) CachedBlocks() int { return m.vol.Len() + m.nv.Len() }
 
 func (m *hybridModel) Release() {

@@ -169,6 +169,13 @@ type Model interface {
 	Traffic() *Traffic
 	// DirtyBytes reports currently-dirty bytes (for invariant checks).
 	DirtyBytes() int64
+	// ForEachDirty calls fn for every dirty byte run, in (file, offset)
+	// order within each memory. The Seg's Tag is the simulated time the
+	// run's bytes were written. stable reports whether the run resides in
+	// NVRAM (it survives a crash) or only in volatile memory (it is
+	// destroyed). The crash harness uses it to apply the loss model; it
+	// may allocate, so it must stay off the simulation hot path.
+	ForEachDirty(fn func(file uint64, g interval.Seg, stable bool))
 	// CachedBlocks reports the number of resident blocks across memories.
 	CachedBlocks() int
 	// Release returns every resident block to the configured arena. The

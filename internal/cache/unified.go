@@ -291,6 +291,14 @@ func (m *unifiedModel) DirtyBytes() int64 {
 	return n
 }
 
+// ForEachDirty enumerates the dirty runs. The unified cache keeps dirty
+// blocks only in the NVRAM, so every run is stable.
+func (m *unifiedModel) ForEachDirty(fn func(file uint64, g interval.Seg, stable bool)) {
+	m.nv.ForEachBlock(func(b *Block) {
+		b.Dirty.ForEach(func(g interval.Seg) { fn(b.ID.File, g, true) })
+	})
+}
+
 func (m *unifiedModel) CachedBlocks() int { return m.vol.Len() + m.nv.Len() }
 
 func (m *unifiedModel) Release() {

@@ -244,6 +244,14 @@ func (m *volatileModel) DirtyBytes() int64 {
 	return n
 }
 
+// ForEachDirty enumerates the dirty runs; everything here is volatile, so
+// every run is reported stable=false (a crash destroys it all).
+func (m *volatileModel) ForEachDirty(fn func(file uint64, g interval.Seg, stable bool)) {
+	m.pool.ForEachBlock(func(b *Block) {
+		b.Dirty.ForEach(func(g interval.Seg) { fn(b.ID.File, g, false) })
+	})
+}
+
 func (m *volatileModel) CachedBlocks() int { return m.pool.Len() }
 
 func (m *volatileModel) Release() {

@@ -198,6 +198,15 @@ func (m *writeAsideModel) DirtyBytes() int64 {
 	return n
 }
 
+// ForEachDirty enumerates the dirty runs. Dirty data lives (only) in the
+// NVRAM shadow pool, so every run is stable: a crash loses nothing that
+// was written.
+func (m *writeAsideModel) ForEachDirty(fn func(file uint64, g interval.Seg, stable bool)) {
+	m.nv.ForEachBlock(func(b *Block) {
+		b.Dirty.ForEach(func(g interval.Seg) { fn(b.ID.File, g, true) })
+	})
+}
+
 func (m *writeAsideModel) CachedBlocks() int { return m.vol.Len() + m.nv.Len() }
 
 func (m *writeAsideModel) Release() {

@@ -1,0 +1,152 @@
+// Package crash is a deterministic, event-indexed fault-injection harness
+// for the simulators. It halts a simulation at any trace-event boundary,
+// applies the paper's loss model for the configuration under test (Section
+// 2: a volatile cache loses its un-written-back dirty window; the
+// write-aside and unified organizations recover dirty bytes from NVRAM;
+// LFS recovers through its checkpoint/roll-forward path), reconstructs the
+// post-crash state, and checks invariants against reference oracles:
+//
+//   - volatile configurations: nothing survives, and every destroyed byte
+//     was written within the last write-back window (30 s) — the paper's
+//     bound on what a crash can cost;
+//   - NVRAM configurations: zero committed-byte loss;
+//   - LFS: the recovered file system passes its consistency check, its
+//     durable state matches a from-scratch replay of the same operation
+//     prefix, and it keeps running the rest of the trace.
+//
+// Every check is deterministic in (trace, configuration, crash index), so
+// a grid of injections is reproducible at any engine parallelism.
+package crash
+
+import (
+	"fmt"
+
+	"nvramfs/internal/cache"
+	"nvramfs/internal/interval"
+	"nvramfs/internal/prep"
+	"nvramfs/internal/sim"
+)
+
+// CacheOutcome describes one crash injected into a cache-model simulation.
+type CacheOutcome struct {
+	// Index is how many operations had been applied when the crash hit;
+	// Time is the simulated crash time (the last applied op's time).
+	Index int
+	Time  int64
+	// LostBytes is dirty data resident only in volatile memory at the
+	// crash — destroyed. SurvivedBytes is dirty data resident in NVRAM —
+	// recovered after reboot. Their sum is the bytes at risk.
+	LostBytes     int64
+	SurvivedBytes int64
+	// OldestLostAge is the age in microseconds of the oldest destroyed
+	// byte run (zero when nothing was lost). The paper's reliability
+	// argument bounds it by the 30-second write-back delay.
+	OldestLostAge int64
+	// Violations lists every loss-model invariant the post-crash state
+	// broke; empty means the configuration's reliability claim held.
+	Violations []string
+}
+
+// AtRiskBytes is the dirty data held client-side at the crash.
+func (o *CacheOutcome) AtRiskBytes() int64 { return o.LostBytes + o.SurvivedBytes }
+
+func (o *CacheOutcome) violate(format string, args ...any) {
+	o.Violations = append(o.Violations, fmt.Sprintf(format, args...))
+}
+
+// RunCache simulates ops[:k] under cfg, injects a crash at that event
+// boundary, applies the loss model, and checks the configuration's
+// reliability invariants. k ranges from 0 (crash before any work) to
+// len(ops) (crash at the end of the trace).
+func RunCache(ops []prep.Op, cfg sim.Config, k int) (*CacheOutcome, error) {
+	s := sim.NewStepper(ops, cfg)
+	if err := s.StepTo(k); err != nil {
+		return nil, err
+	}
+	now := s.Now()
+	out := &CacheOutcome{Index: k, Time: now}
+
+	delay := cfg.Cache.WriteBackDelay
+	if delay <= 0 {
+		delay = 30 * 1e6
+	}
+
+	// The crash happens at wall-clock `now` for every client, but the
+	// event-driven simulation only runs a client's background machinery
+	// when that client receives an operation. Advance everyone to the
+	// crash instant first, so each volatile cleaner has flushed what it
+	// would have flushed by then — otherwise an idle client would appear
+	// to lose bytes older than the write-back window.
+	s.ForEachModel(func(_ uint16, m cache.Model) { m.Advance(now) })
+
+	server := s.Server()
+	s.ForEachModel(func(client uint16, m cache.Model) {
+		var lost, survived, enumerated int64
+		var oldest int64
+		var curFile uint64
+		var haveFile bool
+		m.ForEachDirty(func(file uint64, g interval.Seg, stable bool) {
+			n := g.Len()
+			enumerated += n
+			if stable {
+				survived += n
+			} else {
+				lost += n
+				if age := now - g.Tag; age > oldest {
+					oldest = age
+				}
+			}
+			// Consistency cross-check: a client holding dirty bytes of a
+			// file must be the server's last writer of that file —
+			// otherwise the recall machinery failed and a crash elsewhere
+			// could surface stale data. Checked once per file (runs arrive
+			// in file order within each memory).
+			if !haveFile || file != curFile {
+				curFile, haveFile = file, true
+				if w := server.LastWriter(file); w != client {
+					out.violate("client %d holds dirty bytes of file %d but server last writer is %d", client, file, w)
+				}
+			}
+		})
+
+		// The enumeration must agree with the model's own dirty count.
+		if db := m.DirtyBytes(); enumerated != db {
+			out.violate("client %d: ForEachDirty enumerated %d bytes, DirtyBytes reports %d", client, enumerated, db)
+		}
+		// Conservation: every application-written byte is either at the
+		// server, absorbed in-cache, or still dirty. A violation means the
+		// loss model is not measuring what the application wrote.
+		t := m.Traffic()
+		var written int64
+		for _, v := range t.WriteBack {
+			written += v
+		}
+		if got := written + t.AbsorbedOverwriteBytes + t.AbsorbedDeleteBytes + enumerated; got != t.AppWriteBytes {
+			out.violate("client %d: conservation broken: written %d + absorbed %d + dirty %d != app writes %d",
+				client, written, t.AbsorbedOverwriteBytes+t.AbsorbedDeleteBytes, enumerated, t.AppWriteBytes)
+		}
+
+		// Per-organization loss-model invariants.
+		switch cfg.Model {
+		case cache.ModelVolatile:
+			if survived > 0 {
+				out.violate("client %d: volatile cache reports %d surviving bytes", client, survived)
+			}
+		case cache.ModelWriteAside, cache.ModelUnified:
+			if lost > 0 {
+				out.violate("client %d: %v organization lost %d committed bytes", client, cfg.Model, lost)
+			}
+		}
+		if lost > 0 && oldest >= delay {
+			out.violate("client %d: lost bytes aged %dus, outside the %dus write-back window", client, oldest, delay)
+		}
+
+		out.LostBytes += lost
+		out.SurvivedBytes += survived
+		if oldest > out.OldestLostAge {
+			out.OldestLostAge = oldest
+		}
+	})
+	s.Release()
+	return out, nil
+}

@@ -1,0 +1,187 @@
+package crash
+
+import (
+	"math/rand"
+	"testing"
+
+	"nvramfs/internal/cache"
+	"nvramfs/internal/interval"
+	"nvramfs/internal/lfs"
+	"nvramfs/internal/prep"
+	"nvramfs/internal/sim"
+)
+
+const (
+	sec = int64(1e6)
+	kb  = int64(1 << 10)
+)
+
+func rng(file uint64, start, n int64) interval.Range {
+	_ = file
+	return interval.Range{Start: start, End: start + n}
+}
+
+// syntheticOps is a small two-client trace that exercises every loss-model
+// path: delayed write-back (gaps past 30 s), fsync, a consistency recall,
+// concurrent write-sharing disable, partial and whole-file deletion, and a
+// migration flush.
+func syntheticOps() []prep.Op {
+	return []prep.Op{
+		{Time: 0, Client: 1, Kind: prep.Open, File: 1, WriteMode: true},
+		{Time: 1, Client: 1, Kind: prep.Write, File: 1, Range: rng(1, 0, 8*kb)},
+		{Time: 2 * sec, Client: 2, Kind: prep.Open, File: 2, WriteMode: true},
+		{Time: 2*sec + 1, Client: 2, Kind: prep.Write, File: 2, Range: rng(2, 0, 4*kb)},
+		{Time: 5 * sec, Client: 1, Kind: prep.Write, File: 1, Range: rng(1, 8*kb, 8*kb)},
+		{Time: 6 * sec, Client: 1, Kind: prep.Fsync, File: 1},
+		{Time: 10 * sec, Client: 2, Kind: prep.Write, File: 2, Range: rng(2, 4*kb, 8*kb)},
+		{Time: 12 * sec, Client: 1, Kind: prep.Open, File: 3, WriteMode: true},
+		{Time: 12*sec + 1, Client: 1, Kind: prep.Write, File: 3, Range: rng(3, 0, 64*kb)},
+		{Time: 14 * sec, Client: 1, Kind: prep.Read, File: 1, Range: rng(1, 0, 8*kb)},
+		{Time: 20 * sec, Client: 1, Kind: prep.DeleteRange, File: 3, Range: rng(3, 32*kb, 32*kb)},
+		{Time: 25 * sec, Client: 2, Kind: prep.Fsync, File: 2},
+		{Time: 35 * sec, Client: 1, Kind: prep.Write, File: 3, Range: rng(3, 32*kb, 8*kb)},
+		{Time: 40 * sec, Client: 2, Kind: prep.Write, File: 2, Range: rng(2, 12*kb, 8*kb)},
+		// Client 2 opens client 1's dirty file for writing: recall.
+		{Time: 45 * sec, Client: 2, Kind: prep.Open, File: 3, WriteMode: true},
+		{Time: 45*sec + 1, Client: 2, Kind: prep.Write, File: 3, Range: rng(3, 0, 4*kb)},
+		// Client 1 opens it back while client 2 still has it: write-sharing.
+		{Time: 47 * sec, Client: 1, Kind: prep.Open, File: 3, WriteMode: true},
+		{Time: 47*sec + 1, Client: 1, Kind: prep.Write, File: 3, Range: rng(3, 4*kb, 4*kb)},
+		{Time: 50 * sec, Client: 2, Kind: prep.MigrateFlush},
+		{Time: 55 * sec, Client: 1, Kind: prep.Write, File: 1, Range: rng(1, 16*kb, 8*kb)},
+		{Time: 60 * sec, Client: 2, Kind: prep.DeleteRange, File: 2, Range: rng(2, 0, 20*kb)},
+		{Time: 65 * sec, Client: 1, Kind: prep.Write, File: 1, Range: rng(1, 0, 4*kb)},
+		{Time: 70 * sec, Client: 1, Kind: prep.Close, File: 1},
+	}
+}
+
+func simCfg(kind cache.ModelKind) sim.Config {
+	return sim.Config{
+		Model: kind,
+		Cache: cache.Config{
+			VolatileBlocks: 16,
+			NVRAMBlocks:    16,
+			Policy:         cache.LRU,
+		},
+		Seed: 1,
+	}
+}
+
+var allKinds = []cache.ModelKind{
+	cache.ModelVolatile, cache.ModelWriteAside, cache.ModelUnified, cache.ModelHybrid,
+}
+
+// TestCacheCrashSweep injects a crash at every event boundary of the
+// synthetic trace, for every cache organization, and requires the
+// loss-model invariants to hold at each one.
+func TestCacheCrashSweep(t *testing.T) {
+	ops := syntheticOps()
+	for _, kind := range allKinds {
+		t.Run(kind.String(), func(t *testing.T) {
+			var sawLoss, sawSurvival bool
+			for k := 0; k <= len(ops); k++ {
+				out, err := RunCache(ops, simCfg(kind), k)
+				if err != nil {
+					t.Fatalf("crash at %d: %v", k, err)
+				}
+				for _, v := range out.Violations {
+					t.Errorf("crash at %d: %s", k, v)
+				}
+				if out.LostBytes > 0 {
+					sawLoss = true
+				}
+				if out.SurvivedBytes > 0 {
+					sawSurvival = true
+				}
+			}
+			// The sweep must actually exercise the loss model, not
+			// vacuously pass over clean caches.
+			switch kind {
+			case cache.ModelVolatile:
+				if !sawLoss {
+					t.Error("no crash point lost bytes in the volatile cache")
+				}
+			case cache.ModelWriteAside, cache.ModelUnified:
+				if !sawSurvival {
+					t.Error("no crash point had NVRAM-surviving bytes")
+				}
+			case cache.ModelHybrid:
+				if !sawSurvival {
+					t.Error("no crash point had NVRAM-surviving bytes")
+				}
+			}
+		})
+	}
+}
+
+// TestLFSCrashSweep injects a crash at every event boundary of the
+// synthetic trace into the LFS model, with and without the NVRAM write
+// buffer, and requires recovery to reconstruct the durable state exactly.
+func TestLFSCrashSweep(t *testing.T) {
+	ops := syntheticOps()
+	cfgs := []struct {
+		name string
+		cfg  LFSConfig
+	}{
+		{"unbuffered", LFSConfig{CheckpointEvery: 5}},
+		{"buffered", LFSConfig{FS: lfs.Config{BufferBytes: 512 * kb}, CheckpointEvery: 5}},
+		{"no-checkpoint", LFSConfig{}},
+	}
+	for _, tc := range cfgs {
+		t.Run(tc.name, func(t *testing.T) {
+			var sawRecovered bool
+			for k := 0; k <= len(ops); k++ {
+				out, err := RunLFS(ops, tc.cfg, k)
+				if err != nil {
+					t.Fatalf("crash at %d: %v", k, err)
+				}
+				for _, v := range out.Violations {
+					t.Errorf("crash at %d: %s", k, v)
+				}
+				if out.RecoveredBytes > 0 {
+					sawRecovered = true
+				}
+			}
+			if tc.cfg.FS.BufferBytes > 0 && !sawRecovered {
+				t.Error("no crash point recovered bytes from the write buffer")
+			}
+		})
+	}
+}
+
+// TestLFSCrashRandomized drives a larger random op stream through the LFS
+// harness at sampled crash points. Skipped under -short: the synthetic
+// sweep above covers the invariants; this adds breadth.
+func TestLFSCrashRandomized(t *testing.T) {
+	if testing.Short() {
+		t.Skip("randomized breadth pass; synthetic sweep covers the invariants")
+	}
+	r := rand.New(rand.NewSource(42))
+	var ops []prep.Op
+	now := int64(0)
+	for i := 0; i < 400; i++ {
+		now += r.Int63n(3 * sec)
+		file := uint64(1 + r.Intn(8))
+		switch r.Intn(10) {
+		case 0:
+			ops = append(ops, prep.Op{Time: now, Client: 1, Kind: prep.Fsync, File: file})
+		case 1:
+			ops = append(ops, prep.Op{Time: now, Client: 1, Kind: prep.DeleteRange, File: file,
+				Range: rng(file, 0, 1<<20)})
+		default:
+			start := int64(r.Intn(64)) * 4 * kb
+			ops = append(ops, prep.Op{Time: now, Client: 1, Kind: prep.Write, File: file,
+				Range: rng(file, start, 4*kb*int64(1+r.Intn(4)))})
+		}
+	}
+	cfg := LFSConfig{FS: lfs.Config{BufferBytes: 256 * kb}, CheckpointEvery: 37}
+	for k := 0; k <= len(ops); k += 23 {
+		out, err := RunLFS(ops, cfg, k)
+		if err != nil {
+			t.Fatalf("crash at %d: %v", k, err)
+		}
+		for _, v := range out.Violations {
+			t.Errorf("crash at %d: %s", k, v)
+		}
+	}
+}

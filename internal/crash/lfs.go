@@ -1,0 +1,160 @@
+package crash
+
+import (
+	"fmt"
+
+	"nvramfs/internal/disk"
+	"nvramfs/internal/lfs"
+	"nvramfs/internal/prep"
+)
+
+// LFSConfig parameterizes an LFS crash injection.
+type LFSConfig struct {
+	// FS is the file-system configuration under test.
+	FS lfs.Config
+	// CheckpointEvery writes a checkpoint after every N applied
+	// operations, bounding roll-forward work; 0 never checkpoints
+	// (recovery replays the whole log).
+	CheckpointEvery int
+}
+
+// LFSOutcome describes one crash injected into an LFS run.
+type LFSOutcome struct {
+	// Index is how many operations had been applied when the crash hit;
+	// Time is the simulated crash time.
+	Index int
+	Time  int64
+	// LostBytes is dirty data in the volatile server cache at the crash —
+	// destroyed. RecoveredBytes is data the NVRAM write buffer preserved.
+	LostBytes      int64
+	RecoveredBytes int64
+	// OldestLostAge is the age in microseconds of the oldest destroyed
+	// block (zero when nothing was lost); bounded by the delayed-write-back
+	// age plus one flusher tick.
+	OldestLostAge int64
+	// CheckpointSeq and SegmentsReplayed summarize the recovery itself.
+	CheckpointSeq    int64
+	SegmentsReplayed int
+	// Violations lists every reliability invariant the crash broke.
+	Violations []string
+}
+
+// AtRiskBytes is the pending data held by the file system at the crash.
+func (o *LFSOutcome) AtRiskBytes() int64 { return o.LostBytes + o.RecoveredBytes }
+
+func (o *LFSOutcome) violate(format string, args ...any) {
+	o.Violations = append(o.Violations, fmt.Sprintf(format, args...))
+}
+
+// feedLFS applies ops[from:to] to the file system, checkpointing on the
+// configured cadence (indexed by absolute op position, so a run split by a
+// crash checkpoints at the same places as a straight run). Only the
+// write path reaches an LFS — reads are served upstream by the client
+// caches — so read-side operations just advance the clock.
+func feedLFS(fs *lfs.FS, ops []prep.Op, from, to, every int) {
+	for i := from; i < to; i++ {
+		op := ops[i]
+		switch op.Kind {
+		case prep.Write:
+			fs.Write(op.Time, op.File, op.Range.Start, op.Range.Len())
+		case prep.Fsync:
+			fs.Fsync(op.Time, op.File)
+		case prep.DeleteRange:
+			// The LFS model tracks whole files; a truncate-to-zero or
+			// delete removes the file, partial truncations only advance
+			// the clock.
+			if op.Range.Start == 0 {
+				fs.Delete(op.Time, op.File)
+			} else {
+				fs.Advance(op.Time)
+			}
+		default:
+			fs.Advance(op.Time)
+		}
+		if every > 0 && (i+1)%every == 0 {
+			fs.Checkpoint(op.Time)
+		}
+	}
+}
+
+// RunLFS feeds ops[:k] to a fresh LFS, crashes it at that boundary,
+// recovers through the checkpoint/roll-forward path, and checks the
+// recovered state three ways: it must pass the internal consistency
+// check, its durable contents must match a from-scratch replay of the
+// same prefix (the reference oracle), and it must run the rest of the
+// trace to a clean shutdown.
+func RunLFS(ops []prep.Op, cfg LFSConfig, k int) (*LFSOutcome, error) {
+	if k < 0 || k > len(ops) {
+		return nil, fmt.Errorf("crash: RunLFS index %d outside [0, %d]", k, len(ops))
+	}
+	fs := lfs.New(cfg.FS, disk.New(disk.DefaultParams()))
+	feedLFS(fs, ops, 0, k, cfg.CheckpointEvery)
+
+	var now int64
+	if k > 0 {
+		now = ops[k-1].Time
+	}
+	out := &LFSOutcome{Index: k, Time: now}
+
+	// Apply the loss model: volatile dirty blocks die, buffered blocks
+	// survive. The delayed write-back runs on a CheckInterval grid, so a
+	// dirty block's age is bounded by AgeFlush plus one tick.
+	fcfg := fs.Config()
+	bound := fcfg.AgeFlush + fcfg.CheckInterval
+	fs.ForEachPending(func(file uint64, index int64, at int64, stable bool) {
+		if stable {
+			out.RecoveredBytes += fcfg.BlockSize
+			return
+		}
+		out.LostBytes += fcfg.BlockSize
+		if age := now - at; age > out.OldestLostAge {
+			out.OldestLostAge = age
+		}
+	})
+	if cfg.FS.BufferBytes == 0 && out.RecoveredBytes > 0 {
+		out.violate("unbuffered LFS reports %d recovered bytes", out.RecoveredBytes)
+	}
+	if out.LostBytes > 0 && out.OldestLostAge > bound {
+		out.violate("lost blocks aged %dus, outside the %dus write-back bound", out.OldestLostAge, bound)
+	}
+
+	fp := fs.DurableFingerprint()
+	rec, report, err := fs.SimulateCrashAndRecover(now)
+	if err != nil {
+		out.violate("recovery failed: %v", err)
+		return out, nil
+	}
+	out.CheckpointSeq = report.CheckpointSeq
+	out.SegmentsReplayed = report.SegmentsReplayed
+	if int64(report.LostDirtyBlocks)*fcfg.BlockSize != out.LostBytes {
+		out.violate("recovery reports %d lost blocks, loss model counted %d bytes", report.LostDirtyBlocks, out.LostBytes)
+	}
+	if err := rec.CheckConsistent(); err != nil {
+		out.violate("recovered state inconsistent: %v", err)
+	}
+	if got := rec.DurableFingerprint(); got != fp {
+		out.violate("recovered durable state %#x diverges from crashed instance %#x", got, fp)
+	}
+
+	// Reference oracle: a from-scratch replay of the same prefix on its
+	// own disk must reach the same durable state — recovery may not
+	// depend on anything the crash should have destroyed.
+	oracle := lfs.New(cfg.FS, disk.New(disk.DefaultParams()))
+	feedLFS(oracle, ops, 0, k, cfg.CheckpointEvery)
+	if got := oracle.DurableFingerprint(); got != fp {
+		out.violate("replay oracle %#x diverges from crashed instance %#x: run is nondeterministic", got, fp)
+	}
+
+	// The recovered file system must be fully operational: run the rest
+	// of the trace on it and shut down cleanly.
+	feedLFS(rec, ops, k, len(ops), cfg.CheckpointEvery)
+	end := now
+	if len(ops) > 0 {
+		end = ops[len(ops)-1].Time
+	}
+	rec.Shutdown(end)
+	if err := rec.CheckConsistent(); err != nil {
+		out.violate("recovered file system corrupted while finishing the trace: %v", err)
+	}
+	return out, nil
+}

@@ -234,3 +234,10 @@ func (m *TagMap) check() error {
 	}
 	return nil
 }
+
+// ForEach calls fn for every segment in ascending order, without copying.
+func (m *TagMap) ForEach(fn func(Seg)) {
+	for _, g := range m.segs {
+		fn(g)
+	}
+}

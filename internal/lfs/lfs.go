@@ -501,16 +501,34 @@ func (fs *FS) takePending(n int) []blockID {
 	return batch
 }
 
+// fileHasDirty reports whether the file has dirty blocks awaiting a
+// segment write. The dirty map is bounded by a segment's worth of blocks
+// plus the buffer drain margin, so the scan is short and allocation-free.
+func (fs *FS) fileHasDirty(file uint64) bool {
+	for id := range fs.dirty {
+		if id.file == file {
+			return true
+		}
+	}
+	return false
+}
+
 // Fsync handles an application fsync at the given time.
 //
-// Without a buffer, LFS must immediately write out whatever dirty data is
-// present, however little — the forced partial segments of Table 3. With a
-// buffer, the dirty data parks in NVRAM (permanent, so the fsync completes
-// with no disk access) and is written later as part of a full segment.
+// An fsync only forces I/O when the target file actually has dirty data
+// pending; fsync of an already-durable file completes immediately (real
+// LFS finds nothing to write for it). When the file does have dirty
+// blocks, LFS writes out the *whole* accumulated partial segment — every
+// file's dirty data rides along, since segments batch all pending blocks.
+//
+// Without a buffer that forced write is the partial segment of Table 3.
+// With a buffer, the pending data parks in NVRAM (permanent, so the fsync
+// completes with no disk access) and is written later as part of a full
+// segment.
 func (fs *FS) Fsync(now int64, file uint64) {
 	fs.Advance(now)
 	fs.stats.Fsyncs++
-	if len(fs.dirty) == 0 {
+	if !fs.fileHasDirty(file) {
 		return
 	}
 	if fs.buffered != nil {

@@ -327,3 +327,55 @@ func TestCleanPolicyString(t *testing.T) {
 		t.Fatal("policy names wrong")
 	}
 }
+
+func TestFsyncTargetsFile(t *testing.T) {
+	fs := newFS(t, Config{})
+	fs.Write(0, 1, 0, 8*kb)
+	// An fsync of a file with nothing pending must not force a segment,
+	// even while another file is dirty.
+	fs.Fsync(sec, 2)
+	st := fs.Stats()
+	if st.SegmentsWritten != 0 {
+		t.Fatalf("fsync of clean file wrote a segment: %+v", st)
+	}
+	if fs.PendingBlocks() != 2 {
+		t.Fatalf("pending = %d", fs.PendingBlocks())
+	}
+	// An fsync of the dirty file keeps whole-pending-segment semantics:
+	// every pending block (including other files') rides along.
+	fs.Write(2*sec, 2, 0, 4*kb)
+	fs.Fsync(3*sec, 1)
+	st = fs.Stats()
+	if st.PartialFsyncSegments != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.FsyncPartialBytes != 12*kb {
+		t.Fatalf("fsync partial bytes = %d, want the whole pending batch", st.FsyncPartialBytes)
+	}
+	if fs.PendingBlocks() != 0 {
+		t.Fatalf("pending = %d after fsync", fs.PendingBlocks())
+	}
+}
+
+func TestFsyncTargetsFileBuffered(t *testing.T) {
+	fs := newFS(t, Config{BufferBytes: 512 * kb})
+	fs.Write(0, 1, 0, 8*kb)
+	// A clean file's fsync must not park the other file's dirty blocks in
+	// the NVRAM buffer.
+	fs.Fsync(sec, 2)
+	if got := fs.Stats().BufferedBlocks; got != 0 {
+		t.Fatalf("buffered = %d after fsync of clean file", got)
+	}
+	fs.Fsync(2*sec, 1)
+	if got := fs.Stats().BufferedBlocks; got != 2 {
+		t.Fatalf("buffered = %d", got)
+	}
+	// Once parked the data is permanent: a repeat fsync is a no-op.
+	fs.Fsync(3*sec, 1)
+	if got := fs.Stats().BufferedBlocks; got != 2 {
+		t.Fatalf("buffered = %d after repeat fsync", got)
+	}
+	if fs.Stats().SegmentsWritten != 0 {
+		t.Fatalf("buffered fsync wrote segments: %+v", fs.Stats())
+	}
+}

@@ -34,6 +34,25 @@ type checkpointRec struct {
 	free     []int32
 }
 
+// clone deep-copies a checkpoint record so a recovered file system never
+// shares mutable state with the instance it was recovered from.
+func (cp *checkpointRec) clone() *checkpointRec {
+	c := &checkpointRec{
+		seq:      cp.seq,
+		blockSeg: make(map[blockID]int32, len(cp.blockSeg)),
+		files:    make(map[uint64]int64, len(cp.files)),
+		segLive:  append([]int32(nil), cp.segLive...),
+		free:     append([]int32(nil), cp.free...),
+	}
+	for k, v := range cp.blockSeg {
+		c.blockSeg[k] = v
+	}
+	for k, v := range cp.files {
+		c.files[k] = v
+	}
+	return c
+}
+
 // snapshot captures the current metadata into a checkpoint record.
 func (fs *FS) snapshot() *checkpointRec {
 	cp := &checkpointRec{
@@ -87,9 +106,15 @@ type RecoveryReport struct {
 // SimulateCrashAndRecover models a power failure followed by reboot: the
 // volatile server cache is lost, the NVRAM write buffer survives, and the
 // file system metadata is rebuilt from the last checkpoint plus a roll-
-// forward over the segment log. It returns the recovered file system
-// (sharing the same disk, whose counters keep accumulating: recovery reads
-// the checkpoint and every replayed segment) and a report.
+// forward over the segment log. It returns the recovered file system and a
+// report.
+//
+// The recovered instance shares only the disk with the crashed one (the
+// disk's counters keep accumulating: recovery reads the checkpoint and
+// every replayed segment). All mutable metadata — the segment log, the
+// checkpoint, the free list, the per-segment write times — is deep-copied,
+// so the two instances can both keep running (the harness's differential
+// crashed-vs-recovered-vs-oracle comparisons depend on this).
 func (fs *FS) SimulateCrashAndRecover(now int64) (*FS, RecoveryReport, error) {
 	report := RecoveryReport{
 		LostDirtyBlocks:         len(fs.dirty),
@@ -105,7 +130,20 @@ func (fs *FS) SimulateCrashAndRecover(now int64) (*FS, RecoveryReport, error) {
 		files:    make(map[uint64]int64),
 		segLive:  make([]int32, fs.cfg.DiskSegments),
 		seq:      fs.seq,
-		segLog:   fs.segLog,
+		segLog:   make(map[int32]*segRecord, len(fs.segLog)),
+	}
+	// Deep-copy the segment log and write times: segRecords are immutable
+	// once emitted, but the maps themselves must not be shared — the
+	// recovered instance's future emitSegment calls would otherwise mutate
+	// the crashed instance's log (and vice versa).
+	for seg, r := range fs.segLog {
+		rec.segLog[seg] = &segRecord{seq: r.seq, blocks: append([]blockID(nil), r.blocks...)}
+	}
+	if len(fs.segWritten) > 0 {
+		rec.segWritten = make(map[int32]int64, len(fs.segWritten))
+		for seg, at := range fs.segWritten {
+			rec.segWritten[seg] = at
+		}
 	}
 	if fs.cfg.BufferBytes > 0 {
 		rec.buffered = make(map[blockID]struct{})
@@ -125,7 +163,7 @@ func (fs *FS) SimulateCrashAndRecover(now int64) (*FS, RecoveryReport, error) {
 		}
 		copy(rec.segLive, cp.segLive)
 		rec.free = append([]int32(nil), cp.free...)
-		rec.checkpoint = cp
+		rec.checkpoint = cp.clone()
 		rec.disk.Read(int64(len(cp.blockSeg))*8 + fs.cfg.BlockSize)
 	} else {
 		// No checkpoint: replay the whole log from scratch.
@@ -210,6 +248,78 @@ func (fs *FS) SimulateCrashAndRecover(now int64) (*FS, RecoveryReport, error) {
 		return nil, report, fmt.Errorf("lfs: recovery produced inconsistent state: %w", err)
 	}
 	return rec, report, nil
+}
+
+// CheckConsistent verifies the segment-accounting invariants: every block
+// maps to a segment on the disk, and the per-segment live counts agree
+// with a full recount. The crash harness runs it on recovered instances.
+func (fs *FS) CheckConsistent() error { return fs.checkConsistent() }
+
+// ForEachPending calls fn for every pending block — one not yet written
+// into a segment — in (file, index) order. Volatile dirty blocks pass
+// stable=false with their first-dirty time; NVRAM-buffered blocks pass
+// stable=true with at = -1 (the buffer keeps no ages: its contents are
+// already permanent). The crash harness uses it to apply the loss model.
+func (fs *FS) ForEachPending(fn func(file uint64, index int64, at int64, stable bool)) {
+	ids := make([]blockID, 0, len(fs.dirty)+len(fs.buffered))
+	for id := range fs.dirty {
+		ids = append(ids, id)
+	}
+	nDirty := len(ids)
+	for id := range fs.buffered {
+		ids = append(ids, id)
+	}
+	sortBlockIDs(ids[:nDirty])
+	sortBlockIDs(ids[nDirty:])
+	for i, id := range ids {
+		if i < nDirty {
+			fn(id.file, id.index, fs.dirty[id], false)
+		} else {
+			fn(id.file, id.index, -1, true)
+		}
+	}
+}
+
+// DurableFingerprint hashes the state a crash cannot destroy: the
+// block-to-segment map (which also fixes the durable file extents) and
+// the NVRAM-buffered blocks. Two file systems with equal fingerprints
+// recover to the same contents; the crash harness compares a recovered
+// instance against a from-scratch replay of the same operation prefix.
+func (fs *FS) DurableFingerprint() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	ids := make([]blockID, 0, len(fs.blockSeg))
+	for id := range fs.blockSeg {
+		ids = append(ids, id)
+	}
+	sortBlockIDs(ids)
+	for _, id := range ids {
+		mix(1)
+		mix(id.file)
+		mix(uint64(id.index))
+		mix(uint64(fs.blockSeg[id]))
+	}
+	ids = ids[:0]
+	for id := range fs.buffered {
+		ids = append(ids, id)
+	}
+	sortBlockIDs(ids)
+	for _, id := range ids {
+		mix(2)
+		mix(id.file)
+		mix(uint64(id.index))
+	}
+	return h
 }
 
 // checkConsistent verifies the segment-accounting invariants after

@@ -194,3 +194,58 @@ func TestRecoveryRandomized(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestRecoveredFSIsIndependent(t *testing.T) {
+	fs := newFS(t, Config{BufferBytes: 512 * kb})
+	per := int64(fs.Config().BlocksPerSegment())
+	fs.Write(0, 1, 0, per*4*kb) // one durable full segment
+	fs.Write(sec, 2, 0, 8*kb)
+	fs.Fsync(2*sec, 2) // parks file 2 in the NVRAM buffer
+	fs.Checkpoint(3 * sec)
+	rec, _, err := fs.SimulateCrashAndRecover(4 * sec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	segs := len(fs.segLog)
+	fp := fs.DurableFingerprint()
+	cpSeq := fs.checkpoint.seq
+	cpBlocks := len(fs.checkpoint.blockSeg)
+	dels := len(fs.deleteLog)
+
+	// Drive the recovered instance hard: new segments, a checkpoint, a
+	// deletion. None of it may leak into the crashed instance.
+	rec.Write(5*sec, 3, 0, per*4*kb)
+	rec.Fsync(6*sec, 3)
+	rec.Checkpoint(7 * sec)
+	rec.Delete(8*sec, 2)
+
+	if len(fs.segLog) != segs {
+		t.Fatalf("recovered FS grew the original's segment log: %d -> %d", segs, len(fs.segLog))
+	}
+	if got := fs.DurableFingerprint(); got != fp {
+		t.Fatalf("original fingerprint changed: %#x -> %#x", fp, got)
+	}
+	if fs.checkpoint.seq != cpSeq || len(fs.checkpoint.blockSeg) != cpBlocks {
+		t.Fatal("recovered FS mutated the original's checkpoint")
+	}
+	if len(fs.deleteLog) != dels {
+		t.Fatalf("recovered FS appended to the original's delete log: %d -> %d", dels, len(fs.deleteLog))
+	}
+	if err := fs.checkConsistent(); err != nil {
+		t.Fatalf("original inconsistent after recovered-FS activity: %v", err)
+	}
+
+	// And the other direction: the original's activity must not leak into
+	// the recovered instance.
+	rfp := rec.DurableFingerprint()
+	fs.Write(9*sec, 4, 0, 8*kb)
+	fs.Fsync(10*sec, 4)
+	fs.Delete(11*sec, 1)
+	if got := rec.DurableFingerprint(); got != rfp {
+		t.Fatalf("recovered fingerprint changed: %#x -> %#x", rfp, got)
+	}
+	if err := rec.checkConsistent(); err != nil {
+		t.Fatalf("recovered inconsistent after original-FS activity: %v", err)
+	}
+}

@@ -291,6 +291,7 @@ func (st *streamState) burst(tgt Target, fileID *uint64) {
 	st.files = kept
 
 	n := st.bytes()
+	var wrote uint64
 	if st.s.Overwrite > 0 && len(st.files) > 0 && st.rng.Float64() < st.s.Overwrite {
 		// Overwrite a random region of an existing file.
 		f := &st.files[st.rng.Intn(len(st.files))]
@@ -299,6 +300,7 @@ func (st *streamState) burst(tgt Target, fileID *uint64) {
 			off = st.rng.Int63n(f.size - n)
 		}
 		tgt.Write(now, f.id, off, n)
+		wrote = f.id
 	} else {
 		// Append to the current file, rotating when it grows large.
 		if st.cur == 0 || (st.s.RotateBytes > 0 && st.curSize >= st.s.RotateBytes) {
@@ -311,10 +313,14 @@ func (st *streamState) burst(tgt Target, fileID *uint64) {
 		}
 		tgt.Write(now, st.cur, st.curSize, n)
 		st.curSize += n
+		wrote = st.cur
 	}
+	// Transactions fsync the file they just wrote — which matters now
+	// that the LFS honors the fsync target: syncing an unrelated clean
+	// file would force nothing.
 	if st.s.Fsyncs > 0 && st.rng.Float64() < st.s.FsyncProb {
 		for i := 0; i < st.s.Fsyncs; i++ {
-			tgt.Fsync(now+int64(i+1)*1000, st.cur)
+			tgt.Fsync(now+int64(i+1)*1000, wrote)
 		}
 	}
 }

@@ -47,6 +47,35 @@ type Result struct {
 
 // Run simulates the canonical op stream under the configured cache model.
 func Run(ops []prep.Op, cfg Config) (*Result, error) {
+	s := NewStepper(ops, cfg)
+	if err := s.StepTo(len(ops)); err != nil {
+		return nil, err
+	}
+	res := s.Finish()
+	s.Release()
+	return res, nil
+}
+
+// Stepper runs a simulation one trace operation at a time. Run drives it
+// straight through; the crash-injection harness (internal/crash) instead
+// halts it at an arbitrary event boundary and inspects the mid-run cache
+// and server state. State after StepTo(k) is exactly the state Run passes
+// through after applying ops[:k], so a stepped run and a straight run of
+// the same prefix are interchangeable.
+type Stepper struct {
+	ops     []prep.Op
+	idx     int
+	cfg     Config
+	server  *consist.Server
+	models  map[uint16]cache.Model
+	sizes   map[uint64]int64
+	clients []uint16 // known clients, sorted; rebuilt lazily
+	sorted  bool
+	now     int64
+}
+
+// NewStepper prepares a stepwise simulation of the op stream.
+func NewStepper(ops []prep.Op, cfg Config) *Stepper {
 	if cfg.Cache.BlockSize <= 0 {
 		cfg.Cache.BlockSize = cache.DefaultBlockSize
 	}
@@ -56,17 +85,53 @@ func Run(ops []prep.Op, cfg Config) (*Result, error) {
 		// drivers) pass a longer-lived arena instead.
 		cfg.Cache.Arena = cache.NewBlockArena()
 	}
-	d := &driver{
+	return &Stepper{
+		ops:    ops,
 		cfg:    cfg,
 		server: consist.NewServerSized(cfg.FilesHint),
 		models: make(map[uint16]cache.Model),
 		sizes:  make(map[uint64]int64, cfg.FilesHint),
 	}
-	for _, op := range ops {
-		if err := d.apply(op); err != nil {
-			return nil, err
-		}
+}
+
+// Len returns the total number of operations in the stream.
+func (d *Stepper) Len() int { return len(d.ops) }
+
+// Index returns how many operations have been applied.
+func (d *Stepper) Index() int { return d.idx }
+
+// Now returns the time of the last applied operation (0 before the first).
+func (d *Stepper) Now() int64 { return d.now }
+
+// Server exposes the consistency server for invariant checks.
+func (d *Stepper) Server() *consist.Server { return d.server }
+
+// StepTo applies operations until k have been applied. It cannot rewind:
+// k below the current index is an error.
+func (d *Stepper) StepTo(k int) error {
+	if k < d.idx || k > len(d.ops) {
+		return fmt.Errorf("sim: StepTo(%d) outside [%d, %d]", k, d.idx, len(d.ops))
 	}
+	for d.idx < k {
+		if err := d.apply(d.ops[d.idx]); err != nil {
+			return err
+		}
+		d.idx++
+	}
+	return nil
+}
+
+// ForEachModel visits each client's cache model in client-id order.
+func (d *Stepper) ForEachModel(fn func(client uint16, m cache.Model)) {
+	for _, c := range d.clientOrder() {
+		fn(c, d.models[c])
+	}
+}
+
+// Finish ends the trace — every cache advances to the last applied
+// operation's time and flushes its remaining dirty bytes, as Run does —
+// and collects the Result. Call Release afterwards to recycle the blocks.
+func (d *Stepper) Finish() *Result {
 	d.finish()
 	res := &Result{
 		PerClient:     make(map[uint16]*cache.Traffic, len(d.models)),
@@ -78,27 +143,20 @@ func Run(ops []prep.Op, cfg Config) (*Result, error) {
 		res.PerClient[c] = m.Traffic()
 		res.Traffic.Add(m.Traffic())
 	}
-	// Traffic counters are owned by the models but survive Release (they
-	// are referenced by the Result); the blocks go back to the arena for
-	// the caller's next run.
+	return res
+}
+
+// Release returns every model's blocks to the arena. Traffic counters are
+// owned by the models but survive Release (a Result references them); the
+// blocks go back to the arena for the caller's next run.
+func (d *Stepper) Release() {
 	for _, m := range d.models {
 		m.Release()
 	}
-	return res, nil
-}
-
-type driver struct {
-	cfg     Config
-	server  *consist.Server
-	models  map[uint16]cache.Model
-	sizes   map[uint64]int64
-	clients []uint16 // known clients, sorted; rebuilt lazily
-	sorted  bool
-	now     int64
 }
 
 // model returns (creating on first use) the cache for a client.
-func (d *driver) model(client uint16) (cache.Model, error) {
+func (d *Stepper) model(client uint16) (cache.Model, error) {
 	if m, ok := d.models[client]; ok {
 		return m, nil
 	}
@@ -116,7 +174,7 @@ func (d *driver) model(client uint16) (cache.Model, error) {
 	return m, nil
 }
 
-func (d *driver) apply(op prep.Op) error {
+func (d *Stepper) apply(op prep.Op) error {
 	d.now = op.Time
 	m, err := d.model(op.Client)
 	if err != nil {
@@ -221,7 +279,7 @@ func (d *driver) apply(op prep.Op) error {
 // clientOrder returns the known clients sorted by id. The slice is cached
 // and re-sorted only when a new client appears, since cluster-wide events
 // (deletes, sharing disables) consult it per operation.
-func (d *driver) clientOrder() []uint16 {
+func (d *Stepper) clientOrder() []uint16 {
 	if !d.sorted {
 		slices.Sort(d.clients)
 		d.sorted = true
@@ -232,7 +290,7 @@ func (d *driver) clientOrder() []uint16 {
 // finish advances every cache to the end of the trace and flushes the
 // remaining dirty bytes (counted pessimistically as server traffic, as the
 // paper's figures do).
-func (d *driver) finish() {
+func (d *Stepper) finish() {
 	for _, c := range d.clientOrder() {
 		m := d.models[c]
 		m.Advance(d.now)

@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"nvramfs/internal/cache"
+	"nvramfs/internal/crash"
 	"nvramfs/internal/disk"
 	"nvramfs/internal/engine"
 	"nvramfs/internal/lfs"
@@ -97,6 +98,13 @@ type (
 	LatencyResult      = report.LatencyResult
 	StackResult        = report.StackResult
 	ReadResponseResult = report.ReadResponseResult
+	ReliabilityResult  = report.ReliabilityResult
+
+	// Crash-injection harness types (internal/crash): the outcome of one
+	// fault injected at a trace-event boundary.
+	CacheCrashOutcome = crash.CacheOutcome
+	LFSCrashOutcome   = crash.LFSOutcome
+	LFSCrashConfig    = crash.LFSConfig
 
 	// Tabular is any experiment result exportable as CSV rows.
 	Tabular = report.Tabular
@@ -273,8 +281,8 @@ type CacheConfig struct {
 	Seed int64
 }
 
-// RunCache simulates the trace under the configured client cache model.
-func (t *Trace) RunCache(cfg CacheConfig) (*CacheResult, error) {
+// simConfig translates a CacheConfig into the simulator's configuration.
+func (t *Trace) simConfig(cfg CacheConfig) (sim.Config, error) {
 	var model cache.ModelKind
 	switch cfg.Model {
 	case "volatile", "":
@@ -286,7 +294,7 @@ func (t *Trace) RunCache(cfg CacheConfig) (*CacheResult, error) {
 	case "hybrid":
 		model = cache.ModelHybrid
 	default:
-		return nil, fmt.Errorf("nvramfs: unknown cache model %q", cfg.Model)
+		return sim.Config{}, fmt.Errorf("nvramfs: unknown cache model %q", cfg.Model)
 	}
 	var policy cache.PolicyKind
 	var sched cache.Schedule
@@ -299,9 +307,9 @@ func (t *Trace) RunCache(cfg CacheConfig) (*CacheResult, error) {
 		policy = cache.Omniscient
 		sched = lifetime.BuildSchedule(t.ops, cache.DefaultBlockSize)
 	default:
-		return nil, fmt.Errorf("nvramfs: unknown policy %q", cfg.Policy)
+		return sim.Config{}, fmt.Errorf("nvramfs: unknown policy %q", cfg.Policy)
 	}
-	return sim.Run(t.ops, sim.Config{
+	return sim.Config{
 		Model: model,
 		Cache: cache.Config{
 			VolatileBlocks: sim.BlocksForBytes(int64(cfg.VolatileMB*float64(sim.MB)), cache.DefaultBlockSize),
@@ -312,7 +320,42 @@ func (t *Trace) RunCache(cfg CacheConfig) (*CacheResult, error) {
 		Seed:       cfg.Seed,
 		WritesOnly: cfg.WritesOnly,
 		FilesHint:  t.stats.Files,
-	})
+	}, nil
+}
+
+// RunCache simulates the trace under the configured client cache model.
+func (t *Trace) RunCache(cfg CacheConfig) (*CacheResult, error) {
+	sc, err := t.simConfig(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return sim.Run(t.ops, sc)
+}
+
+// CrashCache simulates the trace's first `at` operations under the
+// configured cache model, injects a crash at that event boundary, and
+// applies the paper's loss model (internal/crash). at < 0 or beyond the
+// trace crashes at the end.
+func (t *Trace) CrashCache(cfg CacheConfig, at int) (*CacheCrashOutcome, error) {
+	sc, err := t.simConfig(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if at < 0 || at > len(t.ops) {
+		at = len(t.ops)
+	}
+	return crash.RunCache(t.ops, sc, at)
+}
+
+// CrashLFS feeds the trace's write path to a server LFS, crashes it after
+// `at` operations, and recovers through the checkpoint/roll-forward path,
+// checking the recovered state against a from-scratch replay oracle.
+// at < 0 or beyond the trace crashes at the end.
+func (t *Trace) CrashLFS(cfg LFSCrashConfig, at int) (*LFSCrashOutcome, error) {
+	if at < 0 || at > len(t.ops) {
+		at = len(t.ops)
+	}
+	return crash.RunLFS(t.ops, cfg, at)
 }
 
 // ServerResult is the outcome of one server file-system run.
@@ -481,6 +524,17 @@ func Ablations(ws *Workspace) (*AblationResult, error) { return report.Ablations
 // AblationsContext is Ablations with cancellation.
 func AblationsContext(ctx context.Context, ws *Workspace) (*AblationResult, error) {
 	return report.AblationsContext(ctx, ws)
+}
+
+// Reliability runs the crash-injection study: a grid of faults over
+// (trace, cache organization, crash point) checking the paper's loss
+// bounds — zero committed-byte loss with NVRAM, a bounded write-back
+// window without it.
+func Reliability(ws *Workspace) (*ReliabilityResult, error) { return report.Reliability(ws) }
+
+// ReliabilityContext is Reliability with cancellation.
+func ReliabilityContext(ctx context.Context, ws *Workspace) (*ReliabilityResult, error) {
+	return report.ReliabilityContext(ctx, ws)
 }
 
 // ServerCacheStudy sweeps a server-side NVRAM cache region over the
