@@ -20,6 +20,12 @@ go build ./...
 # -race pass, which takes ~10 minutes on a 1-CPU box.
 go test -short ./...
 
+# Fault-injection gate: every fault-stage and degraded-mode test by name
+# (injector semantics, outage degradation per organization, crash
+# composition, determinism across worker counts), without the race
+# detector so it stays quick.
+go test -run 'Fault|Degraded' -count=1 ./...
+
 go test -race ./...
 
 # Bench smoke: one iteration of every benchmark under the race detector, so

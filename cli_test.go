@@ -69,6 +69,33 @@ func TestCLI(t *testing.T) {
 		t.Fatalf("nvsim -sweep-models output: %s", out)
 	}
 
+	// Fault injection: a run over a lossy wire reports the retry and
+	// degradation stats, with the filled-in schedule in the banner.
+	out = run("nvsim", "-file", tracePath, "-model", "unified",
+		"-faults", "seed=7,drop=0.2")
+	if !strings.Contains(out, "fault injection: seed=7") || !strings.Contains(out, "retries:") {
+		t.Fatalf("nvsim -faults output: %s", out)
+	}
+
+	// Flag validation: bad fault specs, out-of-range crash points, and
+	// non-positive worker counts must fail with self-explaining messages.
+	fail := func(wantMention string, name string, args ...string) {
+		t.Helper()
+		out, err := exec.Command(bin(name), args...).CombinedOutput()
+		if err == nil {
+			t.Fatalf("%s %v succeeded:\n%s", name, args, out)
+		}
+		if !strings.Contains(string(out), wantMention) {
+			t.Fatalf("%s %v error should mention %q:\n%s", name, args, wantMention, out)
+		}
+	}
+	fail("valid keys", "nvsim", "-file", tracePath, "-faults", "bogus=1")
+	fail("[0,1]", "nvsim", "-file", tracePath, "-faults", "drop=2")
+	fail("beyond the trace", "nvsim", "-file", tracePath, "-crash-at", "99999999")
+	fail("not positive", "nvreport", "-j", "0", "-exp", "table1")
+	fail("not positive", "nvreport", "-j", "-3", "-exp", "table1")
+	fail("not positive", "nvreport", "-scale", "0", "-exp", "table1")
+
 	// The server study.
 	out = run("nvlfs", "-fs", "/user6", "-days", "0.2", "-compare")
 	if !strings.Contains(out, "/user6") {
@@ -86,6 +113,12 @@ func TestCLI(t *testing.T) {
 	}
 	if _, err := os.Stat(filepath.Join(csvDir, "sort.csv")); err != nil {
 		t.Fatalf("CSV not written: %v", err)
+	}
+
+	// The degraded experiment renders its fault table at tiny scale.
+	out = run("nvreport", "-exp", "degraded", "-scale", "0.01", "-j", "2")
+	if !strings.Contains(out, "Degraded mode") || !strings.Contains(out, "outage60s") {
+		t.Fatalf("nvreport -exp degraded output: %s", out)
 	}
 
 	// An unknown experiment name must fail and list the valid ones.

@@ -9,7 +9,7 @@
 //
 // Experiments: table1 fig2 table2 fig3 fig4 fig5 fig6 bus cost table3
 // table4 buffer sort servercache fsynclat readlat stack ablate
-// reliability.
+// reliability degraded.
 //
 // Experiment output is written to stdout and is byte-identical at any
 // worker count; progress and the wall-clock summary go to stderr.
@@ -35,7 +35,7 @@ import (
 var experiments = []string{
 	"table1", "fig2", "table2", "fig3", "fig4", "fig5", "fig6", "bus",
 	"cost", "table3", "table4", "buffer", "sort", "servercache",
-	"fsynclat", "readlat", "stack", "ablate", "reliability",
+	"fsynclat", "readlat", "stack", "ablate", "reliability", "degraded",
 }
 
 func main() {
@@ -47,12 +47,23 @@ func main() {
 		serverDays = flag.Float64("server-days", 14, "server study duration in days")
 		csvDir     = flag.String("csv", "", "also write each experiment's data as CSV into this directory")
 		plot       = flag.Bool("plot", false, "also draw ASCII charts for the figures")
-		jobs       = flag.Int("j", 0, "worker goroutines for the experiment engine (0 = all CPUs)")
+		jobs       = flag.Int("j", runtime.NumCPU(), "worker goroutines for the experiment engine")
 		progress   = flag.Bool("progress", false, "report per-job progress on stderr")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile (post-run, after GC) to this file")
 	)
 	flag.Parse()
+
+	if *jobs <= 0 {
+		log.Fatalf("-j %d is not positive; the engine needs at least one worker (default %d = all CPUs)",
+			*jobs, runtime.NumCPU())
+	}
+	if *scale <= 0 {
+		log.Fatalf("-scale %g is not positive; use a fraction of paper scale such as 0.1", *scale)
+	}
+	if *serverDays <= 0 {
+		log.Fatalf("-server-days %g is not positive", *serverDays)
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -274,6 +285,13 @@ func main() {
 		check(err)
 		check(r.Render(out))
 		saveCSV("reliability", r)
+	}
+	if sel("degraded") {
+		section("degraded (fault-injected write-back, extension)")
+		r, err := nvramfs.DegradedContext(ctx, ws)
+		check(err)
+		check(r.Render(out))
+		saveCSV("degraded", r)
 	}
 
 	m := eng.Metrics()

@@ -5,6 +5,8 @@
 //
 //	nvsim -trace 7 -model unified -policy lru -volatile 8 -nvram 1
 //	nvsim -file traces/trace7.nvft -model write-aside -nvram 2
+//	nvsim -trace 7 -faults seed=7,drop=0.1,outage=2m+60s   # unreliable server
+//	nvsim -trace 7 -crash-at 5000 -faults outage=0s+never  # crash during outage
 package main
 
 import (
@@ -26,7 +28,7 @@ func main() {
 		traceIdx   = flag.Int("trace", 7, "standard trace index 1..8")
 		file       = flag.String("file", "", "trace file (overrides -trace)")
 		scale      = flag.Float64("scale", 1.0, "workload scale for standard traces")
-		model      = flag.String("model", "unified", "cache model: volatile | write-aside | unified")
+		model      = flag.String("model", "unified", "cache model: volatile | write-aside | unified | hybrid")
 		policy     = flag.String("policy", "lru", "NVRAM replacement: lru | random | omniscient")
 		volatileMB = flag.Float64("volatile", 8, "volatile cache size per client (MB)")
 		nvramMB    = flag.Float64("nvram", 1, "NVRAM size per client (MB)")
@@ -34,8 +36,22 @@ func main() {
 		sweepNVRAM = flag.String("sweep-nvram", "", "comma-separated NVRAM sizes (MB) to sweep instead of a single run")
 		sweepModel = flag.Bool("sweep-models", false, "compare all cache models at the given sizes")
 		crashAt    = flag.Int("crash-at", -1, "inject a crash after N trace operations and report the loss model (-1 disables; 0 crashes before any work)")
+		faultSpec  = flag.String("faults", "", "fault-injection spec for the write-back path, e.g. seed=7,drop=0.1,outage=2m+60s (see -faults-help)")
+		faultHelp  = flag.Bool("faults-help", false, "print the -faults spec grammar and exit")
 	)
 	flag.Parse()
+
+	if *faultHelp {
+		fmt.Print(nvramfs.FaultSpecUsage())
+		return
+	}
+	var faultDesc string
+	if *faultSpec != "" {
+		var err error
+		if faultDesc, err = nvramfs.DescribeFaultSpec(*faultSpec); err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	var (
 		tr  *nvramfs.Trace
@@ -55,6 +71,10 @@ func main() {
 		log.Fatal(err)
 	}
 
+	if *crashAt > tr.NumOps() {
+		log.Fatalf("-crash-at %d is beyond the trace: valid crash points are 0..%d (operation boundaries), or -1 to disable",
+			*crashAt, tr.NumOps())
+	}
 	if *crashAt >= 0 {
 		injectCrash(tr, nvramfs.CacheConfig{
 			Model:      *model,
@@ -62,7 +82,8 @@ func main() {
 			VolatileMB: *volatileMB,
 			NVRAMMB:    *nvramMB,
 			WritesOnly: *writesOnly,
-		}, *crashAt)
+			Faults:     *faultSpec,
+		}, *crashAt, faultDesc)
 		return
 	}
 	if *sweepNVRAM != "" {
@@ -80,6 +101,7 @@ func main() {
 		VolatileMB: *volatileMB,
 		NVRAMMB:    *nvramMB,
 		WritesOnly: *writesOnly,
+		Faults:     *faultSpec,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -103,11 +125,27 @@ func main() {
 	fmt.Printf("net total traffic: %.1f%%   bus writes: %d B   NVRAM accesses: %d\n",
 		100*t.NetTotalFrac(), t.BusWriteBytes, t.NVRAMAccesses)
 	fmt.Printf("consistency: %d recalls, %d cache disables\n", res.Recalls, res.DisableEvents)
+	if res.Faults != nil {
+		printFaultStats(faultDesc, res.Faults, res.ReplayedWrites)
+	}
+}
+
+// printFaultStats reports the fault-injection stage: the schedule (with
+// defaults filled, so the run is reproducible from this banner), the
+// retry activity, and the degradation costs.
+func printFaultStats(desc string, st *nvramfs.FaultStats, replays int64) {
+	fmt.Printf("fault injection: %s\n", desc)
+	fmt.Printf("  deliveries: %d  attempts: %d  retries: %d  drops: %d  ack losses: %d  spikes: %d  exhausted: %d\n",
+		st.Deliveries, st.Attempts, st.Retries, st.Drops, st.AckLosses, st.Spikes, st.Exhausted)
+	fmt.Printf("  stall time: %.3fs  retry latency: %.3fs  NVRAM dirty high-water: %d B\n",
+		float64(st.StallUS)/1e6, float64(st.RetryLatencyUS)/1e6, st.NVRAMHighWater)
+	fmt.Printf("  committed: %d B  redelivered: %d B  lost: %d B  pending: %d B  server replays: %d\n",
+		st.CommittedBytes, st.RedeliveredBytes, st.LostBytes, st.PendingBytes, replays)
 }
 
 // injectCrash crashes the simulation at an event boundary and prints the
 // loss model's verdict (internal/crash).
-func injectCrash(tr *nvramfs.Trace, cfg nvramfs.CacheConfig, at int) {
+func injectCrash(tr *nvramfs.Trace, cfg nvramfs.CacheConfig, at int, faultDesc string) {
 	out, err := tr.CrashCache(cfg, at)
 	if err != nil {
 		log.Fatal(err)
@@ -116,6 +154,11 @@ func injectCrash(tr *nvramfs.Trace, cfg nvramfs.CacheConfig, at int) {
 	fmt.Printf("at risk:   %12d B dirty client-side\n", out.AtRiskBytes())
 	fmt.Printf("lost:      %12d B (volatile only)\n", out.LostBytes)
 	fmt.Printf("survived:  %12d B (NVRAM)\n", out.SurvivedBytes)
+	if out.Faults != nil {
+		fmt.Printf("fault injection: %s\n", faultDesc)
+		fmt.Printf("  write-back backlog at crash: %d B parked in NVRAM (survives), %d B stalled volatile (lost)\n",
+			out.PendingStableBytes, out.PendingVolatileBytes)
+	}
 	if out.LostBytes > 0 {
 		fmt.Printf("oldest lost byte: %.3fs before the crash\n", float64(out.OldestLostAge)/1e6)
 	}

@@ -49,7 +49,7 @@ func (m *hybridModel) Advance(now int64) {
 		}
 		segs := b.Dirty.RemoveAll()
 		m.traffic.WriteBack[CauseCleaner] += segsLen(segs)
-		m.cfg.Hooks.emitWrite(e.at+m.cfg.WriteBackDelay, b.ID.File, segs, CauseCleaner)
+		m.cfg.Hooks.emitWrite(e.at+m.cfg.WriteBackDelay, b.ID.File, segs, CauseCleaner, false)
 		b.markClean()
 	}
 }
@@ -71,7 +71,7 @@ func (m *hybridModel) evictFrom(now int64, p *Pool) {
 	if v.IsDirty() {
 		segs := v.Dirty.RemoveAll()
 		m.traffic.WriteBack[CauseReplacement] += segsLen(segs)
-		m.cfg.Hooks.emitWrite(now, v.ID.File, segs, CauseReplacement)
+		m.cfg.Hooks.emitWrite(now, v.ID.File, segs, CauseReplacement, p == m.nv)
 	}
 	m.cfg.Arena.Put(v)
 }
@@ -205,7 +205,7 @@ func (m *hybridModel) Fsync(now int64, file uint64) {
 		if b.IsDirty() {
 			segs := b.Dirty.RemoveAll()
 			n += segsLen(segs)
-			m.cfg.Hooks.emitWrite(now, b.ID.File, segs, CauseFsync)
+			m.cfg.Hooks.emitWrite(now, b.ID.File, segs, CauseFsync, false)
 			b.markClean()
 		}
 	})
@@ -214,15 +214,16 @@ func (m *hybridModel) Fsync(now int64, file uint64) {
 
 func (m *hybridModel) flushPools(now int64, file uint64, all bool, cause Cause) int64 {
 	var n int64
-	flush := func(b *Block) {
-		if b.IsDirty() {
-			segs := b.Dirty.RemoveAll()
-			n += segsLen(segs)
-			m.cfg.Hooks.emitWrite(now, b.ID.File, segs, cause)
-			b.markClean()
-		}
-	}
 	for _, p := range [2]*Pool{m.nv, m.vol} {
+		stable := p == m.nv
+		flush := func(b *Block) {
+			if b.IsDirty() {
+				segs := b.Dirty.RemoveAll()
+				n += segsLen(segs)
+				m.cfg.Hooks.emitWrite(now, b.ID.File, segs, cause, stable)
+				b.markClean()
+			}
+		}
 		if all {
 			p.ForEachBlock(flush)
 		} else {

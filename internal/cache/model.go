@@ -46,6 +46,17 @@ func (k ModelKind) String() string {
 	return fmt.Sprintf("model(%d)", uint8(k))
 }
 
+// StagesWritesInNVRAM reports whether the organization stages every
+// incoming dirty byte in NVRAM before it reaches the server: write-aside
+// copies all writes into the NVRAM shadow and unified places dirty
+// blocks only in NVRAM, so even a write that bypasses the cache (the
+// consistency protocol's write-through mode) has a stable staging copy.
+// Volatile has no NVRAM, and hybrid commits a write to one pool only
+// after placement, so a bypassed write is unstaged for both.
+func (k ModelKind) StagesWritesInNVRAM() bool {
+	return k == ModelWriteAside || k == ModelUnified
+}
+
 // Config parameterizes a client cache.
 type Config struct {
 	// BlockSize is the cache block size; defaults to DefaultBlockSize.
@@ -85,8 +96,12 @@ type Config struct {
 // ServerHooks receives the client-server traffic a cache model generates.
 type ServerHooks struct {
 	// Write is called for each run of dirty bytes written back to the
-	// server, with the write-back time and cause.
-	Write func(now int64, file uint64, r interval.Range, cause Cause)
+	// server, with the write-back time and cause. stable reports whether
+	// the run's source bytes were NVRAM-resident at the flush: a stable
+	// write-back's data remains recoverable client-side while the RPC is
+	// in flight, an unstable one's data exists only on the wire (the
+	// fault-injection stage uses this to pick degradation semantics).
+	Write func(now int64, file uint64, r interval.Range, cause Cause, stable bool)
 	// Read is called for each range fetched from the server on a miss.
 	Read func(now int64, file uint64, r interval.Range)
 	// Delete is called (by the simulation driver) when a byte range dies
@@ -95,12 +110,13 @@ type ServerHooks struct {
 }
 
 // emitWrite delivers flushed segments to the hooks (no-op when unhooked).
-func (h *ServerHooks) emitWrite(now int64, file uint64, segs []interval.Seg, cause Cause) {
+// stable marks segments flushed out of NVRAM (see ServerHooks.Write).
+func (h *ServerHooks) emitWrite(now int64, file uint64, segs []interval.Seg, cause Cause, stable bool) {
 	if h == nil || h.Write == nil {
 		return
 	}
 	for _, g := range segs {
-		h.Write(now, file, interval.Range{Start: g.Start, End: g.End}, cause)
+		h.Write(now, file, interval.Range{Start: g.Start, End: g.End}, cause, stable)
 	}
 }
 

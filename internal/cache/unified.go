@@ -76,7 +76,7 @@ func (m *unifiedModel) makeRoomNV(now int64) {
 		m.traffic.WriteBack[CauseReplacement] += n
 		m.traffic.NVRAMReadBytes += n
 		m.traffic.NVRAMAccesses++
-		m.cfg.Hooks.emitWrite(now, v.ID.File, segs, CauseReplacement)
+		m.cfg.Hooks.emitWrite(now, v.ID.File, segs, CauseReplacement, true)
 		v.markClean()
 	}
 	m.maybeToVolatile(now, v)
@@ -237,7 +237,7 @@ func (m *unifiedModel) flushBlock(now int64, b *Block, cause Cause) int64 {
 	m.traffic.WriteBack[cause] += n
 	m.traffic.NVRAMReadBytes += n
 	m.traffic.NVRAMAccesses++
-	m.cfg.Hooks.emitWrite(now, b.ID.File, segs, cause)
+	m.cfg.Hooks.emitWrite(now, b.ID.File, segs, cause, true)
 	b.markClean()
 	m.nv.Remove(b.ID)
 	m.maybeToVolatile(now, b)
@@ -272,7 +272,7 @@ func (m *unifiedModel) Invalidate(now int64, file uint64) {
 			m.traffic.WriteBack[CauseCallback] += n
 			m.traffic.NVRAMReadBytes += n
 			m.traffic.NVRAMAccesses++
-			m.cfg.Hooks.emitWrite(now, b.ID.File, segs, CauseCallback)
+			m.cfg.Hooks.emitWrite(now, b.ID.File, segs, CauseCallback, true)
 		}
 		m.nv.Remove(b.ID)
 		m.cfg.Arena.Put(b)

@@ -97,7 +97,7 @@ func (m *volatileModel) Advance(now int64) {
 		}
 		segs := b.Dirty.RemoveAll()
 		m.traffic.WriteBack[CauseCleaner] += segsLen(segs)
-		m.cfg.Hooks.emitWrite(e.at+m.cfg.WriteBackDelay, b.ID.File, segs, CauseCleaner)
+		m.cfg.Hooks.emitWrite(e.at+m.cfg.WriteBackDelay, b.ID.File, segs, CauseCleaner, false)
 		b.markClean()
 	}
 }
@@ -122,7 +122,7 @@ func (m *volatileModel) ensure(now int64, id BlockID) *Block {
 			// LRU replacement of a dirty block writes it to the server.
 			segs := v.Dirty.RemoveAll()
 			m.traffic.WriteBack[CauseReplacement] += segsLen(segs)
-			m.cfg.Hooks.emitWrite(now, v.ID.File, segs, CauseReplacement)
+			m.cfg.Hooks.emitWrite(now, v.ID.File, segs, CauseReplacement, false)
 		}
 		m.cfg.Arena.Put(v)
 	}
@@ -206,7 +206,7 @@ func (m *volatileModel) FlushFile(now int64, file uint64, cause Cause) int64 {
 		if b.IsDirty() {
 			segs := b.Dirty.RemoveAll()
 			n += segsLen(segs)
-			m.cfg.Hooks.emitWrite(now, b.ID.File, segs, cause)
+			m.cfg.Hooks.emitWrite(now, b.ID.File, segs, cause, false)
 			b.markClean()
 		}
 	})
@@ -220,7 +220,7 @@ func (m *volatileModel) FlushAll(now int64, cause Cause) int64 {
 		if b.IsDirty() {
 			segs := b.Dirty.RemoveAll()
 			n += segsLen(segs)
-			m.cfg.Hooks.emitWrite(now, b.ID.File, segs, cause)
+			m.cfg.Hooks.emitWrite(now, b.ID.File, segs, cause, false)
 			b.markClean()
 		}
 	})

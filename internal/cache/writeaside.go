@@ -43,7 +43,7 @@ func (m *writeAsideModel) flushShadow(now int64, bn *Block, cause Cause) int64 {
 	m.traffic.WriteBack[cause] += n
 	m.traffic.NVRAMReadBytes += n
 	m.traffic.NVRAMAccesses++
-	m.cfg.Hooks.emitWrite(now, bn.ID.File, segs, cause)
+	m.cfg.Hooks.emitWrite(now, bn.ID.File, segs, cause, true)
 	m.nv.Remove(bn.ID)
 	m.cfg.Arena.Put(bn)
 	return n

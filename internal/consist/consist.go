@@ -88,6 +88,9 @@ type fileState struct {
 	openers  clientCounts // open counts per client
 	writers  clientCounts // open-for-write counts per client
 	disabled bool
+	// lastSeq is the most recent write-back RPC sequence number applied to
+	// the file (0 = none); re-presenting it is a detected replay.
+	lastSeq uint64
 }
 
 // init readies a zeroed fileState, pointing its slices at their inline
@@ -99,6 +102,7 @@ func (fs *fileState) init() {
 	fs.seenV = fs.seenV0[:0]
 	fs.openers.init()
 	fs.writers.init()
+	fs.lastSeq = 0
 }
 
 func (fs *fileState) seenIdx(c uint16) int {
@@ -129,6 +133,7 @@ type Server struct {
 	Invalidations   int64 // opens that found a stale cached copy
 	DisableEvents   int64 // times caching was disabled on a file
 	ConcurrentOpens int64 // opens that occurred while caching was disabled
+	ReplayedWrites  int64 // write-back RPCs re-delivered after a lost ack
 }
 
 // NewServer returns an empty consistency server.
@@ -270,6 +275,22 @@ func (s *Server) FlushedClient(client uint16) {
 			fs.lastWriter = NoClient
 		}
 	}
+}
+
+// DeliverWriteback records the arrival of write-back RPC seq (nonzero,
+// unique per RPC) for the file and reports whether this is its first
+// delivery. When a write-back's acknowledgement is lost on the wire the
+// client retries the same RPC; the server recognizes the sequence number
+// it already applied, counts the replay, and reports false so the bytes
+// are not applied twice (idempotent re-delivery).
+func (s *Server) DeliverWriteback(f uint64, seq uint64) bool {
+	fs := s.file(f)
+	if fs.lastSeq == seq {
+		s.ReplayedWrites++
+		return false
+	}
+	fs.lastSeq = seq
+	return true
 }
 
 // Deleted drops all consistency state for the file.

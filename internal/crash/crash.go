@@ -22,6 +22,7 @@ import (
 	"fmt"
 
 	"nvramfs/internal/cache"
+	"nvramfs/internal/faults"
 	"nvramfs/internal/interval"
 	"nvramfs/internal/prep"
 	"nvramfs/internal/sim"
@@ -42,6 +43,16 @@ type CacheOutcome struct {
 	// byte run (zero when nothing was lost). The paper's reliability
 	// argument bounds it by the 30-second write-back delay.
 	OldestLostAge int64
+	// PendingStableBytes and PendingVolatileBytes are the fault stage's
+	// undelivered backlog at the crash (zero without fault injection):
+	// the stable portion rides out the crash in client NVRAM, the
+	// volatile portion — a stalled writer's bytes — dies with the client
+	// and is folded into LostBytes.
+	PendingStableBytes   int64
+	PendingVolatileBytes int64
+	// Faults snapshots the injector's counters at the crash, nil without
+	// fault injection.
+	Faults *faults.Stats
 	// Violations lists every loss-model invariant the post-crash state
 	// broke; empty means the configuration's reliability claim held.
 	Violations []string
@@ -147,6 +158,34 @@ func RunCache(ops []prep.Op, cfg sim.Config, k int) (*CacheOutcome, error) {
 			out.OldestLostAge = oldest
 		}
 	})
+
+	// Compose the crash with an active fault schedule: the injector's
+	// undelivered backlog is data the caches have already emitted but the
+	// server has not applied. NVRAM-sourced entries survive (the bytes are
+	// still in the client's NVRAM); a stalled volatile writer's entries
+	// die with the client.
+	if inj := s.Faults(); inj != nil {
+		inj.Advance(now)
+		st := inj.Stats()
+		out.Faults = &st
+		stable, volatile := inj.PendingBytes()
+		out.PendingStableBytes, out.PendingVolatileBytes = stable, volatile
+		out.LostBytes += volatile
+		out.SurvivedBytes += stable
+		if got := st.CommittedBytes + st.LostBytes + st.PendingBytes; got != st.OfferedBytes {
+			out.violate("fault stage conservation broken: committed %d + shed %d + pending %d != offered %d",
+				st.CommittedBytes, st.LostBytes, st.PendingBytes, st.OfferedBytes)
+		}
+		switch cfg.Model {
+		case cache.ModelWriteAside, cache.ModelUnified:
+			if st.LostBytes > 0 {
+				out.violate("%v organization shed %d bytes in the fault stage", cfg.Model, st.LostBytes)
+			}
+			if volatile > 0 {
+				out.violate("%v organization has %d volatile pending bytes in the fault stage", cfg.Model, volatile)
+			}
+		}
+	}
 	s.Release()
 	return out, nil
 }

@@ -1,0 +1,113 @@
+package crash
+
+import (
+	"math/rand"
+	"testing"
+
+	"nvramfs/internal/cache"
+	"nvramfs/internal/faults"
+	"nvramfs/internal/sim"
+)
+
+// faultCfg is simCfg with a fault profile attached.
+func faultCfg(kind cache.ModelKind, p *faults.Profile) sim.Config {
+	cfg := simCfg(kind)
+	cfg.Faults = p
+	return cfg
+}
+
+// TestFaultCrashSweepWithOutage composes a crash at every event boundary
+// with a server outage covering the middle of the synthetic trace: the
+// loss-model invariants and the fault stage's byte conservation must
+// hold at every point, for every organization.
+func TestFaultCrashSweepWithOutage(t *testing.T) {
+	ops := syntheticOps()
+	for _, kind := range allKinds {
+		t.Run(kind.String(), func(t *testing.T) {
+			prof := &faults.Profile{
+				Seed:    3,
+				Outages: []faults.Window{{Start: 20 * sec, End: 80 * sec}},
+			}
+			var sawPending bool
+			for k := 0; k <= len(ops); k++ {
+				out, err := RunCache(ops, faultCfg(kind, prof), k)
+				if err != nil {
+					t.Fatalf("crash at %d: %v", k, err)
+				}
+				for _, v := range out.Violations {
+					t.Errorf("crash at %d: %s", k, v)
+				}
+				if out.Faults == nil {
+					t.Fatalf("crash at %d: no fault stats", k)
+				}
+				if out.PendingStableBytes > 0 || out.PendingVolatileBytes > 0 {
+					sawPending = true
+				}
+				switch kind {
+				case cache.ModelWriteAside, cache.ModelUnified:
+					if out.LostBytes > 0 {
+						t.Errorf("crash at %d: %v lost %d bytes under outage", k, kind, out.LostBytes)
+					}
+				}
+			}
+			if !sawPending {
+				t.Error("no crash point caught an in-flight fault-stage backlog")
+			}
+		})
+	}
+}
+
+// TestFaultCrashSoakRandomSchedules is the randomized soak: 64 random
+// fault schedules, each run through every cache organization with a
+// random crash point, asserting every crash-harness invariant (byte
+// conservation, zero committed loss for the NVRAM organizations, the
+// write-back age window) under every schedule. The schedule seed is in
+// every failure message, so any run reproduces from the log alone.
+func TestFaultCrashSoakRandomSchedules(t *testing.T) {
+	if testing.Short() {
+		t.Skip("randomized soak; the outage sweep above covers the invariants")
+	}
+	ops := syntheticOps()
+	span := ops[len(ops)-1].Time
+	master := rand.New(rand.NewSource(20260805))
+	for i := 0; i < 64; i++ {
+		schedSeed := master.Int63()
+		r := rand.New(rand.NewSource(schedSeed))
+		prof := &faults.Profile{
+			Seed:        schedSeed,
+			DropRate:    r.Float64() * 0.6,
+			AckLossRate: r.Float64(),
+			SpikeRate:   r.Float64() * 0.3,
+			SpikeFactor: int64(1 + r.Intn(16)),
+			MaxAttempts: 1 + r.Intn(8),
+			BackoffBase: 1_000 + r.Int63n(500_000),
+			Shed:        r.Intn(2) == 0,
+		}
+		prof.BackoffCap = prof.BackoffBase + r.Int63n(4_000_000)
+		for n := r.Intn(3); n > 0; n-- {
+			start := r.Int63n(span)
+			w := faults.Window{Start: start, End: start + 1*sec + r.Int63n(40*sec)}
+			if r.Intn(10) == 0 {
+				w.End = faults.Never
+			}
+			prof.Outages = append(prof.Outages, w)
+		}
+		for _, kind := range allKinds {
+			k := r.Intn(len(ops) + 1)
+			out, err := RunCache(ops, faultCfg(kind, prof), k)
+			if err != nil {
+				t.Fatalf("schedule seed=%d %v crash at %d: %v", schedSeed, kind, k, err)
+			}
+			for _, v := range out.Violations {
+				t.Errorf("schedule seed=%d %v crash at %d: %s", schedSeed, kind, k, v)
+			}
+			switch kind {
+			case cache.ModelWriteAside, cache.ModelUnified:
+				if out.LostBytes > 0 {
+					t.Errorf("schedule seed=%d %v crash at %d: lost %d committed bytes",
+						schedSeed, kind, k, out.LostBytes)
+				}
+			}
+		}
+	}
+}

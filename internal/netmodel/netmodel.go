@@ -47,6 +47,14 @@ func (p Params) TransferTime(n int64) time.Duration {
 	return time.Duration(float64(n) / float64(p.Bandwidth) * float64(time.Second))
 }
 
+// AttemptTime is the wire time of one write-back RPC attempt carrying n
+// bytes: a round trip plus the transfer. The fault-injection stage
+// (internal/faults) charges it once per attempt, so a retried write-back
+// pays the wire repeatedly while the backoff schedule spaces the tries.
+func (p Params) AttemptTime(n int64) time.Duration {
+	return p.RPCLatency + p.TransferTime(n)
+}
+
 // MemTime is the time to store n bytes into (NV)RAM.
 func (p Params) MemTime(n int64) time.Duration {
 	if p.MemWriteRate <= 0 {

@@ -70,7 +70,7 @@ func StackStudyContext(ctx context.Context, ws *Workspace) (*StackResult, error)
 			NVRAMBlocks: c.serverNV,
 		}, disk.New(disk.DefaultParams()))
 		hooks := &cache.ServerHooks{
-			Write: func(now int64, file uint64, r interval.Range, cause cache.Cause) {
+			Write: func(now int64, file uint64, r interval.Range, cause cache.Cause, stable bool) {
 				srv.Write(now, file, r.Start, r.Len())
 				if cause == cache.CauseFsync {
 					srv.Fsync(now, file)

@@ -5,12 +5,15 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"slices"
 
 	"nvramfs/internal/cache"
 	"nvramfs/internal/consist"
+	"nvramfs/internal/faults"
+	"nvramfs/internal/interval"
 	"nvramfs/internal/prep"
 )
 
@@ -30,6 +33,12 @@ type Config struct {
 	// FilesHint pre-sizes the per-file bookkeeping maps (typically
 	// prep.Stats.Files); zero means no hint.
 	FilesHint int
+	// Faults, when non-nil, routes every write-back through a
+	// fault-injecting retry stage (package faults) before it reaches the
+	// consistency server and any downstream hooks. nil (the default)
+	// leaves the write-back path untouched, byte-identical to a build
+	// without the stage.
+	Faults *faults.Profile
 }
 
 // Result is the outcome of a simulation run.
@@ -41,6 +50,12 @@ type Result struct {
 	// Recalls and DisableEvents summarize the consistency server.
 	Recalls       int64
 	DisableEvents int64
+	// ReplayedWrites counts write-back RPCs the server detected as
+	// idempotent re-deliveries (lost acks); zero without fault injection.
+	ReplayedWrites int64
+	// Faults carries the fault stage's counters when Config.Faults was
+	// set, nil otherwise.
+	Faults *faults.Stats
 	// EndTime is the time of the last processed op.
 	EndTime int64
 }
@@ -72,6 +87,11 @@ type Stepper struct {
 	clients []uint16 // known clients, sorted; rebuilt lazily
 	sorted  bool
 	now     int64
+	// curClient is the client whose cache model is currently being
+	// driven; the fault stage reads it because the cache hooks carry no
+	// client identity.
+	curClient uint16
+	fault     *faults.Injector
 }
 
 // NewStepper prepares a stepwise simulation of the op stream.
@@ -85,13 +105,52 @@ func NewStepper(ops []prep.Op, cfg Config) *Stepper {
 		// drivers) pass a longer-lived arena instead.
 		cfg.Cache.Arena = cache.NewBlockArena()
 	}
-	return &Stepper{
+	d := &Stepper{
 		ops:    ops,
 		cfg:    cfg,
 		server: consist.NewServerSized(cfg.FilesHint),
 		models: make(map[uint16]cache.Model),
 		sizes:  make(map[uint64]int64, cfg.FilesHint),
 	}
+	if cfg.Faults != nil {
+		d.installFaultStage()
+	}
+	return d
+}
+
+// installFaultStage interposes the fault injector between the cache
+// models' write-backs and the downstream world: committed deliveries are
+// presented to the consistency server for replay detection, then
+// forwarded to whatever hooks the caller installed. Reads and deletes
+// pass through untouched.
+func (d *Stepper) installFaultStage() {
+	inner := d.cfg.Cache.Hooks
+	d.fault = faults.NewInjector(*d.cfg.Faults, func(now int64, dv faults.Delivery, replay bool) {
+		if first := d.server.DeliverWriteback(dv.File, dv.Seq); !first || replay {
+			return
+		}
+		if inner != nil && inner.Write != nil {
+			inner.Write(now, dv.File, interval.Range{Start: dv.Start, End: dv.End},
+				cache.Cause(dv.Cause), dv.Stable)
+		}
+	})
+	hooks := &cache.ServerHooks{
+		Write: func(now int64, file uint64, r interval.Range, cause cache.Cause, stable bool) {
+			d.fault.Deliver(now, faults.Delivery{
+				Client: d.curClient,
+				File:   file,
+				Start:  r.Start,
+				End:    r.End,
+				Cause:  uint8(cause),
+				Stable: stable,
+			})
+		},
+	}
+	if inner != nil {
+		hooks.Read = inner.Read
+		hooks.Delete = inner.Delete
+	}
+	d.cfg.Cache.Hooks = hooks
 }
 
 // Len returns the total number of operations in the stream.
@@ -121,9 +180,41 @@ func (d *Stepper) StepTo(k int) error {
 	return nil
 }
 
-// ForEachModel visits each client's cache model in client-id order.
+// StepToContext is StepTo with cooperative cancellation: the context is
+// checked every few hundred operations, so a long run (for example one
+// riding out a never-recovering outage) returns promptly when its grid
+// is cancelled.
+func (d *Stepper) StepToContext(ctx context.Context, k int) error {
+	const checkEvery = 256
+	for d.idx < k {
+		next := d.idx + checkEvery
+		if next > k {
+			next = k
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := d.StepTo(next); err != nil {
+			return err
+		}
+	}
+	if k < d.idx {
+		return d.StepTo(k) // surface the rewind error
+	}
+	return nil
+}
+
+// Faults exposes the fault injector (nil without Config.Faults) so the
+// crash harness can compose a crash with the in-flight backlog.
+func (d *Stepper) Faults() *faults.Injector { return d.fault }
+
+// ForEachModel visits each client's cache model in client-id order. The
+// visited client is also made current for the fault stage, so a harness
+// that drives models directly (crash injection) attributes any resulting
+// write-backs to the right client.
 func (d *Stepper) ForEachModel(fn func(client uint16, m cache.Model)) {
 	for _, c := range d.clientOrder() {
+		d.curClient = c
 		fn(c, d.models[c])
 	}
 }
@@ -134,10 +225,15 @@ func (d *Stepper) ForEachModel(fn func(client uint16, m cache.Model)) {
 func (d *Stepper) Finish() *Result {
 	d.finish()
 	res := &Result{
-		PerClient:     make(map[uint16]*cache.Traffic, len(d.models)),
-		Recalls:       d.server.Recalls,
-		DisableEvents: d.server.DisableEvents,
-		EndTime:       d.now,
+		PerClient:      make(map[uint16]*cache.Traffic, len(d.models)),
+		Recalls:        d.server.Recalls,
+		DisableEvents:  d.server.DisableEvents,
+		ReplayedWrites: d.server.ReplayedWrites,
+		EndTime:        d.now,
+	}
+	if d.fault != nil {
+		st := d.fault.Stats()
+		res.Faults = &st
 	}
 	for c, m := range d.models {
 		res.PerClient[c] = m.Traffic()
@@ -176,6 +272,10 @@ func (d *Stepper) model(client uint16) (cache.Model, error) {
 
 func (d *Stepper) apply(op prep.Op) error {
 	d.now = op.Time
+	if d.fault != nil {
+		d.fault.Advance(op.Time)
+	}
+	d.curClient = op.Client
 	m, err := d.model(op.Client)
 	if err != nil {
 		return err
@@ -191,16 +291,20 @@ func (d *Stepper) apply(op prep.Op) error {
 				return err
 			}
 			wm.Advance(op.Time)
+			d.curClient = res.RecallFrom
 			if wm.FlushFile(op.Time, op.File, cache.CauseCallback) > 0 {
 				d.server.Flushed(res.RecallFrom, op.File)
 			}
+			d.curClient = op.Client
 		}
 		if res.JustDisabled {
 			// Concurrent write-sharing: every cached copy is flushed and
 			// invalidated; subsequent I/O bypasses the caches.
 			for _, c := range d.clientOrder() {
+				d.curClient = c
 				d.models[c].Invalidate(op.Time, op.File)
 			}
+			d.curClient = op.Client
 		} else if res.InvalidateOpener {
 			m.Invalidate(op.Time, op.File)
 		}
@@ -233,7 +337,7 @@ func (d *Stepper) apply(op prep.Op) error {
 		if d.server.Disabled(op.File) {
 			m.NoteConcurrent(false, op.Range.Len())
 			if h := d.cfg.Cache.Hooks; h != nil && h.Write != nil {
-				h.Write(op.Time, op.File, op.Range, cache.CauseConcurrent)
+				h.Write(op.Time, op.File, op.Range, cache.CauseConcurrent, d.cfg.Model.StagesWritesInNVRAM())
 			}
 			d.server.Write(op.Client, op.File)
 			return nil
@@ -247,9 +351,11 @@ func (d *Stepper) apply(op prep.Op) error {
 		// place (absorption). Client order, not map order: the models'
 		// hooks feed a shared server whose replay must be deterministic.
 		for _, c := range d.clientOrder() {
+			d.curClient = c
 			d.models[c].Advance(op.Time)
 			d.models[c].DeleteRange(op.Time, op.File, op.Range)
 		}
+		d.curClient = op.Client
 		if h := d.cfg.Cache.Hooks; h != nil && h.Delete != nil {
 			h.Delete(op.Time, op.File, op.Range)
 		}
@@ -292,9 +398,13 @@ func (d *Stepper) clientOrder() []uint16 {
 // paper's figures do).
 func (d *Stepper) finish() {
 	for _, c := range d.clientOrder() {
+		d.curClient = c
 		m := d.models[c]
 		m.Advance(d.now)
 		m.FlushAll(d.now, cache.CauseEnd)
+	}
+	if d.fault != nil {
+		d.fault.Close(d.now)
 	}
 }
 

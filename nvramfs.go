@@ -40,6 +40,7 @@ import (
 	"nvramfs/internal/crash"
 	"nvramfs/internal/disk"
 	"nvramfs/internal/engine"
+	"nvramfs/internal/faults"
 	"nvramfs/internal/lfs"
 	"nvramfs/internal/lifetime"
 	"nvramfs/internal/nvram"
@@ -99,6 +100,12 @@ type (
 	StackResult        = report.StackResult
 	ReadResponseResult = report.ReadResponseResult
 	ReliabilityResult  = report.ReliabilityResult
+	DegradedResult     = report.DegradedResult
+
+	// FaultStats is the fault-injection stage's counter snapshot: retry
+	// and backoff activity, degradation costs (stall time, shed bytes),
+	// and the NVRAM dirty high-water mark while the server was down.
+	FaultStats = faults.Stats
 
 	// Crash-injection harness types (internal/crash): the outcome of one
 	// fault injected at a trace-event boundary.
@@ -235,6 +242,10 @@ func WriteStandardTrace(w io.Writer, i int, scale float64) (int64, error) {
 // Stats returns trace-level totals (events, bytes read/written, files).
 func (t *Trace) Stats() TraceStats { return t.stats }
 
+// NumOps returns the number of canonicalized simulation operations —
+// the domain of CrashCache's event boundaries (0..NumOps inclusive).
+func (t *Trace) NumOps() int { return len(t.ops) }
+
 // DumpTrace pretty-prints a trace file's header and first n events (all
 // when n <= 0); a trace-inspection aid for cmd/nvtrace -dump.
 func DumpTrace(w io.Writer, r io.Reader, n int) error {
@@ -279,6 +290,27 @@ type CacheConfig struct {
 	WritesOnly bool
 	// Seed drives the random policy.
 	Seed int64
+	// Faults, when non-empty, installs the fault-injection stage on the
+	// client→server write-back path: an unreliable network and server
+	// model (RPC drops, latency spikes, outage windows) with a retrying,
+	// backoff-driven scheduler. The spec grammar is comma-separated
+	// key=value pairs; FaultSpecUsage lists the keys.
+	Faults string
+}
+
+// FaultSpecUsage describes the -faults spec grammar: one line per key
+// with its meaning and default.
+func FaultSpecUsage() string { return faults.SpecUsage() }
+
+// DescribeFaultSpec validates a fault spec and returns its canonical
+// description with every default filled in (including the seed, so a
+// run's schedule can be reproduced from the printed banner alone).
+func DescribeFaultSpec(spec string) (string, error) {
+	p, err := faults.ParseSpec(spec)
+	if err != nil {
+		return "", err
+	}
+	return p.Describe(), nil
 }
 
 // simConfig translates a CacheConfig into the simulator's configuration.
@@ -309,6 +341,14 @@ func (t *Trace) simConfig(cfg CacheConfig) (sim.Config, error) {
 	default:
 		return sim.Config{}, fmt.Errorf("nvramfs: unknown policy %q", cfg.Policy)
 	}
+	var fp *faults.Profile
+	if cfg.Faults != "" {
+		var err error
+		fp, err = faults.ParseSpec(cfg.Faults)
+		if err != nil {
+			return sim.Config{}, err
+		}
+	}
 	return sim.Config{
 		Model: model,
 		Cache: cache.Config{
@@ -320,6 +360,7 @@ func (t *Trace) simConfig(cfg CacheConfig) (sim.Config, error) {
 		Seed:       cfg.Seed,
 		WritesOnly: cfg.WritesOnly,
 		FilesHint:  t.stats.Files,
+		Faults:     fp,
 	}, nil
 }
 
@@ -535,6 +576,17 @@ func Reliability(ws *Workspace) (*ReliabilityResult, error) { return report.Reli
 // ReliabilityContext is Reliability with cancellation.
 func ReliabilityContext(ctx context.Context, ws *Workspace) (*ReliabilityResult, error) {
 	return report.ReliabilityContext(ctx, ws)
+}
+
+// Degraded runs the graceful-degradation study: every cache
+// organization simulated under unreliable-network and server-outage
+// fault schedules, measuring retries, writer stall time, bytes shed,
+// and the NVRAM dirty high-water mark while the server was unreachable.
+func Degraded(ws *Workspace) (*DegradedResult, error) { return report.Degraded(ws) }
+
+// DegradedContext is Degraded with cancellation.
+func DegradedContext(ctx context.Context, ws *Workspace) (*DegradedResult, error) {
+	return report.DegradedContext(ctx, ws)
 }
 
 // ServerCacheStudy sweeps a server-side NVRAM cache region over the
