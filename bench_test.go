@@ -31,9 +31,10 @@ func benchWorkspace(b *testing.B) *Workspace {
 	benchWS.once.Do(func() {
 		benchWS.ws = NewWorkspace(benchScale)
 		// Pre-generate every trace so individual benchmarks time the
-		// experiment, not trace synthesis.
+		// experiment, not trace synthesis. TraceStats forces the
+		// encoded-trace build; cursors then decode from cache.
 		for i := 1; i <= NumStandardTraces; i++ {
-			if _, err := benchWS.ws.Ops(i); err != nil {
+			if _, err := benchWS.ws.TraceStats(i); err != nil {
 				panic(err)
 			}
 		}

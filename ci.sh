@@ -17,7 +17,7 @@ go build ./...
 
 # Quick path first: the plain -short suite (including the crash-injection
 # sweeps) finishes in seconds and catches most breakage before the full
-# -race pass, which takes ~10 minutes on a 1-CPU box.
+# -race pass, which takes ~15 minutes on a 1-CPU box.
 go test -short ./...
 
 # Fault-injection gate: every fault-stage and degraded-mode test by name
@@ -26,9 +26,19 @@ go test -short ./...
 # detector so it stays quick.
 go test -run 'Fault|Degraded' -count=1 ./...
 
-go test -race ./...
+# The report sweeps re-canonicalize each trace per pass (the streaming
+# pipeline's CPU-for-memory tradeoff), which under the race detector's
+# ~10x slowdown pushes the package past go test's default 10m timeout on
+# the 1-CPU CI box.
+go test -race -timeout 30m ./...
 
 # Bench smoke: one iteration of every benchmark under the race detector, so
 # benchmarks can't rot (and the allocation-budget tests above can't drift
 # from what the benchmarks actually exercise).
 go test -race -run '^$' -bench . -benchtime 1x ./...
+
+# Streaming-memory smoke: peak heap while simulating a steady-live-set
+# trace must stay within 2x when the trace is grown 10x longer. Fails
+# loudly if any pipeline stage regresses to materializing the trace (or
+# retaining per-file state past deletion).
+go run ./cmd/nvbench -stream-smoke

@@ -9,9 +9,13 @@
 //	nvbench -benchtime 5x -o out.json # longer runs, custom output
 //	nvbench -input old_bench.txt      # parse a saved log instead of running
 //	nvbench -pkg ./... -bench Sim     # restrict packages / benchmarks
+//	nvbench -stream-smoke             # bounded-memory check only (CI gate)
 //
 // The JSON maps benchmark name → {ns_per_op, b_per_op, allocs_per_op};
-// map keys marshal sorted, so successive files diff cleanly.
+// map keys marshal sorted, so successive files diff cleanly. Runs (not
+// log parses) also record a streaming_memory section: peak heap while the
+// streaming pipeline simulates a trace at a base length and again grown
+// -mem-factor×, the evidence that memory stays flat as traces grow.
 package main
 
 import (
@@ -41,6 +45,10 @@ type File struct {
 	// (comparisons across different benchtimes are apples to oranges).
 	Benchtime  string           `json:"benchtime"`
 	Benchmarks map[string]Entry `json:"benchmarks"`
+	// StreamingMemory, when present, records the peak-heap measurement of
+	// the streaming pipeline at a base trace length and at the grown
+	// length (see streammem.go). Absent when parsing a saved log.
+	StreamingMemory *StreamMemory `json:"streaming_memory,omitempty"`
 }
 
 // benchLine matches `go test -bench -benchmem` result lines, e.g.
@@ -88,8 +96,31 @@ func main() {
 		pkg       = flag.String("pkg", "./...", "package pattern to benchmark")
 		out       = flag.String("o", "BENCH_1.json", "output JSON path")
 		input     = flag.String("input", "", "parse this saved bench log instead of running go test")
+		memScale  = flag.Float64("mem-scale", 0.02, "base trace scale for the streaming-memory column")
+		memFactor = flag.Int("mem-factor", 100, "trace-length growth factor for the streaming-memory column")
+		smoke     = flag.Bool("stream-smoke", false,
+			"only run the streaming-memory check (at -mem-factor, default 10) and fail if peak heap more than doubles")
 	)
 	flag.Parse()
+
+	if *smoke {
+		factor := *memFactor
+		if factor == 100 { // default; the smoke uses a faster growth factor
+			factor = 10
+		}
+		sm, err := measureStreamMemory(*memScale, factor)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("streaming memory: %d ops peak %.1f MiB → %d ops (%d×) peak %.1f MiB (ratio %.2f)",
+			sm.BaseOps, float64(sm.BasePeakHeapBytes)/(1<<20),
+			sm.GrownOps, sm.LengthFactor, float64(sm.GrownPeakHeapBytes)/(1<<20),
+			sm.PeakHeapRatio)
+		if sm.PeakHeapRatio > 2 {
+			log.Fatalf("peak heap grew %.2f× for a %d× longer trace; the pipeline is materializing", sm.PeakHeapRatio, factor)
+		}
+		return
+	}
 
 	var entries map[string]Entry
 	if *input != "" {
@@ -123,7 +154,20 @@ func main() {
 		log.Fatal("no benchmark result lines found (is -benchmem output present?)")
 	}
 
-	data, err := json.MarshalIndent(File{Benchtime: *benchtime, Benchmarks: entries}, "", "  ")
+	var streamMem *StreamMemory
+	if *input == "" {
+		sm, err := measureStreamMemory(*memScale, *memFactor)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("streaming memory: %d ops peak %.1f MiB → %d ops (%d×) peak %.1f MiB (ratio %.2f)",
+			sm.BaseOps, float64(sm.BasePeakHeapBytes)/(1<<20),
+			sm.GrownOps, sm.LengthFactor, float64(sm.GrownPeakHeapBytes)/(1<<20),
+			sm.PeakHeapRatio)
+		streamMem = sm
+	}
+
+	data, err := json.MarshalIndent(File{Benchtime: *benchtime, Benchmarks: entries, StreamingMemory: streamMem}, "", "  ")
 	if err != nil {
 		log.Fatal(err)
 	}

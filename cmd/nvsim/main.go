@@ -5,6 +5,7 @@
 //
 //	nvsim -trace 7 -model unified -policy lru -volatile 8 -nvram 1
 //	nvsim -file traces/trace7.nvft -model write-aside -nvram 2
+//	nvsim -file - < traces/trace7.nvft                     # trace from stdin
 //	nvsim -trace 7 -faults seed=7,drop=0.1,outage=2m+60s   # unreliable server
 //	nvsim -trace 7 -crash-at 5000 -faults outage=0s+never  # crash during outage
 package main
@@ -57,7 +58,9 @@ func main() {
 		tr  *nvramfs.Trace
 		err error
 	)
-	if *file != "" {
+	if *file == "-" {
+		tr, err = nvramfs.ReadTrace(os.Stdin)
+	} else if *file != "" {
 		f, ferr := os.Open(*file)
 		if ferr != nil {
 			log.Fatal(ferr)

@@ -8,6 +8,13 @@
 //	nvtrace -stats traces/trace7.nvft        # summarize a trace file
 //	nvtrace -dump traces/trace7.nvft -n 20   # print the first 20 events
 //
+// The conventional "-" names standard input or output: "-out -" streams a
+// single generated trace to stdout, and "-stats -", "-dump -", and
+// "-config -" read from stdin, so traces pipe between tools without
+// touching disk:
+//
+//	nvtrace -trace 7 -scale 0.1 -out - | nvsim -file - -nvram 1
+//
 // Traces are written in the binary trace format readable by nvsim and the
 // nvramfs library's ReadTrace.
 package main
@@ -15,12 +22,21 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"path/filepath"
 
 	"nvramfs"
 )
+
+// openInput opens path for reading, with "-" meaning standard input.
+func openInput(path string) (io.ReadCloser, error) {
+	if path == "-" {
+		return io.NopCloser(os.Stdin), nil
+	}
+	return os.Open(path)
+}
 
 func main() {
 	log.SetFlags(0)
@@ -44,12 +60,24 @@ func main() {
 		}
 
 	case *config != "":
-		cf, err := os.Open(*config)
+		cf, err := openInput(*config)
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer cf.Close()
-		path := filepath.Join(*outDir, filepath.Base(*config)+".nvft")
+		if *outDir == "-" {
+			n, err := nvramfs.WriteCustomTrace(os.Stdout, cf)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "stdout: %d events\n", n)
+			return
+		}
+		name := filepath.Base(*config)
+		if *config == "-" {
+			name = "custom"
+		}
+		path := filepath.Join(*outDir, name+".nvft")
 		f, err := os.Create(path)
 		if err != nil {
 			log.Fatal(err)
@@ -64,7 +92,7 @@ func main() {
 		fmt.Printf("%s: %d events\n", path, n)
 
 	case *dumpFile != "":
-		f, err := os.Open(*dumpFile)
+		f, err := openInput(*dumpFile)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -74,7 +102,7 @@ func main() {
 		}
 
 	case *statsFile != "":
-		f, err := os.Open(*statsFile)
+		f, err := openInput(*statsFile)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -95,6 +123,19 @@ func main() {
 		fmt.Printf("  migrations:    %d\n", st.Migrations)
 
 	default:
+		if *outDir == "-" {
+			// A single trace streams to stdout; the banner moves to stderr
+			// so the trace bytes stay clean.
+			if *traceIdx == 0 {
+				log.Fatal("-out - streams one trace to stdout; pick it with -trace 1..8")
+			}
+			n, err := nvramfs.WriteStandardTrace(os.Stdout, *traceIdx, *scale)
+			if err != nil {
+				log.Fatalf("trace %d: %v", *traceIdx, err)
+			}
+			fmt.Fprintf(os.Stderr, "stdout: %d events\n", n)
+			return
+		}
 		indices := []int{*traceIdx}
 		if *traceIdx == 0 {
 			indices = indices[:0]

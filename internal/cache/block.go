@@ -64,6 +64,15 @@ type Block struct {
 	// nextMod is the omniscient policy's heap key: the block's next modify
 	// time as of its last insert/modify.
 	nextMod int64
+	// schedTimes/schedPos cache the omniscient policy's cursor into this
+	// block's modification schedule (a read-only slice owned by the shared
+	// Schedule): simulation time only moves forward, so after one lookup
+	// and binary search per tenancy the cursor advances linearly instead
+	// of re-probing the schedule on every write. schedOK distinguishes
+	// "not fetched yet" from "fetched, never modified" (both nil slices).
+	schedTimes []int64
+	schedPos   int
+	schedOK    bool
 }
 
 func newBlock(id BlockID, now int64) *Block {
@@ -110,6 +119,7 @@ func (a *BlockArena) Put(b *Block) {
 	b.filePrev, b.fileNext = nil, nil
 	b.polIdx = -1
 	b.nextMod = 0
+	b.schedTimes, b.schedPos, b.schedOK = nil, 0, false
 	a.free = append(a.free, b)
 }
 

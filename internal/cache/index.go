@@ -1,0 +1,224 @@
+package cache
+
+// Open-addressing hash tables for the pool's two hot indexes: block id →
+// block, and file → chain head/tail. The simulator probes these on every
+// cached byte it moves, and Go's generic map machinery (hashing a 16-byte
+// key, group-wise control-byte matching) dominated the profile; a linear
+// probe over power-of-two slot arrays with backward-shift deletion costs a
+// multiply-shift hash and a short scan instead, and the block table needs
+// no stored keys at all because a block carries its own id.
+
+const minIndexSlots = 16
+
+// hash64 is a splitmix64-style finalizer: cheap, and strong enough that
+// sequential file ids and block indexes spread across the table.
+func hash64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+func hashBlockID(id BlockID) uint64 {
+	return hash64(id.File ^ uint64(id.Index)*0x9e3779b97f4a7c15)
+}
+
+// blockIndex maps BlockID → *Block. A nil slot is empty.
+type blockIndex struct {
+	slots []*Block // power-of-two length
+	n     int
+	// last is a one-entry cache of the most recently found or inserted
+	// block: small sequential writes hit the same block on consecutive
+	// operations, turning the hash-and-probe into a single compare.
+	last *Block
+}
+
+func (t *blockIndex) get(id BlockID) *Block {
+	if b := t.last; b != nil && b.ID == id {
+		return b
+	}
+	if t.n == 0 {
+		return nil
+	}
+	mask := uint64(len(t.slots) - 1)
+	for i := hashBlockID(id) & mask; ; i = (i + 1) & mask {
+		b := t.slots[i]
+		if b == nil {
+			return nil
+		}
+		if b.ID == id {
+			t.last = b
+			return b
+		}
+	}
+}
+
+// put inserts b, which must not already be present.
+func (t *blockIndex) put(b *Block) {
+	if 4*(t.n+1) > 3*len(t.slots) {
+		t.grow()
+	}
+	mask := uint64(len(t.slots) - 1)
+	for i := hashBlockID(b.ID) & mask; ; i = (i + 1) & mask {
+		if t.slots[i] == nil {
+			t.slots[i] = b
+			t.n++
+			t.last = b
+			return
+		}
+	}
+}
+
+func (t *blockIndex) grow() {
+	old := t.slots
+	next := 2 * len(old)
+	if next < minIndexSlots {
+		next = minIndexSlots
+	}
+	t.slots = make([]*Block, next)
+	mask := uint64(next - 1)
+	for _, b := range old {
+		if b == nil {
+			continue
+		}
+		for i := hashBlockID(b.ID) & mask; ; i = (i + 1) & mask {
+			if t.slots[i] == nil {
+				t.slots[i] = b
+				break
+			}
+		}
+	}
+}
+
+// del removes and returns the block with the given id (nil if absent),
+// backward-shifting the probe chain so no tombstones accumulate.
+func (t *blockIndex) del(id BlockID) *Block {
+	if t.n == 0 {
+		return nil
+	}
+	mask := uint64(len(t.slots) - 1)
+	i := hashBlockID(id) & mask
+	for {
+		b := t.slots[i]
+		if b == nil {
+			return nil
+		}
+		if b.ID == id {
+			break
+		}
+		i = (i + 1) & mask
+	}
+	removed := t.slots[i]
+	if t.last == removed {
+		t.last = nil
+	}
+	j := i
+	for {
+		j = (j + 1) & mask
+		b := t.slots[j]
+		if b == nil {
+			break
+		}
+		// b can fill the hole at i unless its home slot lies in (i, j].
+		if h := hashBlockID(b.ID) & mask; (j-h)&mask >= (j-i)&mask {
+			t.slots[i] = b
+			i = j
+		}
+	}
+	t.slots[i] = nil
+	t.n--
+	return removed
+}
+
+// fileSlot is one fileIndex entry: a file id and its chain ends. An empty
+// slot has head == nil (a present file always chains at least one block).
+type fileSlot struct {
+	file       uint64
+	head, tail *Block
+}
+
+// fileIndex maps file id → chain ends.
+type fileIndex struct {
+	slots []fileSlot // power-of-two length
+	n     int
+}
+
+// find returns the slot index holding file, or -1.
+func (t *fileIndex) find(file uint64) int {
+	if t.n == 0 {
+		return -1
+	}
+	mask := uint64(len(t.slots) - 1)
+	for i := hash64(file) & mask; ; i = (i + 1) & mask {
+		s := &t.slots[i]
+		if s.head == nil {
+			return -1
+		}
+		if s.file == file {
+			return int(i)
+		}
+	}
+}
+
+// ensure returns the slot for file, inserting an empty chain if absent.
+// The pointer is valid only until the next ensure or del.
+func (t *fileIndex) ensure(file uint64) *fileSlot {
+	if 4*(t.n+1) > 3*len(t.slots) {
+		t.grow()
+	}
+	mask := uint64(len(t.slots) - 1)
+	for i := hash64(file) & mask; ; i = (i + 1) & mask {
+		s := &t.slots[i]
+		if s.head == nil {
+			s.file = file
+			t.n++
+			return s
+		}
+		if s.file == file {
+			return s
+		}
+	}
+}
+
+func (t *fileIndex) grow() {
+	old := t.slots
+	next := 2 * len(old)
+	if next < minIndexSlots {
+		next = minIndexSlots
+	}
+	t.slots = make([]fileSlot, next)
+	mask := uint64(next - 1)
+	for _, s := range old {
+		if s.head == nil {
+			continue
+		}
+		for i := hash64(s.file) & mask; ; i = (i + 1) & mask {
+			if t.slots[i].head == nil {
+				t.slots[i] = s
+				break
+			}
+		}
+	}
+}
+
+// del empties the slot at index i (from find), backward-shifting the
+// probe chain.
+func (t *fileIndex) del(i int) {
+	mask := len(t.slots) - 1
+	j := i
+	for {
+		j = (j + 1) & mask
+		s := t.slots[j]
+		if s.head == nil {
+			break
+		}
+		if h := int(hash64(s.file)) & mask; (j-h)&mask >= (j-i)&mask {
+			t.slots[i] = s
+			i = j
+		}
+	}
+	t.slots[i] = fileSlot{}
+	t.n--
+}

@@ -1,0 +1,94 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestBlockIndexMatchesMap drives random put/get/del traffic through the
+// open-addressing table and a reference map, checking every lookup. The
+// key space is kept small so probe chains collide and backward-shift
+// deletion runs constantly.
+func TestBlockIndexMatchesMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var idx blockIndex
+	ref := make(map[BlockID]*Block)
+	randID := func() BlockID {
+		return BlockID{File: uint64(rng.Intn(8)), Index: int64(rng.Intn(32))}
+	}
+	for step := 0; step < 50000; step++ {
+		id := randID()
+		switch rng.Intn(3) {
+		case 0: // put (if absent)
+			if ref[id] == nil {
+				b := &Block{ID: id}
+				ref[id] = b
+				idx.put(b)
+			}
+		case 1: // del
+			got := idx.del(id)
+			if got != ref[id] {
+				t.Fatalf("step %d: del(%v) = %p, want %p", step, id, got, ref[id])
+			}
+			delete(ref, id)
+		case 2: // get
+			if got := idx.get(id); got != ref[id] {
+				t.Fatalf("step %d: get(%v) = %p, want %p", step, id, got, ref[id])
+			}
+		}
+		if idx.n != len(ref) {
+			t.Fatalf("step %d: n = %d, want %d", step, idx.n, len(ref))
+		}
+	}
+	for id, b := range ref {
+		if idx.get(id) != b {
+			t.Fatalf("final: get(%v) missing", id)
+		}
+	}
+}
+
+// TestFileIndexMatchesMap does the same for the file-chain table, whose
+// occupancy marker is the chain head rather than a separate flag.
+func TestFileIndexMatchesMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var idx fileIndex
+	ref := make(map[uint64]*Block)
+	for step := 0; step < 50000; step++ {
+		f := uint64(rng.Intn(64))
+		switch rng.Intn(3) {
+		case 0: // ensure
+			s := idx.ensure(f)
+			if s.file != f {
+				t.Fatalf("step %d: ensure(%d) returned slot for %d", step, f, s.file)
+			}
+			if ref[f] == nil {
+				b := &Block{ID: BlockID{File: f}}
+				ref[f] = b
+				s.head, s.tail = b, b
+			} else if s.head != ref[f] {
+				t.Fatalf("step %d: ensure(%d) head = %p, want %p", step, f, s.head, ref[f])
+			}
+		case 1: // del
+			i := idx.find(f)
+			if (i >= 0) != (ref[f] != nil) {
+				t.Fatalf("step %d: find(%d) = %d, present=%v", step, f, i, ref[f] != nil)
+			}
+			if i >= 0 {
+				idx.del(i)
+				delete(ref, f)
+			}
+		case 2: // find
+			i := idx.find(f)
+			if ref[f] == nil {
+				if i >= 0 {
+					t.Fatalf("step %d: find(%d) = %d, want absent", step, f, i)
+				}
+			} else if i < 0 || idx.slots[i].head != ref[f] {
+				t.Fatalf("step %d: find(%d) lookup wrong", step, f)
+			}
+		}
+		if idx.n != len(ref) {
+			t.Fatalf("step %d: n = %d, want %d", step, idx.n, len(ref))
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 )
 
 // PolicyKind selects a block replacement policy for the NVRAM.
@@ -70,7 +71,9 @@ func NewPolicy(kind PolicyKind, rng *rand.Rand, sched Schedule) (Policy, error) 
 		if sched == nil {
 			return nil, fmt.Errorf("cache: omniscient policy requires a schedule")
 		}
-		return &omniscientPolicy{sched: sched}, nil
+		op := &omniscientPolicy{sched: sched}
+		op.times, _ = sched.(timesSchedule)
+		return op, nil
 	default:
 		return nil, fmt.Errorf("cache: unknown policy kind %d", kind)
 	}
@@ -211,9 +214,44 @@ func (p *randomPolicy) Len() int { return len(p.blks) }
 // among equal keys — is identical to the previous container/heap-based
 // implementation, without the per-operation interface boxing.
 
+// timesSchedule is the fast path a Schedule may offer: direct access to a
+// block's (sorted, read-only) modification times, letting the policy keep
+// a forward cursor in the block instead of binary-searching the schedule
+// on every insert and write (see Block.schedTimes).
+type timesSchedule interface {
+	ModifyTimes(id BlockID) []int64
+}
+
 type omniscientPolicy struct {
 	sched Schedule
+	times timesSchedule // non-nil when sched exposes its time slices
 	heap  []*Block
+}
+
+// nextModify is sched.NextModify through the block's cursor when the
+// schedule supports it: simulation time is non-decreasing, so the cursor
+// only moves forward, and equals sort.Search's first-strictly-greater
+// answer at every step.
+func (p *omniscientPolicy) nextModify(b *Block, now int64) int64 {
+	if p.times == nil {
+		return p.sched.NextModify(b.ID, now)
+	}
+	if !b.schedOK {
+		ts := p.times.ModifyTimes(b.ID)
+		b.schedTimes = ts
+		b.schedPos = sort.Search(len(ts), func(i int) bool { return ts[i] > now })
+		b.schedOK = true
+	}
+	ts := b.schedTimes
+	i := b.schedPos
+	for i < len(ts) && ts[i] <= now {
+		i++
+	}
+	b.schedPos = i
+	if i == len(ts) {
+		return NeverModified
+	}
+	return ts[i]
 }
 
 func (p *omniscientPolicy) Len() int { return len(p.heap) }
@@ -265,11 +303,11 @@ func (p *omniscientPolicy) fix(i int) {
 
 func (p *omniscientPolicy) Insert(b *Block, now int64) {
 	if b.polIdx >= 0 {
-		b.nextMod = p.sched.NextModify(b.ID, now)
+		b.nextMod = p.nextModify(b, now)
 		p.fix(b.polIdx)
 		return
 	}
-	b.nextMod = p.sched.NextModify(b.ID, now)
+	b.nextMod = p.nextModify(b, now)
 	b.polIdx = len(p.heap)
 	p.heap = append(p.heap, b)
 	p.up(b.polIdx)
@@ -279,7 +317,7 @@ func (p *omniscientPolicy) Touch(*Block, int64) {}
 
 func (p *omniscientPolicy) Modify(b *Block, now int64) {
 	if b.polIdx >= 0 {
-		b.nextMod = p.sched.NextModify(b.ID, now)
+		b.nextMod = p.nextModify(b, now)
 		p.fix(b.polIdx)
 	}
 }

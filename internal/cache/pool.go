@@ -5,60 +5,53 @@ import (
 	"slices"
 )
 
-// fileChain heads the doubly-linked list of one file's cached blocks,
-// threaded through the blocks' filePrev/fileNext links in ascending index
-// order. Keeping the chain sorted incrementally (inserts walk from the tail,
-// where append-order workloads land immediately) replaces the old
-// map-then-sort FileBlocks path.
-type fileChain struct {
-	head, tail *Block
-}
-
 // Pool is a fixed-capacity collection of cache blocks with a replacement
 // policy. It indexes blocks by id and chains each file's blocks in index
-// order so whole-file operations (flush, invalidate) are cheap and need no
-// sorting.
+// order (threaded through the blocks' filePrev/fileNext links, heads held
+// in the file index) so whole-file operations (flush, invalidate) are
+// cheap and need no sorting. Both indexes are the open-addressing tables
+// of index.go; keeping each chain sorted incrementally (inserts walk from
+// the tail, where append-order workloads land immediately) replaces the
+// old map-then-sort FileBlocks path.
 type Pool struct {
 	capacity int // in blocks; 0 means the pool holds nothing
 	policy   Policy
-	blocks   map[BlockID]*Block
-	files    map[uint64]fileChain
+	blocks   blockIndex
+	files    fileIndex
 
 	fileScratch []uint64 // reused by ForEachBlock for file ordering
 }
 
-// NewPool returns a pool holding at most capBlocks blocks.
+// NewPool returns a pool holding at most capBlocks blocks. The indexes
+// start empty and grow on demand: a simulation builds one pool per client,
+// and most clients cache only a handful of blocks, so pre-sizing for the
+// capacity would allocate far more table than is ever probed.
 func NewPool(capBlocks int, p Policy) *Pool {
-	return &Pool{
-		capacity: capBlocks,
-		policy:   p,
-		blocks:   make(map[BlockID]*Block, capBlocks),
-		files:    make(map[uint64]fileChain),
-	}
+	return &Pool{capacity: capBlocks, policy: p}
 }
 
 // Capacity returns the pool's capacity in blocks.
 func (p *Pool) Capacity() int { return p.capacity }
 
 // Len returns the number of cached blocks.
-func (p *Pool) Len() int { return len(p.blocks) }
+func (p *Pool) Len() int { return p.blocks.n }
 
 // Full reports whether inserting another block requires an eviction.
-func (p *Pool) Full() bool { return len(p.blocks) >= p.capacity }
+func (p *Pool) Full() bool { return p.blocks.n >= p.capacity }
 
 // Get returns the cached block, or nil.
-func (p *Pool) Get(id BlockID) *Block { return p.blocks[id] }
+func (p *Pool) Get(id BlockID) *Block { return p.blocks.get(id) }
 
-// Put inserts a block. The caller must have made room; Put panics if the
-// pool is over capacity, since that is always a simulator bug.
+// Put inserts a block, which must not already be present. The caller must
+// have made room; Put panics if the pool is over capacity, since that is
+// always a simulator bug. (Duplicate insertion is not probed for — the
+// randomized reference tests cover the callers — because the extra miss
+// probe per insert was measurable in the sweep hot path.)
 func (p *Pool) Put(b *Block, now int64) {
-	if len(p.blocks) >= p.capacity {
+	if p.blocks.n >= p.capacity {
 		panic(fmt.Sprintf("cache: Put into full pool (cap %d)", p.capacity))
 	}
-	if _, dup := p.blocks[b.ID]; dup {
-		panic(fmt.Sprintf("cache: duplicate Put of %v", b.ID))
-	}
-	p.blocks[b.ID] = b
+	p.blocks.put(b)
 	p.chainInsert(b)
 	p.policy.Insert(b, now)
 }
@@ -67,7 +60,7 @@ func (p *Pool) Put(b *Block, now int64) {
 // sorted by block index. Sequential writes append past the tail, so the
 // backward walk from the tail is O(1) for the common case.
 func (p *Pool) chainInsert(b *Block) {
-	c := p.files[b.ID.File]
+	c := p.files.ensure(b.ID.File)
 	after := c.tail
 	for after != nil && after.ID.Index > b.ID.Index {
 		after = after.filePrev
@@ -91,12 +84,12 @@ func (p *Pool) chainInsert(b *Block) {
 		}
 		after.fileNext = b
 	}
-	p.files[b.ID.File] = c
 }
 
 // chainRemove unlinks b from its file's chain.
 func (p *Pool) chainRemove(b *Block) {
-	c := p.files[b.ID.File]
+	i := p.files.find(b.ID.File)
+	c := &p.files.slots[i]
 	if b.filePrev != nil {
 		b.filePrev.fileNext = b.fileNext
 	} else {
@@ -109,19 +102,16 @@ func (p *Pool) chainRemove(b *Block) {
 	}
 	b.filePrev, b.fileNext = nil, nil
 	if c.head == nil {
-		delete(p.files, b.ID.File)
-	} else {
-		p.files[b.ID.File] = c
+		p.files.del(i)
 	}
 }
 
 // Remove deletes the block from the pool and returns it (nil if absent).
 func (p *Pool) Remove(id BlockID) *Block {
-	b := p.blocks[id]
+	b := p.blocks.del(id)
 	if b == nil {
 		return nil
 	}
-	delete(p.blocks, id)
 	p.chainRemove(b)
 	p.policy.Remove(b)
 	return b
@@ -183,7 +173,11 @@ func (p *Pool) VictimPreferring(pred func(*Block) bool) *Block {
 // order, without allocating. fn may remove the block it was handed (and no
 // other) from the pool.
 func (p *Pool) ForEachFileBlock(file uint64, fn func(*Block)) {
-	b := p.files[file].head
+	i := p.files.find(file)
+	if i < 0 {
+		return
+	}
+	b := p.files.slots[i].head
 	for b != nil {
 		next := b.fileNext
 		fn(b)
@@ -198,8 +192,10 @@ func (p *Pool) ForEachFileBlock(file uint64, fn func(*Block)) {
 // chain is already ordered. fn may remove the block it was handed.
 func (p *Pool) ForEachBlock(fn func(*Block)) {
 	fs := p.fileScratch[:0]
-	for f := range p.files {
-		fs = append(fs, f)
+	for i := range p.files.slots {
+		if p.files.slots[i].head != nil {
+			fs = append(fs, p.files.slots[i].file)
+		}
 	}
 	slices.Sort(fs)
 	p.fileScratch = fs
@@ -211,21 +207,15 @@ func (p *Pool) ForEachBlock(fn func(*Block)) {
 // FileBlocks returns the cached blocks of one file in index order. Prefer
 // ForEachFileBlock in hot paths; this allocates the result slice.
 func (p *Pool) FileBlocks(file uint64) []*Block {
-	c := p.files[file]
-	if c.head == nil {
-		return nil
-	}
 	var out []*Block
-	for b := c.head; b != nil; b = b.fileNext {
-		out = append(out, b)
-	}
+	p.ForEachFileBlock(file, func(b *Block) { out = append(out, b) })
 	return out
 }
 
 // Blocks returns all cached blocks in (file, index) order (see ForEachBlock
 // for why the order is fixed). Prefer ForEachBlock in hot paths.
 func (p *Pool) Blocks() []*Block {
-	out := make([]*Block, 0, len(p.blocks))
+	out := make([]*Block, 0, p.blocks.n)
 	p.ForEachBlock(func(b *Block) { out = append(out, b) })
 	return out
 }
@@ -234,10 +224,15 @@ func (p *Pool) Blocks() []*Block {
 // called once at the end of a run, so enumeration order does not matter
 // (nothing observes the arena's free-list order).
 func (p *Pool) Drain(arena *BlockArena) {
-	for id, b := range p.blocks {
-		delete(p.blocks, id)
+	for _, b := range p.blocks.slots {
+		if b == nil {
+			continue
+		}
 		p.chainRemove(b)
 		p.policy.Remove(b)
 		arena.Put(b)
 	}
+	clear(p.blocks.slots)
+	p.blocks.n = 0
+	p.blocks.last = nil
 }

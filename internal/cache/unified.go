@@ -87,7 +87,8 @@ func (m *unifiedModel) Write(now int64, file uint64, r interval.Range) {
 	blockSpan(r, m.cfg.BlockSize, func(idx int64, sub interval.Range) {
 		id := BlockID{file, idx}
 		b := m.nv.Get(id)
-		if b == nil {
+		inserted := b == nil
+		if inserted {
 			if bv := m.vol.Get(id); bv != nil {
 				// The block is clean in the volatile cache: transfer it to
 				// the NVRAM and update it there (Section 2.6 notes this
@@ -112,7 +113,12 @@ func (m *unifiedModel) Write(now int64, file uint64, r interval.Range) {
 		m.traffic.BusWriteBytes += sub.Len()
 		m.traffic.NVRAMWriteBytes += sub.Len()
 		m.traffic.NVRAMAccesses++
-		m.nv.Modify(b, now)
+		if !inserted {
+			// A freshly Put block is already policy-tracked at this
+			// timestamp: Modify would recompute the same key and leave the
+			// heap (or LRU order) untouched.
+			m.nv.Modify(b, now)
+		}
 	})
 }
 

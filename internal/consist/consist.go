@@ -75,58 +75,109 @@ func (c *clientCounts) dec(k uint16) {
 
 func (c *clientCounts) len() int { return len(c.ks) }
 
-// fileState is the server's per-file consistency record.
+// upSet is the set of clients whose cached copy of a file matches its
+// current version. It replaces the per-client seen-version map the server
+// used to keep: the map's values were only ever compared against the
+// current version for equality, so the set of clients that compare equal
+// carries the same information — a client outside the set invalidates its
+// copy on open exactly when the file has ever been written — and a write
+// collapses the set to the writer alone. Clients below 128 live in a
+// bitmask; larger ids (absent from the standard traces) spill to a slice.
+type upSet struct {
+	mask  [2]uint64
+	spill []uint16
+}
+
+func (u *upSet) has(c uint16) bool {
+	if c < 128 {
+		return u.mask[c>>6]&(1<<(c&63)) != 0
+	}
+	for _, k := range u.spill {
+		if k == c {
+			return true
+		}
+	}
+	return false
+}
+
+func (u *upSet) add(c uint16) {
+	if c < 128 {
+		u.mask[c>>6] |= 1 << (c & 63)
+		return
+	}
+	if !u.has(c) {
+		u.spill = append(u.spill, c)
+	}
+}
+
+// resetTo empties the set and adds c alone.
+func (u *upSet) resetTo(c uint16) {
+	u.mask = [2]uint64{}
+	u.spill = u.spill[:0]
+	u.add(c)
+}
+
+// openState tracks the clients currently holding a file open. Files are
+// closed almost all of the time, so it hangs off fileState behind a
+// pointer, allocated only while some client has the file open and
+// recycled through the server's free list on the last close.
+type openState struct {
+	openers clientCounts // open counts per client
+	writers clientCounts // open-for-write counts per client
+}
+
+func (o *openState) init() {
+	o.openers.init()
+	o.writers.init()
+}
+
+// fileState is the server's per-file consistency record, kept deliberately
+// small: the simulators hold one per live file, and the streaming
+// pipeline's memory bound is dominated by this table on long traces.
 type fileState struct {
 	lastWriter uint16
+	disabled   bool
 	version    uint64 // bumped on every write
-	// seenK/seenV record the version each client last cached (parallel
-	// slices, linear scan — see clientCounts).
-	seenK    []uint16
-	seenV    []uint64
-	seenK0   [4]uint16
-	seenV0   [4]uint64
-	openers  clientCounts // open counts per client
-	writers  clientCounts // open-for-write counts per client
-	disabled bool
+	up         upSet  // clients holding a current cached copy
+	open       *openState
 	// lastSeq is the most recent write-back RPC sequence number applied to
 	// the file (0 = none); re-presenting it is a detected replay.
 	lastSeq uint64
 }
 
-// init readies a zeroed fileState, pointing its slices at their inline
-// backing. fileStates are always handled by pointer, so the
-// self-referential slices are safe.
+// init readies a recycled (or zeroed) fileState.
 func (fs *fileState) init() {
 	fs.lastWriter = NoClient
-	fs.seenK = fs.seenK0[:0]
-	fs.seenV = fs.seenV0[:0]
-	fs.openers.init()
-	fs.writers.init()
+	fs.disabled = false
+	fs.version = 0
+	fs.up.mask = [2]uint64{}
+	fs.up.spill = nil
+	fs.open = nil
 	fs.lastSeq = 0
-}
-
-func (fs *fileState) seenIdx(c uint16) int {
-	for i, k := range fs.seenK {
-		if k == c {
-			return i
-		}
-	}
-	return -1
-}
-
-func (fs *fileState) seenSet(c uint16, v uint64) {
-	if i := fs.seenIdx(c); i >= 0 {
-		fs.seenV[i] = v
-		return
-	}
-	fs.seenK = append(fs.seenK, c)
-	fs.seenV = append(fs.seenV, v)
 }
 
 // Server tracks consistency state for every file in the cluster.
 type Server struct {
-	files map[uint64]*fileState
-	slab  []fileState // batch-allocated backing for new fileStates
+	files    map[uint64]*fileState
+	slab     []fileState  // batch-allocated backing for new fileStates
+	free     []*fileState // states recycled by Deleted, reused before the slab
+	openFree []*openState // open-tracking records recycled on last close
+	// dirty lists, per client, the files the client may be last writer of,
+	// so FlushedClient clears its recall obligations without scanning the
+	// whole file table. Entries go stale when the obligation is cleared
+	// some other way (recall, per-file flush, deletion); FlushedClient
+	// looks the id up and re-checks lastWriter before clearing, so stale
+	// entries are harmless. Ids, not pointers: a pointer would pin deleted
+	// fileStates (and, after recycling, could alias an unrelated file),
+	// while a stale id either misses the table or resolves to the file's
+	// current state — whose own dirty entry it merely duplicates.
+	dirty map[uint16][]uint64
+	// dirtyLimit is the per-client list length that triggers the next
+	// stale-entry compaction, keeping each list proportional to the files
+	// the client actually still owns dirty data for (clients that never
+	// migrate would otherwise accumulate one stale entry per file ever
+	// written).
+	dirtyLimit map[uint16]int
 
 	// Counters for reporting.
 	Recalls         int64 // opens that triggered a dirty-data recall
@@ -150,15 +201,37 @@ func NewServerSized(files int) *Server {
 func (s *Server) file(f uint64) *fileState {
 	fs := s.files[f]
 	if fs == nil {
-		if len(s.slab) == 0 {
-			s.slab = make([]fileState, 64)
+		if n := len(s.free); n > 0 {
+			fs = s.free[n-1]
+			s.free = s.free[:n-1]
+		} else {
+			if len(s.slab) == 0 {
+				s.slab = make([]fileState, 64)
+			}
+			fs = &s.slab[0]
+			s.slab = s.slab[1:]
 		}
-		fs = &s.slab[0]
-		s.slab = s.slab[1:]
 		fs.init()
 		s.files[f] = fs
 	}
 	return fs
+}
+
+func (s *Server) newOpenState() *openState {
+	if n := len(s.openFree); n > 0 {
+		o := s.openFree[n-1]
+		s.openFree = s.openFree[:n-1]
+		o.init()
+		return o
+	}
+	o := &openState{}
+	o.init()
+	return o
+}
+
+func (s *Server) releaseOpenState(fs *fileState) {
+	s.openFree = append(s.openFree, fs.open)
+	fs.open = nil
 }
 
 // OpenResult tells the caller what an open implies for the caches.
@@ -193,28 +266,28 @@ func (s *Server) Open(client uint16, f uint64, forWrite bool) OpenResult {
 	}
 
 	// Stale-copy check: the opener discards its cached copy if the file
-	// has been written since the opener last saw it.
-	if i := fs.seenIdx(client); i < 0 {
+	// has been written since the opener last saw it. (A client outside the
+	// up-to-date set either never cached the file — only stale if it has
+	// ever been written — or cached a version since overwritten.)
+	if !fs.up.has(client) {
 		if fs.version > 0 {
 			res.InvalidateOpener = true
 			s.Invalidations++
 		}
-		fs.seenK = append(fs.seenK, client)
-		fs.seenV = append(fs.seenV, fs.version)
-	} else if fs.seenV[i] != fs.version {
-		res.InvalidateOpener = true
-		s.Invalidations++
-		fs.seenV[i] = fs.version
+		fs.up.add(client)
 	}
 
-	fs.openers.inc(client)
+	if fs.open == nil {
+		fs.open = s.newOpenState()
+	}
+	fs.open.openers.inc(client)
 	if forWrite {
-		fs.writers.inc(client)
+		fs.open.writers.inc(client)
 	}
 
 	// Concurrent write-sharing: >=2 distinct clients with the file open
 	// and at least one writer.
-	if !fs.disabled && fs.openers.len() >= 2 && fs.writers.len() >= 1 {
+	if !fs.disabled && fs.open.openers.len() >= 2 && fs.open.writers.len() >= 1 {
 		fs.disabled = true
 		res.JustDisabled = true
 		s.DisableEvents++
@@ -233,9 +306,16 @@ func (s *Server) Close(client uint16, f uint64) (reenabled bool) {
 	if fs == nil {
 		return false
 	}
-	fs.openers.dec(client)
-	fs.writers.dec(client)
-	if fs.disabled && fs.openers.len() == 0 {
+	open := 0
+	if fs.open != nil {
+		fs.open.openers.dec(client)
+		fs.open.writers.dec(client)
+		open = fs.open.openers.len()
+		if open == 0 && fs.open.writers.len() == 0 {
+			s.releaseOpenState(fs)
+		}
+	}
+	if fs.disabled && open == 0 {
 		fs.disabled = false
 		return true
 	}
@@ -249,10 +329,32 @@ func (s *Server) Close(client uint16, f uint64) (reenabled bool) {
 func (s *Server) Write(client uint16, f uint64) {
 	fs := s.file(f)
 	fs.version++
-	fs.seenSet(client, fs.version)
+	fs.up.resetTo(client)
 	if fs.disabled {
 		fs.lastWriter = NoClient
 		return
+	}
+	if fs.lastWriter != client {
+		if s.dirty == nil {
+			s.dirty = make(map[uint16][]uint64)
+			s.dirtyLimit = make(map[uint16]int)
+		}
+		list := s.dirty[client]
+		if limit := s.dirtyLimit[client]; len(list) >= max(limit, 64) {
+			// Drop entries whose obligation is already gone (deleted files,
+			// ownership lost to a recall or flush). A pure function of
+			// server state, so replay stays deterministic; FlushedClient
+			// would have skipped exactly these.
+			kept := list[:0]
+			for _, id := range list {
+				if st := s.files[id]; st != nil && st.lastWriter == client {
+					kept = append(kept, id)
+				}
+			}
+			list = kept
+			s.dirtyLimit[client] = 2 * len(kept)
+		}
+		s.dirty[client] = append(list, f)
 	}
 	fs.lastWriter = client
 }
@@ -270,10 +372,14 @@ func (s *Server) Flushed(client uint16, f uint64) {
 // server (e.g. a process-migration flush), clearing every recall obligation
 // it held.
 func (s *Server) FlushedClient(client uint16) {
-	for _, fs := range s.files {
-		if fs.lastWriter == client {
+	list := s.dirty[client]
+	for _, f := range list {
+		if fs := s.files[f]; fs != nil && fs.lastWriter == client {
 			fs.lastWriter = NoClient
 		}
+	}
+	if list != nil {
+		s.dirty[client] = list[:0]
 	}
 }
 
@@ -293,9 +399,18 @@ func (s *Server) DeliverWriteback(f uint64, seq uint64) bool {
 	return true
 }
 
-// Deleted drops all consistency state for the file.
+// Deleted drops all consistency state for the file, recycling its record.
+// Without recycling the server's footprint grows with every file a trace
+// ever creates; with it, the footprint is bounded by the peak number of
+// live files.
 func (s *Server) Deleted(f uint64) {
-	delete(s.files, f)
+	if fs, ok := s.files[f]; ok {
+		delete(s.files, f)
+		if fs.open != nil {
+			s.releaseOpenState(fs)
+		}
+		s.free = append(s.free, fs)
+	}
 }
 
 // Disabled reports whether client caching is currently off for the file.

@@ -65,12 +65,12 @@ func (o *CacheOutcome) violate(format string, args ...any) {
 	o.Violations = append(o.Violations, fmt.Sprintf(format, args...))
 }
 
-// RunCache simulates ops[:k] under cfg, injects a crash at that event
-// boundary, applies the loss model, and checks the configuration's
-// reliability invariants. k ranges from 0 (crash before any work) to
-// len(ops) (crash at the end of the trace).
-func RunCache(ops []prep.Op, cfg sim.Config, k int) (*CacheOutcome, error) {
-	s := sim.NewStepper(ops, cfg)
+// RunCache simulates the first k ops of src under cfg, injects a crash at
+// that event boundary, applies the loss model, and checks the
+// configuration's reliability invariants. k ranges from 0 (crash before
+// any work) to the stream length (crash at the end of the trace).
+func RunCache(src prep.Source, cfg sim.Config, k int) (*CacheOutcome, error) {
+	s := sim.NewStepper(src, cfg)
 	if err := s.StepTo(k); err != nil {
 		return nil, err
 	}

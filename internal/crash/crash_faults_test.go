@@ -6,6 +6,7 @@ import (
 
 	"nvramfs/internal/cache"
 	"nvramfs/internal/faults"
+	"nvramfs/internal/prep"
 	"nvramfs/internal/sim"
 )
 
@@ -30,7 +31,7 @@ func TestFaultCrashSweepWithOutage(t *testing.T) {
 			}
 			var sawPending bool
 			for k := 0; k <= len(ops); k++ {
-				out, err := RunCache(ops, faultCfg(kind, prof), k)
+				out, err := RunCache(prep.NewSliceSource(ops), faultCfg(kind, prof), k)
 				if err != nil {
 					t.Fatalf("crash at %d: %v", k, err)
 				}
@@ -94,7 +95,7 @@ func TestFaultCrashSoakRandomSchedules(t *testing.T) {
 		}
 		for _, kind := range allKinds {
 			k := r.Intn(len(ops) + 1)
-			out, err := RunCache(ops, faultCfg(kind, prof), k)
+			out, err := RunCache(prep.NewSliceSource(ops), faultCfg(kind, prof), k)
 			if err != nil {
 				t.Fatalf("schedule seed=%d %v crash at %d: %v", schedSeed, kind, k, err)
 			}

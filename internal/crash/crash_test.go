@@ -80,7 +80,7 @@ func TestCacheCrashSweep(t *testing.T) {
 		t.Run(kind.String(), func(t *testing.T) {
 			var sawLoss, sawSurvival bool
 			for k := 0; k <= len(ops); k++ {
-				out, err := RunCache(ops, simCfg(kind), k)
+				out, err := RunCache(prep.NewSliceSource(ops), simCfg(kind), k)
 				if err != nil {
 					t.Fatalf("crash at %d: %v", k, err)
 				}
@@ -131,7 +131,7 @@ func TestLFSCrashSweep(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			var sawRecovered bool
 			for k := 0; k <= len(ops); k++ {
-				out, err := RunLFS(ops, tc.cfg, k)
+				out, err := RunLFS(prep.SliceReplayable(ops), tc.cfg, k)
 				if err != nil {
 					t.Fatalf("crash at %d: %v", k, err)
 				}
@@ -176,7 +176,7 @@ func TestLFSCrashRandomized(t *testing.T) {
 	}
 	cfg := LFSConfig{FS: lfs.Config{BufferBytes: 256 * kb}, CheckpointEvery: 37}
 	for k := 0; k <= len(ops); k += 23 {
-		out, err := RunLFS(ops, cfg, k)
+		out, err := RunLFS(prep.SliceReplayable(ops), cfg, k)
 		if err != nil {
 			t.Fatalf("crash at %d: %v", k, err)
 		}

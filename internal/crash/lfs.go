@@ -46,14 +46,23 @@ func (o *LFSOutcome) violate(format string, args ...any) {
 	o.Violations = append(o.Violations, fmt.Sprintf(format, args...))
 }
 
-// feedLFS applies ops[from:to] to the file system, checkpointing on the
-// configured cadence (indexed by absolute op position, so a run split by a
-// crash checkpoints at the same places as a straight run). Only the
-// write path reaches an LFS — reads are served upstream by the client
-// caches — so read-side operations just advance the clock.
-func feedLFS(fs *lfs.FS, ops []prep.Op, from, to, every int) {
-	for i := from; i < to; i++ {
-		op := ops[i]
+// feedLFS pulls ops from src — whose cursor sits at absolute position
+// `from` — and applies them to the file system up to (but not including)
+// absolute position `to`, or drains the stream when to < 0. Checkpoints
+// fire on the configured cadence indexed by absolute op position, so a run
+// split by a crash checkpoints at the same places as a straight run. Only
+// the write path reaches an LFS — reads are served upstream by the client
+// caches — so read-side operations just advance the clock. It returns the
+// number of ops fed and the time of the last one (zero if none).
+func feedLFS(fs *lfs.FS, src prep.Source, from, to, every int) (fed int, last int64, err error) {
+	for i := from; to < 0 || i < to; i++ {
+		op, ok, err := src.Next()
+		if err != nil {
+			return i - from, last, err
+		}
+		if !ok {
+			return i - from, last, nil
+		}
 		switch op.Kind {
 		case prep.Write:
 			fs.Write(op.Time, op.File, op.Range.Start, op.Range.Len())
@@ -71,28 +80,35 @@ func feedLFS(fs *lfs.FS, ops []prep.Op, from, to, every int) {
 		default:
 			fs.Advance(op.Time)
 		}
+		last = op.Time
 		if every > 0 && (i+1)%every == 0 {
 			fs.Checkpoint(op.Time)
 		}
 	}
+	return to - from, last, nil
 }
 
-// RunLFS feeds ops[:k] to a fresh LFS, crashes it at that boundary,
-// recovers through the checkpoint/roll-forward path, and checks the
-// recovered state three ways: it must pass the internal consistency
-// check, its durable contents must match a from-scratch replay of the
-// same prefix (the reference oracle), and it must run the rest of the
-// trace to a clean shutdown.
-func RunLFS(ops []prep.Op, cfg LFSConfig, k int) (*LFSOutcome, error) {
-	if k < 0 || k > len(ops) {
-		return nil, fmt.Errorf("crash: RunLFS index %d outside [0, %d]", k, len(ops))
+// RunLFS feeds the first k ops of rp's stream to a fresh LFS, crashes it
+// at that boundary, recovers through the checkpoint/roll-forward path, and
+// checks the recovered state three ways: it must pass the internal
+// consistency check, its durable contents must match a from-scratch replay
+// of the same prefix on a fresh cursor (the reference oracle), and it must
+// run the rest of the trace to a clean shutdown.
+func RunLFS(rp prep.Replayable, cfg LFSConfig, k int) (*LFSOutcome, error) {
+	if k < 0 {
+		return nil, fmt.Errorf("crash: RunLFS index %d negative", k)
+	}
+	src, err := rp.Ops()
+	if err != nil {
+		return nil, err
 	}
 	fs := lfs.New(cfg.FS, disk.New(disk.DefaultParams()))
-	feedLFS(fs, ops, 0, k, cfg.CheckpointEvery)
-
-	var now int64
-	if k > 0 {
-		now = ops[k-1].Time
+	fed, now, err := feedLFS(fs, src, 0, k, cfg.CheckpointEvery)
+	if err != nil {
+		return nil, err
+	}
+	if fed < k {
+		return nil, fmt.Errorf("crash: RunLFS index %d outside [0, %d]", k, fed)
 	}
 	out := &LFSOutcome{Index: k, Time: now}
 
@@ -139,18 +155,27 @@ func RunLFS(ops []prep.Op, cfg LFSConfig, k int) (*LFSOutcome, error) {
 	// Reference oracle: a from-scratch replay of the same prefix on its
 	// own disk must reach the same durable state — recovery may not
 	// depend on anything the crash should have destroyed.
+	osrc, err := rp.Ops()
+	if err != nil {
+		return nil, err
+	}
 	oracle := lfs.New(cfg.FS, disk.New(disk.DefaultParams()))
-	feedLFS(oracle, ops, 0, k, cfg.CheckpointEvery)
+	if _, _, err := feedLFS(oracle, osrc, 0, k, cfg.CheckpointEvery); err != nil {
+		return nil, err
+	}
 	if got := oracle.DurableFingerprint(); got != fp {
 		out.violate("replay oracle %#x diverges from crashed instance %#x: run is nondeterministic", got, fp)
 	}
 
 	// The recovered file system must be fully operational: run the rest
-	// of the trace on it and shut down cleanly.
-	feedLFS(rec, ops, k, len(ops), cfg.CheckpointEvery)
-	end := now
-	if len(ops) > 0 {
-		end = ops[len(ops)-1].Time
+	// of the trace on it and shut down cleanly. The main cursor sits at
+	// position k, exactly where the crash halted it.
+	rest, end, err := feedLFS(rec, src, k, -1, cfg.CheckpointEvery)
+	if err != nil {
+		return nil, err
+	}
+	if rest == 0 {
+		end = now
 	}
 	rec.Shutdown(end)
 	if err := rec.CheckConsistent(); err != nil {

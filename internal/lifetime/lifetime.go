@@ -112,12 +112,15 @@ type Options struct {
 // Every client is given an infinitely large non-volatile cache: no byte is
 // ever evicted, fsync is free (NVRAM is stable storage), and bytes leave
 // only by dying (overwrite/delete) or through the consistency mechanism.
-func Analyze(ops []prep.Op) (*Analysis, error) {
-	return AnalyzeWith(ops, Options{})
+func Analyze(src prep.Source) (*Analysis, error) {
+	return AnalyzeWith(src, Options{})
 }
 
 // AnalyzeWith runs the infinite-cache simulation with explicit options.
-func AnalyzeWith(ops []prep.Op, opts Options) (*Analysis, error) {
+// The op stream is consumed in one forward pass; the analysis state is the
+// per-file dirty maps plus the death log (the log is the analysis product,
+// so its size is inherent to the result, not a buffering artifact).
+func AnalyzeWith(src prep.Source, opts Options) (*Analysis, error) {
 	a := &Analysis{}
 	server := consist.NewServer()
 	// dirty[file] holds the file's unflushed bytes, tagged with write
@@ -148,7 +151,14 @@ func AnalyzeWith(ops []prep.Op, opts Options) (*Analysis, error) {
 		return n
 	}
 
-	for _, op := range ops {
+	for {
+		op, ok, err := src.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
 		switch op.Kind {
 		case prep.Open:
 			res := server.Open(op.Client, op.File, op.WriteMode)
@@ -312,37 +322,123 @@ func (a *Analysis) NetWriteFracAt(delay int64) float64 {
 // data is about to be deleted must be retained (its bytes will die in the
 // cache), while a block that is never touched again is the ideal victim
 // (flushing it is inevitable traffic anyway).
+// The times live in an open-addressing table keyed by block id: the
+// simulators probe the schedule on every block insertion and write, and the
+// Go map's 16-byte-key hashing showed up hot. A slot is occupied exactly
+// when its time slice is non-empty (every insert appends a time before the
+// next table operation). After BuildSchedule returns, the table is
+// read-only and safe for concurrent lookups.
 type Schedule struct {
-	times map[cache.BlockID][]int64
+	slots []schedSlot // power-of-two length
+	n     int
+}
+
+type schedSlot struct {
+	id cache.BlockID
+	ts []int64
+}
+
+func hashSchedID(id cache.BlockID) uint64 {
+	x := id.File ^ uint64(id.Index)*0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// find returns the block's time slice, or nil.
+func (s *Schedule) find(id cache.BlockID) []int64 {
+	if s.n == 0 {
+		return nil
+	}
+	mask := uint64(len(s.slots) - 1)
+	for i := hashSchedID(id) & mask; ; i = (i + 1) & mask {
+		sl := &s.slots[i]
+		if sl.ts == nil {
+			return nil
+		}
+		if sl.id == id {
+			return sl.ts
+		}
+	}
+}
+
+// ensure returns the slot for id, claiming an empty one if absent. The
+// caller must append a time before the next table operation (occupancy is
+// ts != nil). The pointer is valid until the next ensure.
+func (s *Schedule) ensure(id cache.BlockID) *schedSlot {
+	if 4*(s.n+1) > 3*len(s.slots) {
+		s.grow()
+	}
+	mask := uint64(len(s.slots) - 1)
+	for i := hashSchedID(id) & mask; ; i = (i + 1) & mask {
+		sl := &s.slots[i]
+		if sl.ts == nil {
+			sl.id = id
+			s.n++
+			return sl
+		}
+		if sl.id == id {
+			return sl
+		}
+	}
+}
+
+func (s *Schedule) grow() {
+	old := s.slots
+	next := 2 * len(old)
+	if next < 1024 {
+		next = 1024
+	}
+	s.slots = make([]schedSlot, next)
+	mask := uint64(next - 1)
+	for _, sl := range old {
+		if sl.ts == nil {
+			continue
+		}
+		for i := hashSchedID(sl.id) & mask; ; i = (i + 1) & mask {
+			if s.slots[i].ts == nil {
+				s.slots[i] = sl
+				break
+			}
+		}
+	}
 }
 
 // BuildSchedule extracts per-block modification (write and delete) times
 // from a canonical op stream. This is the extra trace pass the paper's
 // omniscient simulations perform.
-func BuildSchedule(ops []prep.Op, blockSize int64) *Schedule {
+func BuildSchedule(src prep.Source, blockSize int64) (*Schedule, error) {
 	if blockSize <= 0 {
 		blockSize = cache.DefaultBlockSize
 	}
-	s := &Schedule{times: make(map[cache.BlockID][]int64)}
-	for _, op := range ops {
+	s := &Schedule{}
+	for {
+		op, ok, err := src.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return s, nil
+		}
 		if op.Kind != prep.Write && op.Kind != prep.DeleteRange {
 			continue
 		}
 		for idx := op.Range.Start / blockSize; idx*blockSize < op.Range.End; idx++ {
-			id := cache.BlockID{File: op.File, Index: idx}
-			ts := s.times[id]
-			if len(ts) == 0 || ts[len(ts)-1] != op.Time {
-				s.times[id] = append(ts, op.Time)
+			sl := s.ensure(cache.BlockID{File: op.File, Index: idx})
+			if n := len(sl.ts); n == 0 || sl.ts[n-1] != op.Time {
+				sl.ts = append(sl.ts, op.Time)
 			}
 		}
 	}
-	return s
 }
 
 // NextModify returns the earliest write to the block strictly after now,
 // or cache.NeverModified.
 func (s *Schedule) NextModify(id cache.BlockID, now int64) int64 {
-	ts := s.times[id]
+	ts := s.find(id)
 	i := sort.Search(len(ts), func(i int) bool { return ts[i] > now })
 	if i == len(ts) {
 		return cache.NeverModified
@@ -350,7 +446,14 @@ func (s *Schedule) NextModify(id cache.BlockID, now int64) int64 {
 	return ts[i]
 }
 
+// ModifyTimes returns the block's full modification-time slice (sorted
+// ascending, nil when never modified). The slice is owned by the schedule
+// and must be treated as read-only; the omniscient policy uses it to keep
+// a forward cursor per cached block instead of binary-searching here on
+// every write.
+func (s *Schedule) ModifyTimes(id cache.BlockID) []int64 { return s.find(id) }
+
 // Blocks returns the number of blocks with at least one recorded write.
-func (s *Schedule) Blocks() int { return len(s.times) }
+func (s *Schedule) Blocks() int { return s.n }
 
 var _ cache.Schedule = (*Schedule)(nil)

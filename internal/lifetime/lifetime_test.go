@@ -24,7 +24,7 @@ func TestAnalyzeOverwriteAndDelete(t *testing.T) {
 		wop(50, 1, prep.Write, 5, 0, 40),        // overwrites 40 bytes, age 40
 		wop(90, 1, prep.DeleteRange, 5, 0, 100), // kills 100 cached bytes
 	}
-	a, err := Analyze(ops)
+	a, err := Analyze(prep.NewSliceSource(ops))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +53,7 @@ func TestAnalyzeRemaining(t *testing.T) {
 		openOp(0, 1, 5, true),
 		wop(10, 1, prep.Write, 5, 0, 100),
 	}
-	a, err := Analyze(ops)
+	a, err := Analyze(prep.NewSliceSource(ops))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +72,7 @@ func TestAnalyzeCallback(t *testing.T) {
 		prep.Op{Time: 20, Client: 1, Kind: prep.Close, File: 5},
 		openOp(30, 2, 5, false), // other client opens: recall
 	}
-	a, err := Analyze(ops)
+	a, err := Analyze(prep.NewSliceSource(ops))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +92,7 @@ func TestAnalyzeConcurrent(t *testing.T) {
 		wop(10, 1, prep.Write, 5, 0, 100),
 		wop(20, 2, prep.Write, 5, 0, 100),
 	}
-	a, err := Analyze(ops)
+	a, err := Analyze(prep.NewSliceSource(ops))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +107,7 @@ func TestAnalyzeMigration(t *testing.T) {
 		wop(10, 1, prep.Write, 5, 0, 100),
 		prep.Op{Time: 20, Client: 1, Kind: prep.MigrateFlush},
 	}
-	a, err := Analyze(ops)
+	a, err := Analyze(prep.NewSliceSource(ops))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +123,7 @@ func TestAnalyzeFsyncIsFree(t *testing.T) {
 		prep.Op{Time: 20, Client: 1, Kind: prep.Fsync, File: 5},
 		wop(30, 1, prep.DeleteRange, 5, 0, 100),
 	}
-	a, err := Analyze(ops)
+	a, err := Analyze(prep.NewSliceSource(ops))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +142,7 @@ func TestNetWriteFracMonotone(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a, err := Analyze(ops)
+	a, err := Analyze(prep.NewSliceSource(ops))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +173,7 @@ func TestFateConservationOnGeneratedTraces(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		a, err := Analyze(ops)
+		a, err := Analyze(prep.NewSliceSource(ops))
 		if err != nil {
 			t.Fatalf("trace %d: %v", i, err)
 		}
@@ -189,7 +189,10 @@ func TestBuildSchedule(t *testing.T) {
 		wop(20, 1, prep.Write, 5, 0, 100),     // block 0
 		wop(30, 1, prep.Write, 7, 4096, 4097), // file 7 block 1
 	}
-	s := BuildSchedule(ops, 4096)
+	s, err := BuildSchedule(prep.NewSliceSource(ops), 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if s.Blocks() != 3 {
 		t.Fatalf("blocks = %d", s.Blocks())
 	}
@@ -218,7 +221,7 @@ func TestBlockConsistencyRecallsOnlyReadBytes(t *testing.T) {
 		wop(50, 2, prep.DeleteRange, 5, 0, 1000),
 	}
 	// Whole-file protocol: the open recalls all 1000 dirty bytes.
-	wf, err := Analyze(ops)
+	wf, err := Analyze(prep.NewSliceSource(ops))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -227,7 +230,7 @@ func TestBlockConsistencyRecallsOnlyReadBytes(t *testing.T) {
 	}
 	// Block protocol: only the 300 read bytes are recalled; the other 700
 	// die in the cache when the file is deleted.
-	bl, err := AnalyzeWith(ops, Options{BlockConsistency: true})
+	bl, err := AnalyzeWith(prep.NewSliceSource(ops), Options{BlockConsistency: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -248,11 +251,11 @@ func TestBlockConsistencyNeverWorse(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	wf, err := Analyze(ops)
+	wf, err := Analyze(prep.NewSliceSource(ops))
 	if err != nil {
 		t.Fatal(err)
 	}
-	bl, err := AnalyzeWith(ops, Options{BlockConsistency: true})
+	bl, err := AnalyzeWith(prep.NewSliceSource(ops), Options{BlockConsistency: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -272,7 +275,7 @@ func TestAgeHistogram(t *testing.T) {
 		wop(1000010, 1, prep.Write, 5, 0, 50),        // 50 bytes die at age 1s
 		wop(2000010, 1, prep.DeleteRange, 5, 0, 100), // rest dies at 1s / 2s
 	}
-	a, err := Analyze(ops)
+	a, err := Analyze(prep.NewSliceSource(ops))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -78,7 +78,7 @@ func (o Op) String() string {
 type Stats struct {
 	Events        int64 // raw events processed
 	Ops           int64 // canonical ops produced
-	Files         int   // distinct files touched
+	Files         int   // distinct files touched (an id reused after a whole-file delete counts again)
 	BytesRead     int64 // application read bytes
 	BytesWritten  int64 // application write bytes
 	BytesDeleted  int64 // bytes killed by delete/truncate (whether cached or not)
@@ -88,91 +88,300 @@ type Stats struct {
 	EndTime       int64 // time of last op
 }
 
-// Canonicalize converts a raw event stream into canonical ops, delivering
-// each to emit in order, and returns trace statistics.
-//
-// Events must be in non-decreasing time order (the trace.Reader guarantees
-// this for well-formed traces).
+// Source is a pull cursor over canonical ops: Next returns the next op, or
+// ok=false at the end of the stream. Sources are single-use; a consumer
+// that needs several passes asks a Replayable for a fresh cursor each time.
+type Source interface {
+	Next() (o Op, ok bool, err error)
+}
+
+// Replayable hands out fresh, identical cursors over one op stream. The
+// crash harness's LFS oracle replays a trace several times; the report
+// workspace implements this by re-decoding its compact encoded trace.
+type Replayable interface {
+	Ops() (Source, error)
+}
+
+// Options configures streaming canonicalization.
+type Options struct {
+	// Trusted skips the per-event validation and time-ordering re-check.
+	// Safe exactly when the event source is a trace.Reader (or the
+	// workload generator): the Reader validates every event and rejects
+	// non-monotonic times at decode.
+	Trusted bool
+	// FilesHint pre-sizes the per-file bookkeeping maps (typically a
+	// previous pass's Stats.Files); zero means no hint.
+	FilesHint int
+}
+
+// fileEntry is one fileTable slot: a file's id and its current size. A
+// whole-file delete removes the entry, keeping the table bounded by the
+// live file population rather than every file the trace ever touched: a
+// deleted file looks exactly like an unseen one (size zero), and the trace
+// generators never reuse ids, so re-insertion cannot recount a file.
+type fileEntry struct {
+	file uint64
+	size int64
+	used bool
+}
+
+// fileTable is an open-addressing file id → size map. Canonicalization
+// probes it once per event, and the two Go maps it replaces (sizes and the
+// seen set) dominated the prep side of the profile; one linear-probe table
+// answers both questions with a single multiply-shift hash.
+type fileTable struct {
+	slots []fileEntry // power-of-two length
+	n     int
+}
+
+// hashFile is a splitmix64-style finalizer (see internal/cache's hash64).
+func hashFile(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+func (t *fileTable) init(hint int) {
+	n := 16
+	for n < hint+hint/3 {
+		n *= 2
+	}
+	t.slots = make([]fileEntry, n)
+}
+
+// ensure returns the entry for file, inserting a zero-size one if absent,
+// and reports whether it inserted. The pointer is valid until the next
+// ensure.
+func (t *fileTable) ensure(file uint64) (*fileEntry, bool) {
+	if 4*(t.n+1) > 3*len(t.slots) {
+		t.grow()
+	}
+	mask := uint64(len(t.slots) - 1)
+	for i := hashFile(file) & mask; ; i = (i + 1) & mask {
+		s := &t.slots[i]
+		if !s.used {
+			s.file, s.used = file, true
+			t.n++
+			return s, true
+		}
+		if s.file == file {
+			return s, false
+		}
+	}
+}
+
+// del removes file's entry if present, backward-shifting the probe chain
+// so later lookups stay correct (same scheme as internal/cache's indexes).
+func (t *fileTable) del(file uint64) {
+	if t.n == 0 {
+		return
+	}
+	mask := uint64(len(t.slots) - 1)
+	i := hashFile(file) & mask
+	for {
+		s := &t.slots[i]
+		if !s.used {
+			return
+		}
+		if s.file == file {
+			break
+		}
+		i = (i + 1) & mask
+	}
+	j := i
+	for {
+		j = (j + 1) & mask
+		s := t.slots[j]
+		if !s.used {
+			break
+		}
+		// s can fill the hole at i unless its home slot lies in (i, j].
+		if h := hashFile(s.file) & mask; (j-h)&mask >= (j-i)&mask {
+			t.slots[i] = s
+			i = j
+		}
+	}
+	t.slots[i] = fileEntry{}
+	t.n--
+}
+
+func (t *fileTable) grow() {
+	old := t.slots
+	next := 2 * len(old)
+	if next < 16 {
+		next = 16
+	}
+	t.slots = make([]fileEntry, next)
+	mask := uint64(next - 1)
+	for _, s := range old {
+		if !s.used {
+			continue
+		}
+		for i := hashFile(s.file) & mask; ; i = (i + 1) & mask {
+			if !t.slots[i].used {
+				t.slots[i] = s
+				break
+			}
+		}
+	}
+}
+
+// Canonicalizer converts a raw event stream into canonical ops, one pull at
+// a time, in bounded memory: its only per-trace state is the per-file size
+// table. It implements Source.
+type Canonicalizer struct {
+	src   trace.EventSource
+	opt   Options
+	st    Stats
+	files fileTable
+	last  int64
+	idx   int64 // raw event index, for error positions
+	err   error
+	done  bool
+}
+
+// NewSource returns a streaming canonicalizer pulling from src.
+func NewSource(src trace.EventSource, opt Options) *Canonicalizer {
+	c := &Canonicalizer{src: src, opt: opt}
+	c.files.init(opt.FilesHint)
+	return c
+}
+
+// Stats returns the running trace statistics; totals are complete once
+// Next has returned ok=false.
+func (c *Canonicalizer) Stats() Stats { return c.st }
+
+// Next implements Source. Raw events that canonicalize to nothing (e.g. a
+// truncate that discards no bytes) are consumed silently, so one pull may
+// advance the event source by more than one event.
+func (c *Canonicalizer) Next() (Op, bool, error) {
+	if c.err != nil || c.done {
+		return Op{}, false, c.err
+	}
+	for {
+		e, ok, err := c.src.Next()
+		if err != nil {
+			c.err = fmt.Errorf("prep: event %d: %w", c.idx, err)
+			return Op{}, false, c.err
+		}
+		if !ok {
+			c.done = true
+			return Op{}, false, nil
+		}
+		if !c.opt.Trusted {
+			if err := e.Validate(); err != nil {
+				c.err = fmt.Errorf("prep: event %d: %w", c.idx, err)
+				return Op{}, false, c.err
+			}
+			if e.Time < c.last {
+				c.err = fmt.Errorf("prep: event %d out of order (%d < %d)", c.idx, e.Time, c.last)
+				return Op{}, false, c.err
+			}
+			c.last = e.Time
+		}
+		c.idx++
+		o, emitted := c.apply(e)
+		if emitted {
+			return o, true, nil
+		}
+	}
+}
+
+// apply canonicalizes one event, updating the statistics, and reports
+// whether it produced an op.
+func (c *Canonicalizer) apply(e trace.Event) (Op, bool) {
+	c.st.Events++
+	var fe *fileEntry
+	if e.Op != trace.OpMigrate {
+		var inserted bool
+		fe, inserted = c.files.ensure(e.File)
+		if inserted {
+			c.st.Files++
+		}
+	}
+	var (
+		o       Op
+		emitted bool
+	)
+	out := func(op Op) {
+		c.st.Ops++
+		if op.Time > c.st.EndTime {
+			c.st.EndTime = op.Time
+		}
+		o, emitted = op, true
+	}
+	switch e.Op {
+	case trace.OpOpen:
+		c.st.Opens++
+		out(Op{Time: e.Time, Client: e.Client, Kind: Open, File: e.File,
+			WriteMode: e.Flags&trace.FlagWrite != 0})
+	case trace.OpClose:
+		c.st.Closes++
+		out(Op{Time: e.Time, Client: e.Client, Kind: Close, File: e.File})
+	case trace.OpRead:
+		r := interval.Range{Start: e.Offset, End: e.Offset + e.Length}
+		if r.End > fe.size {
+			// Reads of files that predate the trace reveal their size.
+			fe.size = r.End
+		}
+		c.st.BytesRead += r.Len()
+		out(Op{Time: e.Time, Client: e.Client, Kind: Read, File: e.File, Range: r})
+	case trace.OpWrite:
+		r := interval.Range{Start: e.Offset, End: e.Offset + e.Length}
+		if r.End > fe.size {
+			fe.size = r.End
+		}
+		c.st.BytesWritten += r.Len()
+		out(Op{Time: e.Time, Client: e.Client, Kind: Write, File: e.File, Range: r})
+	case trace.OpTruncate:
+		old := fe.size
+		if e.Offset < old {
+			r := interval.Range{Start: e.Offset, End: old}
+			c.st.BytesDeleted += r.Len()
+			out(Op{Time: e.Time, Client: e.Client, Kind: DeleteRange, File: e.File, Range: r})
+		}
+		fe.size = e.Offset
+	case trace.OpDelete:
+		if old := fe.size; old > 0 {
+			r := interval.Range{Start: 0, End: old}
+			c.st.BytesDeleted += r.Len()
+			out(Op{Time: e.Time, Client: e.Client, Kind: DeleteRange, File: e.File, Range: r})
+		}
+		c.files.del(e.File)
+	case trace.OpFsync:
+		c.st.Fsyncs++
+		out(Op{Time: e.Time, Client: e.Client, Kind: Fsync, File: e.File})
+	case trace.OpMigrate:
+		c.st.Migrations++
+		out(Op{Time: e.Time, Client: e.Client, Kind: MigrateFlush})
+	}
+	return o, emitted
+}
+
+// Canonicalize converts a materialized event slice into canonical ops,
+// delivering each to emit in order, and returns trace statistics. It is
+// the push-style shim over the streaming Canonicalizer; events must be in
+// non-decreasing time order.
 func Canonicalize(events []trace.Event, emit func(Op) error) (Stats, error) {
-	var st Stats
 	// Pre-size the per-file maps: traces average a handful of events per
 	// file, so len(events)/4 is a cheap upper-ish bound that avoids the
 	// incremental rehash churn of growing from empty.
-	hint := len(events) / 4
-	sizes := make(map[uint64]int64, hint)
-	seen := make(map[uint64]bool, hint)
-	var last int64
-	out := func(o Op) error {
-		st.Ops++
-		if o.Time > st.EndTime {
-			st.EndTime = o.Time
-		}
-		return emit(o)
-	}
-	for i, e := range events {
-		if err := e.Validate(); err != nil {
-			return st, fmt.Errorf("prep: event %d: %w", i, err)
-		}
-		if e.Time < last {
-			return st, fmt.Errorf("prep: event %d out of order (%d < %d)", i, e.Time, last)
-		}
-		last = e.Time
-		st.Events++
-		if e.Op != trace.OpMigrate && !seen[e.File] {
-			seen[e.File] = true
-			st.Files++
-		}
-		var err error
-		switch e.Op {
-		case trace.OpOpen:
-			st.Opens++
-			err = out(Op{Time: e.Time, Client: e.Client, Kind: Open, File: e.File,
-				WriteMode: e.Flags&trace.FlagWrite != 0})
-		case trace.OpClose:
-			st.Closes++
-			err = out(Op{Time: e.Time, Client: e.Client, Kind: Close, File: e.File})
-		case trace.OpRead:
-			r := interval.Range{Start: e.Offset, End: e.Offset + e.Length}
-			if r.End > sizes[e.File] {
-				// Reads of files that predate the trace reveal their size.
-				sizes[e.File] = r.End
-			}
-			st.BytesRead += r.Len()
-			err = out(Op{Time: e.Time, Client: e.Client, Kind: Read, File: e.File, Range: r})
-		case trace.OpWrite:
-			r := interval.Range{Start: e.Offset, End: e.Offset + e.Length}
-			if r.End > sizes[e.File] {
-				sizes[e.File] = r.End
-			}
-			st.BytesWritten += r.Len()
-			err = out(Op{Time: e.Time, Client: e.Client, Kind: Write, File: e.File, Range: r})
-		case trace.OpTruncate:
-			old := sizes[e.File]
-			if e.Offset < old {
-				r := interval.Range{Start: e.Offset, End: old}
-				st.BytesDeleted += r.Len()
-				err = out(Op{Time: e.Time, Client: e.Client, Kind: DeleteRange, File: e.File, Range: r})
-			}
-			sizes[e.File] = e.Offset
-		case trace.OpDelete:
-			if old := sizes[e.File]; old > 0 {
-				r := interval.Range{Start: 0, End: old}
-				st.BytesDeleted += r.Len()
-				err = out(Op{Time: e.Time, Client: e.Client, Kind: DeleteRange, File: e.File, Range: r})
-			}
-			delete(sizes, e.File)
-		case trace.OpFsync:
-			st.Fsyncs++
-			err = out(Op{Time: e.Time, Client: e.Client, Kind: Fsync, File: e.File})
-		case trace.OpMigrate:
-			st.Migrations++
-			err = out(Op{Time: e.Time, Client: e.Client, Kind: MigrateFlush})
-		}
+	c := NewSource(trace.NewSliceSource(events), Options{FilesHint: len(events) / 4})
+	for {
+		o, ok, err := c.Next()
 		if err != nil {
-			return st, err
+			return c.Stats(), err
+		}
+		if !ok {
+			return c.Stats(), nil
+		}
+		if err := emit(o); err != nil {
+			return c.Stats(), err
 		}
 	}
-	return st, nil
 }
 
 // CanonicalizeAll converts events and collects the ops into a slice.
@@ -183,4 +392,45 @@ func CanonicalizeAll(events []trace.Event) ([]Op, Stats, error) {
 		return nil
 	})
 	return ops, st, err
+}
+
+// SliceSource adapts a materialized op slice to a Source.
+type SliceSource struct {
+	ops []Op
+	i   int
+}
+
+// NewSliceSource returns a cursor over ops. The slice is not copied.
+func NewSliceSource(ops []Op) *SliceSource { return &SliceSource{ops: ops} }
+
+// Next implements Source.
+func (s *SliceSource) Next() (Op, bool, error) {
+	if s.i >= len(s.ops) {
+		return Op{}, false, nil
+	}
+	o := s.ops[s.i]
+	s.i++
+	return o, true, nil
+}
+
+// SliceReplayable adapts a materialized op slice to Replayable.
+type SliceReplayable []Op
+
+// Ops implements Replayable.
+func (s SliceReplayable) Ops() (Source, error) { return NewSliceSource(s), nil }
+
+// Collect drains a source into a slice (tests and small tools; the
+// simulators consume sources directly).
+func Collect(src Source) ([]Op, error) {
+	var ops []Op
+	for {
+		o, ok, err := src.Next()
+		if err != nil {
+			return ops, err
+		}
+		if !ok {
+			return ops, nil
+		}
+		ops = append(ops, o)
+	}
 }

@@ -63,11 +63,11 @@ func AblationsContext(ctx context.Context, ws *Workspace) (*AblationResult, erro
 	// larger cache the 30-second cleaner flushes them first and the
 	// policy choice is moot.
 	runVol := func(ctx context.Context, prefer bool) (*cache.Traffic, error) {
-		ops, err := ws.OpsContext(ctx, ModelTrace)
+		src, err := ws.OpsSourceContext(ctx, ModelTrace)
 		if err != nil {
 			return nil, err
 		}
-		r, err := ws.simCell(ctx, ModelTrace, ops, sim.Config{
+		r, err := ws.simCell(ctx, ModelTrace, src, sim.Config{
 			Model: cache.ModelVolatile,
 			Cache: cache.Config{
 				VolatileBlocks:  sim.BlocksForBytes(sim.MB/2, cache.DefaultBlockSize),
@@ -85,11 +85,11 @@ func AblationsContext(ctx context.Context, ws *Workspace) (*AblationResult, erro
 	// the unified model's replacement pool for new writes is only the
 	// tiny NVRAM while the hybrid can use the whole cache.
 	runNV := func(ctx context.Context, model cache.ModelKind) (*cache.Traffic, error) {
-		ops, err := ws.OpsContext(ctx, ModelTrace)
+		src, err := ws.OpsSourceContext(ctx, ModelTrace)
 		if err != nil {
 			return nil, err
 		}
-		r, err := ws.simCell(ctx, ModelTrace, ops, sim.Config{
+		r, err := ws.simCell(ctx, ModelTrace, src, sim.Config{
 			Model: model,
 			Cache: cache.Config{
 				VolatileBlocks: sim.BlocksForBytes(8*sim.MB, cache.DefaultBlockSize),
@@ -124,10 +124,6 @@ func AblationsContext(ctx context.Context, ws *Workspace) (*AblationResult, erro
 	}
 	for i, tr := range traces {
 		jobs = append(jobs, func(ctx context.Context) error {
-			tOps, err := ws.OpsContext(ctx, tr)
-			if err != nil {
-				return err
-			}
 			wf, err := ws.AnalysisContext(ctx, tr)
 			if err != nil {
 				return err
@@ -136,7 +132,11 @@ func AblationsContext(ctx context.Context, ws *Workspace) (*AblationResult, erro
 			if err != nil {
 				return err
 			}
-			bl, err := lifetime.AnalyzeWith(tOps, lifetime.Options{BlockConsistency: true, FilesHint: st.Files})
+			src, err := ws.OpsSourceContext(ctx, tr)
+			if err != nil {
+				return err
+			}
+			bl, err := lifetime.AnalyzeWith(src, lifetime.Options{BlockConsistency: true, FilesHint: st.Files})
 			if err != nil {
 				return err
 			}

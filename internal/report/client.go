@@ -9,6 +9,7 @@ import (
 	"nvramfs/internal/cache"
 	"nvramfs/internal/engine"
 	"nvramfs/internal/lifetime"
+	"nvramfs/internal/prep"
 	"nvramfs/internal/sim"
 	"nvramfs/internal/workload"
 )
@@ -190,13 +191,15 @@ func Figure3(ws *Workspace) (*PolicySweepResult, error) {
 	return Figure3Context(context.Background(), ws)
 }
 
-// Figure3Context submits the full (trace, NVRAM size) grid — every cell
-// is one simulation — and assembles the rows in trace order.
+// Figure3Context submits one lockstep job per trace: each job decodes its
+// trace once and feeds every NVRAM size's simulation the same op, so the
+// sweep costs one streaming pass per trace instead of one per cell. Rows
+// assemble in trace order.
 func Figure3Context(ctx context.Context, ws *Workspace) (*PolicySweepResult, error) {
 	traces := AllTraces()
 	sizes := DefaultNVRAMSizesMB
-	cells, err := engine.Map(ctx, ws.Engine(), len(traces)*len(sizes), func(ctx context.Context, k int) (float64, error) {
-		return policyCell(ctx, ws, traces[k/len(sizes)], cache.Omniscient, true, sizes[k%len(sizes)])
+	rows, err := engine.Map(ctx, ws.Engine(), len(traces), func(ctx context.Context, i int) ([]float64, error) {
+		return policyRow(ctx, ws, traces[i], cache.Omniscient, true, sizes)
 	})
 	if err != nil {
 		return nil, err
@@ -204,7 +207,7 @@ func Figure3Context(ctx context.Context, ws *Workspace) (*PolicySweepResult, err
 	res := &PolicySweepResult{SizesMB: sizes}
 	for i, tr := range traces {
 		res.Labels = append(res.Labels, fmt.Sprintf("trace%d", tr))
-		res.Frac = append(res.Frac, cells[i*len(sizes):(i+1)*len(sizes)])
+		res.Frac = append(res.Frac, rows[i])
 	}
 	return res, nil
 }
@@ -228,13 +231,13 @@ func Figure4(ws *Workspace) (*PolicySweepResult, error) {
 	return Figure4Context(context.Background(), ws)
 }
 
-// Figure4Context submits the (policy, NVRAM size) grid for the model
+// Figure4Context submits one lockstep job per policy series on the model
 // trace and assembles the series in declaration order.
 func Figure4Context(ctx context.Context, ws *Workspace) (*PolicySweepResult, error) {
 	sizes := DefaultNVRAMSizesMB
-	cells, err := engine.Map(ctx, ws.Engine(), len(figure4Series)*len(sizes), func(ctx context.Context, k int) (float64, error) {
-		pc := figure4Series[k/len(sizes)]
-		return policyCell(ctx, ws, ModelTrace, pc.kind, pc.writesOnly, sizes[k%len(sizes)])
+	rows, err := engine.Map(ctx, ws.Engine(), len(figure4Series), func(ctx context.Context, i int) ([]float64, error) {
+		pc := figure4Series[i]
+		return policyRow(ctx, ws, ModelTrace, pc.kind, pc.writesOnly, sizes)
 	})
 	if err != nil {
 		return nil, err
@@ -242,43 +245,96 @@ func Figure4Context(ctx context.Context, ws *Workspace) (*PolicySweepResult, err
 	res := &PolicySweepResult{SizesMB: sizes}
 	for i, pc := range figure4Series {
 		res.Labels = append(res.Labels, pc.label)
-		res.Frac = append(res.Frac, cells[i*len(sizes):(i+1)*len(sizes)])
+		res.Frac = append(res.Frac, rows[i])
 	}
 	return res, nil
 }
 
-// policyCell runs one (trace, policy, NVRAM size) simulation of the
-// Figure 3/4 grids. The shared op stream and omniscient schedule come
-// from the workspace's singleflight caches and are read-only here, so any
-// number of cells can run concurrently.
-func policyCell(ctx context.Context, ws *Workspace, trace int, kind cache.PolicyKind, writesOnly bool, mb float64) (float64, error) {
-	ops, err := ws.OpsContext(ctx, trace)
+// policyRow runs one (trace, policy) series of the Figure 3/4 grids: a
+// single streaming decode of the trace drives one stepper per NVRAM size
+// in lockstep via sim.Broadcast, which also runs the op stream's
+// cache-independent work (consistency protocol, size tracking) once for
+// the whole row. Each stepper's state is exactly what a standalone
+// sim.Run of its configuration would reach, so the row is byte-identical
+// to simulating the cells independently, for one decode pass, one
+// protocol pass, and one walk of the op stream.
+func policyRow(ctx context.Context, ws *Workspace, tr int, kind cache.PolicyKind, writesOnly bool, sizes []float64) ([]float64, error) {
+	src, err := ws.OpsSourceContext(ctx, tr)
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
 	var sched cache.Schedule
 	if kind == cache.Omniscient {
-		s, err := ws.ScheduleContext(ctx, trace)
+		s, err := ws.ScheduleContext(ctx, tr)
 		if err != nil {
-			return 0, err
+			return nil, err
 		}
 		sched = s
 	}
-	res, err := ws.simCell(ctx, trace, ops, sim.Config{
-		Model: cache.ModelUnified,
-		Cache: cache.Config{
-			VolatileBlocks: sim.BlocksForBytes(8*sim.MB, cache.DefaultBlockSize),
-			NVRAMBlocks:    sim.BlocksForBytes(int64(mb*float64(sim.MB)), cache.DefaultBlockSize),
-			Policy:         kind,
-			Schedule:       sched,
-		},
-		Seed:       int64(trace),
-		WritesOnly: writesOnly,
-	})
-	if err != nil {
-		return 0, err
+	var filesHint int
+	if st, err := ws.TraceStatsContext(ctx, tr); err == nil {
+		filesHint = st.Files
 	}
-	return res.Traffic.NetWriteFrac(), nil
+	arena := getArena()
+	defer putArena(arena)
+	steppers := make([]*sim.Stepper, len(sizes))
+	for i, mb := range sizes {
+		// Only stepper 0's server and size table survive NewBroadcast's
+		// yoking; don't pre-size the ones about to be discarded.
+		fh := 0
+		if i == 0 {
+			fh = filesHint
+		}
+		steppers[i] = sim.NewStepper(nil, sim.Config{
+			Model: cache.ModelUnified,
+			Cache: cache.Config{
+				VolatileBlocks: sim.BlocksForBytes(8*sim.MB, cache.DefaultBlockSize),
+				NVRAMBlocks:    sim.BlocksForBytes(int64(mb*float64(sim.MB)), cache.DefaultBlockSize),
+				Policy:         kind,
+				Schedule:       sched,
+				Arena:          arena,
+			},
+			Seed:       int64(tr),
+			WritesOnly: writesOnly,
+			FilesHint:  fh,
+		})
+	}
+	bc, err := sim.NewBroadcast(steppers)
+	if err != nil {
+		return nil, err
+	}
+	const checkEvery = 4096
+	for n := 0; ; n++ {
+		if n%checkEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		op, ok, err := src.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		// A writes-only row ignores reads entirely (Broadcast drops them
+		// before any cache or size-tracking effect), so skip the
+		// per-stepper dispatch. Traffic is unchanged: the only effect of
+		// feeding the read would be instantiating the reading client's
+		// empty cache model.
+		if writesOnly && op.Kind == prep.Read {
+			continue
+		}
+		if err := bc.Apply(op); err != nil {
+			return nil, err
+		}
+	}
+	row := make([]float64, len(sizes))
+	for i, s := range steppers {
+		row[i] = s.Finish().Traffic.NetWriteFrac()
+		s.Release()
+	}
+	return row, nil
 }
 
 // Render writes the sweep as a table of series.
@@ -376,7 +432,7 @@ func modelCompare(ctx context.Context, ws *Workspace, series []modelSeries) (*Mo
 // model growing from baseMB of volatile memory by extra megabytes
 // (volatile memory for the volatile model, NVRAM otherwise).
 func modelCell(ctx context.Context, ws *Workspace, model cache.ModelKind, baseMB, extra float64) (float64, error) {
-	ops, err := ws.OpsContext(ctx, ModelTrace)
+	src, err := ws.OpsSourceContext(ctx, ModelTrace)
 	if err != nil {
 		return 0, err
 	}
@@ -395,7 +451,7 @@ func modelCell(ctx context.Context, ws *Workspace, model cache.ModelKind, baseMB
 		NVRAMBlocks:    sim.BlocksForBytes(int64(nvMB*float64(sim.MB)), cache.DefaultBlockSize),
 		Policy:         cache.LRU,
 	}
-	res, err := ws.simCell(ctx, ModelTrace, ops, cfg)
+	res, err := ws.simCell(ctx, ModelTrace, src, cfg)
 	if err != nil {
 		return 0, err
 	}
@@ -456,11 +512,11 @@ func BusTraffic(ws *Workspace) (*BusResult, error) {
 func BusTrafficContext(ctx context.Context, ws *Workspace) (*BusResult, error) {
 	models := []cache.ModelKind{cache.ModelWriteAside, cache.ModelUnified}
 	traffics, err := engine.Map(ctx, ws.Engine(), len(models), func(ctx context.Context, i int) (*cache.Traffic, error) {
-		ops, err := ws.OpsContext(ctx, ModelTrace)
+		src, err := ws.OpsSourceContext(ctx, ModelTrace)
 		if err != nil {
 			return nil, err
 		}
-		res, err := ws.simCell(ctx, ModelTrace, ops, sim.Config{
+		res, err := ws.simCell(ctx, ModelTrace, src, sim.Config{
 			Model: models[i],
 			Cache: cache.Config{
 				VolatileBlocks: sim.BlocksForBytes(8*sim.MB, cache.DefaultBlockSize),

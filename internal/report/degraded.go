@@ -95,7 +95,7 @@ func DegradedContext(ctx context.Context, ws *Workspace) (*DegradedResult, error
 			trace := traces[i/(len(orgs)*len(profiles))]
 			org := orgs[i/len(profiles)%len(orgs)]
 			prof := profiles[i%len(profiles)]
-			ops, err := ws.OpsContext(ctx, trace)
+			src, err := ws.OpsSourceContext(ctx, trace)
 			if err != nil {
 				return DegradedRow{}, err
 			}
@@ -107,13 +107,22 @@ func DegradedContext(ctx context.Context, ws *Workspace) (*DegradedResult, error
 				SpikeRate:   prof.spike,
 				AckLossRate: 0.25,
 			}
-			if prof.outage && len(ops) > 0 {
-				start := ops[len(ops)/2].Time
-				fp.Outages = []faults.Window{{Start: start, End: start + DegradedOutageUS}}
+			if prof.outage {
+				st, err := ws.TraceStatsContext(ctx, trace)
+				if err != nil {
+					return DegradedRow{}, err
+				}
+				if st.Ops > 0 {
+					start, err := ws.MidTimeContext(ctx, trace)
+					if err != nil {
+						return DegradedRow{}, err
+					}
+					fp.Outages = []faults.Window{{Start: start, End: start + DegradedOutageUS}}
+				}
 			}
 			arena := getArena()
 			defer putArena(arena)
-			res, err := sim.Run(ops, sim.Config{
+			res, err := sim.Run(src, sim.Config{
 				Model: org,
 				Cache: cache.Config{
 					VolatileBlocks: sim.BlocksForBytes(8*sim.MB, cache.DefaultBlockSize),

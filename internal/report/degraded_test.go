@@ -11,6 +11,7 @@ import (
 	"nvramfs/internal/cache"
 	"nvramfs/internal/engine"
 	"nvramfs/internal/faults"
+	"nvramfs/internal/prep"
 	"nvramfs/internal/sim"
 )
 
@@ -88,7 +89,11 @@ func TestDegradedCancellation(t *testing.T) {
 func TestDegradedCancelDuringNeverOutageNoGoroutineLeak(t *testing.T) {
 	ws := NewWorkspace(0.02)
 	ws.SetEngine(engine.New(4))
-	ops, err := ws.Ops(1)
+	src, err := ws.OpsSource(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops, err := prep.Collect(src)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +106,7 @@ func TestDegradedCancelDuringNeverOutageNoGoroutineLeak(t *testing.T) {
 		_, err := engine.Map(ctx, ws.Engine(), 64, func(ctx context.Context, i int) (int, error) {
 			arena := getArena()
 			defer putArena(arena)
-			s := sim.NewStepper(ops, sim.Config{
+			s := sim.NewStepper(prep.NewSliceSource(ops), sim.Config{
 				Model: cache.ModelVolatile,
 				Cache: cache.Config{VolatileBlocks: 2048, Arena: arena},
 				Seed:  int64(i),

@@ -37,7 +37,7 @@ func FsyncLatencyStudy(ws *Workspace) (*LatencyResult, error) {
 // study is a single sequential trace pass, so only the shared trace build
 // fans out.
 func FsyncLatencyStudyContext(ctx context.Context, ws *Workspace) (*LatencyResult, error) {
-	ops, err := ws.OpsContext(ctx, ModelTrace)
+	src, err := ws.OpsSourceContext(ctx, ModelTrace)
 	if err != nil {
 		return nil, err
 	}
@@ -59,7 +59,14 @@ func FsyncLatencyStudyContext(ctx context.Context, ws *Workspace) (*LatencyResul
 			}
 		}
 	}
-	for _, op := range ops {
+	for {
+		op, ok, err := src.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
 		switch op.Kind {
 		case prep.Write:
 			flushOld(op.Time)

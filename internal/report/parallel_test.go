@@ -40,10 +40,12 @@ func TestWorkspaceConcurrentAccess(t *testing.T) {
 			t.Fatal(err)
 		}
 		refOps[tr] = ops
-		if refAn[tr], err = lifetime.Analyze(ops); err != nil {
+		if refAn[tr], err = lifetime.Analyze(prep.NewSliceSource(ops)); err != nil {
 			t.Fatal(err)
 		}
-		refSched[tr] = lifetime.BuildSchedule(ops, cache.DefaultBlockSize)
+		if refSched[tr], err = lifetime.BuildSchedule(prep.NewSliceSource(ops), cache.DefaultBlockSize); err != nil {
+			t.Fatal(err)
+		}
 	}
 
 	const goroutines = 8
@@ -54,13 +56,18 @@ func TestWorkspaceConcurrentAccess(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for _, tr := range traces {
-				ops, err := ws.Ops(tr)
+				src, err := ws.OpsSource(tr)
+				if err != nil {
+					errs <- err
+					return
+				}
+				ops, err := prep.Collect(src)
 				if err != nil {
 					errs <- err
 					return
 				}
 				if !reflect.DeepEqual(ops, refOps[tr]) {
-					t.Errorf("trace %d: concurrent Ops differ from serial build", tr)
+					t.Errorf("trace %d: concurrent ops stream differs from serial build", tr)
 				}
 				an, err := ws.Analysis(tr)
 				if err != nil {

@@ -85,14 +85,14 @@ func ReliabilityContext(ctx context.Context, ws *Workspace) (*ReliabilityResult,
 			trace := traces[i/(len(configs)*points)]
 			cfg := configs[i/points%len(configs)]
 			p := i % points
-			ops, err := ws.OpsContext(ctx, trace)
+			st, err := ws.TraceStatsContext(ctx, trace)
 			if err != nil {
 				return cell{}, err
 			}
 			// Crash points split the trace evenly, ending at the final op.
-			k := (p + 1) * len(ops) / points
+			k := int((int64(p) + 1) * st.Ops / int64(points))
 			if cfg.isLFS {
-				out, err := crash.RunLFS(ops, crash.LFSConfig{
+				out, err := crash.RunLFS(ws.Replayable(trace), crash.LFSConfig{
 					FS:              lfs.Config{BufferBytes: cfg.buffer},
 					CheckpointEvery: 1000,
 				}, k)
@@ -101,9 +101,13 @@ func ReliabilityContext(ctx context.Context, ws *Workspace) (*ReliabilityResult,
 				}
 				return cell{out.AtRiskBytes(), out.LostBytes, out.OldestLostAge, len(out.Violations)}, nil
 			}
+			src, err := ws.OpsSourceContext(ctx, trace)
+			if err != nil {
+				return cell{}, err
+			}
 			arena := getArena()
 			defer putArena(arena)
-			out, err := crash.RunCache(ops, sim.Config{
+			out, err := crash.RunCache(src, sim.Config{
 				Model: cfg.model,
 				Cache: cache.Config{
 					VolatileBlocks: sim.BlocksForBytes(8*sim.MB, cache.DefaultBlockSize),

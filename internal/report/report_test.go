@@ -2,11 +2,13 @@ package report
 
 import (
 	"bytes"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
 
 	"nvramfs/internal/cache"
+	"nvramfs/internal/prep"
 	"nvramfs/internal/sim"
 )
 
@@ -261,20 +263,33 @@ func TestSortedBufferReport(t *testing.T) {
 
 func TestWorkspaceCaching(t *testing.T) {
 	ws := NewWorkspace(0.02)
-	a, err := ws.Ops(1)
+	src, err := ws.OpsSource(1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := ws.Ops(1)
+	a, err := prep.Collect(src)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if &a[0] != &b[0] {
-		t.Fatal("ops not cached")
+	src, err = ws.OpsSource(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := prep.Collect(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Independent cursors over the one cached encoding must replay the
+	// identical op stream.
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("repeated OpsSource cursors decoded different streams")
 	}
 	st, err := ws.TraceStats(1)
 	if err != nil || st.BytesWritten == 0 {
 		t.Fatalf("stats: %+v, %v", st, err)
+	}
+	if st.Ops != int64(len(a)) {
+		t.Fatalf("stats report %d ops, cursor decoded %d", st.Ops, len(a))
 	}
 }
 
@@ -317,11 +332,11 @@ func TestAblationsShape(t *testing.T) {
 }
 
 func TestHybridModelRunsThroughSim(t *testing.T) {
-	ops, err := sharedWS.Ops(1)
+	src, err := sharedWS.OpsSource(1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := sim.Run(ops, sim.Config{
+	res, err := sim.Run(src, sim.Config{
 		Model: cache.ModelHybrid,
 		Cache: cache.Config{
 			VolatileBlocks: sim.BlocksForBytes(4*sim.MB, cache.DefaultBlockSize),

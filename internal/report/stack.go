@@ -59,12 +59,12 @@ func StackStudy(ws *Workspace) (*StackResult, error) {
 // StackStudyContext runs the three configurations concurrently; each job
 // owns its entire client-to-disk pipeline.
 func StackStudyContext(ctx context.Context, ws *Workspace) (*StackResult, error) {
-	ops, err := ws.OpsContext(ctx, ModelTrace)
-	if err != nil {
-		return nil, err
-	}
 	rows, err := engine.Map(ctx, ws.Engine(), len(stackConfigs), func(ctx context.Context, i int) (StackRow, error) {
 		c := stackConfigs[i]
+		src, err := ws.OpsSourceContext(ctx, ModelTrace)
+		if err != nil {
+			return StackRow{}, err
+		}
 		srv := server.New(server.Config{
 			CacheBlocks: (16 << 20) / 4096,
 			NVRAMBlocks: c.serverNV,
@@ -92,7 +92,7 @@ func StackStudyContext(ctx context.Context, ws *Workspace) (*StackResult, error)
 			Policy:         cache.LRU,
 			Hooks:          hooks,
 		}
-		r, err := ws.simCell(ctx, ModelTrace, ops, cfg)
+		r, err := ws.simCell(ctx, ModelTrace, src, cfg)
 		if err != nil {
 			return StackRow{}, err
 		}

@@ -19,6 +19,7 @@
 package report
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"sync"
@@ -29,6 +30,7 @@ import (
 	"nvramfs/internal/lifetime"
 	"nvramfs/internal/prep"
 	"nvramfs/internal/sim"
+	"nvramfs/internal/trace"
 	"nvramfs/internal/workload"
 )
 
@@ -45,29 +47,33 @@ func getArena() *cache.BlockArena { return arenas.Get().(*cache.BlockArena) }
 // it) to the shared pool.
 func putArena(a *cache.BlockArena) { arenas.Put(a) }
 
-// simCell runs one grid cell's simulation over a trace's ops, attaching a
-// pooled block arena and the trace's file-count hint to the config. The
-// arena only recycles memory — it never changes simulation results — so
-// cells stay pure functions of their seeded inputs.
-func (ws *Workspace) simCell(ctx context.Context, trace int, ops []prep.Op, cfg sim.Config) (*sim.Result, error) {
-	if st, err := ws.TraceStatsContext(ctx, trace); err == nil {
+// simCell runs one grid cell's simulation over a trace's op stream,
+// attaching a pooled block arena and the trace's file-count hint to the
+// config. The arena only recycles memory — it never changes simulation
+// results — so cells stay pure functions of their seeded inputs.
+func (ws *Workspace) simCell(ctx context.Context, tr int, src prep.Source, cfg sim.Config) (*sim.Result, error) {
+	if st, err := ws.TraceStatsContext(ctx, tr); err == nil {
 		cfg.FilesHint = st.Files
 	}
 	a := getArena()
 	cfg.Cache.Arena = a
-	res, err := sim.Run(ops, cfg)
+	res, err := sim.Run(src, cfg)
 	putArena(a)
 	return res, err
 }
 
-// Workspace generates and caches the canonical op streams, lifetime
-// analyses, and omniscient schedules for the standard traces, so that the
-// experiment drivers can share passes the way the paper's simulator did.
+// Workspace generates and caches the standard traces — as compact
+// delta-encoded NVFT bytes, not materialized op slices — plus their
+// lifetime analyses and omniscient schedules, so that the experiment
+// drivers can share passes the way the paper's simulator did while every
+// consumer streams ops through a fresh decode cursor in bounded memory.
 //
 // Every cached pass is built under per-trace singleflight: concurrent
 // callers for the same trace share one build, while different traces
-// build in parallel. The cached values (op slices, analyses, schedules)
-// are immutable after construction and safe to read from any goroutine.
+// build in parallel. The cached values (encoded traces, analyses,
+// schedules) are immutable after construction and safe to read from any
+// goroutine; cursors handed out by OpsSource are independent and
+// single-use.
 type Workspace struct {
 	// Scale is the workload volume scale (1.0 = paper scale). Experiments
 	// in tests use small scales for speed.
@@ -80,11 +86,22 @@ type Workspace struct {
 	scheds   engine.Memo[int, *lifetime.Schedule]
 }
 
-// tracePasses is the first-pass product for one trace: the canonical op
-// stream and its statistics.
+// tracePasses is the first-pass product for one trace: the NVFT-encoded
+// event stream, its canonical-op statistics, and the midpoint-op time the
+// degraded study anchors its outage windows on.
 type tracePasses struct {
-	ops   []prep.Op
-	stats prep.Stats
+	enc     []byte
+	stats   prep.Stats
+	midTime int64
+}
+
+// source opens a fresh streaming decode of the trace's canonical ops.
+func (p tracePasses) source() (prep.Source, error) {
+	r, err := trace.NewBytesReader(p.enc)
+	if err != nil {
+		return nil, err
+	}
+	return prep.NewSource(r, prep.Options{Trusted: true, FilesHint: p.stats.Files}), nil
 }
 
 // NewWorkspace returns a workspace at the given scale, running its
@@ -109,100 +126,169 @@ func (ws *Workspace) SetEngine(e *engine.Engine) {
 // Engine returns the runner the experiment drivers submit their grids to.
 func (ws *Workspace) Engine() *engine.Engine { return ws.eng }
 
-// Ops returns the canonical op stream for the given standard trace
-// (1-based), generating it on first use.
-func (ws *Workspace) Ops(trace int) ([]prep.Op, error) {
-	return ws.OpsContext(context.Background(), trace)
+// OpsSource returns a fresh single-use cursor over the canonical op
+// stream of the given standard trace (1-based), encoding the trace on
+// first use. Cursors decode the shared encoded bytes independently, so
+// any number of grid cells can stream the same trace concurrently.
+func (ws *Workspace) OpsSource(tr int) (prep.Source, error) {
+	return ws.OpsSourceContext(context.Background(), tr)
 }
 
-// OpsContext is Ops with cancellation: a cancelled context fails fast
-// before a build starts (an in-flight build always runs to completion so
-// its cached result stays valid for other callers).
-func (ws *Workspace) OpsContext(ctx context.Context, trace int) ([]prep.Op, error) {
-	p, err := ws.passes(ctx, trace)
+// OpsSourceContext is OpsSource with cancellation: a cancelled context
+// fails fast before a build starts (an in-flight build always runs to
+// completion so its cached result stays valid for other callers).
+func (ws *Workspace) OpsSourceContext(ctx context.Context, tr int) (prep.Source, error) {
+	p, err := ws.passes(ctx, tr)
 	if err != nil {
 		return nil, err
 	}
-	return p.ops, nil
+	return p.source()
 }
 
-func (ws *Workspace) passes(ctx context.Context, trace int) (tracePasses, error) {
+// traceReplay hands out fresh cursors over one workspace trace.
+type traceReplay struct {
+	ws *Workspace
+	tr int
+}
+
+// Ops implements prep.Replayable.
+func (r traceReplay) Ops() (prep.Source, error) { return r.ws.OpsSource(r.tr) }
+
+// Replayable returns a handle producing fresh cursors over the trace's op
+// stream; the crash harness's multi-pass LFS oracle consumes it.
+func (ws *Workspace) Replayable(tr int) prep.Replayable { return traceReplay{ws: ws, tr: tr} }
+
+func (ws *Workspace) passes(ctx context.Context, tr int) (tracePasses, error) {
 	if err := ctx.Err(); err != nil {
 		return tracePasses{}, err
 	}
-	return ws.ops.Do(trace, func() (tracePasses, error) {
-		evs, err := workload.GenerateEvents(workload.StandardProfile(trace, ws.Scale))
+	return ws.ops.Do(tr, func() (tracePasses, error) {
+		// One generation pass tees every event into the encoder while the
+		// canonicalizer accumulates statistics; neither side materializes
+		// the trace.
+		prof := workload.StandardProfile(tr, ws.Scale)
+		var buf bytes.Buffer
+		w, err := trace.NewWriter(&buf, prof.Header())
 		if err != nil {
-			return tracePasses{}, fmt.Errorf("report: generating trace %d: %w", trace, err)
+			return tracePasses{}, fmt.Errorf("report: encoding trace %d: %w", tr, err)
 		}
-		ops, st, err := prep.CanonicalizeAll(evs)
-		if err != nil {
-			return tracePasses{}, fmt.Errorf("report: canonicalizing trace %d: %w", trace, err)
+		c := prep.NewSource(&trace.TeeSource{Src: workload.NewCursor(prof), W: w}, prep.Options{Trusted: true})
+		for {
+			_, ok, err := c.Next()
+			if err != nil {
+				return tracePasses{}, fmt.Errorf("report: generating trace %d: %w", tr, err)
+			}
+			if !ok {
+				break
+			}
 		}
-		return tracePasses{ops: ops, stats: st}, nil
+		if err := w.Close(); err != nil {
+			return tracePasses{}, fmt.Errorf("report: encoding trace %d: %w", tr, err)
+		}
+		p := tracePasses{enc: buf.Bytes(), stats: c.Stats()}
+		// A second, partial decode finds the midpoint op's time (op index
+		// Ops/2): the total count isn't known until the first pass ends.
+		if p.stats.Ops > 0 {
+			src, err := p.source()
+			if err != nil {
+				return tracePasses{}, err
+			}
+			for i := int64(0); i <= p.stats.Ops/2; i++ {
+				op, ok, err := src.Next()
+				if err != nil || !ok {
+					return tracePasses{}, fmt.Errorf("report: trace %d midpoint decode failed at op %d: %w", tr, i, err)
+				}
+				p.midTime = op.Time
+			}
+		}
+		return p, nil
 	})
 }
 
 // TraceStats returns the canonical-op statistics for a trace.
-func (ws *Workspace) TraceStats(trace int) (prep.Stats, error) {
-	return ws.TraceStatsContext(context.Background(), trace)
+func (ws *Workspace) TraceStats(tr int) (prep.Stats, error) {
+	return ws.TraceStatsContext(context.Background(), tr)
 }
 
 // TraceStatsContext is TraceStats with cancellation.
-func (ws *Workspace) TraceStatsContext(ctx context.Context, trace int) (prep.Stats, error) {
-	p, err := ws.passes(ctx, trace)
+func (ws *Workspace) TraceStatsContext(ctx context.Context, tr int) (prep.Stats, error) {
+	p, err := ws.passes(ctx, tr)
 	if err != nil {
 		return prep.Stats{}, err
 	}
 	return p.stats, nil
 }
 
+// MidTime returns the time of the trace's midpoint operation (op index
+// Ops/2, zero for an empty trace): the degraded study anchors its outage
+// windows there so they always land in active workload.
+func (ws *Workspace) MidTime(tr int) (int64, error) {
+	return ws.MidTimeContext(context.Background(), tr)
+}
+
+// MidTimeContext is MidTime with cancellation.
+func (ws *Workspace) MidTimeContext(ctx context.Context, tr int) (int64, error) {
+	p, err := ws.passes(ctx, tr)
+	if err != nil {
+		return 0, err
+	}
+	return p.midTime, nil
+}
+
 // Analysis returns the infinite-cache lifetime analysis for a trace.
-func (ws *Workspace) Analysis(trace int) (*lifetime.Analysis, error) {
-	return ws.AnalysisContext(context.Background(), trace)
+func (ws *Workspace) Analysis(tr int) (*lifetime.Analysis, error) {
+	return ws.AnalysisContext(context.Background(), tr)
 }
 
 // AnalysisContext is Analysis with cancellation.
-func (ws *Workspace) AnalysisContext(ctx context.Context, trace int) (*lifetime.Analysis, error) {
+func (ws *Workspace) AnalysisContext(ctx context.Context, tr int) (*lifetime.Analysis, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return ws.analyses.Do(trace, func() (*lifetime.Analysis, error) {
+	return ws.analyses.Do(tr, func() (*lifetime.Analysis, error) {
 		// Deliberately not the caller's ctx: a build that has started runs
 		// to completion so a bystander's cancellation can never be cached
 		// as this trace's permanent result.
-		p, err := ws.passes(context.Background(), trace)
+		src, err := ws.OpsSourceContext(context.Background(), tr)
 		if err != nil {
 			return nil, err
 		}
-		a, err := lifetime.AnalyzeWith(p.ops, lifetime.Options{FilesHint: p.stats.Files})
+		st, err := ws.TraceStatsContext(context.Background(), tr)
 		if err != nil {
-			return nil, fmt.Errorf("report: analyzing trace %d: %w", trace, err)
+			return nil, err
+		}
+		a, err := lifetime.AnalyzeWith(src, lifetime.Options{FilesHint: st.Files})
+		if err != nil {
+			return nil, fmt.Errorf("report: analyzing trace %d: %w", tr, err)
 		}
 		return a, nil
 	})
 }
 
 // Schedule returns the omniscient next-modify schedule for a trace.
-func (ws *Workspace) Schedule(trace int) (*lifetime.Schedule, error) {
-	return ws.ScheduleContext(context.Background(), trace)
+func (ws *Workspace) Schedule(tr int) (*lifetime.Schedule, error) {
+	return ws.ScheduleContext(context.Background(), tr)
 }
 
 // ScheduleContext is Schedule with cancellation.
-func (ws *Workspace) ScheduleContext(ctx context.Context, trace int) (*lifetime.Schedule, error) {
+func (ws *Workspace) ScheduleContext(ctx context.Context, tr int) (*lifetime.Schedule, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return ws.scheds.Do(trace, func() (*lifetime.Schedule, error) {
-		ops, err := ws.OpsContext(context.Background(), trace)
+	return ws.scheds.Do(tr, func() (*lifetime.Schedule, error) {
+		src, err := ws.OpsSourceContext(context.Background(), tr)
 		if err != nil {
 			return nil, err
 		}
-		return lifetime.BuildSchedule(ops, cache.DefaultBlockSize), nil
+		s, err := lifetime.BuildSchedule(src, cache.DefaultBlockSize)
+		if err != nil {
+			return nil, fmt.Errorf("report: scheduling trace %d: %w", tr, err)
+		}
+		return s, nil
 	})
 }
 
-// Prewarm builds every standard trace's canonical ops, lifetime analysis,
+// Prewarm builds every standard trace's encoded stream, lifetime analysis,
 // and omniscient schedule concurrently on the workspace engine. The
 // drivers hit the same singleflight entries, so a prewarmed workspace
 // serves every experiment from cache.

@@ -60,15 +60,22 @@ type Result struct {
 	EndTime int64
 }
 
-// Run simulates the canonical op stream under the configured cache model.
-func Run(ops []prep.Op, cfg Config) (*Result, error) {
-	s := NewStepper(ops, cfg)
-	if err := s.StepTo(len(ops)); err != nil {
+// Run simulates a canonical op stream under the configured cache model,
+// consuming the source in one forward pass: memory stays O(cache size)
+// regardless of trace length.
+func Run(src prep.Source, cfg Config) (*Result, error) {
+	s := NewStepper(src, cfg)
+	if err := s.StepAll(); err != nil {
 		return nil, err
 	}
 	res := s.Finish()
 	s.Release()
 	return res, nil
+}
+
+// RunOps simulates a materialized op slice (tests and small tools).
+func RunOps(ops []prep.Op, cfg Config) (*Result, error) {
+	return Run(prep.NewSliceSource(ops), cfg)
 }
 
 // Stepper runs a simulation one trace operation at a time. Run drives it
@@ -78,11 +85,13 @@ func Run(ops []prep.Op, cfg Config) (*Result, error) {
 // through after applying ops[:k], so a stepped run and a straight run of
 // the same prefix are interchangeable.
 type Stepper struct {
-	ops     []prep.Op
-	idx     int
-	cfg     Config
-	server  *consist.Server
-	models  map[uint16]cache.Model
+	src    prep.Source
+	idx    int
+	cfg    Config
+	server *consist.Server
+	// models is indexed directly by client id (ids are small and dense in
+	// the Sprite-like traces); nil entries are clients not yet seen.
+	models  []cache.Model
 	sizes   map[uint64]int64
 	clients []uint16 // known clients, sorted; rebuilt lazily
 	sorted  bool
@@ -94,8 +103,11 @@ type Stepper struct {
 	fault     *faults.Injector
 }
 
-// NewStepper prepares a stepwise simulation of the op stream.
-func NewStepper(ops []prep.Op, cfg Config) *Stepper {
+// NewStepper prepares a stepwise simulation pulling from src. A nil source
+// is allowed for callers that push operations themselves via Apply (the
+// report drivers' lockstep sweeps decode a trace once and feed every
+// configuration's stepper the same op).
+func NewStepper(src prep.Source, cfg Config) *Stepper {
 	if cfg.Cache.BlockSize <= 0 {
 		cfg.Cache.BlockSize = cache.DefaultBlockSize
 	}
@@ -106,10 +118,9 @@ func NewStepper(ops []prep.Op, cfg Config) *Stepper {
 		cfg.Cache.Arena = cache.NewBlockArena()
 	}
 	d := &Stepper{
-		ops:    ops,
+		src:    src,
 		cfg:    cfg,
 		server: consist.NewServerSized(cfg.FilesHint),
-		models: make(map[uint16]cache.Model),
 		sizes:  make(map[uint64]int64, cfg.FilesHint),
 	}
 	if cfg.Faults != nil {
@@ -153,9 +164,6 @@ func (d *Stepper) installFaultStage() {
 	d.cfg.Cache.Hooks = hooks
 }
 
-// Len returns the total number of operations in the stream.
-func (d *Stepper) Len() int { return len(d.ops) }
-
 // Index returns how many operations have been applied.
 func (d *Stepper) Index() int { return d.idx }
 
@@ -165,18 +173,54 @@ func (d *Stepper) Now() int64 { return d.now }
 // Server exposes the consistency server for invariant checks.
 func (d *Stepper) Server() *consist.Server { return d.server }
 
-// StepTo applies operations until k have been applied. It cannot rewind:
-// k below the current index is an error.
+// StepTo pulls and applies operations until k have been applied. It cannot
+// rewind: k below the current index is an error, as is a stream that ends
+// before the k-th operation.
 func (d *Stepper) StepTo(k int) error {
-	if k < d.idx || k > len(d.ops) {
-		return fmt.Errorf("sim: StepTo(%d) outside [%d, %d]", k, d.idx, len(d.ops))
+	if k < d.idx {
+		return fmt.Errorf("sim: StepTo(%d) cannot rewind below %d", k, d.idx)
 	}
 	for d.idx < k {
-		if err := d.apply(d.ops[d.idx]); err != nil {
+		op, ok, err := d.src.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("sim: op stream ended after %d ops, before StepTo(%d)", d.idx, k)
+		}
+		if err := d.apply(op); err != nil {
 			return err
 		}
 		d.idx++
 	}
+	return nil
+}
+
+// StepAll drains the source, applying every remaining operation.
+func (d *Stepper) StepAll() error {
+	for {
+		op, ok, err := d.src.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		if err := d.apply(op); err != nil {
+			return err
+		}
+		d.idx++
+	}
+}
+
+// Apply applies one caller-supplied operation, bypassing the source. The
+// lockstep sweep drivers use this to share a single decode pass across
+// many simultaneous configurations.
+func (d *Stepper) Apply(op prep.Op) error {
+	if err := d.apply(op); err != nil {
+		return err
+	}
+	d.idx++
 	return nil
 }
 
@@ -225,7 +269,7 @@ func (d *Stepper) ForEachModel(fn func(client uint16, m cache.Model)) {
 func (d *Stepper) Finish() *Result {
 	d.finish()
 	res := &Result{
-		PerClient:      make(map[uint16]*cache.Traffic, len(d.models)),
+		PerClient:      make(map[uint16]*cache.Traffic, len(d.clients)),
 		Recalls:        d.server.Recalls,
 		DisableEvents:  d.server.DisableEvents,
 		ReplayedWrites: d.server.ReplayedWrites,
@@ -235,7 +279,8 @@ func (d *Stepper) Finish() *Result {
 		st := d.fault.Stats()
 		res.Faults = &st
 	}
-	for c, m := range d.models {
+	for _, c := range d.clientOrder() {
+		m := d.models[c]
 		res.PerClient[c] = m.Traffic()
 		res.Traffic.Add(m.Traffic())
 	}
@@ -247,17 +292,27 @@ func (d *Stepper) Finish() *Result {
 // blocks go back to the arena for the caller's next run.
 func (d *Stepper) Release() {
 	for _, m := range d.models {
-		m.Release()
+		if m != nil {
+			m.Release()
+		}
 	}
 }
 
 // model returns (creating on first use) the cache for a client.
 func (d *Stepper) model(client uint16) (cache.Model, error) {
-	if m, ok := d.models[client]; ok {
-		return m, nil
+	if int(client) < len(d.models) {
+		if m := d.models[client]; m != nil {
+			return m, nil
+		}
+	} else {
+		grown := make([]cache.Model, int(client)+1)
+		copy(grown, d.models)
+		d.models = grown
 	}
 	cc := d.cfg.Cache
-	if cc.Rand == nil {
+	if cc.Rand == nil && cc.Policy == cache.Random {
+		// Only the random policy consumes the rand source; skipping the
+		// others avoids one ~5KB source per (client, configuration).
 		cc.Rand = rand.New(rand.NewSource(d.cfg.Seed + int64(client)*7919))
 	}
 	m, err := cache.NewModel(d.cfg.Model, cc)

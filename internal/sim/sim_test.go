@@ -38,7 +38,7 @@ func TestRunVolatileBasics(t *testing.T) {
 		prep.Op{Time: 2, Client: 1, Kind: prep.Fsync, File: 5},
 		prep.Op{Time: 3, Client: 1, Kind: prep.Close, File: 5},
 	}
-	res, err := Run(ops, Config{
+	res, err := RunOps(ops, Config{
 		Model: cache.ModelVolatile,
 		Cache: cache.Config{VolatileBlocks: 64},
 	})
@@ -62,7 +62,7 @@ func TestRunCallbackBetweenClients(t *testing.T) {
 		openOp(10, 2, 5, false),
 		wop(11, 2, prep.Read, 5, 0, 4096),
 	}
-	res, err := Run(ops, Config{
+	res, err := RunOps(ops, Config{
 		Model: cache.ModelUnified,
 		Cache: cache.Config{VolatileBlocks: 64, NVRAMBlocks: 64},
 	})
@@ -85,7 +85,7 @@ func TestRunConcurrentSharing(t *testing.T) {
 		wop(3, 2, prep.Write, 5, 0, 1000),
 		wop(4, 1, prep.Read, 5, 0, 1000),
 	}
-	res, err := Run(ops, Config{
+	res, err := RunOps(ops, Config{
 		Model: cache.ModelVolatile,
 		Cache: cache.Config{VolatileBlocks: 64},
 	})
@@ -109,7 +109,7 @@ func TestRunEndOfTraceFlush(t *testing.T) {
 		openOp(0, 1, 5, true),
 		wop(1, 1, prep.Write, 5, 0, 4096),
 	}
-	res, err := Run(ops, Config{
+	res, err := RunOps(ops, Config{
 		Model: cache.ModelUnified,
 		Cache: cache.Config{VolatileBlocks: 64, NVRAMBlocks: 64},
 	})
@@ -127,11 +127,11 @@ func TestRunEndOfTraceFlush(t *testing.T) {
 // traffic must equal called-back + concurrent + remaining bytes.
 func TestInfiniteNVRAMMatchesLifetime(t *testing.T) {
 	ops := traceOps(t, 1, 0.02)
-	an, err := lifetime.Analyze(ops)
+	an, err := lifetime.Analyze(prep.NewSliceSource(ops))
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Run(ops, Config{
+	res, err := RunOps(ops, Config{
 		Model: cache.ModelUnified,
 		Cache: cache.Config{VolatileBlocks: 1 << 20, NVRAMBlocks: 1 << 20},
 	})
@@ -158,7 +158,7 @@ func TestInfiniteNVRAMMatchesLifetime(t *testing.T) {
 func TestSmallerNVRAMMoreTraffic(t *testing.T) {
 	ops := traceOps(t, 2, 0.02)
 	frac := func(nvBlocks int) float64 {
-		res, err := Run(ops, Config{
+		res, err := RunOps(ops, Config{
 			Model: cache.ModelUnified,
 			Cache: cache.Config{VolatileBlocks: 2048, NVRAMBlocks: nvBlocks},
 		})
@@ -177,9 +177,12 @@ func TestSmallerNVRAMMoreTraffic(t *testing.T) {
 // policy should never do meaningfully worse than the realistic policies.
 func TestOmniscientBeatsLRUAndRandom(t *testing.T) {
 	ops := traceOps(t, 5, 0.02)
-	sched := lifetime.BuildSchedule(ops, cache.DefaultBlockSize)
+	sched, err := lifetime.BuildSchedule(prep.NewSliceSource(ops), cache.DefaultBlockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
 	run := func(pol cache.PolicyKind, sc cache.Schedule) float64 {
-		res, err := Run(ops, Config{
+		res, err := RunOps(ops, Config{
 			Model:      cache.ModelUnified,
 			Cache:      cache.Config{VolatileBlocks: 2048, NVRAMBlocks: 32, Policy: pol, Schedule: sc},
 			Seed:       1,
@@ -204,7 +207,7 @@ func TestWritesOnlySkipsReads(t *testing.T) {
 		wop(1, 1, prep.Write, 5, 0, 4096),
 		wop(2, 1, prep.Read, 5, 0, 4096),
 	}
-	res, err := Run(ops, Config{
+	res, err := RunOps(ops, Config{
 		Model:      cache.ModelVolatile,
 		Cache:      cache.Config{VolatileBlocks: 4},
 		WritesOnly: true,
@@ -231,7 +234,7 @@ func TestBlocksForBytes(t *testing.T) {
 
 func TestPerClientTrafficSumsToTotal(t *testing.T) {
 	ops := traceOps(t, 6, 0.02)
-	res, err := Run(ops, Config{
+	res, err := RunOps(ops, Config{
 		Model: cache.ModelVolatile,
 		Cache: cache.Config{VolatileBlocks: 1024},
 	})

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"time"
 )
 
@@ -122,8 +123,11 @@ func (tw *Writer) Close() error {
 // Reader streams events from a trace file.
 type Reader struct {
 	r        *bufio.Reader
+	data     []byte // non-nil: decode directly from this slice instead of r
+	pos      int    // next undecoded byte in data
 	header   Header
 	lastTime int64
+	index    int64 // events decoded so far, for error positions
 	done     bool
 }
 
@@ -179,21 +183,102 @@ func NewReader(r io.Reader) (*Reader, error) {
 	}, nil
 }
 
-// Header returns the trace file header.
-func (tr *Reader) Header() Header { return tr.header }
+// NewBytesReader returns a Reader decoding an in-memory encoded trace.
+// It produces exactly the stream NewReader would, but reads varints
+// straight off the slice instead of through per-byte io.ByteReader
+// calls — the hot path for the report workspace, which re-decodes its
+// cached encodings once per simulation cell.
+func NewBytesReader(data []byte) (*Reader, error) {
+	if len(data) < len(magic) || string(data[:len(magic)]) != string(magic[:]) {
+		return nil, ErrBadMagic
+	}
+	tr := &Reader{data: data, pos: len(magic)}
+	ver, err := tr.uvarintSlice()
+	if err != nil {
+		return nil, err
+	}
+	if ver != formatVersion {
+		return nil, fmt.Errorf("trace: unsupported format version %d", ver)
+	}
+	nameLen, err := tr.uvarintSlice()
+	if err != nil {
+		return nil, err
+	}
+	if nameLen > 1<<16 {
+		return nil, fmt.Errorf("trace: implausible name length %d", nameLen)
+	}
+	if uint64(len(data)-tr.pos) < nameLen {
+		return nil, io.ErrUnexpectedEOF
+	}
+	name := string(data[tr.pos : tr.pos+int(nameLen)])
+	tr.pos += int(nameLen)
+	clients, err := tr.uvarintSlice()
+	if err != nil {
+		return nil, err
+	}
+	durUS, err := tr.uvarintSlice()
+	if err != nil {
+		return nil, err
+	}
+	seed, err := tr.varintSlice()
+	if err != nil {
+		return nil, err
+	}
+	tr.header = Header{
+		Name:     name,
+		Clients:  int(clients),
+		Duration: time.Duration(durUS) * time.Microsecond,
+		Seed:     seed,
+	}
+	return tr, nil
+}
 
-// Read returns the next event, or io.EOF after the last event.
-func (tr *Reader) Read() (Event, error) {
-	if tr.done {
-		return Event{}, io.EOF
+// uvarintSlice decodes the next uvarint from the slice; one-byte values
+// (the overwhelmingly common case for delta times and field values) stay
+// on the inlined fast path.
+func (tr *Reader) uvarintSlice() (uint64, error) {
+	if tr.pos < len(tr.data) {
+		if b := tr.data[tr.pos]; b < 0x80 {
+			tr.pos++
+			return uint64(b), nil
+		}
 	}
-	dt, err := binary.ReadUvarint(tr.r)
-	if err != nil {
-		return Event{}, fmt.Errorf("trace: reading time delta: %w", noEOF(err))
+	v, n := binary.Uvarint(tr.data[tr.pos:])
+	if n <= 0 {
+		return 0, io.ErrUnexpectedEOF
 	}
-	opByte, err := tr.r.ReadByte()
+	tr.pos += n
+	return v, nil
+}
+
+func (tr *Reader) varintSlice() (int64, error) {
+	v, n := binary.Varint(tr.data[tr.pos:])
+	if n <= 0 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	tr.pos += n
+	return v, nil
+}
+
+func (tr *Reader) byteSlice() (byte, error) {
+	if tr.pos >= len(tr.data) {
+		return 0, io.ErrUnexpectedEOF
+	}
+	b := tr.data[tr.pos]
+	tr.pos++
+	return b, nil
+}
+
+// readSlice is Read's slice-backed fast path: identical decode logic and
+// error positions, without the buffered-reader indirection.
+func (tr *Reader) readSlice() (Event, error) {
+	dt, err := tr.uvarintSlice()
 	if err != nil {
-		return Event{}, fmt.Errorf("trace: reading op: %w", noEOF(err))
+		return Event{}, fmt.Errorf("trace: event %d: reading time delta: %w", tr.index, err)
+	}
+	opByte, err := tr.byteSlice()
+	if err != nil {
+		return Event{}, fmt.Errorf("trace: event %d: reading op: %w", tr.index, err)
 	}
 	if opByte == 0 {
 		tr.done = true
@@ -201,7 +286,90 @@ func (tr *Reader) Read() (Event, error) {
 	}
 	e := Event{Op: Op(opByte)}
 	if !e.Op.Valid() {
-		return Event{}, fmt.Errorf("trace: invalid op byte %d", opByte)
+		return Event{}, fmt.Errorf("trace: event %d: invalid op byte %d", tr.index, opByte)
+	}
+	if dt > uint64(math.MaxInt64-tr.lastTime) {
+		return Event{}, fmt.Errorf("trace: event %d: time delta %d after %dus wraps the clock (non-monotonic stream)",
+			tr.index, dt, tr.lastTime)
+	}
+	tr.lastTime += int64(dt)
+	e.Time = tr.lastTime
+	client, err := tr.uvarintSlice()
+	if err != nil {
+		return Event{}, err
+	}
+	e.Client = uint16(client)
+	file, err := tr.uvarintSlice()
+	if err != nil {
+		return Event{}, err
+	}
+	e.File = file
+	off, err := tr.uvarintSlice()
+	if err != nil {
+		return Event{}, err
+	}
+	e.Offset = int64(off)
+	switch e.Op {
+	case OpRead, OpWrite:
+		l, err := tr.uvarintSlice()
+		if err != nil {
+			return Event{}, err
+		}
+		e.Length = int64(l)
+	case OpOpen:
+		if e.Flags, err = tr.byteSlice(); err != nil {
+			return Event{}, err
+		}
+	case OpMigrate:
+		tgt, err := tr.uvarintSlice()
+		if err != nil {
+			return Event{}, err
+		}
+		e.Target = uint16(tgt)
+	}
+	if err := e.Validate(); err != nil {
+		return Event{}, fmt.Errorf("trace: event %d: corrupt event: %w", tr.index, err)
+	}
+	tr.index++
+	return e, nil
+}
+
+// Header returns the trace file header.
+func (tr *Reader) Header() Header { return tr.header }
+
+// Read returns the next event, or io.EOF after the last event.
+//
+// Decoded event times are guaranteed non-decreasing: times are stored as
+// unsigned deltas, so the only way a decoded stream could go backwards is
+// the delta wrapping the int64 clock — which Read rejects with the event's
+// position. Downstream consumers (prep canonicalization) rely on this and
+// skip their own ordering re-check for Reader-fed streams.
+func (tr *Reader) Read() (Event, error) {
+	if tr.done {
+		return Event{}, io.EOF
+	}
+	if tr.data != nil {
+		return tr.readSlice()
+	}
+	dt, err := binary.ReadUvarint(tr.r)
+	if err != nil {
+		return Event{}, fmt.Errorf("trace: event %d: reading time delta: %w", tr.index, noEOF(err))
+	}
+	opByte, err := tr.r.ReadByte()
+	if err != nil {
+		return Event{}, fmt.Errorf("trace: event %d: reading op: %w", tr.index, noEOF(err))
+	}
+	if opByte == 0 {
+		tr.done = true
+		return Event{}, io.EOF
+	}
+	e := Event{Op: Op(opByte)}
+	if !e.Op.Valid() {
+		return Event{}, fmt.Errorf("trace: event %d: invalid op byte %d", tr.index, opByte)
+	}
+	if dt > uint64(math.MaxInt64-tr.lastTime) {
+		return Event{}, fmt.Errorf("trace: event %d: time delta %d after %dus wraps the clock (non-monotonic stream)",
+			tr.index, dt, tr.lastTime)
 	}
 	tr.lastTime += int64(dt)
 	e.Time = tr.lastTime
@@ -239,9 +407,22 @@ func (tr *Reader) Read() (Event, error) {
 	// A well-formed writer only produces valid events, so an invalid one
 	// here means the stream is corrupt (or not a trace at all).
 	if err := e.Validate(); err != nil {
-		return Event{}, fmt.Errorf("trace: corrupt event: %w", err)
+		return Event{}, fmt.Errorf("trace: event %d: corrupt event: %w", tr.index, err)
 	}
+	tr.index++
 	return e, nil
+}
+
+// Next implements EventSource over the remaining events.
+func (tr *Reader) Next() (Event, bool, error) {
+	e, err := tr.Read()
+	if err == io.EOF {
+		return Event{}, false, nil
+	}
+	if err != nil {
+		return Event{}, false, err
+	}
+	return e, true, nil
 }
 
 // ReadAll drains the remaining events into a slice.

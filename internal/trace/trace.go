@@ -14,6 +14,7 @@ package trace
 import (
 	"errors"
 	"fmt"
+	"math"
 	"time"
 )
 
@@ -99,6 +100,10 @@ func (e *Event) Validate() error {
 		return fmt.Errorf("trace: negative offset %d in %v", e.Offset, e.Op)
 	case e.Length < 0:
 		return fmt.Errorf("trace: negative length %d in %v", e.Length, e.Op)
+	case e.Offset > math.MaxInt64-e.Length:
+		// Offset+Length is computed throughout the pipeline (range ends,
+		// byte accounting); a pair that wraps int64 is adversarial input.
+		return fmt.Errorf("trace: offset %d + length %d overflows in %v", e.Offset, e.Length, e.Op)
 	case (e.Op == OpRead || e.Op == OpWrite) && e.Length == 0:
 		return fmt.Errorf("trace: zero-length %v", e.Op)
 	case e.Op == OpOpen && e.Flags&(FlagRead|FlagWrite) == 0:
@@ -141,3 +146,53 @@ const (
 	Hour   = 60 * Minute
 	Day    = 24 * Hour
 )
+
+// EventSource is a pull cursor over a trace event stream: Next returns the
+// next event, or ok=false at the end of the stream. Sources are single-use
+// and not safe for concurrent callers. The streaming pipeline threads this
+// cursor from the workload generator (or a trace file Reader) through prep
+// canonicalization into the simulators, so no stage materializes the trace.
+type EventSource interface {
+	Next() (e Event, ok bool, err error)
+}
+
+// SliceSource adapts an in-memory event slice to an EventSource; tests use
+// it to compare the streaming pipeline against materialized inputs.
+type SliceSource struct {
+	evs []Event
+	i   int
+}
+
+// NewSliceSource returns a cursor over evs. The slice is not copied.
+func NewSliceSource(evs []Event) *SliceSource { return &SliceSource{evs: evs} }
+
+// Next implements EventSource.
+func (s *SliceSource) Next() (Event, bool, error) {
+	if s.i >= len(s.evs) {
+		return Event{}, false, nil
+	}
+	e := s.evs[s.i]
+	s.i++
+	return e, true, nil
+}
+
+// TeeSource forwards an event stream while writing every event into a
+// Writer, so one generation pass can feed an encoder and a downstream
+// consumer (canonicalization, statistics) simultaneously. The caller
+// still owns the Writer and must Close it after the stream ends.
+type TeeSource struct {
+	Src EventSource
+	W   *Writer
+}
+
+// Next implements EventSource.
+func (t *TeeSource) Next() (Event, bool, error) {
+	e, ok, err := t.Src.Next()
+	if err != nil || !ok {
+		return e, ok, err
+	}
+	if err := t.W.Write(e); err != nil {
+		return Event{}, false, err
+	}
+	return e, true, nil
+}

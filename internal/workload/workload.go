@@ -25,7 +25,6 @@ import (
 	"container/heap"
 	"fmt"
 	"math/rand"
-	"sort"
 	"time"
 
 	"nvramfs/internal/trace"
@@ -118,14 +117,27 @@ type ActorConfig struct {
 	Intensity float64
 }
 
-// Generate synthesizes the trace described by p and hands every event, in
-// time order, to emit. It returns the total number of events generated.
-//
-// Actors are stepped through a scheduling heap; each step may emit a burst
-// of events spanning simulated time (e.g. a compile writing temporaries that
-// are deleted seconds later), so the stream is buffered and stably sorted by
-// timestamp before delivery.
-func Generate(p Profile, emit func(trace.Event) error) (int64, error) {
+// Cursor streams the trace described by a Profile one event at a time,
+// implementing trace.EventSource. Actors are stepped lazily through the
+// scheduling heap; each step may emit a burst of events spanning simulated
+// time (a compile writing temporaries that are deleted seconds later), so
+// emitted events wait in a small pending heap ordered by (time, emission
+// sequence) and are released only once no un-stepped actor could produce
+// an earlier one. Every behavior emits at or after its step time, so the
+// release point is the scheduling heap's minimum: the delivered order is
+// byte-identical to generating everything and stably sorting by timestamp,
+// while the pending buffer stays bounded by the actors' burst lookahead
+// (tens of minutes of simulated time, a few thousand events) instead of
+// the whole trace.
+type Cursor struct {
+	g     *generator
+	queue actorQueue
+	count int64
+	err   error
+}
+
+// NewCursor prepares a streaming generation of the trace described by p.
+func NewCursor(p Profile) *Cursor {
 	if p.Scale <= 0 {
 		p.Scale = 1.0
 	}
@@ -136,8 +148,8 @@ func Generate(p Profile, emit func(trace.Event) error) (int64, error) {
 		horizon: int64(p.Duration / time.Microsecond),
 		nextID:  1,
 	}
+	c := &Cursor{g: g}
 	base := rand.New(rand.NewSource(p.Seed))
-	var queue actorQueue
 	for i, ac := range p.Actors {
 		if ac.Intensity <= 0 {
 			ac.Intensity = 1.0
@@ -147,31 +159,69 @@ func Generate(p Profile, emit func(trace.Event) error) (int64, error) {
 		// Stagger actor start times through the first hour so activity
 		// doesn't arrive in lockstep.
 		a.when = rng.Int63n(int64(time.Hour / time.Microsecond))
-		heap.Push(&queue, a)
+		heap.Push(&c.queue, a)
 	}
-	for queue.Len() > 0 {
-		a := heap.Pop(&queue).(*actor)
-		if a.when >= g.horizon {
+	return c
+}
+
+// Count returns the number of events delivered so far.
+func (c *Cursor) Count() int64 { return c.count }
+
+// Next implements trace.EventSource.
+func (c *Cursor) Next() (trace.Event, bool, error) {
+	if c.err != nil {
+		return trace.Event{}, false, c.err
+	}
+	for {
+		// Release the earliest pending event once no future actor step can
+		// emit before it. Steps emit at or after their scheduled time and
+		// the queue pops in non-decreasing time order, so any event emitted
+		// later carries a later (or equal, with a larger sequence number —
+		// i.e. stably after) timestamp than the queue's minimum.
+		if len(c.g.pending) > 0 &&
+			(c.queue.Len() == 0 || c.g.pending[0].e.Time <= c.queue[0].when) {
+			e := heap.Pop(&c.g.pending).(pendingEvent).e
+			c.count++
+			return e, true, nil
+		}
+		if c.queue.Len() == 0 {
+			return trace.Event{}, false, nil
+		}
+		a := heap.Pop(&c.queue).(*actor)
+		if a.when >= c.g.horizon {
 			continue
 		}
 		prev := a.when
 		if err := a.behavior.step(a, a.when); err != nil {
-			return 0, err
+			c.err = err
+			return trace.Event{}, false, c.err
 		}
 		if a.when <= prev {
-			return 0, fmt.Errorf("workload: %v actor did not advance time", a.cfg.Kind)
+			c.err = fmt.Errorf("workload: %v actor did not advance time", a.cfg.Kind)
+			return trace.Event{}, false, c.err
 		}
-		if a.when < g.horizon {
-			heap.Push(&queue, a)
+		if a.when < c.g.horizon {
+			heap.Push(&c.queue, a)
 		}
 	}
-	sort.SliceStable(g.buf, func(i, j int) bool { return g.buf[i].Time < g.buf[j].Time })
-	for _, e := range g.buf {
+}
+
+// Generate synthesizes the trace described by p and hands every event, in
+// time order, to emit. It returns the total number of events generated.
+func Generate(p Profile, emit func(trace.Event) error) (int64, error) {
+	c := NewCursor(p)
+	for {
+		e, ok, err := c.Next()
+		if err != nil {
+			return 0, err
+		}
+		if !ok {
+			return c.count, nil
+		}
 		if err := emit(e); err != nil {
 			return 0, err
 		}
 	}
-	return int64(len(g.buf)), nil
 }
 
 // GenerateToWriter synthesizes the trace into a trace.Writer.
@@ -191,9 +241,10 @@ func GenerateEvents(p Profile) ([]trace.Event, error) {
 
 // generator carries shared state for one trace synthesis run.
 type generator struct {
-	buf     []trace.Event
+	pending eventHeap
 	horizon int64 // trace end, microseconds
 	nextID  uint64
+	seq     int64 // emission sequence, the stable-sort tiebreak
 }
 
 // newFile allocates a cluster-wide file id.
@@ -208,7 +259,35 @@ func (g *generator) add(e trace.Event) {
 	if e.Time >= g.horizon {
 		return
 	}
-	g.buf = append(g.buf, e)
+	heap.Push(&g.pending, pendingEvent{e: e, seq: g.seq})
+	g.seq++
+}
+
+// pendingEvent is an emitted-but-undelivered event; seq preserves emission
+// order among equal timestamps, exactly as a stable sort would.
+type pendingEvent struct {
+	e   trace.Event
+	seq int64
+}
+
+// eventHeap is a min-heap of pending events by (time, emission sequence).
+type eventHeap []pendingEvent
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].e.Time != h[j].e.Time {
+		return h[i].e.Time < h[j].e.Time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(pendingEvent)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
 }
 
 // actorQueue is a min-heap of actors ordered by next action time.

@@ -30,6 +30,7 @@
 package nvramfs
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -130,11 +131,38 @@ type (
 // traces, as in the paper).
 const NumStandardTraces = workload.NumStandardTraces
 
-// Trace is a canonicalized file-system trace ready for simulation.
+// Trace is a file-system trace ready for simulation, held as compact
+// delta-encoded bytes. Every simulation entry point streams the trace's
+// canonical operations through a fresh decode cursor (Ops), so running a
+// trace needs memory proportional to the cache under test, not the trace
+// length.
 type Trace struct {
 	Name  string
-	ops   []prep.Op
+	enc   []byte
 	stats prep.Stats
+}
+
+// encodeProfile synthesizes a workload in one streaming pass that tees
+// every event into the binary trace encoder while the canonicalizer
+// accumulates statistics; nothing materializes the event or op stream.
+func encodeProfile(p workload.Profile) (*Trace, error) {
+	var buf bytes.Buffer
+	w, err := trace.NewWriter(&buf, p.Header())
+	if err != nil {
+		return nil, err
+	}
+	c := prep.NewSource(&trace.TeeSource{Src: workload.NewCursor(p), W: w}, prep.Options{Trusted: true})
+	for {
+		if _, ok, err := c.Next(); err != nil {
+			return nil, err
+		} else if !ok {
+			break
+		}
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	return &Trace{Name: p.Name, enc: buf.Bytes(), stats: c.Stats()}, nil
 }
 
 // StandardTrace synthesizes standard trace i (1..8) at the given volume
@@ -144,16 +172,7 @@ func StandardTrace(i int, scale float64) (*Trace, error) {
 	if i < 1 || i > NumStandardTraces {
 		return nil, fmt.Errorf("nvramfs: trace index %d out of range 1..%d", i, NumStandardTraces)
 	}
-	p := workload.StandardProfile(i, scale)
-	evs, err := workload.GenerateEvents(p)
-	if err != nil {
-		return nil, err
-	}
-	ops, st, err := prep.CanonicalizeAll(evs)
-	if err != nil {
-		return nil, err
-	}
-	return &Trace{Name: p.Name, ops: ops, stats: st}, nil
+	return encodeProfile(workload.StandardProfile(i, scale))
 }
 
 // WorkloadTemplate writes an example JSON workload profile (the standard
@@ -174,15 +193,7 @@ func CustomTrace(config io.Reader) (*Trace, error) {
 	if err != nil {
 		return nil, err
 	}
-	evs, err := workload.GenerateEvents(p)
-	if err != nil {
-		return nil, err
-	}
-	ops, st, err := prep.CanonicalizeAll(evs)
-	if err != nil {
-		return nil, err
-	}
-	return &Trace{Name: p.Name, ops: ops, stats: st}, nil
+	return encodeProfile(p)
 }
 
 // WriteCustomTrace synthesizes a trace from a JSON workload profile and
@@ -204,21 +215,29 @@ func WriteCustomTrace(w io.Writer, config io.Reader) (int64, error) {
 }
 
 // ReadTrace loads a trace from the binary trace format (as written by
-// cmd/nvtrace or WriteStandardTrace).
+// cmd/nvtrace or WriteStandardTrace). The encoded bytes are kept as-is;
+// one streaming validation pass collects the statistics and rejects
+// corrupt or out-of-order input.
 func ReadTrace(r io.Reader) (*Trace, error) {
-	tr, err := trace.NewReader(r)
+	data, err := io.ReadAll(r)
 	if err != nil {
 		return nil, err
 	}
-	evs, err := tr.ReadAll()
+	tr, err := trace.NewBytesReader(data)
 	if err != nil {
 		return nil, err
 	}
-	ops, st, err := prep.CanonicalizeAll(evs)
-	if err != nil {
-		return nil, err
+	// The Reader validates every event and rejects clock regressions at
+	// decode, so the canonicalizer can trust the stream.
+	c := prep.NewSource(tr, prep.Options{Trusted: true})
+	for {
+		if _, ok, err := c.Next(); err != nil {
+			return nil, err
+		} else if !ok {
+			break
+		}
 	}
-	return &Trace{Name: tr.Header().Name, ops: ops, stats: st}, nil
+	return &Trace{Name: tr.Header().Name, enc: data, stats: c.Stats()}, nil
 }
 
 // WriteStandardTrace synthesizes standard trace i and writes it in the
@@ -244,7 +263,20 @@ func (t *Trace) Stats() TraceStats { return t.stats }
 
 // NumOps returns the number of canonicalized simulation operations —
 // the domain of CrashCache's event boundaries (0..NumOps inclusive).
-func (t *Trace) NumOps() int { return len(t.ops) }
+func (t *Trace) NumOps() int { return int(t.stats.Ops) }
+
+// Ops returns a fresh single-use streaming cursor over the trace's
+// canonical operations; Trace implements the simulators' replayable
+// stream interface, so multi-pass consumers (the LFS crash oracle) ask
+// for a new cursor per pass. Cursors are independent: any number may be
+// open at once, each decoding the shared bytes on its own.
+func (t *Trace) Ops() (prep.Source, error) {
+	tr, err := trace.NewBytesReader(t.enc)
+	if err != nil {
+		return nil, err
+	}
+	return prep.NewSource(tr, prep.Options{Trusted: true, FilesHint: t.stats.Files}), nil
+}
 
 // DumpTrace pretty-prints a trace file's header and first n events (all
 // when n <= 0); a trace-inspection aid for cmd/nvtrace -dump.
@@ -273,7 +305,11 @@ func DumpTrace(w io.Writer, r io.Reader, n int) error {
 
 // Analyze runs the infinite-cache lifetime analysis (Figure 2, Table 2).
 func (t *Trace) Analyze() (*Lifetime, error) {
-	return lifetime.AnalyzeWith(t.ops, lifetime.Options{FilesHint: t.stats.Files})
+	src, err := t.Ops()
+	if err != nil {
+		return nil, err
+	}
+	return lifetime.AnalyzeWith(src, lifetime.Options{FilesHint: t.stats.Files})
 }
 
 // CacheConfig parameterizes a client cache simulation.
@@ -337,7 +373,15 @@ func (t *Trace) simConfig(cfg CacheConfig) (sim.Config, error) {
 		policy = cache.Random
 	case "omniscient":
 		policy = cache.Omniscient
-		sched = lifetime.BuildSchedule(t.ops, cache.DefaultBlockSize)
+		src, err := t.Ops()
+		if err != nil {
+			return sim.Config{}, err
+		}
+		s, err := lifetime.BuildSchedule(src, cache.DefaultBlockSize)
+		if err != nil {
+			return sim.Config{}, err
+		}
+		sched = s
 	default:
 		return sim.Config{}, fmt.Errorf("nvramfs: unknown policy %q", cfg.Policy)
 	}
@@ -370,7 +414,11 @@ func (t *Trace) RunCache(cfg CacheConfig) (*CacheResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	return sim.Run(t.ops, sc)
+	src, err := t.Ops()
+	if err != nil {
+		return nil, err
+	}
+	return sim.Run(src, sc)
 }
 
 // CrashCache simulates the trace's first `at` operations under the
@@ -382,10 +430,14 @@ func (t *Trace) CrashCache(cfg CacheConfig, at int) (*CacheCrashOutcome, error) 
 	if err != nil {
 		return nil, err
 	}
-	if at < 0 || at > len(t.ops) {
-		at = len(t.ops)
+	if at < 0 || at > t.NumOps() {
+		at = t.NumOps()
 	}
-	return crash.RunCache(t.ops, sc, at)
+	src, err := t.Ops()
+	if err != nil {
+		return nil, err
+	}
+	return crash.RunCache(src, sc, at)
 }
 
 // CrashLFS feeds the trace's write path to a server LFS, crashes it after
@@ -393,10 +445,10 @@ func (t *Trace) CrashCache(cfg CacheConfig, at int) (*CacheCrashOutcome, error) 
 // checking the recovered state against a from-scratch replay oracle.
 // at < 0 or beyond the trace crashes at the end.
 func (t *Trace) CrashLFS(cfg LFSCrashConfig, at int) (*LFSCrashOutcome, error) {
-	if at < 0 || at > len(t.ops) {
-		at = len(t.ops)
+	if at < 0 || at > t.NumOps() {
+		at = t.NumOps()
 	}
-	return crash.RunLFS(t.ops, cfg, at)
+	return crash.RunLFS(t, cfg, at)
 }
 
 // ServerResult is the outcome of one server file-system run.
