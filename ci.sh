@@ -42,3 +42,9 @@ go test -race -run '^$' -bench . -benchtime 1x ./...
 # loudly if any pipeline stage regresses to materializing the trace (or
 # retaining per-file state past deletion).
 go run ./cmd/nvbench -stream-smoke
+
+# Sharded-pipeline smoke: the Figure 2/3 sweeps rendered sharded at -j 4
+# must be byte-identical to the sequential render, and on a box with
+# >= 4 CPUs the sharded run must be at least 1.5x faster (the speedup
+# gate self-skips on smaller boxes; the divergence gate always runs).
+go run ./cmd/nvbench -shard-smoke

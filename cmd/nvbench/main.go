@@ -10,6 +10,7 @@
 //	nvbench -input old_bench.txt      # parse a saved log instead of running
 //	nvbench -pkg ./... -bench Sim     # restrict packages / benchmarks
 //	nvbench -stream-smoke             # bounded-memory check only (CI gate)
+//	nvbench -shard-smoke              # sharded-vs-sequential divergence and speedup check (CI gate)
 //
 // The JSON maps benchmark name → {ns_per_op, b_per_op, allocs_per_op};
 // map keys marshal sorted, so successive files diff cleanly. Runs (not
@@ -49,6 +50,10 @@ type File struct {
 	// the streaming pipeline at a base trace length and at the grown
 	// length (see streammem.go). Absent when parsing a saved log.
 	StreamingMemory *StreamMemory `json:"streaming_memory,omitempty"`
+	// ShardSpeedup, when present, records the intra-trace sharding
+	// measurement: sequential vs sharded Figure 2/3 renders, byte-compared
+	// and timed (see shardsmoke.go). Absent when parsing a saved log.
+	ShardSpeedup *ShardSpeedup `json:"shard_speedup,omitempty"`
 }
 
 // benchLine matches `go test -bench -benchmem` result lines, e.g.
@@ -100,8 +105,31 @@ func main() {
 		memFactor = flag.Int("mem-factor", 100, "trace-length growth factor for the streaming-memory column")
 		smoke     = flag.Bool("stream-smoke", false,
 			"only run the streaming-memory check (at -mem-factor, default 10) and fail if peak heap more than doubles")
+		shardScale = flag.Float64("shard-scale", 0.05, "workload scale for the shard-speedup measurement")
+		shardSmoke = flag.Bool("shard-smoke", false,
+			"only run the sharded-pipeline check: fail if sharded output diverges from sequential, or (with >= 4 CPUs) if the -j 4 speedup is under 1.5x")
 	)
 	flag.Parse()
+
+	if *shardSmoke {
+		ss, err := measureShardSpeedup(*shardScale, 4)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("shard smoke: %d CPUs, %d workers, shard width %d: sequential %.2fs, sharded %.2fs (%.2fx), output identical: %v",
+			ss.NumCPU, ss.Workers, ss.ShardWidth,
+			float64(ss.SequentialNs)/1e9, float64(ss.ShardedNs)/1e9, ss.Speedup, ss.OutputIdentical)
+		if !ss.OutputIdentical {
+			log.Fatal("sharded Figure 2/3 output diverges from the sequential render")
+		}
+		if ss.NumCPU >= 4 && ss.Speedup < 1.5 {
+			log.Fatalf("sharded speedup %.2fx at -j %d on a %d-CPU box, need >= 1.5x", ss.Speedup, ss.Workers, ss.NumCPU)
+		}
+		if ss.NumCPU < 4 {
+			log.Printf("only %d CPUs: divergence check passed, speedup gate skipped (needs >= 4 cores)", ss.NumCPU)
+		}
+		return
+	}
 
 	if *smoke {
 		factor := *memFactor
@@ -155,6 +183,7 @@ func main() {
 	}
 
 	var streamMem *StreamMemory
+	var shardSp *ShardSpeedup
 	if *input == "" {
 		sm, err := measureStreamMemory(*memScale, *memFactor)
 		if err != nil {
@@ -165,9 +194,23 @@ func main() {
 			sm.GrownOps, sm.LengthFactor, float64(sm.GrownPeakHeapBytes)/(1<<20),
 			sm.PeakHeapRatio)
 		streamMem = sm
+		// Same forced -j 4 configuration as -shard-smoke, so the recorded
+		// number reflects the sharded path even on boxes where
+		// GOMAXPROCS(0) == 1 would pick a degenerate width of 1.
+		ss, err := measureShardSpeedup(*shardScale, 4)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("shard speedup: sequential %.2fs → sharded %.2fs (%.2fx at -j %d, width %d), output identical: %v",
+			float64(ss.SequentialNs)/1e9, float64(ss.ShardedNs)/1e9,
+			ss.Speedup, ss.Workers, ss.ShardWidth, ss.OutputIdentical)
+		if !ss.OutputIdentical {
+			log.Fatal("sharded Figure 2/3 output diverges from the sequential render")
+		}
+		shardSp = ss
 	}
 
-	data, err := json.MarshalIndent(File{Benchtime: *benchtime, Benchmarks: entries, StreamingMemory: streamMem}, "", "  ")
+	data, err := json.MarshalIndent(File{Benchtime: *benchtime, Benchmarks: entries, StreamingMemory: streamMem, ShardSpeedup: shardSp}, "", "  ")
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 //	nvreport -exp fig2,table2     # selected experiments
 //	nvreport -scale 0.1           # faster, smaller workloads
 //	nvreport -j 4 -progress       # four workers, job progress on stderr
+//	nvreport -shards 4            # force the intra-trace shard width
 //
 // Experiments: table1 fig2 table2 fig3 fig4 fig5 fig6 bus cost table3
 // table4 buffer sort servercache fsynclat readlat stack ablate
@@ -47,7 +48,8 @@ func main() {
 		serverDays = flag.Float64("server-days", 14, "server study duration in days")
 		csvDir     = flag.String("csv", "", "also write each experiment's data as CSV into this directory")
 		plot       = flag.Bool("plot", false, "also draw ASCII charts for the figures")
-		jobs       = flag.Int("j", runtime.NumCPU(), "worker goroutines for the experiment engine")
+		jobs       = flag.Int("j", runtime.GOMAXPROCS(0), "worker goroutines for the experiment engine")
+		shards     = flag.Int("shards", 0, "intra-trace shard width for the sharded sweeps (0 = auto from -j, 1 = sequential)")
 		progress   = flag.Bool("progress", false, "report per-job progress on stderr")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile (post-run, after GC) to this file")
@@ -56,7 +58,10 @@ func main() {
 
 	if *jobs <= 0 {
 		log.Fatalf("-j %d is not positive; the engine needs at least one worker (default %d = all CPUs)",
-			*jobs, runtime.NumCPU())
+			*jobs, runtime.GOMAXPROCS(0))
+	}
+	if *shards < 0 {
+		log.Fatalf("-shards %d is negative; use 0 for automatic width or a positive shard count", *shards)
 	}
 	if *scale <= 0 {
 		log.Fatalf("-scale %g is not positive; use a fraction of paper scale such as 0.1", *scale)
@@ -126,6 +131,9 @@ func main() {
 	}
 	ws := nvramfs.NewWorkspace(*scale)
 	ws.SetEngine(eng)
+	ws.SetShards(*shards)
+	fmt.Fprintf(os.Stderr, "nvreport: %d workers, intra-trace shard width %d (output is identical at any -j/-shards)\n",
+		eng.Workers(), ws.ShardWidth())
 	start := time.Now()
 
 	out := os.Stdout

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"text/tabwriter"
@@ -36,6 +37,8 @@ func main() {
 		writesOnly = flag.Bool("writes-only", false, "ignore read traffic (Figure 3 methodology)")
 		sweepNVRAM = flag.String("sweep-nvram", "", "comma-separated NVRAM sizes (MB) to sweep instead of a single run")
 		sweepModel = flag.Bool("sweep-models", false, "compare all cache models at the given sizes")
+		jobs       = flag.Int("j", runtime.GOMAXPROCS(0), "worker goroutines for the client-sharded simulation")
+		shards     = flag.Int("shards", 0, "client shard count (0 = auto from -j, 1 = sequential; results are identical either way)")
 		crashAt    = flag.Int("crash-at", -1, "inject a crash after N trace operations and report the loss model (-1 disables; 0 crashes before any work)")
 		faultSpec  = flag.String("faults", "", "fault-injection spec for the write-back path, e.g. seed=7,drop=0.1,outage=2m+60s (see -faults-help)")
 		faultHelp  = flag.Bool("faults-help", false, "print the -faults spec grammar and exit")
@@ -45,6 +48,12 @@ func main() {
 	if *faultHelp {
 		fmt.Print(nvramfs.FaultSpecUsage())
 		return
+	}
+	if *jobs <= 0 {
+		log.Fatalf("-j %d is not positive (default %d = all CPUs)", *jobs, runtime.GOMAXPROCS(0))
+	}
+	if *shards < 0 {
+		log.Fatalf("-shards %d is negative; use 0 for automatic width or a positive shard count", *shards)
 	}
 	var faultDesc string
 	if *faultSpec != "" {
@@ -98,14 +107,31 @@ func main() {
 		return
 	}
 
-	res, err := tr.RunCache(nvramfs.CacheConfig{
+	cfg := nvramfs.CacheConfig{
 		Model:      *model,
 		Policy:     *policy,
 		VolatileMB: *volatileMB,
 		NVRAMMB:    *nvramMB,
 		WritesOnly: *writesOnly,
 		Faults:     *faultSpec,
-	})
+	}
+	// The sharded path runs K client shards on the worker pool and merges
+	// them into exactly the sequential answer; fault injection couples
+	// clients through the shared server model and stays sequential.
+	nshards := *shards
+	if nshards == 0 {
+		nshards = *jobs
+		if nshards > 8 {
+			nshards = 8
+		}
+	}
+	var res *nvramfs.CacheResult
+	if nshards > 1 && *faultSpec == "" {
+		fmt.Fprintf(os.Stderr, "nvsim: %d workers, %d client shards\n", *jobs, nshards)
+		res, err = tr.RunCacheSharded(cfg, nshards, *jobs)
+	} else {
+		res, err = tr.RunCache(cfg)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,88 @@
+package crash
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"nvramfs/internal/prep"
+	"nvramfs/internal/workload"
+)
+
+func parGo(n int, fn func(i int) error) error {
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TestShardedCrashSweepMatchesSequential replays the crash-injection
+// sweep on the sharded path: every event boundary of the synthetic
+// trace, every cache organization, shard counts {2, 8, 17}, outcomes
+// equal to the sequential harness byte for byte (same losses, same
+// survivals, same oldest age, no violations).
+func TestShardedCrashSweepMatchesSequential(t *testing.T) {
+	ops := syntheticOps()
+	rep := prep.SliceReplayable(ops)
+	for _, kind := range allKinds {
+		t.Run(kind.String(), func(t *testing.T) {
+			for k := 0; k <= len(ops); k++ {
+				want, err := RunCache(prep.NewSliceSource(ops), simCfg(kind), k)
+				if err != nil {
+					t.Fatalf("crash at %d: %v", k, err)
+				}
+				for _, shards := range []int{2, 8, 17} {
+					got, err := RunCacheSharded(rep, simCfg(kind), k, shards, parGo)
+					if err != nil {
+						t.Fatalf("crash at %d shards=%d: %v", k, shards, err)
+					}
+					if !reflect.DeepEqual(got, want) {
+						t.Errorf("crash at %d shards=%d: outcome diverges\n got %+v\nwant %+v",
+							k, shards, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestShardedCrashOnGeneratedTrace spot-checks the sharded harness on a
+// generated multi-client trace at a few crash depths.
+func TestShardedCrashOnGeneratedTrace(t *testing.T) {
+	evs, err := workload.GenerateEvents(workload.StandardProfile(2, 0.02))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops, _, err := prep.CanonicalizeAll(evs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := prep.SliceReplayable(ops)
+	for _, kind := range allKinds {
+		for _, k := range []int{0, len(ops) / 3, len(ops)} {
+			want, err := RunCache(prep.NewSliceSource(ops), simCfg(kind), k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := RunCacheSharded(rep, simCfg(kind), k, 8, parGo)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("%v crash at %d: sharded outcome diverges\n got %+v\nwant %+v", kind, k, got, want)
+			}
+		}
+	}
+}

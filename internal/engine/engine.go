@@ -46,13 +46,31 @@ type Metrics struct {
 	// Busy is the summed execution time of all finished jobs (it exceeds
 	// wall-clock time when workers run in parallel).
 	Busy time.Duration
+	// PeakConcurrent is the high-water mark of simultaneously executing
+	// work units (grid jobs plus borrowed Nested helpers). With a single
+	// top-level Run in flight it never exceeds Workers(): that is the
+	// shared-token-budget guarantee that keeps grid-level -j and
+	// intra-trace shards from oversubscribing the pool when they compose.
+	PeakConcurrent int64
 }
 
 // Engine is a fixed-size worker pool. The zero value is not usable; use
 // New. A nil *Engine is valid everywhere and degenerates to a serial
 // runner with no hooks or metrics.
+//
+// Concurrency is governed by a shared token budget of Workers()-1 tokens:
+// a goroutine entering Run participates directly in its own grid (no
+// token needed), while every extra goroutine — Run's pool workers and
+// the helpers Nested borrows for intra-job shard parallelism — must hold
+// a token. Tokens are what bound total concurrency, so nesting Nested
+// under Run (or running several grids at once) cannot multiply the
+// worker count; when the budget is exhausted the nested work simply runs
+// serially on its caller.
 type Engine struct {
 	workers int
+	// tokens holds the workers-1 transferable concurrency slots; nil for
+	// a single-worker engine, where everything runs on callers.
+	tokens chan struct{}
 
 	mu    sync.Mutex // serializes hook callbacks
 	hooks Hooks
@@ -61,6 +79,8 @@ type Engine struct {
 	finished atomic.Int64
 	failed   atomic.Int64
 	busyNS   atomic.Int64
+	running  atomic.Int64
+	peak     atomic.Int64
 }
 
 // New returns an engine with the given worker count; workers <= 0 selects
@@ -69,7 +89,14 @@ func New(workers int) *Engine {
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
-	return &Engine{workers: workers}
+	e := &Engine{workers: workers}
+	if workers > 1 {
+		e.tokens = make(chan struct{}, workers-1)
+		for i := 0; i < workers-1; i++ {
+			e.tokens <- struct{}{}
+		}
+	}
+	return e
 }
 
 // Workers reports the pool size (1 for a nil engine).
@@ -78,6 +105,18 @@ func (e *Engine) Workers() int {
 		return 1
 	}
 	return e.workers
+}
+
+// Spare reports how many concurrency tokens are free right now — an
+// instantaneous, advisory reading. Callers use it to size opportunistic
+// fan-outs (how many shards are worth splitting into) before calling
+// Nested; the answer can be stale by the time the borrow happens, which
+// is safe because Nested borrows non-blockingly anyway.
+func (e *Engine) Spare() int {
+	if e == nil || e.tokens == nil {
+		return 0
+	}
+	return len(e.tokens)
 }
 
 // SetHooks installs progress callbacks. Not safe to call concurrently
@@ -95,10 +134,11 @@ func (e *Engine) Metrics() Metrics {
 		return Metrics{}
 	}
 	return Metrics{
-		JobsStarted:  e.started.Load(),
-		JobsFinished: e.finished.Load(),
-		JobsFailed:   e.failed.Load(),
-		Busy:         time.Duration(e.busyNS.Load()),
+		JobsStarted:    e.started.Load(),
+		JobsFinished:   e.finished.Load(),
+		JobsFailed:     e.failed.Load(),
+		Busy:           time.Duration(e.busyNS.Load()),
+		PeakConcurrent: e.peak.Load(),
 	}
 }
 
@@ -114,10 +154,6 @@ func (e *Engine) Run(ctx context.Context, n int, fn func(ctx context.Context, i 
 	if n <= 0 {
 		return nil
 	}
-	workers := e.Workers()
-	if workers > n {
-		workers = n
-	}
 
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -128,36 +164,169 @@ func (e *Engine) Run(ctx context.Context, n int, fn func(ctx context.Context, i 
 		errIndex = -1
 		firstErr error
 	)
+	work := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n || runCtx.Err() != nil {
+				return
+			}
+			e.jobStarted(i, n)
+			start := time.Now()
+			e.enter()
+			err := fn(runCtx, i)
+			e.exit()
+			e.jobFinished(i, n, time.Since(start), err)
+			if err != nil {
+				mu.Lock()
+				if errIndex < 0 || i < errIndex {
+					errIndex, firstErr = i, err
+				}
+				mu.Unlock()
+				cancel()
+			}
+		}
+	}
+
+	// The caller participates in its own grid; extra workers each hold a
+	// token from the shared budget for their whole stint, so concurrent
+	// grids and nested shard helpers all draw down the same cap.
+	helpers := e.Workers() - 1
+	if helpers > n-1 {
+		helpers = n - 1
+	}
 	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
+	for w := 0; w < helpers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n || runCtx.Err() != nil {
-					return
-				}
-				e.jobStarted(i, n)
-				start := time.Now()
-				err := fn(runCtx, i)
-				e.jobFinished(i, n, time.Since(start), err)
-				if err != nil {
-					mu.Lock()
-					if errIndex < 0 || i < errIndex {
-						errIndex, firstErr = i, err
-					}
-					mu.Unlock()
-					cancel()
-				}
+			if !e.acquire(runCtx) {
+				return
 			}
+			defer e.release()
+			work()
 		}()
 	}
+	work()
 	wg.Wait()
 	if errIndex >= 0 {
 		return firstErr
 	}
 	return ctx.Err()
+}
+
+// Nested runs fn(i) for every i in [0, n), borrowing spare workers from
+// the engine's shared token budget for intra-job parallelism. The calling
+// goroutine always participates, so Nested makes progress — serially, in
+// the worst case — even when the grid pool has the budget fully occupied,
+// and borrowed helpers are acquired non-blockingly, so composing a -j
+// grid with per-trace shards can neither oversubscribe the worker cap nor
+// deadlock. fn must write results into index-addressed slots; like Run,
+// the error of the lowest-indexed failed item is reported. Nested does
+// not fire job hooks (it is sub-job granularity) and does not cancel
+// sibling items on failure beyond observing ctx.
+func (e *Engine) Nested(ctx context.Context, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	var (
+		next     atomic.Int64
+		mu       sync.Mutex
+		errIndex = -1
+		firstErr error
+	)
+	work := func(counted bool) {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n || ctx.Err() != nil {
+				return
+			}
+			if counted {
+				e.enter()
+			}
+			err := fn(i)
+			if counted {
+				e.exit()
+			}
+			if err != nil {
+				mu.Lock()
+				if errIndex < 0 || i < errIndex {
+					errIndex, firstErr = i, err
+				}
+				mu.Unlock()
+			}
+		}
+	}
+	var wg sync.WaitGroup
+	for borrowed := 1; borrowed < n && e.tryAcquire(); borrowed++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer e.release()
+			work(true)
+		}()
+	}
+	work(false)
+	wg.Wait()
+	if errIndex >= 0 {
+		return firstErr
+	}
+	return ctx.Err()
+}
+
+// enter/exit track the number of concurrently executing work units for
+// the PeakConcurrent metric. A unit is a grid job or a borrowed Nested
+// helper; a Nested caller is already inside a counted job (or is an
+// external caller) and is not recounted.
+func (e *Engine) enter() {
+	if e == nil {
+		return
+	}
+	cur := e.running.Add(1)
+	for {
+		p := e.peak.Load()
+		if cur <= p || e.peak.CompareAndSwap(p, cur) {
+			return
+		}
+	}
+}
+
+func (e *Engine) exit() {
+	if e != nil {
+		e.running.Add(-1)
+	}
+}
+
+// acquire blocks for a concurrency token until ctx is done; it reports
+// whether a token was obtained. Safe only from goroutines that hold no
+// token themselves (Run's pool workers); everything else must use
+// tryAcquire so the budget cannot deadlock.
+func (e *Engine) acquire(ctx context.Context) bool {
+	if e == nil || e.tokens == nil {
+		return false
+	}
+	select {
+	case <-e.tokens:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// tryAcquire takes a concurrency token only if one is free right now.
+func (e *Engine) tryAcquire() bool {
+	if e == nil || e.tokens == nil {
+		return false
+	}
+	select {
+	case <-e.tokens:
+		return true
+	default:
+		return false
+	}
+}
+
+func (e *Engine) release() {
+	e.tokens <- struct{}{}
 }
 
 // RunFuncs executes a heterogeneous job list (each closure writes its own

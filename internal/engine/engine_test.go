@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestMapOrder(t *testing.T) {
@@ -128,6 +129,73 @@ func TestHooksSerializedAndCounted(t *testing.T) {
 	}
 	if started != 50 || finished != 50 {
 		t.Fatalf("started=%d finished=%d", started, finished)
+	}
+}
+
+// TestSharedTokenBudgetCapsNestedConcurrency is the oversubscription
+// regression test: a -j4 grid whose every job fans out into 6 nested
+// shard items must never have more than 4 work units executing at once,
+// because grid workers and nested helpers draw down one shared token
+// budget. Before the budget existed, 8 grid jobs × 6 shard helpers could
+// put dozens of goroutines on the CPUs at once.
+func TestSharedTokenBudgetCapsNestedConcurrency(t *testing.T) {
+	const workers = 4
+	e := New(workers)
+	var running, peak atomic.Int64
+	err := e.Run(context.Background(), 8, func(ctx context.Context, i int) error {
+		return e.Nested(ctx, 6, func(j int) error {
+			cur := running.Add(1)
+			for {
+				p := peak.Load()
+				if cur <= p || peak.CompareAndSwap(p, cur) {
+					break
+				}
+			}
+			time.Sleep(2 * time.Millisecond)
+			running.Add(-1)
+			return nil
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("counted %d concurrent work units, budget caps at %d", p, workers)
+	}
+	if m := e.Metrics(); m.PeakConcurrent > workers {
+		t.Fatalf("PeakConcurrent = %d, budget caps at %d", m.PeakConcurrent, workers)
+	}
+}
+
+func TestNestedLowestIndexErrorWins(t *testing.T) {
+	e := New(8)
+	err := e.Run(context.Background(), 1, func(ctx context.Context, _ int) error {
+		return e.Nested(ctx, 32, func(i int) error {
+			return fmt.Errorf("shard %d failed", i)
+		})
+	})
+	if err == nil || err.Error() != "shard 0 failed" {
+		t.Fatalf("err = %v, want shard 0's", err)
+	}
+}
+
+func TestNestedNilEngineIsSerial(t *testing.T) {
+	var e *Engine
+	var order []int
+	err := e.Nested(context.Background(), 10, func(i int) error {
+		order = append(order, i)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("nil-engine Nested ran out of order: %v", order)
+		}
+	}
+	if len(order) != 10 {
+		t.Fatalf("ran %d of 10 items", len(order))
 	}
 }
 

@@ -1,0 +1,189 @@
+package lifetime
+
+import (
+	"fmt"
+
+	"nvramfs/internal/cache"
+	"nvramfs/internal/prep"
+)
+
+// File-sharded variants of the two trace passes this package runs.
+//
+// Both passes keep strictly per-file state — the dirty-byte TagMaps and
+// owner table are keyed by file, the consistency server's recall and
+// write-sharing decisions are per-file, and a block id embeds its file —
+// so a pass over the subsequence of ops touching one file shard computes
+// exactly that shard's slice of the sequential answer. Migrate ops are
+// the one cross-file event (they flush every file their client owns);
+// the shard sources replicate them to every shard (trace.ShardFilter),
+// where each shard flushes the owned files it tracks. The merge is then
+// a disjoint union plus commutative sums.
+
+// sourceFor produces shard k's canonical op source: the ops of files in
+// shard k of shards (per trace.FileShard), plus every migrate op. The
+// report workspace builds these by wrapping fresh trace decodes in
+// trace.ShardFilter before canonicalization.
+type sourceFor func(shard int) (prep.Source, error)
+
+// serial runs shard bodies one after another; callers pass something
+// like engine.Nested instead to borrow real parallelism.
+func serial(n int, fn func(i int) error) error {
+	for i := 0; i < n; i++ {
+		if err := fn(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AnalyzeSharded runs the infinite-cache analysis over file shards and
+// merges the per-shard results. src(k) must yield shard k's op
+// subsequence; par, when non-nil, supplies parallelism for the shard
+// bodies. shards <= 1 degenerates to a single AnalyzeWith pass. Every
+// derived product (Fate, DeadWithin, NetWriteFracAt, AgeHistogram) is
+// identical to the sequential pass; the Deaths log holds the same
+// multiset of deaths, merged into death-time order (the sequential log
+// is in op order, which is not recoverable from per-shard passes — no
+// consumer depends on it).
+func AnalyzeSharded(src sourceFor, shards int, opts Options, par func(n int, fn func(i int) error) error) (*Analysis, error) {
+	if shards <= 1 {
+		s, err := src(0)
+		if err != nil {
+			return nil, err
+		}
+		return AnalyzeWith(s, opts)
+	}
+	if par == nil {
+		par = serial
+	}
+	parts := make([]*Analysis, shards)
+	err := par(shards, func(k int) error {
+		s, err := src(k)
+		if err != nil {
+			return err
+		}
+		o := opts
+		if o.FilesHint > 0 {
+			o.FilesHint = o.FilesHint/shards + 1
+		}
+		a, err := AnalyzeWith(s, o)
+		if err != nil {
+			return err
+		}
+		parts[k] = a
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return MergeShardAnalyses(parts)
+}
+
+// MergeShardAnalyses combines per-shard analyses: fates sum field-wise
+// (each byte was counted by exactly one shard), and the death logs k-way
+// merge by death time with shard index breaking ties, which is a pure
+// function of the shard results — deterministic at any worker count.
+func MergeShardAnalyses(parts []*Analysis) (*Analysis, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("lifetime: merging no shard analyses")
+	}
+	merged := &Analysis{}
+	total := 0
+	for k, p := range parts {
+		if p == nil {
+			return nil, fmt.Errorf("lifetime: shard %d produced no analysis", k)
+		}
+		merged.Fate.Overwritten += p.Fate.Overwritten
+		merged.Fate.Deleted += p.Fate.Deleted
+		merged.Fate.CalledBack += p.Fate.CalledBack
+		merged.Fate.Concurrent += p.Fate.Concurrent
+		merged.Fate.Remaining += p.Fate.Remaining
+		merged.Fate.Total += p.Fate.Total
+		total += len(p.Deaths)
+	}
+	if err := merged.Fate.check(); err != nil {
+		return nil, err
+	}
+	merged.Deaths = make([]Death, 0, total)
+	idx := make([]int, len(parts))
+	for len(merged.Deaths) < total {
+		best := -1
+		for k, p := range parts {
+			if idx[k] >= len(p.Deaths) {
+				continue
+			}
+			if best < 0 || p.Deaths[idx[k]].Died < parts[best].Deaths[idx[best]].Died {
+				best = k
+			}
+		}
+		merged.Deaths = append(merged.Deaths, parts[best].Deaths[idx[best]])
+		idx[best]++
+	}
+	merged.buildAgeIndex()
+	return merged, nil
+}
+
+// BuildScheduleSharded builds the omniscient schedule over file shards
+// and merges the disjoint per-block tables. Lookups on the merged
+// schedule return exactly the sequential build's times (the hash
+// table's internal layout differs; compare schedules semantically, via
+// ForEach or NextModify, never by reflect.DeepEqual).
+func BuildScheduleSharded(src sourceFor, shards int, blockSize int64, par func(n int, fn func(i int) error) error) (*Schedule, error) {
+	if shards <= 1 {
+		s, err := src(0)
+		if err != nil {
+			return nil, err
+		}
+		return BuildSchedule(s, blockSize)
+	}
+	if par == nil {
+		par = serial
+	}
+	parts := make([]*Schedule, shards)
+	err := par(shards, func(k int) error {
+		s, err := src(k)
+		if err != nil {
+			return err
+		}
+		sched, err := BuildSchedule(s, blockSize)
+		if err != nil {
+			return err
+		}
+		parts[k] = sched
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return MergeShardSchedules(parts)
+}
+
+// MergeShardSchedules unions per-shard schedules whose block sets must
+// be disjoint (they came from disjoint file shards).
+func MergeShardSchedules(parts []*Schedule) (*Schedule, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("lifetime: merging no shard schedules")
+	}
+	merged := &Schedule{}
+	for k, p := range parts {
+		if p == nil {
+			return nil, fmt.Errorf("lifetime: shard %d produced no schedule", k)
+		}
+		var dup error
+		p.ForEach(func(id cache.BlockID, ts []int64) {
+			if dup != nil {
+				return
+			}
+			sl := merged.ensure(id)
+			if sl.ts != nil {
+				dup = fmt.Errorf("lifetime: block %v appears in two shards", id)
+				return
+			}
+			sl.ts = ts
+		})
+		if dup != nil {
+			return nil, dup
+		}
+	}
+	return merged, nil
+}

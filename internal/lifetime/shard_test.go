@@ -1,0 +1,125 @@
+package lifetime
+
+import (
+	"reflect"
+	"testing"
+
+	"nvramfs/internal/cache"
+	"nvramfs/internal/prep"
+	"nvramfs/internal/trace"
+	"nvramfs/internal/workload"
+)
+
+// shardedSources returns a factory producing shard k's canonical op
+// stream of a generated trace, the way the report workspace does: fresh
+// event cursor, file-shard filter, then canonicalization.
+func shardedSources(evs []trace.Event, shards int) sourceFor {
+	return func(k int) (prep.Source, error) {
+		return prep.NewSource(&trace.ShardFilter{
+			Src:    trace.NewSliceSource(evs),
+			Shard:  k,
+			Shards: shards,
+		}, prep.Options{}), nil
+	}
+}
+
+// TestAnalyzeShardedMatchesSequential holds every derived product of the
+// sharded infinite-cache analysis equal to the sequential pass, across
+// traces and shard counts, with shard bodies running serially (the
+// result is a pure merge, so parallelism is exercised separately in the
+// sim and report tests).
+func TestAnalyzeShardedMatchesSequential(t *testing.T) {
+	for _, tr := range []int{1, 7} {
+		evs, err := workload.GenerateEvents(workload.StandardProfile(tr, 0.02))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := Analyze(prep.NewSource(trace.NewSliceSource(evs), prep.Options{}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range []int{1, 2, 8, 17} {
+			got, err := AnalyzeSharded(shardedSources(evs, k), k, Options{}, nil)
+			if err != nil {
+				t.Fatalf("trace %d shards=%d: %v", tr, k, err)
+			}
+			if got.Fate != want.Fate {
+				t.Errorf("trace %d shards=%d: fate diverges\n got %+v\nwant %+v", tr, k, got.Fate, want.Fate)
+			}
+			if len(got.Deaths) != len(want.Deaths) {
+				t.Errorf("trace %d shards=%d: %d deaths, want %d", tr, k, len(got.Deaths), len(want.Deaths))
+			}
+			for _, mins := range []int64{0, 1, 5, 30, 60, 600, 100000} {
+				if g, w := got.DeadWithin(mins*60e6), want.DeadWithin(mins*60e6); g != w {
+					t.Errorf("trace %d shards=%d: DeadWithin(%dm) = %d, want %d", tr, k, mins, g, w)
+				}
+			}
+			if !reflect.DeepEqual(got.AgeHistogram(), want.AgeHistogram()) {
+				t.Errorf("trace %d shards=%d: age histogram diverges", tr, k)
+			}
+		}
+	}
+}
+
+// scheduleDump flattens a schedule to a comparable map (the hash table's
+// layout depends on build order, so semantic equality is the contract).
+func scheduleDump(s *Schedule) map[cache.BlockID][]int64 {
+	out := make(map[cache.BlockID][]int64, s.Blocks())
+	s.ForEach(func(id cache.BlockID, ts []int64) { out[id] = ts })
+	return out
+}
+
+// TestBuildScheduleShardedMatchesSequential holds the merged sharded
+// schedule semantically equal to the sequential build: same block set,
+// same modification times, same NextModify answers.
+func TestBuildScheduleShardedMatchesSequential(t *testing.T) {
+	evs, err := workload.GenerateEvents(workload.StandardProfile(7, 0.02))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := func(int) (prep.Source, error) {
+		return prep.NewSource(trace.NewSliceSource(evs), prep.Options{}), nil
+	}
+	want, err := BuildScheduleSharded(seq, 1, cache.DefaultBlockSize, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDump := scheduleDump(want)
+	for _, k := range []int{2, 8, 17} {
+		got, err := BuildScheduleSharded(shardedSources(evs, k), k, cache.DefaultBlockSize, nil)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", k, err)
+		}
+		if got.Blocks() != want.Blocks() {
+			t.Errorf("shards=%d: %d blocks, want %d", k, got.Blocks(), want.Blocks())
+		}
+		if !reflect.DeepEqual(scheduleDump(got), wantDump) {
+			t.Errorf("shards=%d: schedule contents diverge", k)
+		}
+		for id, ts := range wantDump {
+			if nm := got.NextModify(id, ts[0]); nm != want.NextModify(id, ts[0]) {
+				t.Errorf("shards=%d: NextModify(%v) diverges", k, id)
+			}
+		}
+	}
+}
+
+// TestMergeShardSchedulesRejectsOverlap: merging shards that share a
+// block is a sharding bug and must fail loudly.
+func TestMergeShardSchedulesRejectsOverlap(t *testing.T) {
+	ops := []prep.Op{wop(10, 1, prep.Write, 5, 0, 100)}
+	a, err := BuildSchedule(prep.NewSliceSource(ops), cache.DefaultBlockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildSchedule(prep.NewSliceSource(ops), cache.DefaultBlockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MergeShardSchedules([]*Schedule{a, b}); err == nil {
+		t.Error("overlapping shard schedules merged without error")
+	}
+	if _, err := MergeShardAnalyses(nil); err == nil {
+		t.Error("empty analysis merge accepted")
+	}
+}

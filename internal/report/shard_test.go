@@ -1,0 +1,95 @@
+package report
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"nvramfs/internal/engine"
+)
+
+// renderShardSlice renders the drivers whose pipelines shard — the
+// lifetime-backed Figure 2/Table 2 (file-sharded analysis), the
+// broadcast-backed Figures 3/4 (client-sharded simulation) — at one
+// (workers, shards) point.
+func renderShardSlice(t *testing.T, workers, shards int) string {
+	t.Helper()
+	ws := NewWorkspace(0.02)
+	ws.SetEngine(engine.New(workers))
+	ws.SetShards(shards)
+	var buf bytes.Buffer
+	renderAll := func(r interface{ Render(io.Writer) error }, err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Render(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	renderAll(Figure2(ws))
+	renderAll(Table2(ws))
+	renderAll(Figure3(ws))
+	renderAll(Figure4(ws))
+	return buf.String()
+}
+
+// TestReportShardInvariance is the tentpole's output contract at the
+// report layer: the rendered figures are byte-identical at every shard
+// count, including the prime 17 that leaves shards unevenly loaded, and
+// regardless of worker count.
+func TestReportShardInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-point render sweep")
+	}
+	want := renderShardSlice(t, 1, 1)
+	for _, pt := range []struct{ workers, shards int }{
+		{1, 2},
+		{4, 2},
+		{4, 8},
+		{8, 17},
+	} {
+		got := renderShardSlice(t, pt.workers, pt.shards)
+		if got != want {
+			t.Errorf("-j %d shards=%d: report output diverges from sequential render",
+				pt.workers, pt.shards)
+		}
+	}
+}
+
+// TestShardWidthSelection pins the sizing policy: forced widths win,
+// automatic grid width tracks the engine's worker count capped at
+// maxShardWidth, and the opportunistic build width collapses to 1 when
+// the engine has no spare capacity.
+func TestShardWidthSelection(t *testing.T) {
+	ws := NewWorkspace(0.02)
+	ws.SetEngine(engine.New(1))
+	if w := ws.ShardWidth(); w != 1 {
+		t.Errorf("one-worker auto width = %d, want 1", w)
+	}
+	if w := ws.buildShardWidth(); w != 1 {
+		t.Errorf("one-worker build width = %d, want 1", w)
+	}
+	ws.SetEngine(engine.New(4))
+	if w := ws.ShardWidth(); w != 4 {
+		t.Errorf("four-worker auto width = %d, want 4", w)
+	}
+	if w := ws.buildShardWidth(); w != 4 {
+		t.Errorf("idle four-worker build width = %d, want 4", w)
+	}
+	ws.SetEngine(engine.New(100))
+	if w := ws.ShardWidth(); w != maxShardWidth {
+		t.Errorf("hundred-worker auto width = %d, want cap %d", w, maxShardWidth)
+	}
+	ws.SetShards(17)
+	if w := ws.ShardWidth(); w != 17 {
+		t.Errorf("forced width = %d, want 17", w)
+	}
+	if w := ws.buildShardWidth(); w != 17 {
+		t.Errorf("forced build width = %d, want 17", w)
+	}
+	ws.SetShards(0)
+	if w := ws.ShardWidth(); w != maxShardWidth {
+		t.Errorf("width after reset = %d, want %d", w, maxShardWidth)
+	}
+}

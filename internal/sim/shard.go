@@ -1,0 +1,109 @@
+package sim
+
+import (
+	"fmt"
+
+	"nvramfs/internal/cache"
+	"nvramfs/internal/prep"
+)
+
+// RunSharded simulates a canonical op stream by client shards: K
+// steppers, each owning the clients with id % K == k, every one
+// replaying a fresh cursor over the full stream, merged into the exact
+// sequential Result (see ShardSel for why the decomposition is exact).
+// par, when non-nil, runs the K shard bodies with whatever parallelism
+// it can offer — the report drivers pass engine.Nested so shard helpers
+// draw down the shared -j token budget; nil runs them serially. shards
+// <= 1 degenerates to Run.
+//
+// Fault injection and caller hooks are rejected: the fault stage feeds
+// cache-dependent write-backs into the server's replay detector (so
+// shard replicas would diverge), and hooks would observe per-shard
+// streams in nondeterministic interleavings.
+func RunSharded(rep prep.Replayable, cfg Config, shards int, par func(n int, fn func(i int) error) error) (*Result, error) {
+	if cfg.Faults != nil {
+		return nil, fmt.Errorf("sim: sharded run cannot inject faults")
+	}
+	if cfg.Cache.Hooks != nil {
+		return nil, fmt.Errorf("sim: sharded run cannot install hooks")
+	}
+	if shards <= 1 {
+		src, err := rep.Ops()
+		if err != nil {
+			return nil, err
+		}
+		return Run(src, cfg)
+	}
+	results := make([]*Result, shards)
+	body := func(k int) error {
+		src, err := rep.Ops()
+		if err != nil {
+			return err
+		}
+		scfg := cfg
+		scfg.Shard = ShardSel{Index: k, Shards: shards}
+		// Arenas are single-goroutine free lists; each shard must build
+		// its own rather than share the caller's.
+		scfg.Cache.Arena = cache.NewBlockArena()
+		if err := scfg.Shard.validate(); err != nil {
+			return err
+		}
+		res, err := Run(src, scfg)
+		if err != nil {
+			return err
+		}
+		results[k] = res
+		return nil
+	}
+	if par == nil {
+		par = func(n int, fn func(i int) error) error {
+			for i := 0; i < n; i++ {
+				if err := fn(i); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	}
+	if err := par(shards, body); err != nil {
+		return nil, err
+	}
+	return MergeShardResults(results)
+}
+
+// MergeShardResults combines per-shard results into the sequential
+// Result: traffic sums field-wise in shard order (all counters are
+// int64 sums over disjoint client sets, so the merge is exact), the
+// per-client maps union disjointly, and the replicated server counters
+// are cross-checked for agreement — a mismatch means a shard's protocol
+// replica diverged, which is a bug, not a tolerable approximation.
+func MergeShardResults(results []*Result) (*Result, error) {
+	if len(results) == 0 {
+		return nil, fmt.Errorf("sim: merging no shard results")
+	}
+	merged := &Result{
+		PerClient:      make(map[uint16]*cache.Traffic),
+		Recalls:        results[0].Recalls,
+		DisableEvents:  results[0].DisableEvents,
+		ReplayedWrites: results[0].ReplayedWrites,
+		EndTime:        results[0].EndTime,
+	}
+	for k, res := range results {
+		if res == nil {
+			return nil, fmt.Errorf("sim: shard %d produced no result", k)
+		}
+		if res.Recalls != merged.Recalls || res.DisableEvents != merged.DisableEvents ||
+			res.ReplayedWrites != merged.ReplayedWrites || res.EndTime != merged.EndTime {
+			return nil, fmt.Errorf("sim: shard %d server replica diverged (recalls %d/%d, disables %d/%d)",
+				k, res.Recalls, merged.Recalls, res.DisableEvents, merged.DisableEvents)
+		}
+		merged.Traffic.Add(&res.Traffic)
+		for c, t := range res.PerClient {
+			if _, dup := merged.PerClient[c]; dup {
+				return nil, fmt.Errorf("sim: client %d appears in two shards", c)
+			}
+			merged.PerClient[c] = t
+		}
+	}
+	return merged, nil
+}

@@ -1,0 +1,54 @@
+package trace
+
+// File-sharded views of an event stream.
+//
+// Per-file analyses (block lifetimes, write schedules) depend only on the
+// subsequence of events touching each file: canonicalization in
+// internal/prep keeps per-file state, the consistency protocol keeps
+// per-file state, and lifetime intervals never cross files. That makes
+// the event stream exactly decomposable by file — shard k of K sees every
+// event whose file hashes to k, in the original order — with one
+// exception: OpMigrate carries no file and flushes every file its process
+// has open, so migrate events are replicated to all shards. Each shard's
+// filtered stream preserves the source's monotonic-time guarantee, so
+// prep may keep trusting ordered sources.
+
+// FileShard maps a file id to a shard index in [0, shards). The hash is a
+// splitmix64-style finalizer so consecutively allocated file ids spread
+// evenly instead of striping; the mapping is a pure function of (file,
+// shards) and therefore stable across runs, platforms, and -j.
+func FileShard(file uint64, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	x := file
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int(x % uint64(shards))
+}
+
+// ShardFilter is an EventSource that passes through the subsequence of
+// events belonging to one file shard: events whose FileShard(File, Shards)
+// equals Shard, plus every OpMigrate event (migrations have no file and
+// affect all of them). Shard 0 of 1 passes everything.
+type ShardFilter struct {
+	Src    EventSource
+	Shard  int
+	Shards int
+}
+
+// Next implements EventSource.
+func (f *ShardFilter) Next() (Event, bool, error) {
+	for {
+		e, ok, err := f.Src.Next()
+		if err != nil || !ok {
+			return e, ok, err
+		}
+		if e.Op == OpMigrate || FileShard(e.File, f.Shards) == f.Shard {
+			return e, true, nil
+		}
+	}
+}
