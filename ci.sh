@@ -48,3 +48,12 @@ go run ./cmd/nvbench -stream-smoke
 # >= 4 CPUs the sharded run must be at least 1.5x faster (the speedup
 # gate self-skips on smaller boxes; the divergence gate always runs).
 go run ./cmd/nvbench -shard-smoke
+
+# Durable kill/reopen gate: SIGKILL a child process (and cut the power via
+# the durable snapshot) at trace-event boundaries, reopen the image file,
+# and require recovery to match the in-memory oracle exactly. The -short
+# sweep above already runs the sampled version; this runs the durable
+# tests by name so a filtered test run can't silently drop them, then the
+# nvbench smoke drives the same harness through the public facade.
+go test -short -run 'Durable|Image' -count=1 ./internal/crash/ ./internal/nvram/ ./internal/lfs/ ./internal/faults/
+go run ./cmd/nvbench -durable-smoke

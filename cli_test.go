@@ -77,6 +77,22 @@ func TestCLI(t *testing.T) {
 		t.Fatalf("nvsim -faults output: %s", out)
 	}
 
+	// Durable kill/reopen: the crash harness against a real image file, on
+	// both the cache write-back backlog and the LFS write buffer.
+	durDir := filepath.Join(dir, "durable")
+	if err := os.Mkdir(durDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	out = run("nvsim", "-file", tracePath, "-model", "unified",
+		"-durable", durDir, "-crash-at", "500", "-faults", "outage=0s+never")
+	if !strings.Contains(out, "durable recovery: exact") || !strings.Contains(out, "parked deliveries") {
+		t.Fatalf("nvsim -durable output: %s", out)
+	}
+	out = run("nvsim", "-file", tracePath, "-durable", durDir, "-durable-lfs", "-crash-at", "500")
+	if !strings.Contains(out, "durable recovery: exact") || !strings.Contains(out, "checkpoint seq") {
+		t.Fatalf("nvsim -durable -durable-lfs output: %s", out)
+	}
+
 	// Flag validation: bad fault specs, out-of-range crash points, and
 	// non-positive worker counts must fail with self-explaining messages.
 	fail := func(wantMention string, name string, args ...string) {
@@ -92,6 +108,8 @@ func TestCLI(t *testing.T) {
 	fail("valid keys", "nvsim", "-file", tracePath, "-faults", "bogus=1")
 	fail("[0,1]", "nvsim", "-file", tracePath, "-faults", "drop=2")
 	fail("beyond the trace", "nvsim", "-file", tracePath, "-crash-at", "99999999")
+	fail("needs -faults", "nvsim", "-file", tracePath, "-durable", durDir)
+	fail("needs -durable", "nvsim", "-file", tracePath, "-durable-lfs")
 	fail("not positive", "nvreport", "-j", "0", "-exp", "table1")
 	fail("not positive", "nvreport", "-j", "-3", "-exp", "table1")
 	fail("not positive", "nvreport", "-scale", "0", "-exp", "table1")

@@ -54,6 +54,10 @@ type File struct {
 	// measurement: sequential vs sharded Figure 2/3 renders, byte-compared
 	// and timed (see shardsmoke.go). Absent when parsing a saved log.
 	ShardSpeedup *ShardSpeedup `json:"shard_speedup,omitempty"`
+	// DurableSmoke, when present, records the kill/reopen crash check
+	// against a real mmap image file and the measured msync commit cost
+	// (see durablesmoke.go). Absent when parsing a saved log.
+	DurableSmoke *DurableSmoke `json:"durable_smoke,omitempty"`
 }
 
 // benchLine matches `go test -bench -benchmem` result lines, e.g.
@@ -108,8 +112,21 @@ func main() {
 		shardScale = flag.Float64("shard-scale", 0.05, "workload scale for the shard-speedup measurement")
 		shardSmoke = flag.Bool("shard-smoke", false,
 			"only run the sharded-pipeline check: fail if sharded output diverges from sequential, or (with >= 4 CPUs) if the -j 4 speedup is under 1.5x")
+		durableScale = flag.Float64("durable-scale", 0.02, "workload scale for the durable kill/reopen measurement")
+		durableSmoke = flag.Bool("durable-smoke", false,
+			"only run the durable kill/reopen check: fail if recovery from a reopened image file diverges from the in-memory oracle at any sampled boundary")
 	)
 	flag.Parse()
+
+	if *durableSmoke {
+		ds, err := measureDurableSmoke(*durableScale)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("durable smoke: %d boundaries exact, max backlog %d B; commit cost %.0f ns/msync, %.0f ns/commit (%d msyncs over %d puts)",
+			ds.Boundaries, ds.ParkedBytesMax, ds.NsPerMsync, ds.NsPerCommit, ds.Msyncs, ds.CommitPuts)
+		return
+	}
 
 	if *shardSmoke {
 		ss, err := measureShardSpeedup(*shardScale, 4)
@@ -184,6 +201,7 @@ func main() {
 
 	var streamMem *StreamMemory
 	var shardSp *ShardSpeedup
+	var durable *DurableSmoke
 	if *input == "" {
 		sm, err := measureStreamMemory(*memScale, *memFactor)
 		if err != nil {
@@ -208,9 +226,16 @@ func main() {
 			log.Fatal("sharded Figure 2/3 output diverges from the sequential render")
 		}
 		shardSp = ss
+		ds, err := measureDurableSmoke(*durableScale)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("durable smoke: %d boundaries exact, max backlog %d B; commit cost %.0f ns/msync, %.0f ns/commit",
+			ds.Boundaries, ds.ParkedBytesMax, ds.NsPerMsync, ds.NsPerCommit)
+		durable = ds
 	}
 
-	data, err := json.MarshalIndent(File{Benchtime: *benchtime, Benchmarks: entries, StreamingMemory: streamMem, ShardSpeedup: shardSp}, "", "  ")
+	data, err := json.MarshalIndent(File{Benchtime: *benchtime, Benchmarks: entries, StreamingMemory: streamMem, ShardSpeedup: shardSp, DurableSmoke: durable}, "", "  ")
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -8,6 +8,10 @@
 //	nvsim -file - < traces/trace7.nvft                     # trace from stdin
 //	nvsim -trace 7 -faults seed=7,drop=0.1,outage=2m+60s   # unreliable server
 //	nvsim -trace 7 -crash-at 5000 -faults outage=0s+never  # crash during outage
+//	nvsim -trace 7 -durable /tmp/nv -crash-at 5000 -faults outage=0s+never
+//	                                                       # kill/reopen against a real image file
+//	nvsim -trace 7 -durable /tmp/nv -durable-lfs -crash-at 5000
+//	                                                       # ... on the server LFS write buffer
 package main
 
 import (
@@ -42,6 +46,8 @@ func main() {
 		crashAt    = flag.Int("crash-at", -1, "inject a crash after N trace operations and report the loss model (-1 disables; 0 crashes before any work)")
 		faultSpec  = flag.String("faults", "", "fault-injection spec for the write-back path, e.g. seed=7,drop=0.1,outage=2m+60s (see -faults-help)")
 		faultHelp  = flag.Bool("faults-help", false, "print the -faults spec grammar and exit")
+		durableDir = flag.String("durable", "", "scratch directory for a durable NVRAM image: run the kill/reopen crash harness at the -crash-at boundary against a real file instead of the in-memory loss model (cache path requires -faults)")
+		durableLFS = flag.Bool("durable-lfs", false, "durable harness drives the server LFS write buffer and checkpoint instead of the client cache (requires -durable)")
 	)
 	flag.Parse()
 
@@ -86,6 +92,26 @@ func main() {
 	if *crashAt > tr.NumOps() {
 		log.Fatalf("-crash-at %d is beyond the trace: valid crash points are 0..%d (operation boundaries), or -1 to disable",
 			*crashAt, tr.NumOps())
+	}
+	if *durableLFS && *durableDir == "" {
+		log.Fatal("-durable-lfs needs -durable <dir> for the image file")
+	}
+	if *durableDir != "" {
+		if *sweepNVRAM != "" || *sweepModel {
+			log.Fatal("-durable runs a single kill/reopen crash, not a sweep")
+		}
+		if !*durableLFS && *faultSpec == "" {
+			log.Fatal("-durable on the cache path needs -faults (the image holds the parked write-back backlog; try outage=0s+never)")
+		}
+		runDurable(tr, nvramfs.CacheConfig{
+			Model:      *model,
+			Policy:     *policy,
+			VolatileMB: *volatileMB,
+			NVRAMMB:    *nvramMB,
+			WritesOnly: *writesOnly,
+			Faults:     *faultSpec,
+		}, *durableDir, *crashAt, *durableLFS, faultDesc)
+		return
 	}
 	if *crashAt >= 0 {
 		injectCrash(tr, nvramfs.CacheConfig{
@@ -170,6 +196,46 @@ func printFaultStats(desc string, st *nvramfs.FaultStats, replays int64) {
 		float64(st.StallUS)/1e6, float64(st.RetryLatencyUS)/1e6, st.NVRAMHighWater)
 	fmt.Printf("  committed: %d B  redelivered: %d B  lost: %d B  pending: %d B  server replays: %d\n",
 		st.CommittedBytes, st.RedeliveredBytes, st.LostBytes, st.PendingBytes, replays)
+}
+
+// runDurable runs the kill/reopen harness: the simulation mirrors its
+// NVRAM state into an image file under dir, the power is cut at the
+// given boundary, and recovery from the reopened file is verified against
+// an in-memory oracle replay.
+func runDurable(tr *nvramfs.Trace, cfg nvramfs.CacheConfig, dir string, at int, lfsMode bool, faultDesc string) {
+	var (
+		out *nvramfs.DurableOutcome
+		err error
+	)
+	if lfsMode {
+		var lc nvramfs.LFSCrashConfig
+		lc.FS.BufferBytes = 512 << 10
+		lc.CheckpointEvery = 5
+		out, err = tr.KillReopenLFS(lc, dir, at)
+	} else {
+		out, err = tr.KillReopenCache(cfg, dir, at)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("durable kill/reopen after %d ops: image replayed %d committed records, discarded %d torn tail bytes\n",
+		out.Index, out.Records, out.DiscardedTailBytes)
+	if lfsMode {
+		fmt.Printf("recovered: %d buffered blocks, checkpoint seq %d\n", out.RecoveredBlocks, out.CheckpointSeq)
+	} else {
+		fmt.Printf("fault injection: %s\n", faultDesc)
+		fmt.Printf("recovered: %d parked deliveries, %d B write-back backlog\n",
+			out.ParkedDeliveries, out.ParkedBytes)
+	}
+	if len(out.Violations) == 0 {
+		fmt.Println("durable recovery: exact (zero committed-byte loss)")
+		return
+	}
+	fmt.Printf("durable recovery: %d VIOLATIONS\n", len(out.Violations))
+	for _, v := range out.Violations {
+		fmt.Printf("  %s\n", v)
+	}
+	os.Exit(1)
 }
 
 // injectCrash crashes the simulation at an event boundary and prints the

@@ -1,0 +1,184 @@
+//go:build unix
+
+package crash
+
+// Process-level kill harness: the child half of each test below re-execs
+// this test binary, runs a durable simulation to a kill index read from
+// the environment, and SIGKILLs itself — no deferred Close, no flush, no
+// atexit. The parent confirms the child actually died by signal, then
+// reopens the image file the corpse left behind and runs the same
+// verification as the in-process sweep. This is the real crash path; the
+// in-process KillReopen* tests exist so `go test -race` covers recovery
+// without subprocesses.
+
+import (
+	"os"
+	"os/exec"
+	"strconv"
+	"syscall"
+	"testing"
+
+	"nvramfs/internal/cache"
+	"nvramfs/internal/lfs"
+	"nvramfs/internal/nvram"
+	"nvramfs/internal/prep"
+)
+
+const (
+	killChildEnv = "NVSIM_CRASH_CHILD" // "cache" or "lfs"
+	killImageEnv = "NVSIM_CRASH_IMAGE"
+	killIndexEnv = "NVSIM_CRASH_INDEX"
+	killKindEnv  = "NVSIM_CRASH_KIND"
+)
+
+// kindByName maps a ModelKind's String() back to the kind, for passing a
+// kind to the child through the environment.
+func kindByName(name string) (cache.ModelKind, bool) {
+	for _, k := range allKinds {
+		if k.String() == name {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// TestDurableKillChild is not a test of its own: it is the body of the
+// child process. Without the guard env var it skips immediately.
+func TestDurableKillChild(t *testing.T) {
+	mode := os.Getenv(killChildEnv)
+	if mode == "" {
+		t.Skip("child-process body; driven by the SIGKILL sweep tests")
+	}
+	path := os.Getenv(killImageEnv)
+	k, err := strconv.Atoi(os.Getenv(killIndexEnv))
+	if err != nil {
+		t.Fatalf("%s: %v", killIndexEnv, err)
+	}
+	img, _, err := nvram.OpenImage(path, nvram.ImageOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := syntheticOps()
+	switch mode {
+	case "cache":
+		kind, ok := kindByName(os.Getenv(killKindEnv))
+		if !ok {
+			t.Fatalf("unknown cache kind %q", os.Getenv(killKindEnv))
+		}
+		if _, err := RunDurableCacheTo(prep.NewSliceSource(ops), durableCacheCfg(kind), img, k); err != nil {
+			t.Fatal(err)
+		}
+	case "lfs":
+		cfg := LFSConfig{FS: lfs.Config{BufferBytes: 512 * kb}, CheckpointEvery: 5}
+		if _, _, err := RunDurableLFSTo(prep.NewSliceSource(ops), cfg, img, k); err != nil {
+			t.Fatal(err)
+		}
+	default:
+		t.Fatalf("unknown child mode %q", mode)
+	}
+	// Die without cleanup: the image stays open, nothing is closed or
+	// flushed. The parent inspects what the kernel kept.
+	syscall.Kill(os.Getpid(), syscall.SIGKILL)
+	t.Fatal("unreachable: SIGKILL did not take")
+}
+
+// spawnKilledChild re-execs the test binary as a child that simulates to
+// index k and SIGKILLs itself, and asserts it died by that signal.
+func spawnKilledChild(t *testing.T, mode, path string, k int, kind string) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run=^TestDurableKillChild$", "-test.count=1")
+	cmd.Env = append(os.Environ(),
+		killChildEnv+"="+mode,
+		killImageEnv+"="+path,
+		killIndexEnv+"="+strconv.Itoa(k),
+		killKindEnv+"="+kind,
+	)
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("child at %d exited cleanly instead of dying by SIGKILL:\n%s", k, out)
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("child at %d: %v\n%s", k, err, out)
+	}
+	ws, ok := ee.Sys().(syscall.WaitStatus)
+	if !ok || !ws.Signaled() || ws.Signal() != syscall.SIGKILL {
+		t.Fatalf("child at %d died wrong (%v):\n%s", k, err, out)
+	}
+}
+
+// killPoints returns the sweep's event boundaries: every boundary of the
+// synthetic trace normally, a coarse sample under -short (each child is a
+// full re-exec of the test binary).
+func killPoints(n int) []int {
+	if !testing.Short() {
+		pts := make([]int, 0, n+1)
+		for k := 0; k <= n; k++ {
+			pts = append(pts, k)
+		}
+		return pts
+	}
+	return []int{0, 1, n / 3, 2 * n / 3, n}
+}
+
+// TestDurableSIGKILLCacheSweep: for each NVRAM organization, a child
+// process is SIGKILLed at event boundaries of the synthetic trace and the
+// parent recovers the parked backlog from the image file with zero
+// committed-byte loss.
+func TestDurableSIGKILLCacheSweep(t *testing.T) {
+	ops := syntheticOps()
+	kinds := []cache.ModelKind{cache.ModelWriteAside, cache.ModelUnified, cache.ModelHybrid}
+	if testing.Short() {
+		kinds = kinds[1:2] // unified only; the in-process sweep covers all kinds
+	}
+	for _, kind := range kinds {
+		t.Run(kind.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			var sawParked bool
+			for _, k := range killPoints(len(ops)) {
+				path := dir + "/kill-" + strconv.Itoa(k) + ".img"
+				spawnKilledChild(t, "cache", path, k, kind.String())
+				out, err := VerifyDurableCache(prep.SliceReplayable(ops), durableCacheCfg(kind), path, k)
+				if err != nil {
+					t.Fatalf("verify at %d: %v", k, err)
+				}
+				for _, v := range out.Violations {
+					t.Errorf("kill at %d: %s", k, v)
+				}
+				if out.ParkedBytes > 0 {
+					sawParked = true
+				}
+			}
+			if !sawParked {
+				t.Error("no kill point had a parked backlog; the sweep is vacuous")
+			}
+		})
+	}
+}
+
+// TestDurableSIGKILLLFSSweep: a child process running the buffered LFS is
+// SIGKILLed at event boundaries; the parent recovers the write buffer and
+// checkpoint from the image and requires fingerprint-identical recovery.
+func TestDurableSIGKILLLFSSweep(t *testing.T) {
+	ops := syntheticOps()
+	cfg := LFSConfig{FS: lfs.Config{BufferBytes: 512 * kb}, CheckpointEvery: 5}
+	dir := t.TempDir()
+	var sawBlocks bool
+	for _, k := range killPoints(len(ops)) {
+		path := dir + "/kill-" + strconv.Itoa(k) + ".img"
+		spawnKilledChild(t, "lfs", path, k, "")
+		out, err := VerifyDurableLFS(prep.SliceReplayable(ops), cfg, path, k)
+		if err != nil {
+			t.Fatalf("verify at %d: %v", k, err)
+		}
+		for _, v := range out.Violations {
+			t.Errorf("kill at %d: %s", k, v)
+		}
+		if out.RecoveredBlocks > 0 {
+			sawBlocks = true
+		}
+	}
+	if !sawBlocks {
+		t.Error("no kill point recovered buffered blocks; the sweep is vacuous")
+	}
+}

@@ -1,0 +1,116 @@
+package faults
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"nvramfs/internal/nvram"
+)
+
+func newTestImage(t *testing.T) *nvram.Image {
+	t.Helper()
+	img, _, err := nvram.OpenImage(filepath.Join(t.TempDir(), "faults.img"), nvram.ImageOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { img.Close() })
+	return img
+}
+
+// outageProfile exhausts every delivery quickly during a long outage.
+func outageProfile(end int64) Profile {
+	return Profile{
+		Seed:        1,
+		Outages:     []Window{{Start: 0, End: end}},
+		MaxAttempts: 2,
+		BackoffBase: 1000,
+		BackoffCap:  1000,
+		Net:         &fastNet,
+	}
+}
+
+func TestDurableParkMirrorsImage(t *testing.T) {
+	img := newTestImage(t)
+	x := NewInjector(outageProfile(60_000_000), nil)
+	x.AttachImage(img)
+	for i := 0; i < 5; i++ {
+		x.Deliver(int64(i+1)*1_000_000, Delivery{
+			Client: uint16(i % 2),
+			File:   uint64(10 + i),
+			Start:  int64(i) * 4096,
+			End:    int64(i+1) * 4096,
+			Cause:  3,
+			Stable: true,
+		})
+	}
+	// A volatile delivery parks in memory (stalled writer) but must NOT
+	// reach the image: its bytes exist only in the writer's memory.
+	x.Deliver(6_000_000, Delivery{File: 99, Start: 0, End: 4096, Stable: false})
+	if err := img.Err(); err != nil {
+		t.Fatalf("image error: %v", err)
+	}
+
+	want := x.ParkedDeliveries()
+	if len(want) != 5 {
+		t.Fatalf("parked %d stable deliveries, want 5", len(want))
+	}
+	got, err := RecoverParked(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("image backlog:\n got %+v\nwant %+v", got, want)
+	}
+
+	// Drain: the image must empty along with the in-memory queue.
+	x.Advance(60_000_000)
+	if st := x.Stats(); st.PendingBytes != 0 {
+		t.Fatalf("backlog not drained: %+v", st)
+	}
+	if n := img.Len(nvram.NSParked); n != 0 {
+		t.Fatalf("image still holds %d parked records after drain", n)
+	}
+}
+
+// TestDurableParkSurvivesReopen closes the image mid-backlog and recovers
+// the parked deliveries from the reopened file.
+func TestDurableParkSurvivesReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "faults.img")
+	img, _, err := nvram.OpenImage(path, nvram.ImageOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := NewInjector(outageProfile(Never), nil)
+	x.AttachImage(img)
+	x.Deliver(1_000_000, Delivery{Client: 3, File: 42, Start: 100, End: 4196, Cause: 2, Stable: true})
+	want := x.ParkedDeliveries()
+	if err := img.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	img2, info, err := nvram.OpenImage(path, nvram.ImageOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer img2.Close()
+	if info.Created {
+		t.Fatal("reopen recreated the image")
+	}
+	got, err := RecoverParked(img2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("recovered backlog:\n got %+v\nwant %+v", got, want)
+	}
+	if got[0].ReadyAt != Never {
+		t.Fatalf("ReadyAt = %d, want Never", got[0].ReadyAt)
+	}
+}
+
+func TestParkedCodecRejectsBadLength(t *testing.T) {
+	if _, err := decodeParked(make([]byte, parkedRecordLen-1)); err == nil {
+		t.Fatal("short parked record decoded without error")
+	}
+}

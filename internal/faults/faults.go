@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"nvramfs/internal/netmodel"
+	"nvramfs/internal/nvram"
 )
 
 // Never is the Window end marking an outage the server never recovers
@@ -197,6 +198,9 @@ type Injector struct {
 	pending   []pendingEntry
 	nvPending int64
 	stats     Stats
+	// img, when set via AttachImage, durably mirrors the NVRAM-parked
+	// backlog (stable entries only) — see durable.go.
+	img *nvram.Image
 }
 
 // NewInjector builds an injector for one run. commit may be nil when the
@@ -358,7 +362,9 @@ func (x *Injector) degrade(t int64, d Delivery) {
 			x.stats.NVRAMHighWater = x.nvPending
 		}
 	}
-	x.pending = append(x.pending, pendingEntry{d: d, readyAt: readyAt, since: t})
+	e := pendingEntry{d: d, readyAt: readyAt, since: t}
+	x.parkDurable(e)
+	x.pending = append(x.pending, e)
 }
 
 // Advance drains pending redeliveries whose time has come, pushing any
@@ -385,6 +391,7 @@ func (x *Injector) Advance(now int64) {
 		x.stats.CommittedBytes += n
 		if e.d.Stable {
 			x.nvPending -= n
+			x.unparkDurable(e.d)
 		} else {
 			x.stats.StallUS += e.readyAt - e.since
 		}

@@ -1,0 +1,169 @@
+package lfs
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"nvramfs/internal/disk"
+	"nvramfs/internal/nvram"
+)
+
+func newDurableFS(t *testing.T, cfg Config) (*FS, *nvram.Image) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "lfs.img")
+	img, _, err := nvram.OpenImage(path, nvram.ImageOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { img.Close() })
+	fs := New(cfg, disk.New(disk.DefaultParams()))
+	fs.AttachImage(img)
+	return fs, img
+}
+
+// durableWorkload exercises every buffered-map mutation path: fsync parks,
+// full-segment drains, overwrite absorbs, deletes, plus checkpoints.
+func durableWorkload(fs *FS) {
+	bs := fs.Config().BlockSize
+	t := int64(0)
+	for i := 0; i < 6; i++ {
+		t += sec
+		fs.Write(t, uint64(1+i%3), int64(i)*bs, 2*bs)
+		fs.Fsync(t, uint64(1+i%3))
+	}
+	fs.Checkpoint(t + sec)
+	t += 2 * sec
+	fs.Write(t, 2, 0, 4*bs) // overwrite parked blocks
+	fs.Fsync(t, 2)
+	fs.Delete(t+sec, 3) // delete a file with parked blocks
+	t += 2 * sec
+	// Enough data to force full-segment drains out of the buffer.
+	fs.Write(t, 9, 0, int64(fs.Config().BlocksPerSegment())*bs)
+	fs.Checkpoint(t + sec)
+	// Leave fresh parked residue so the end state has a non-empty buffer.
+	t += 2 * sec
+	fs.Write(t, 4, 0, 3*bs)
+	fs.Fsync(t, 4)
+}
+
+func TestDurableImageMirrorsWriteBuffer(t *testing.T) {
+	fs, img := newDurableFS(t, Config{BufferBytes: 2 << 20})
+	durableWorkload(fs)
+	if err := img.Err(); err != nil {
+		t.Fatalf("image error: %v", err)
+	}
+	want := fs.BufferedBlockRefs()
+	if len(want) == 0 {
+		t.Fatal("workload left an empty buffer; the comparison would be vacuous")
+	}
+	got, err := RecoverBufferedRefs(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("image buffer %v != in-memory buffer %v", got, want)
+	}
+	seq, ok, err := RecoverCheckpointSeq(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok || seq != fs.CheckpointSeq() {
+		t.Fatalf("image checkpoint seq %d (ok=%v), in-memory %d", seq, ok, fs.CheckpointSeq())
+	}
+}
+
+func TestCheckpointCodecRoundTrip(t *testing.T) {
+	fs := newFS(t, Config{BufferBytes: 1 << 20})
+	bs := fs.Config().BlockSize
+	for i := 0; i < 5; i++ {
+		fs.Write(int64(i+1)*sec, uint64(i%2+1), int64(i)*bs, bs)
+		fs.Fsync(int64(i+1)*sec, uint64(i%2+1))
+	}
+	fs.Write(6*sec, 7, 0, int64(fs.Config().BlocksPerSegment())*bs)
+	fs.Checkpoint(7 * sec)
+
+	cp := fs.checkpoint
+	got, err := decodeCheckpoint(encodeCheckpoint(cp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.seq != cp.seq || !reflect.DeepEqual(got.blockSeg, cp.blockSeg) ||
+		!reflect.DeepEqual(got.files, cp.files) ||
+		!reflect.DeepEqual(got.segLive, cp.segLive) ||
+		!reflect.DeepEqual(got.free, cp.free) {
+		t.Fatalf("codec round-trip mismatch:\n got %+v\nwant %+v", got, cp)
+	}
+	if _, err := decodeCheckpoint(encodeCheckpoint(cp)[:10]); err == nil {
+		t.Fatal("truncated checkpoint decoded without error")
+	}
+}
+
+// TestRecoverFromImageMatchesInMemoryRecovery is the fingerprint-equality
+// core: recovering with NVRAM inputs read back from the durable image
+// must produce exactly the state that recovering from process memory
+// does.
+func TestRecoverFromImageMatchesInMemoryRecovery(t *testing.T) {
+	fs, img := newDurableFS(t, Config{BufferBytes: 2 << 20})
+	durableWorkload(fs)
+	end := int64(600) * sec
+
+	recMem, repMem, err := fs.SimulateCrashAndRecover(end)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recImg, repImg, err := fs.SimulateCrashAndRecoverFromImage(end, img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := recImg.CheckConsistent(); err != nil {
+		t.Fatal(err)
+	}
+	if repMem.CheckpointSeq != repImg.CheckpointSeq ||
+		repMem.RecoveredBufferedBlocks != repImg.RecoveredBufferedBlocks ||
+		repMem.SegmentsReplayed != repImg.SegmentsReplayed {
+		t.Fatalf("recovery reports diverge:\n mem %+v\n img %+v", repMem, repImg)
+	}
+	if a, b := recMem.DurableFingerprint(), recImg.DurableFingerprint(); a != b {
+		t.Fatalf("fingerprints diverge: mem %x, img %x", a, b)
+	}
+}
+
+// TestRecoverFromReopenedImage closes and reopens the image file before
+// recovering — the actual crash path, minus the SIGKILL.
+func TestRecoverFromReopenedImage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "lfs.img")
+	img, _, err := nvram.OpenImage(path, nvram.ImageOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := New(Config{BufferBytes: 2 << 20}, disk.New(disk.DefaultParams()))
+	fs.AttachImage(img)
+	durableWorkload(fs)
+	wantFP := func() uint64 {
+		rec, _, err := fs.SimulateCrashAndRecover(600 * sec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rec.DurableFingerprint()
+	}()
+	if err := img.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	img2, info, err := nvram.OpenImage(path, nvram.ImageOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer img2.Close()
+	if info.Created {
+		t.Fatal("reopen recreated the image")
+	}
+	rec, _, err := fs.SimulateCrashAndRecoverFromImage(600*sec, img2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.DurableFingerprint(); got != wantFP {
+		t.Fatalf("fingerprint after reopen %x, want %x", got, wantFP)
+	}
+}

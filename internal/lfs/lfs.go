@@ -34,6 +34,7 @@ import (
 	"sort"
 
 	"nvramfs/internal/disk"
+	"nvramfs/internal/nvram"
 )
 
 // Config parameterizes the file system.
@@ -275,6 +276,9 @@ type FS struct {
 	// Blocks parked in the NVRAM buffer by fsync (permanent, so exempt
 	// from the age flush). Nil when no buffer is configured.
 	buffered map[blockID]struct{}
+	// img, when set via AttachImage, durably mirrors the buffer and the
+	// checkpoint region into an on-disk NVRAM image (see durable.go).
+	img *nvram.Image
 
 	// Log structure: per-segment live-block counts, block locations, and
 	// the free-segment list.
@@ -420,7 +424,7 @@ func (fs *FS) Write(now int64, file uint64, off, n int64) {
 				// Overwritten while parked in the NVRAM buffer.
 				fs.stats.BlocksAbsorbed++
 				if !fs.cfg.BufferAbsorbsAgeFlush {
-					delete(fs.buffered, id)
+					fs.bufferRemove(id)
 				} else {
 					continue
 				}
@@ -430,7 +434,7 @@ func (fs *FS) Write(now int64, file uint64, off, n int64) {
 			// Extension: all writes land in NVRAM directly, so nothing is
 			// ever exposed to the 30-second flush; the disk sees only
 			// full segments.
-			fs.buffered[id] = struct{}{}
+			fs.bufferAdd(id)
 			fs.stats.BufferedBlocks++
 			continue
 		}
@@ -468,7 +472,7 @@ func (fs *FS) takePending(n int) []blockID {
 				break
 			}
 			batch = append(batch, id)
-			delete(fs.buffered, id)
+			fs.bufferRemove(id)
 		}
 	}
 	if len(batch) < n {
@@ -534,7 +538,7 @@ func (fs *FS) Fsync(now int64, file uint64) {
 	if fs.buffered != nil {
 		capBlocks := int(fs.cfg.BufferBytes / fs.cfg.BlockSize)
 		for id := range fs.dirty {
-			fs.buffered[id] = struct{}{}
+			fs.bufferAdd(id)
 			delete(fs.dirty, id)
 			fs.stats.BufferedBlocks++
 		}
@@ -578,7 +582,7 @@ func (fs *FS) Delete(now int64, file uint64) {
 		}
 		if fs.buffered != nil {
 			if _, ok := fs.buffered[id]; ok {
-				delete(fs.buffered, id)
+				fs.bufferRemove(id)
 				fs.stats.BlocksAbsorbed++
 			}
 		}

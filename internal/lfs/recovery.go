@@ -3,6 +3,8 @@ package lfs
 import (
 	"fmt"
 	"sort"
+
+	"nvramfs/internal/nvram"
 )
 
 // This file implements LFS's crash-recovery machinery: periodic
@@ -77,6 +79,9 @@ func (fs *FS) snapshot() *checkpointRec {
 func (fs *FS) Checkpoint(now int64) {
 	fs.Advance(now)
 	fs.checkpoint = fs.snapshot()
+	if fs.img != nil {
+		fs.img.Put(nvram.NSLFSCheckpoint, checkpointKey, encodeCheckpoint(fs.checkpoint))
+	}
 	fs.stats.Checkpoints++
 	// A checkpoint region write: metadata snapshot, sized roughly by the
 	// live-block pointer count (8 bytes a pointer, one 4 KB block
@@ -116,9 +121,17 @@ type RecoveryReport struct {
 // so the two instances can both keep running (the harness's differential
 // crashed-vs-recovered-vs-oracle comparisons depend on this).
 func (fs *FS) SimulateCrashAndRecover(now int64) (*FS, RecoveryReport, error) {
+	return fs.recoverWith(now, fs.buffered, fs.checkpoint)
+}
+
+// recoverWith is the recovery algorithm with the NVRAM-resident inputs —
+// the surviving buffered-block set and the checkpoint region — passed
+// explicitly, so they can come either from this process (a simulated
+// crash) or from a reopened durable image (a real one).
+func (fs *FS) recoverWith(now int64, buffered map[blockID]struct{}, checkpoint *checkpointRec) (*FS, RecoveryReport, error) {
 	report := RecoveryReport{
 		LostDirtyBlocks:         len(fs.dirty),
-		RecoveredBufferedBlocks: len(fs.buffered),
+		RecoveredBufferedBlocks: len(buffered),
 	}
 
 	rec := &FS{
@@ -151,8 +164,8 @@ func (fs *FS) SimulateCrashAndRecover(now int64) (*FS, RecoveryReport, error) {
 
 	// 1. Read the most recent checkpoint region.
 	var fromSeq int64
-	if fs.checkpoint != nil {
-		cp := fs.checkpoint
+	if checkpoint != nil {
+		cp := checkpoint
 		fromSeq = cp.seq
 		report.CheckpointSeq = cp.seq
 		for k, v := range cp.blockSeg {
@@ -237,7 +250,7 @@ func (fs *FS) SimulateCrashAndRecover(now int64) (*FS, RecoveryReport, error) {
 
 	// 3. The NVRAM buffer's contents survived; re-register them so they
 	// reach the disk in due course.
-	for id := range fs.buffered {
+	for id := range buffered {
 		rec.buffered[id] = struct{}{}
 		if id.index+1 > rec.files[id.file] {
 			rec.files[id.file] = id.index + 1

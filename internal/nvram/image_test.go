@@ -1,0 +1,440 @@
+package nvram
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func openTestImage(t *testing.T, path string, opts ImageOptions) (*Image, *ImageRecovery) {
+	t.Helper()
+	im, info, err := OpenImage(path, opts)
+	if err != nil {
+		t.Fatalf("OpenImage(%s): %v", path, err)
+	}
+	return im, info
+}
+
+func TestImageCreateReopenRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "img")
+	im, info := openTestImage(t, path, ImageOptions{})
+	if !info.Created {
+		t.Fatalf("first open should create: %+v", info)
+	}
+	puts := map[string]string{
+		"alpha": "payload-a",
+		"beta":  "payload-b",
+		"gamma": "",
+	}
+	for k, v := range puts {
+		if err := im.Put(NSStore, k, []byte(v)); err != nil {
+			t.Fatalf("Put(%s): %v", k, err)
+		}
+	}
+	if err := im.Put(NSParked, "alpha", []byte("other-namespace")); err != nil {
+		t.Fatal(err)
+	}
+	if err := im.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	im2, info2 := openTestImage(t, path, ImageOptions{})
+	defer im2.Close()
+	if info2.Created {
+		t.Fatal("second open reported Created")
+	}
+	if info2.Records != 4 {
+		t.Fatalf("replayed %d records, want 4", info2.Records)
+	}
+	if info2.DiscardedTailBytes != 0 {
+		t.Fatalf("clean shutdown discarded %d tail bytes", info2.DiscardedTailBytes)
+	}
+	for k, v := range puts {
+		got, ok := im2.Get(NSStore, k)
+		if !ok || string(got) != v {
+			t.Fatalf("Get(NSStore, %s) = %q, %v; want %q", k, got, ok, v)
+		}
+	}
+	if got, ok := im2.Get(NSParked, "alpha"); !ok || string(got) != "other-namespace" {
+		t.Fatalf("namespace isolation broken: %q, %v", got, ok)
+	}
+	if n := im2.Len(NSStore); n != 3 {
+		t.Fatalf("Len(NSStore) = %d, want 3", n)
+	}
+}
+
+func TestImageDeleteAndClearSurviveReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "img")
+	im, _ := openTestImage(t, path, ImageOptions{})
+	for i := 0; i < 4; i++ {
+		if err := im.Put(NSStore, fmt.Sprintf("k%d", i), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+		if err := im.Put(NSParked, fmt.Sprintf("p%d", i), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := im.Delete(NSStore, "k1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := im.Delete(NSStore, "absent"); err != nil {
+		t.Fatalf("Delete of absent key: %v", err)
+	}
+	if err := im.ClearNamespace(NSParked); err != nil {
+		t.Fatal(err)
+	}
+	if err := im.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	im2, _ := openTestImage(t, path, ImageOptions{})
+	defer im2.Close()
+	if n := im2.Len(NSStore); n != 3 {
+		t.Fatalf("Len(NSStore) after delete = %d, want 3", n)
+	}
+	if _, ok := im2.Get(NSStore, "k1"); ok {
+		t.Fatal("deleted key survived reopen")
+	}
+	if n := im2.Len(NSParked); n != 0 {
+		t.Fatalf("Len(NSParked) after clear = %d, want 0", n)
+	}
+	if n := im2.LiveKeys(); n != 3 {
+		t.Fatalf("LiveKeys = %d, want 3", n)
+	}
+}
+
+func TestImageGetReturnsCopy(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "img")
+	im, _ := openTestImage(t, path, ImageOptions{})
+	defer im.Close()
+	if err := im.Put(NSStore, "k", []byte("original")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := im.Get(NSStore, "k")
+	copy(got, "XXXXXXXX")
+	again, _ := im.Get(NSStore, "k")
+	if string(again) != "original" {
+		t.Fatalf("Get aliases internal state: mutated to %q", again)
+	}
+	im.ForEach(NSStore, func(key string, payload []byte) {
+		copy(payload, "YYYYYYYY")
+	})
+	final, _ := im.Get(NSStore, "k")
+	if string(final) != "original" {
+		t.Fatalf("ForEach aliases internal state: mutated to %q", final)
+	}
+}
+
+// TestImageTornTailDiscarded flips a payload byte in the last record
+// without fixing the CRC — the signature of a torn write — and checks
+// that reopen keeps every earlier record and drops exactly the torn one.
+func TestImageTornTailDiscarded(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "img")
+	im, _ := openTestImage(t, path, ImageOptions{})
+	if err := im.Put(NSStore, "intact", []byte("survives")); err != nil {
+		t.Fatal(err)
+	}
+	lastOff := im.AppendOffset()
+	if err := im.Put(NSStore, "torn", []byte("doomed")); err != nil {
+		t.Fatal(err)
+	}
+	if err := im.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	corruptByte(t, path, lastOff+20, 0xFF) // first key byte, CRC now wrong
+
+	im2, info := openTestImage(t, path, ImageOptions{})
+	if info.Records != 1 {
+		t.Fatalf("replayed %d records, want 1", info.Records)
+	}
+	if info.DiscardedTailBytes == 0 {
+		t.Fatal("no tail reported discarded")
+	}
+	if _, ok := im2.Get(NSStore, "torn"); ok {
+		t.Fatal("torn record survived reopen")
+	}
+	if got, ok := im2.Get(NSStore, "intact"); !ok || string(got) != "survives" {
+		t.Fatalf("intact record lost: %q, %v", got, ok)
+	}
+	// The image must be appendable after discarding the tail.
+	if err := im2.Put(NSStore, "after", []byte("new")); err != nil {
+		t.Fatalf("Put after torn-tail recovery: %v", err)
+	}
+	if err := im2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	im3, info3 := openTestImage(t, path, ImageOptions{})
+	defer im3.Close()
+	if info3.Records != 2 {
+		t.Fatalf("third open replayed %d records, want 2", info3.Records)
+	}
+	if _, ok := im3.Get(NSStore, "after"); !ok {
+		t.Fatal("record appended over discarded tail was lost")
+	}
+}
+
+// TestImageUncommittedTailDiscarded zeroes the commit byte of the last
+// record — a crash between the two sync phases — and checks it is dropped.
+func TestImageUncommittedTailDiscarded(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "img")
+	im, _ := openTestImage(t, path, ImageOptions{})
+	if err := im.Put(NSStore, "a", []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	lastOff := im.AppendOffset()
+	if err := im.Put(NSStore, "b", []byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	if err := im.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// commit byte lives at off + 4 (len) + body + 4 (crc)
+	body := int64(recFixed + 1 + 3)
+	corruptByte(t, path, lastOff+4+body+4, 0)
+
+	im2, info := openTestImage(t, path, ImageOptions{})
+	defer im2.Close()
+	if info.Records != 1 {
+		t.Fatalf("replayed %d records, want 1", info.Records)
+	}
+	if _, ok := im2.Get(NSStore, "b"); ok {
+		t.Fatal("uncommitted record survived reopen")
+	}
+}
+
+// TestImageStaleSeqTailDiscarded plants a fully valid record with a stale
+// sequence number at the append offset — bytes left over from a previous
+// longer log — and checks the seq-monotonicity rule rejects it.
+func TestImageStaleSeqTailDiscarded(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "img")
+	im, _ := openTestImage(t, path, ImageOptions{})
+	firstOff := im.AppendOffset()
+	if err := im.Put(NSStore, "a", []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	firstLen := im.AppendOffset() - firstOff
+	if err := im.Put(NSStore, "b", []byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	tailOff := im.AppendOffset()
+	if err := im.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Copy record 1 (seq=1, CRC and commit valid) to the tail, where the
+	// scanner expects seq=3.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(raw[tailOff:], raw[firstOff:firstOff+firstLen])
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	im2, info := openTestImage(t, path, ImageOptions{})
+	defer im2.Close()
+	if info.Records != 2 {
+		t.Fatalf("replayed %d records, want 2", info.Records)
+	}
+	if info.DiscardedTailBytes == 0 {
+		t.Fatal("stale-seq tail not reported discarded")
+	}
+	if got, ok := im2.Get(NSStore, "a"); !ok || string(got) != "one" {
+		t.Fatalf("stale tail clobbered live state: %q, %v", got, ok)
+	}
+}
+
+// TestImageDoubleReopenIdempotent checks that recovery is idempotent: a
+// second reopen after a torn-tail discard finds a clean log and the same
+// live set.
+func TestImageDoubleReopenIdempotent(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "img")
+	im, _ := openTestImage(t, path, ImageOptions{})
+	if err := im.Put(NSStore, "keep", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	tail := im.AppendOffset()
+	if err := im.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Plant garbage at the append offset: a plausible length prefix with
+	// junk behind it, as a crash mid-append would leave.
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	garbage := make([]byte, 64)
+	binary.LittleEndian.PutUint32(garbage, 40)
+	for i := 4; i < len(garbage); i++ {
+		garbage[i] = 0xAB
+	}
+	if _, err := f.WriteAt(garbage, tail); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	im2, info2 := openTestImage(t, path, ImageOptions{})
+	if info2.DiscardedTailBytes == 0 {
+		t.Fatal("garbage tail not reported")
+	}
+	if info2.Records != 1 {
+		t.Fatalf("replayed %d records, want 1", info2.Records)
+	}
+	if err := im2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	im3, info3 := openTestImage(t, path, ImageOptions{})
+	defer im3.Close()
+	if info3.Records != 1 {
+		t.Fatalf("second reopen replayed %d records, want 1", info3.Records)
+	}
+	if got, ok := im3.Get(NSStore, "keep"); !ok || string(got) != "v" {
+		t.Fatalf("live set changed across reopens: %q, %v", got, ok)
+	}
+}
+
+func TestImageCompactionGrowsAndSurvivesReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "img")
+	im, _ := openTestImage(t, path, ImageOptions{Capacity: MinImageCapacity})
+	payload := bytes.Repeat([]byte{0x5A}, 1024)
+	// Overwrite a small key set far past capacity: compaction must fold
+	// the dead versions away (and eventually grow).
+	for i := 0; i < 400; i++ {
+		key := fmt.Sprintf("k%d", i%8)
+		payload[0] = byte(i)
+		if err := im.Put(NSStore, key, payload); err != nil {
+			t.Fatalf("Put %d: %v", i, err)
+		}
+	}
+	if im.Stats().Compactions == 0 {
+		t.Fatal("expected at least one compaction")
+	}
+	if im.Generation() == 0 {
+		t.Fatal("generation not bumped by compaction")
+	}
+	if err := im.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	im2, info := openTestImage(t, path, ImageOptions{})
+	defer im2.Close()
+	if info.LiveKeys != 8 {
+		t.Fatalf("LiveKeys = %d, want 8", info.LiveKeys)
+	}
+	for i := 0; i < 8; i++ {
+		want := byte(392 + i) // last writer of k{i} in the loop above
+		got, ok := im2.Get(NSStore, fmt.Sprintf("k%d", i))
+		if !ok || got[0] != want || len(got) != 1024 {
+			t.Fatalf("k%d = first byte %d (len %d), ok=%v; want %d", i, got[0], len(got), ok, want)
+		}
+	}
+}
+
+func TestImageStaleCompactFileRemovedOnOpen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "img")
+	if err := os.WriteFile(path+".compact", []byte("leftover"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	im, _ := openTestImage(t, path, ImageOptions{})
+	defer im.Close()
+	if _, err := os.Stat(path + ".compact"); !os.IsNotExist(err) {
+		t.Fatalf("stale .compact not removed: %v", err)
+	}
+}
+
+// TestImageDurableSnapshotIsPowerLossImage checks the TrackShadow
+// machinery: the snapshot must be openable as an image on its own and
+// reflect exactly the committed records.
+func TestImageDurableSnapshotIsPowerLossImage(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "img")
+	im, _ := openTestImage(t, path, ImageOptions{TrackShadow: true})
+	defer im.Close()
+	for i := 0; i < 10; i++ {
+		if err := im.Put(NSParked, fmt.Sprintf("k%d", i), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap, err := im.DurableSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapPath := filepath.Join(dir, "snap")
+	if err := os.WriteFile(snapPath, snap, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	im2, info := openTestImage(t, snapPath, ImageOptions{})
+	defer im2.Close()
+	if info.Records != 10 || info.LiveKeys != 10 {
+		t.Fatalf("snapshot recovered %d records / %d keys, want 10/10", info.Records, info.LiveKeys)
+	}
+	for i := 0; i < 10; i++ {
+		got, ok := im2.Get(NSParked, fmt.Sprintf("k%d", i))
+		if !ok || got[0] != byte(i) {
+			t.Fatalf("snapshot k%d = %v, %v", i, got, ok)
+		}
+	}
+}
+
+func TestImageSnapshotWithoutShadowErrors(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "img")
+	im, _ := openTestImage(t, path, ImageOptions{})
+	defer im.Close()
+	if _, err := im.DurableSnapshot(); err == nil {
+		t.Fatal("DurableSnapshot without TrackShadow should error")
+	}
+}
+
+func TestImageRejectsCorruptHeader(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "img")
+	im, _ := openTestImage(t, path, ImageOptions{})
+	if err := im.Put(NSStore, "k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := im.Close(); err != nil {
+		t.Fatal(err)
+	}
+	corruptByte(t, path, 2, 'X') // inside the magic
+	if _, _, err := OpenImage(path, ImageOptions{}); err == nil {
+		t.Fatal("open of corrupt-magic image should fail")
+	}
+}
+
+func TestImageClosedRejectsMutation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "img")
+	im, _ := openTestImage(t, path, ImageOptions{})
+	if err := im.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := im.Put(NSStore, "k", []byte("v")); err == nil {
+		t.Fatal("Put on closed image should fail")
+	}
+	if err := im.Close(); err != nil {
+		t.Fatalf("double Close should be a no-op: %v", err)
+	}
+}
+
+func corruptByte(t *testing.T, path string, off int64, val byte) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{val}, off); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,47 @@
+//go:build !linux
+
+package nvram
+
+import (
+	"io"
+	"os"
+)
+
+// fileMapping is the portable fallback for platforms where the stdlib
+// mmap/msync path is not wired up: a heap buffer written back with
+// pwrite + fsync on every sync. Functionally identical (same durability
+// points, same on-disk bytes), just without the zero-copy mapping.
+type fileMapping struct {
+	f    *os.File
+	data []byte
+}
+
+func openMapping(f *os.File, size int64) (mapping, error) {
+	data := make([]byte, size)
+	if n, err := f.ReadAt(data, 0); err != nil && !(err == io.EOF && n == len(data)) {
+		return nil, err
+	}
+	return &fileMapping{f: f, data: data}, nil
+}
+
+func (m *fileMapping) bytes() []byte { return m.data }
+
+func (m *fileMapping) sync(off, end int64) error {
+	if end <= off {
+		return nil
+	}
+	if _, err := m.f.WriteAt(m.data[off:end], off); err != nil {
+		return err
+	}
+	return m.f.Sync()
+}
+
+func (m *fileMapping) close() error {
+	syncErr := m.sync(0, int64(len(m.data)))
+	closeErr := m.f.Close()
+	m.data = nil
+	if syncErr != nil {
+		return syncErr
+	}
+	return closeErr
+}

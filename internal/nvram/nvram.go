@@ -28,6 +28,10 @@ type Store struct {
 	// spare).
 	Batteries int
 	detached  bool
+	// img, when non-nil, backs the non-volatile region with a durable
+	// on-disk image (OpenDurableStore): every PutNonVolatile commits a
+	// record before returning, and battery death clears the image too.
+	img *Image
 }
 
 // NewStore returns a store backed by the given number of batteries.
@@ -37,6 +41,37 @@ func NewStore(batteries int) *Store {
 		nonVolatile: make(map[string][]byte),
 		Batteries:   batteries,
 	}
+}
+
+// OpenDurableStore returns a store whose non-volatile region lives in the
+// durable image at path: contents put before a previous crash are already
+// present, and every PutNonVolatile is committed to the file before it
+// returns. The second result describes what recovery found.
+func OpenDurableStore(path string, batteries int, opts ImageOptions) (*Store, *ImageRecovery, error) {
+	img, info, err := OpenImage(path, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	s := NewStore(batteries)
+	s.img = img
+	img.ForEach(NSStore, func(key string, payload []byte) {
+		s.nonVolatile[key] = payload
+	})
+	return s, info, nil
+}
+
+// Image returns the durable image backing the store, or nil for the
+// in-memory model.
+func (s *Store) Image() *Image { return s.img }
+
+// Close releases the backing image, if any. In-memory stores are no-ops.
+func (s *Store) Close() error {
+	if s.img == nil {
+		return nil
+	}
+	err := s.img.Close()
+	s.img = nil
+	return err
 }
 
 // errDetached is returned when using a store after Detach.
@@ -51,7 +86,8 @@ func (s *Store) PutVolatile(key string, data []byte) error {
 	return nil
 }
 
-// PutNonVolatile stores data in the battery-backed region.
+// PutNonVolatile stores data in the battery-backed region. For durable
+// stores the record is committed to the image file before returning.
 func (s *Store) PutNonVolatile(key string, data []byte) error {
 	if s.detached {
 		return errDetached
@@ -59,23 +95,47 @@ func (s *Store) PutNonVolatile(key string, data []byte) error {
 	if s.Batteries <= 0 {
 		return errors.New("nvram: no working battery; contents would not survive")
 	}
+	if s.img != nil {
+		if err := s.img.Put(NSStore, key, data); err != nil {
+			return err
+		}
+	}
 	s.nonVolatile[key] = append([]byte(nil), data...)
 	return nil
 }
 
-// Get reads a key from either region; non-volatile wins on conflicts.
+// Get reads a key from either region; non-volatile wins on conflicts. A
+// detached store refuses reads — the board is physically gone, matching
+// the errDetached contract the Put methods enforce — and the returned
+// slice is a copy, so callers cannot mutate "non-volatile" contents in
+// place without going through a Put.
 func (s *Store) Get(key string) ([]byte, bool) {
-	if d, ok := s.nonVolatile[key]; ok {
-		return d, true
+	if s.detached {
+		return nil, false
 	}
-	d, ok := s.volatile[key]
-	return d, ok
+	if d, ok := s.nonVolatile[key]; ok {
+		return append([]byte(nil), d...), true
+	}
+	if d, ok := s.volatile[key]; ok {
+		return append([]byte(nil), d...), true
+	}
+	return nil, false
 }
 
 // Crash models a machine failure: the volatile region is lost; the
-// battery-backed region survives.
+// battery-backed region survives — but only if a battery is actually
+// holding it up. A store whose last battery already died loses the
+// non-volatile region too (consistent with PutNonVolatile's refusal to
+// accept data such a store could not keep). Crashing a detached store is
+// a no-op: there is no machine around the board to fail.
 func (s *Store) Crash() {
+	if s.detached {
+		return
+	}
 	s.volatile = make(map[string][]byte)
+	if s.Batteries <= 0 {
+		s.loseNonVolatile()
+	}
 }
 
 // FailBattery removes one battery; when the last fails, the non-volatile
@@ -85,21 +145,31 @@ func (s *Store) FailBattery() {
 		s.Batteries--
 	}
 	if s.Batteries == 0 {
-		s.nonVolatile = make(map[string][]byte)
+		s.loseNonVolatile()
+	}
+}
+
+func (s *Store) loseNonVolatile() {
+	s.nonVolatile = make(map[string][]byte)
+	if s.img != nil {
+		s.img.ClearNamespace(NSStore)
 	}
 }
 
 // Detach removes the NVRAM component from a (crashed) client, returning a
 // store containing only the surviving non-volatile contents, which can be
 // attached to another client to retrieve its data. The original store
-// becomes unusable.
+// becomes unusable; for durable stores the backing image moves with the
+// board.
 func (s *Store) Detach() *Store {
 	moved := &Store{
 		volatile:    make(map[string][]byte),
 		nonVolatile: s.nonVolatile,
 		Batteries:   s.Batteries,
+		img:         s.img,
 	}
 	s.nonVolatile = nil
+	s.img = nil
 	s.detached = true
 	return moved
 }

@@ -2,6 +2,7 @@ package nvram
 
 import (
 	"bytes"
+	"path/filepath"
 	"testing"
 	"testing/quick"
 	"time"
@@ -57,6 +58,69 @@ func TestStoreBatteryFailure(t *testing.T) {
 	}
 }
 
+// Regression: a detached store must refuse reads, not serve them from the
+// board that was physically removed.
+func TestStoreDetachedRefusesReads(t *testing.T) {
+	s := NewStore(1)
+	s.PutVolatile("vol", []byte("v"))
+	s.PutNonVolatile("nv", []byte("n"))
+	s.Detach()
+	if _, ok := s.Get("nv"); ok {
+		t.Fatal("detached store served a non-volatile read")
+	}
+	if _, ok := s.Get("vol"); ok {
+		t.Fatal("detached store served a volatile read")
+	}
+}
+
+// Regression: Crash on a detached store must not clear anything — the
+// moved board's data is referenced by the detached-to store.
+func TestStoreDetachedCrashIsNoop(t *testing.T) {
+	s := NewStore(1)
+	s.PutNonVolatile("k", []byte("v"))
+	moved := s.Detach()
+	s.Crash()
+	if d, ok := moved.Get("k"); !ok || !bytes.Equal(d, []byte("v")) {
+		t.Fatal("crash of the detached-from store lost moved data")
+	}
+}
+
+// Regression: Get used to return the internal slice, letting callers
+// mutate "non-volatile" contents in place without a Put.
+func TestStoreGetReturnsCopy(t *testing.T) {
+	s := NewStore(1)
+	s.PutNonVolatile("nv", []byte("original"))
+	s.PutVolatile("vol", []byte("original"))
+	for _, key := range []string{"nv", "vol"} {
+		d, _ := s.Get(key)
+		copy(d, "XXXXXXXX")
+		if again, _ := s.Get(key); !bytes.Equal(again, []byte("original")) {
+			t.Fatalf("Get(%s) aliases internal state: %q", key, again)
+		}
+	}
+}
+
+// Regression: a store whose batteries are gone (even when the exported
+// field is zeroed directly, bypassing FailBattery) must lose the
+// non-volatile region on Crash — PutNonVolatile already refuses such a
+// store, so preserving old contents across a crash was inconsistent.
+func TestStoreDeadBatteryCrashLosesNVRAM(t *testing.T) {
+	s := NewStore(1)
+	s.PutNonVolatile("k", []byte("v"))
+	s.Batteries = 0
+	s.Crash()
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("dead-battery store preserved NVRAM across a crash")
+	}
+	// With a battery present, Crash still preserves it.
+	s2 := NewStore(1)
+	s2.PutNonVolatile("k", []byte("v"))
+	s2.Crash()
+	if _, ok := s2.Get("k"); !ok {
+		t.Fatal("battery-backed store lost NVRAM in a crash")
+	}
+}
+
 func TestWriteBufferAccounting(t *testing.T) {
 	b := NewWriteBuffer(512 << 10)
 	if got := b.Add(300 << 10); got != 300<<10 {
@@ -97,6 +161,93 @@ func TestQuickWriteBufferBounds(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestDurableStoreSurvivesReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.img")
+	s, info, err := OpenDurableStore(path, 2, ImageOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Created {
+		t.Fatal("first open should create the image")
+	}
+	if err := s.PutNonVolatile("dirty", []byte("committed")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutVolatile("screen", []byte("unsaved")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Reboot": only the non-volatile region comes back, from the file.
+	s2, info2, err := OpenDurableStore(path, 2, ImageOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if info2.Created {
+		t.Fatal("second open recreated the image")
+	}
+	if d, ok := s2.Get("dirty"); !ok || !bytes.Equal(d, []byte("committed")) {
+		t.Fatalf("non-volatile contents lost across reopen: %q, %v", d, ok)
+	}
+	if _, ok := s2.Get("screen"); ok {
+		t.Fatal("volatile contents survived reopen")
+	}
+}
+
+func TestDurableStoreBatteryDeathClearsImage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.img")
+	s, _, err := OpenDurableStore(path, 1, ImageOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.PutNonVolatile("k", []byte("v"))
+	s.FailBattery()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, _, err := OpenDurableStore(path, 1, ImageOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if _, ok := s2.Get("k"); ok {
+		t.Fatal("battery death did not clear the durable image")
+	}
+}
+
+func TestDurableStoreDetachMovesImage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.img")
+	s, _, err := OpenDurableStore(path, 1, ImageOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.PutNonVolatile("k", []byte("v"))
+	moved := s.Detach()
+	if s.Image() != nil {
+		t.Fatal("detached-from store kept the image")
+	}
+	if moved.Image() == nil {
+		t.Fatal("image did not move with the board")
+	}
+	if err := moved.PutNonVolatile("k2", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := moved.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, info, err := OpenDurableStore(path, 1, ImageOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if info.LiveKeys != 2 {
+		t.Fatalf("LiveKeys = %d, want 2", info.LiveKeys)
 	}
 }
 

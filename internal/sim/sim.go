@@ -14,6 +14,7 @@ import (
 	"nvramfs/internal/consist"
 	"nvramfs/internal/faults"
 	"nvramfs/internal/interval"
+	"nvramfs/internal/nvram"
 	"nvramfs/internal/prep"
 )
 
@@ -39,6 +40,12 @@ type Config struct {
 	// leaves the write-back path untouched, byte-identical to a build
 	// without the stage.
 	Faults *faults.Profile
+	// DurableImage, when set together with Faults, durably mirrors the
+	// fault stage's NVRAM-parked backlog into an on-disk image
+	// (faults.Injector.AttachImage): the crash harness can then kill the
+	// process and recover the backlog from the file. nil (the default)
+	// keeps everything in memory, byte-identical to pre-image builds.
+	DurableImage *nvram.Image
 	// Shard restricts this stepper to one client shard: the stepper still
 	// consumes the full op stream (replicating the consistency protocol
 	// and file-size tracking, which are pure functions of it), but only
@@ -187,6 +194,9 @@ func (d *Stepper) installFaultStage() {
 				cache.Cause(dv.Cause), dv.Stable)
 		}
 	})
+	if d.cfg.DurableImage != nil {
+		d.fault.AttachImage(d.cfg.DurableImage)
+	}
 	hooks := &cache.ServerHooks{
 		Write: func(now int64, file uint64, r interval.Range, cause cache.Cause, stable bool) {
 			d.fault.Deliver(now, faults.Delivery{

@@ -126,6 +126,20 @@ type (
 	// Store is a battery-backed client memory with crash/detach modeling
 	// (the paper's Section 4 reliability discussion).
 	Store = nvram.Store
+
+	// Image is a file-backed (mmap) NVRAM image: a checksummed record log
+	// with crash-consistent commits, reopened and replayed after a kill.
+	Image = nvram.Image
+	// ImageOptions configures OpenImage (capacity, power-loss shadow).
+	ImageOptions = nvram.ImageOptions
+	// ImageRecovery describes what reopening an image found: committed
+	// records replayed, torn tail discarded.
+	ImageRecovery = nvram.ImageRecovery
+	// ImageStats counts an image's record and msync activity.
+	ImageStats = nvram.ImageStats
+	// DurableOutcome is the result of one kill/reopen crash verification
+	// against a durable NVRAM image.
+	DurableOutcome = crash.DurableOutcome
 )
 
 // NumStandardTraces is the number of standard traces (eight 24-hour
@@ -479,6 +493,37 @@ func (t *Trace) CrashLFS(cfg LFSCrashConfig, at int) (*LFSCrashOutcome, error) {
 	return crash.RunLFS(t, cfg, at)
 }
 
+// KillReopenCache runs the durable kill/reopen harness on the client
+// cache path: the trace's first `at` operations are simulated with the
+// fault stage's NVRAM write-back backlog mirrored into an image file
+// under dir, the power is cut at that event boundary, and the image is
+// reopened and verified against an in-memory oracle replay — zero
+// committed-byte loss, element-wise. The configuration must carry a
+// fault spec (the image holds the parked backlog). at < 0 or beyond the
+// trace kills at the end.
+func (t *Trace) KillReopenCache(cfg CacheConfig, dir string, at int) (*DurableOutcome, error) {
+	sc, err := t.simConfig(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if at < 0 || at > t.NumOps() {
+		at = t.NumOps()
+	}
+	return crash.KillReopenCache(t, sc, dir, at, nil)
+}
+
+// KillReopenLFS runs the durable kill/reopen harness on the server LFS
+// path: the write buffer and checkpoint mirror into an image file under
+// dir, the power is cut after `at` operations, and recovery seeded from
+// the reopened image must reach the same durable fingerprint as recovery
+// from process memory. at < 0 or beyond the trace kills at the end.
+func (t *Trace) KillReopenLFS(cfg LFSCrashConfig, dir string, at int) (*DurableOutcome, error) {
+	if at < 0 || at > t.NumOps() {
+		at = t.NumOps()
+	}
+	return crash.KillReopenLFS(t, cfg, dir, at, nil)
+}
+
 // ServerResult is the outcome of one server file-system run.
 type ServerResult struct {
 	Name       string
@@ -536,6 +581,21 @@ func NewRecoverableFS(bufferBytes int64) (*FS, error) {
 // NewStore returns a battery-backed store with the given number of
 // lithium batteries (Table 1's components carry one to three).
 func NewStore(batteries int) *Store { return nvram.NewStore(batteries) }
+
+// OpenImage opens (creating if absent) a durable NVRAM image file: a
+// mmap-backed, checksummed record log whose committed records survive
+// SIGKILL and — via the two-phase commit protocol — power loss. The
+// returned recovery report says what reopening found.
+func OpenImage(path string, opts ImageOptions) (*Image, *ImageRecovery, error) {
+	return nvram.OpenImage(path, opts)
+}
+
+// OpenDurableStore returns a battery-backed store whose non-volatile
+// region persists in the image file at path: puts commit to the image
+// before they are readable, and a reopened store recovers them.
+func OpenDurableStore(path string, batteries int, opts ImageOptions) (*Store, *ImageRecovery, error) {
+	return nvram.OpenDurableStore(path, batteries, opts)
+}
 
 // NewWorkspace returns a workspace for the experiment drivers below at
 // the given workload scale (1.0 = paper scale). Its default engine uses
