@@ -15,6 +15,16 @@ fi
 go vet ./...
 go build ./...
 
+# Doc lint: every internal package must carry a package comment (the doc.go
+# convention) — godoc and pkgsite render these as the package synopsis, and
+# a silent empty synopsis is how documentation rot starts.
+undocumented=$(go list -f '{{if not .Doc}}{{.ImportPath}}{{end}}' ./internal/...)
+if [ -n "$undocumented" ]; then
+	echo "internal packages missing a package comment:" >&2
+	echo "$undocumented" >&2
+	exit 1
+fi
+
 # Quick path first: the plain -short suite (including the crash-injection
 # sweeps) finishes in seconds and catches most breakage before the full
 # -race pass, which takes ~15 minutes on a 1-CPU box.
@@ -57,3 +67,9 @@ go run ./cmd/nvbench -shard-smoke
 # nvbench smoke drives the same harness through the public facade.
 go test -short -run 'Durable|Image' -count=1 ./internal/crash/ ./internal/nvram/ ./internal/lfs/ ./internal/faults/
 go run ./cmd/nvbench -durable-smoke
+
+# Fleet population gate: a 100k-client, 16-shard fleet run must hold peak
+# heap within 2x of the 10k-client run (per-client and per-segment state
+# has to retire), and the fleet experiment must render byte-identical
+# output at -j 1 and -j 8.
+go run ./cmd/nvbench -fleet-smoke

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"nvramfs"
+)
+
+// DurableSmoke is the kill/reopen evidence: the durable crash harness run
+// against a real image file at sampled event boundaries of a standard
+// trace, on both the cache write-back backlog and the LFS write buffer,
+// plus the measured msync cost of the image's two-phase commit.
+// RecoveredExact is the correctness half and must always be true; the
+// msync columns are the performance half (EXPERIMENTS.md discusses them).
+type DurableSmoke struct {
+	Scale          float64 `json:"scale"`
+	Boundaries     int     `json:"boundaries"`
+	ParkedBytesMax int64   `json:"parked_bytes_max"`
+	RecoveredExact bool    `json:"recovered_exact"`
+	// Commit cost of the image's record log: puts performed, msync calls
+	// issued (two per committed record), and mean wall-clock ns per msync.
+	CommitPuts  int64   `json:"commit_puts"`
+	Msyncs      int64   `json:"msyncs"`
+	NsPerMsync  float64 `json:"ns_per_msync"`
+	NsPerCommit float64 `json:"ns_per_commit"`
+}
+
+// measureDurableSmoke runs the kill/reopen harness at sampled boundaries
+// and times the commit path. Returns an error on any recovery violation:
+// a divergence between the reopened image and the in-memory oracle is
+// committed-byte loss, not a performance number.
+func measureDurableSmoke(scale float64) (*DurableSmoke, error) {
+	dir, err := os.MkdirTemp("", "nvbench-durable")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	tr, err := nvramfs.StandardTrace(7, scale)
+	if err != nil {
+		return nil, err
+	}
+	n := tr.NumOps()
+	sm := &DurableSmoke{Scale: scale, RecoveredExact: true}
+	cacheCfg := nvramfs.CacheConfig{
+		Model: "unified", VolatileMB: 2, NVRAMMB: 1,
+		Faults: "seed=1,outage=0s+never",
+	}
+	var lfsCfg nvramfs.LFSCrashConfig
+	lfsCfg.FS.BufferBytes = 512 << 10
+	lfsCfg.CheckpointEvery = 5
+	for _, k := range []int{0, n / 4, n / 2, 3 * n / 4, n} {
+		out, err := tr.KillReopenCache(cacheCfg, dir, k)
+		if err != nil {
+			return nil, fmt.Errorf("cache kill at %d: %w", k, err)
+		}
+		for _, v := range out.Violations {
+			sm.RecoveredExact = false
+			fmt.Fprintf(os.Stderr, "nvbench: durable cache kill at %d: %s\n", k, v)
+		}
+		if out.ParkedBytes > sm.ParkedBytesMax {
+			sm.ParkedBytesMax = out.ParkedBytes
+		}
+		lout, err := tr.KillReopenLFS(lfsCfg, dir, k)
+		if err != nil {
+			return nil, fmt.Errorf("lfs kill at %d: %w", k, err)
+		}
+		for _, v := range lout.Violations {
+			sm.RecoveredExact = false
+			fmt.Fprintf(os.Stderr, "nvbench: durable lfs kill at %d: %s\n", k, v)
+		}
+		sm.Boundaries++
+	}
+	if !sm.RecoveredExact {
+		return sm, fmt.Errorf("durable kill/reopen recovery diverged from the oracle (committed-byte loss)")
+	}
+
+	// Commit-cost microbench: 4 KiB puts through the two-phase commit,
+	// timed by the image's own msync counters.
+	img, _, err := nvramfs.OpenImage(filepath.Join(dir, "msync.img"), nvramfs.ImageOptions{})
+	if err != nil {
+		return nil, err
+	}
+	defer img.Close()
+	payload := make([]byte, 4096)
+	for i := 0; i < 256; i++ {
+		payload[0] = byte(i)
+		if err := img.Put(1, fmt.Sprintf("blk%03d", i%32), payload); err != nil {
+			return nil, err
+		}
+	}
+	st := img.Stats()
+	sm.CommitPuts = st.Puts
+	sm.Msyncs = st.Msyncs
+	if st.Msyncs > 0 {
+		sm.NsPerMsync = float64(st.MsyncNanos) / float64(st.Msyncs)
+	}
+	if st.Puts > 0 {
+		sm.NsPerCommit = float64(st.MsyncNanos) / float64(st.Puts)
+	}
+	return sm, nil
+}

@@ -1,0 +1,157 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"time"
+
+	"nvramfs"
+	"nvramfs/internal/fleet"
+	"nvramfs/internal/server"
+	"nvramfs/internal/trace"
+	"nvramfs/internal/workload"
+)
+
+// FleetSmoke is the population-scale gate: the fleet pipeline must hold
+// bounded memory as the client population grows (the generator keeps
+// per-slot state and the servers retire per-client state, so peak heap
+// tracks MaxActive and the cache budget, not Clients), and the fleet
+// experiment's rendered output must be byte-identical across engine
+// worker counts.
+type FleetSmoke struct {
+	Shards             int     `json:"shards"`
+	BaseClients        int     `json:"base_clients"`
+	BaseEvents         int64   `json:"base_events"`
+	BasePeakHeapBytes  uint64  `json:"base_peak_heap_bytes"`
+	GrownClients       int     `json:"grown_clients"`
+	GrownEvents        int64   `json:"grown_events"`
+	GrownPeakHeapBytes uint64  `json:"grown_peak_heap_bytes"`
+	PeakHeapRatio      float64 `json:"peak_heap_ratio"`
+	// OutputIdentical reports whether the fleet experiment rendered the
+	// same bytes (table and CSV) at -j 1 and -j 8.
+	OutputIdentical bool `json:"output_identical"`
+}
+
+// samplingSource forwards an event stream, sampling the heap every 8192
+// events so the peak captures the simulation's steady state.
+type samplingSource struct {
+	src    trace.EventSource
+	n      int64
+	sample func()
+}
+
+func (s *samplingSource) Next() (trace.Event, bool, error) {
+	e, ok, err := s.src.Next()
+	if ok {
+		if s.n%8192 == 0 {
+			s.sample()
+		}
+		s.n++
+	}
+	return e, ok, err
+}
+
+// fleetPeak streams a fresh population of the given size through a
+// 16-shard fleet, sampling the heap as it goes.
+func fleetPeak(clients, shards int) (int64, uint64, error) {
+	// Same rationale as streamPeak: tighten the collector so the sampled
+	// peak tracks the live set, not GOGC headroom.
+	defer debug.SetGCPercent(debug.SetGCPercent(20))
+	runtime.GC()
+	var ms runtime.MemStats
+	var peak uint64
+	sample := func() {
+		runtime.ReadMemStats(&ms)
+		if ms.HeapAlloc > peak {
+			peak = ms.HeapAlloc
+		}
+	}
+	sample()
+
+	cur, err := workload.NewFleetCursor(workload.FleetProfile{
+		Name:     fmt.Sprintf("fleetsmoke-%d", clients),
+		Seed:     4092,
+		Duration: 24 * time.Hour,
+		Clients:  clients,
+		// MaxActive stays at its default across both population sizes, so
+		// any heap growth is attributable to per-client state that failed
+		// to retire.
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	res, err := fleet.Run(&samplingSource{src: cur, sample: sample}, fleet.Options{
+		Shards: shards,
+		Server: server.Config{
+			CacheBlocks: (128 << 20) / (4 << 10),
+			NVRAMBlocks: (2 << 20) / (4 << 10),
+		},
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	sample()
+	return res.Events, peak, nil
+}
+
+// renderFleet runs the reduced fleet grid on a fresh engine with the
+// given worker count and returns the rendered table plus CSV bytes.
+func renderFleet(workers int) ([]byte, error) {
+	eng := nvramfs.NewEngine(workers)
+	ws := nvramfs.NewWorkspace(0.2)
+	ws.SetEngine(eng)
+	r, err := nvramfs.FleetWithOptions(context.Background(), ws, nvramfs.FleetOptions{
+		ClientCounts:  []int{1_000, 3_000},
+		ShardCounts:   []int{1, 4, 16},
+		DurationHours: 6,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := r.Render(&buf); err != nil {
+		return nil, err
+	}
+	if err := nvramfs.WriteCSV(&buf, r); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// measureFleetSmoke runs the bounded-memory and worker-determinism
+// checks. Population sizes: 10k base, 100k grown, 16 shards — the
+// acceptance configuration for the fleet work.
+func measureFleetSmoke() (*FleetSmoke, error) {
+	const shards = 16
+	baseClients, grownClients := 10_000, 100_000
+	baseEvents, basePeak, err := fleetPeak(baseClients, shards)
+	if err != nil {
+		return nil, fmt.Errorf("base fleet: %w", err)
+	}
+	grownEvents, grownPeak, err := fleetPeak(grownClients, shards)
+	if err != nil {
+		return nil, fmt.Errorf("grown fleet: %w", err)
+	}
+	seq, err := renderFleet(1)
+	if err != nil {
+		return nil, fmt.Errorf("fleet render -j1: %w", err)
+	}
+	par, err := renderFleet(8)
+	if err != nil {
+		return nil, fmt.Errorf("fleet render -j8: %w", err)
+	}
+	return &FleetSmoke{
+		Shards:             shards,
+		BaseClients:        baseClients,
+		BaseEvents:         baseEvents,
+		BasePeakHeapBytes:  basePeak,
+		GrownClients:       grownClients,
+		GrownEvents:        grownEvents,
+		GrownPeakHeapBytes: grownPeak,
+		PeakHeapRatio:      float64(grownPeak) / float64(basePeak),
+		OutputIdentical:    bytes.Equal(seq, par),
+	}, nil
+}

@@ -11,6 +11,7 @@
 //	nvbench -pkg ./... -bench Sim     # restrict packages / benchmarks
 //	nvbench -stream-smoke             # bounded-memory check only (CI gate)
 //	nvbench -shard-smoke              # sharded-vs-sequential divergence and speedup check (CI gate)
+//	nvbench -fleet-smoke              # population-scale bounded-memory and determinism check (CI gate)
 //
 // The JSON maps benchmark name → {ns_per_op, b_per_op, allocs_per_op};
 // map keys marshal sorted, so successive files diff cleanly. Runs (not
@@ -58,6 +59,11 @@ type File struct {
 	// against a real mmap image file and the measured msync commit cost
 	// (see durablesmoke.go). Absent when parsing a saved log.
 	DurableSmoke *DurableSmoke `json:"durable_smoke,omitempty"`
+	// FleetSmoke, when present, records the population-scale check: peak
+	// heap at 10k vs 100k clients through a 16-shard fleet, plus the
+	// fleet experiment's -j 1 vs -j 8 byte-identity (see fleetsmoke.go).
+	// Absent when parsing a saved log.
+	FleetSmoke *FleetSmoke `json:"fleet_smoke,omitempty"`
 }
 
 // benchLine matches `go test -bench -benchmem` result lines, e.g.
@@ -115,8 +121,28 @@ func main() {
 		durableScale = flag.Float64("durable-scale", 0.02, "workload scale for the durable kill/reopen measurement")
 		durableSmoke = flag.Bool("durable-smoke", false,
 			"only run the durable kill/reopen check: fail if recovery from a reopened image file diverges from the in-memory oracle at any sampled boundary")
+		fleetSmoke = flag.Bool("fleet-smoke", false,
+			"only run the fleet population check: fail if peak heap at 100k clients exceeds 2x the 10k-client run, or if the fleet experiment's output differs across worker counts")
 	)
 	flag.Parse()
+
+	if *fleetSmoke {
+		fs, err := measureFleetSmoke()
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("fleet smoke: %d shards: %d clients (%d events) peak %.1f MiB → %d clients (%d events) peak %.1f MiB (ratio %.2f), -j1/-j8 identical: %v",
+			fs.Shards, fs.BaseClients, fs.BaseEvents, float64(fs.BasePeakHeapBytes)/(1<<20),
+			fs.GrownClients, fs.GrownEvents, float64(fs.GrownPeakHeapBytes)/(1<<20),
+			fs.PeakHeapRatio, fs.OutputIdentical)
+		if fs.PeakHeapRatio > 2 {
+			log.Fatalf("peak heap grew %.2f× for a 10× larger population; per-client state is not retiring", fs.PeakHeapRatio)
+		}
+		if !fs.OutputIdentical {
+			log.Fatal("fleet experiment output diverges between -j 1 and -j 8")
+		}
+		return
+	}
 
 	if *durableSmoke {
 		ds, err := measureDurableSmoke(*durableScale)
@@ -202,6 +228,7 @@ func main() {
 	var streamMem *StreamMemory
 	var shardSp *ShardSpeedup
 	var durable *DurableSmoke
+	var fleetSm *FleetSmoke
 	if *input == "" {
 		sm, err := measureStreamMemory(*memScale, *memFactor)
 		if err != nil {
@@ -233,9 +260,18 @@ func main() {
 		log.Printf("durable smoke: %d boundaries exact, max backlog %d B; commit cost %.0f ns/msync, %.0f ns/commit",
 			ds.Boundaries, ds.ParkedBytesMax, ds.NsPerMsync, ds.NsPerCommit)
 		durable = ds
+		fs, err := measureFleetSmoke()
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("fleet smoke: %d clients peak %.1f MiB → %d clients peak %.1f MiB (ratio %.2f), -j1/-j8 identical: %v",
+			fs.BaseClients, float64(fs.BasePeakHeapBytes)/(1<<20),
+			fs.GrownClients, float64(fs.GrownPeakHeapBytes)/(1<<20),
+			fs.PeakHeapRatio, fs.OutputIdentical)
+		fleetSm = fs
 	}
 
-	data, err := json.MarshalIndent(File{Benchtime: *benchtime, Benchmarks: entries, StreamingMemory: streamMem, ShardSpeedup: shardSp, DurableSmoke: durable}, "", "  ")
+	data, err := json.MarshalIndent(File{Benchtime: *benchtime, Benchmarks: entries, StreamingMemory: streamMem, ShardSpeedup: shardSp, DurableSmoke: durable, FleetSmoke: fleetSm}, "", "  ")
 	if err != nil {
 		log.Fatal(err)
 	}

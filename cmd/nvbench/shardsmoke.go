@@ -1,0 +1,82 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"time"
+
+	"nvramfs"
+)
+
+// ShardSpeedup is the sharded-pipeline evidence: the Figure 2 and
+// Figure 3 sweeps rendered sequentially (-j 1, shard width 1) and again
+// sharded on a worker pool, with the renders byte-compared and both
+// runs timed. OutputIdentical is the correctness half of the record and
+// must always be true; Speedup is the performance half and only means
+// anything when the box has the cores (NumCPU).
+type ShardSpeedup struct {
+	Scale           float64 `json:"scale"`
+	NumCPU          int     `json:"num_cpu"`
+	Workers         int     `json:"workers"`
+	ShardWidth      int     `json:"shard_width"`
+	SequentialNs    int64   `json:"sequential_ns"`
+	ShardedNs       int64   `json:"sharded_ns"`
+	Speedup         float64 `json:"speedup"`
+	OutputIdentical bool    `json:"output_identical"`
+}
+
+// renderShardTargets renders the sweeps the sharded pipeline
+// accelerates — Figure 2 (file-sharded lifetime analyses) and Figure 3
+// (client-sharded broadcast simulations) — at one (workers, shards)
+// point, returning the rendered bytes and the wall-clock time.
+func renderShardTargets(scale float64, workers, shards int) (string, time.Duration, error) {
+	ws := nvramfs.NewWorkspace(scale)
+	ws.SetEngine(nvramfs.NewEngine(workers))
+	ws.SetShards(shards)
+	var buf bytes.Buffer
+	start := time.Now()
+	f2, err := nvramfs.Figure2(ws)
+	if err != nil {
+		return "", 0, err
+	}
+	if err := f2.Render(&buf); err != nil {
+		return "", 0, err
+	}
+	f3, err := nvramfs.Figure3(ws)
+	if err != nil {
+		return "", 0, err
+	}
+	if err := f3.Render(&buf); err != nil {
+		return "", 0, err
+	}
+	return buf.String(), time.Since(start), nil
+}
+
+// measureShardSpeedup times the sequential and sharded renders and
+// byte-compares their output. workers <= 0 picks GOMAXPROCS.
+func measureShardSpeedup(scale float64, workers int) (*ShardSpeedup, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	seqOut, seqT, err := renderShardTargets(scale, 1, 1)
+	if err != nil {
+		return nil, fmt.Errorf("sequential render: %w", err)
+	}
+	shardOut, shardT, err := renderShardTargets(scale, workers, 0)
+	if err != nil {
+		return nil, fmt.Errorf("sharded render: %w", err)
+	}
+	ws := nvramfs.NewWorkspace(scale)
+	ws.SetEngine(nvramfs.NewEngine(workers))
+	return &ShardSpeedup{
+		Scale:           scale,
+		NumCPU:          runtime.NumCPU(),
+		Workers:         workers,
+		ShardWidth:      ws.ShardWidth(),
+		SequentialNs:    int64(seqT),
+		ShardedNs:       int64(shardT),
+		Speedup:         float64(seqT) / float64(shardT),
+		OutputIdentical: seqOut == shardOut,
+	}, nil
+}

@@ -4,13 +4,15 @@
 //
 //	nvreport                      # everything, at paper scale
 //	nvreport -exp fig2,table2     # selected experiments
+//	nvreport -exp list            # list experiment names and descriptions
 //	nvreport -scale 0.1           # faster, smaller workloads
 //	nvreport -j 4 -progress       # four workers, job progress on stderr
 //	nvreport -shards 4            # force the intra-trace shard width
 //
-// Experiments: table1 fig2 table2 fig3 fig4 fig5 fig6 bus cost table3
-// table4 buffer sort servercache fsynclat readlat stack ablate
-// reliability degraded.
+// The experiment list is generated from the registry (report.Experiments)
+// at startup — run `nvreport -exp list` for names and one-line
+// descriptions; main cross-checks the registry against the dispatch table
+// so the help text cannot drift from the code.
 //
 // Experiment output is written to stdout and is byte-identical at any
 // worker count; progress and the wall-clock summary go to stderr.
@@ -32,18 +34,16 @@ import (
 	"nvramfs"
 )
 
-// experiments lists every valid -exp name in report order.
-var experiments = []string{
-	"table1", "fig2", "table2", "fig3", "fig4", "fig5", "fig6", "bus",
-	"cost", "table3", "table4", "buffer", "sort", "servercache",
-	"fsynclat", "readlat", "stack", "ablate", "reliability", "degraded",
-}
-
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("nvreport: ")
+	registry := nvramfs.Experiments()
+	names := make([]string, len(registry))
+	for i, e := range registry {
+		names[i] = e.Name
+	}
 	var (
-		expList    = flag.String("exp", "all", "comma-separated experiments (or \"all\")")
+		expList    = flag.String("exp", "all", "comma-separated experiments, \"all\", or \"list\" to print the registry")
 		scale      = flag.Float64("scale", 1.0, "client workload scale (1.0 = paper scale)")
 		serverDays = flag.Float64("server-days", 14, "server study duration in days")
 		csvDir     = flag.String("csv", "", "also write each experiment's data as CSV into this directory")
@@ -56,6 +56,12 @@ func main() {
 	)
 	flag.Parse()
 
+	if *expList == "list" {
+		for _, e := range registry {
+			fmt.Printf("%-12s %s\n", e.Name, e.Desc)
+		}
+		return
+	}
 	if *jobs <= 0 {
 		log.Fatalf("-j %d is not positive; the engine needs at least one worker (default %d = all CPUs)",
 			*jobs, runtime.GOMAXPROCS(0))
@@ -95,8 +101,8 @@ func main() {
 	}
 
 	valid := map[string]bool{}
-	for _, e := range experiments {
-		valid[e] = true
+	for _, name := range names {
+		valid[name] = true
 	}
 	want := map[string]bool{}
 	all := *expList == "all"
@@ -105,7 +111,7 @@ func main() {
 			e = strings.TrimSpace(e)
 			if !valid[e] {
 				log.Fatalf("unknown experiment %q; valid names: %s",
-					e, strings.Join(experiments, " "))
+					e, strings.Join(names, " "))
 			}
 			want[e] = true
 		}
@@ -155,151 +161,171 @@ func main() {
 		check(f.Close())
 	}
 
-	if sel("table1") {
-		section("table1")
-		check(nvramfs.RenderTable1(out))
-	}
-	if sel("fig2") {
-		section("fig2")
-		r, err := nvramfs.Figure2Context(ctx, ws)
-		check(err)
-		check(r.Render(out))
-		if *plot {
-			check(r.Plot(out))
-		}
-		saveCSV("fig2", r)
-	}
-	if sel("table2") {
-		section("table2")
-		r, err := nvramfs.Table2Context(ctx, ws)
-		check(err)
-		check(r.Render(out))
-		saveCSV("table2", r)
-	}
-	if sel("fig3") {
-		section("fig3 (omniscient policy, all traces)")
-		r, err := nvramfs.Figure3Context(ctx, ws)
-		check(err)
-		check(r.Render(out))
-		saveCSV("fig3", r)
-	}
-	if sel("fig4") {
-		section("fig4 (replacement policies, trace 7)")
-		r, err := nvramfs.Figure4Context(ctx, ws)
-		check(err)
-		check(r.Render(out))
-		if *plot {
-			check(r.Plot(out, "Figure 4: replacement policies (trace 7)"))
-		}
-		saveCSV("fig4", r)
-	}
-	if sel("fig5") {
-		section("fig5 (cache models, trace 7)")
-		r, err := nvramfs.Figure5Context(ctx, ws)
-		check(err)
-		check(r.Render(out))
-		if *plot {
-			check(r.Plot(out, "Figure 5: cache models (trace 7)"))
-		}
-		saveCSV("fig5", r)
-	}
+	// Results shared by several experiments, computed once on first use.
 	var fig6 *nvramfs.ModelCompareResult
-	if sel("fig6") || sel("cost") {
-		var err error
-		fig6, err = nvramfs.Figure6Context(ctx, ws)
-		check(err)
-	}
-	if sel("fig6") {
-		section("fig6 (volatile vs unified, 8/16 MB bases)")
-		check(fig6.Render(out))
-		if *plot {
-			check(fig6.Plot(out, "Figure 6: volatile vs unified (8/16 MB bases)"))
+	getFig6 := func() *nvramfs.ModelCompareResult {
+		if fig6 == nil {
+			var err error
+			fig6, err = nvramfs.Figure6Context(ctx, ws)
+			check(err)
 		}
-		saveCSV("fig6", fig6)
+		return fig6
 	}
-	if sel("cost") {
-		section("cost (section 2.7)")
-		cs := nvramfs.CostStudy(fig6)
-		check(cs.Render(out))
-		saveCSV("cost", cs)
-	}
-	if sel("bus") {
-		section("bus (section 2.6)")
-		r, err := nvramfs.BusTrafficContext(ctx, ws)
-		check(err)
-		check(r.Render(out))
-	}
-	if sel("table3") || sel("table4") || sel("buffer") {
-		duration := time.Duration(*serverDays * float64(24*time.Hour))
-		r, err := nvramfs.ServerStudyContext(ctx, eng, duration)
-		check(err)
-		if sel("table3") {
-			section("table3")
-			check(r.RenderTable3(out))
+	var serverStudy *nvramfs.ServerStudyResult
+	getServerStudy := func() *nvramfs.ServerStudyResult {
+		if serverStudy == nil {
+			duration := time.Duration(*serverDays * float64(24*time.Hour))
+			var err error
+			serverStudy, err = nvramfs.ServerStudyContext(ctx, eng, duration)
+			check(err)
+			saveCSV("server_study", serverStudy)
 		}
-		if sel("table4") {
-			section("table4")
-			check(r.RenderTable4(out))
+		return serverStudy
+	}
+
+	// runners maps every registered experiment to its dispatch; main
+	// verifies the map and the registry agree exactly, in both
+	// directions, before running anything.
+	runners := map[string]func(){
+		"table1": func() {
+			check(nvramfs.RenderTable1(out))
+		},
+		"fig2": func() {
+			r, err := nvramfs.Figure2Context(ctx, ws)
+			check(err)
+			check(r.Render(out))
+			if *plot {
+				check(r.Plot(out))
+			}
+			saveCSV("fig2", r)
+		},
+		"table2": func() {
+			r, err := nvramfs.Table2Context(ctx, ws)
+			check(err)
+			check(r.Render(out))
+			saveCSV("table2", r)
+		},
+		"fig3": func() {
+			r, err := nvramfs.Figure3Context(ctx, ws)
+			check(err)
+			check(r.Render(out))
+			saveCSV("fig3", r)
+		},
+		"fig4": func() {
+			r, err := nvramfs.Figure4Context(ctx, ws)
+			check(err)
+			check(r.Render(out))
+			if *plot {
+				check(r.Plot(out, "Figure 4: replacement policies (trace 7)"))
+			}
+			saveCSV("fig4", r)
+		},
+		"fig5": func() {
+			r, err := nvramfs.Figure5Context(ctx, ws)
+			check(err)
+			check(r.Render(out))
+			if *plot {
+				check(r.Plot(out, "Figure 5: cache models (trace 7)"))
+			}
+			saveCSV("fig5", r)
+		},
+		"fig6": func() {
+			r := getFig6()
+			check(r.Render(out))
+			if *plot {
+				check(r.Plot(out, "Figure 6: volatile vs unified (8/16 MB bases)"))
+			}
+			saveCSV("fig6", r)
+		},
+		"bus": func() {
+			r, err := nvramfs.BusTrafficContext(ctx, ws)
+			check(err)
+			check(r.Render(out))
+		},
+		"cost": func() {
+			cs := nvramfs.CostStudy(getFig6())
+			check(cs.Render(out))
+			saveCSV("cost", cs)
+		},
+		"table3": func() {
+			check(getServerStudy().RenderTable3(out))
+		},
+		"table4": func() {
+			check(getServerStudy().RenderTable4(out))
+		},
+		"buffer": func() {
+			check(getServerStudy().RenderBuffer(out))
+		},
+		"sort": func() {
+			sb := nvramfs.SortedBuffer()
+			check(sb.Render(out))
+			saveCSV("sort", sb)
+		},
+		"servercache": func() {
+			duration := time.Duration(*serverDays * float64(24*time.Hour))
+			r, err := nvramfs.ServerCacheStudyContext(ctx, eng, duration)
+			check(err)
+			check(r.Render(out))
+			saveCSV("servercache", r)
+		},
+		"fsynclat": func() {
+			r, err := nvramfs.FsyncLatencyStudyContext(ctx, ws)
+			check(err)
+			check(r.Render(out))
+			saveCSV("fsynclat", r)
+		},
+		"readlat": func() {
+			r := nvramfs.ReadResponseStudy()
+			check(r.Render(out))
+			saveCSV("readlat", r)
+		},
+		"stack": func() {
+			r, err := nvramfs.StackStudyContext(ctx, ws)
+			check(err)
+			check(r.Render(out))
+			saveCSV("stack", r)
+		},
+		"ablate": func() {
+			r, err := nvramfs.AblationsContext(ctx, ws)
+			check(err)
+			check(r.Render(out))
+		},
+		"reliability": func() {
+			r, err := nvramfs.ReliabilityContext(ctx, ws)
+			check(err)
+			check(r.Render(out))
+			saveCSV("reliability", r)
+		},
+		"degraded": func() {
+			r, err := nvramfs.DegradedContext(ctx, ws)
+			check(err)
+			check(r.Render(out))
+			saveCSV("degraded", r)
+		},
+		"fleet": func() {
+			r, err := nvramfs.FleetContext(ctx, ws)
+			check(err)
+			check(r.Render(out))
+			saveCSV("fleet", r)
+		},
+	}
+	for _, e := range registry {
+		if _, ok := runners[e.Name]; !ok {
+			log.Fatalf("registry drift: experiment %q has no runner", e.Name)
 		}
-		if sel("buffer") {
-			section("buffer (section 3)")
-			check(r.RenderBuffer(out))
+	}
+	for name := range runners {
+		if !valid[name] {
+			log.Fatalf("registry drift: runner %q is not in the registry", name)
 		}
-		saveCSV("server_study", r)
 	}
-	if sel("sort") {
-		section("sort (buffered+sorted writes, [20])")
-		sb := nvramfs.SortedBuffer()
-		check(sb.Render(out))
-		saveCSV("sort", sb)
-	}
-	if sel("servercache") {
-		duration := time.Duration(*serverDays * float64(24*time.Hour))
-		section("servercache (server NVRAM cache, section 3 remark)")
-		r, err := nvramfs.ServerCacheStudyContext(ctx, eng, duration)
-		check(err)
-		check(r.Render(out))
-		saveCSV("servercache", r)
-	}
-	if sel("fsynclat") {
-		section("fsynclat (fsync latency, extension)")
-		r, err := nvramfs.FsyncLatencyStudyContext(ctx, ws)
-		check(err)
-		check(r.Render(out))
-		saveCSV("fsynclat", r)
-	}
-	if sel("readlat") {
-		section("readlat (read response vs write size, [3])")
-		r := nvramfs.ReadResponseStudy()
-		check(r.Render(out))
-		saveCSV("readlat", r)
-	}
-	if sel("stack") {
-		section("stack (end-to-end client+server pipeline, extension)")
-		r, err := nvramfs.StackStudyContext(ctx, ws)
-		check(err)
-		check(r.Render(out))
-		saveCSV("stack", r)
-	}
-	if sel("ablate") {
-		section("ablate (design-choice ablations)")
-		r, err := nvramfs.AblationsContext(ctx, ws)
-		check(err)
-		check(r.Render(out))
-	}
-	if sel("reliability") {
-		section("reliability (crash injection, extension)")
-		r, err := nvramfs.ReliabilityContext(ctx, ws)
-		check(err)
-		check(r.Render(out))
-		saveCSV("reliability", r)
-	}
-	if sel("degraded") {
-		section("degraded (fault-injected write-back, extension)")
-		r, err := nvramfs.DegradedContext(ctx, ws)
-		check(err)
-		check(r.Render(out))
-		saveCSV("degraded", r)
+
+	for _, e := range registry {
+		if !sel(e.Name) {
+			continue
+		}
+		section(fmt.Sprintf("%s (%s)", e.Name, e.Desc))
+		runners[e.Name]()
 	}
 
 	m := eng.Metrics()

@@ -103,6 +103,11 @@ func main() {
 		if !*durableLFS && *faultSpec == "" {
 			log.Fatal("-durable on the cache path needs -faults (the image holds the parked write-back backlog; try outage=0s+never)")
 		}
+		// A scratch directory, so create it on demand: the harness only
+		// creates the image files inside it.
+		if err := os.MkdirAll(*durableDir, 0o755); err != nil {
+			log.Fatalf("-durable %s: %v", *durableDir, err)
+		}
 		runDurable(tr, nvramfs.CacheConfig{
 			Model:      *model,
 			Policy:     *policy,

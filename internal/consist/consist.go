@@ -20,20 +20,23 @@
 // copy is stale, and whether caching is disabled for the file.
 package consist
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // NoClient is the sentinel "no client" id.
-const NoClient uint16 = 0xffff
+const NoClient uint32 = 0xffffffff
 
 // clientCounts is a tiny multiset of client ids. Files are typically open
 // at one or two clients, so a linear-scan slice pair beats a map (whose
-// uint16-key hashing dominated the simulator's consistency-check cost).
+// uint32-key hashing dominated the simulator's consistency-check cost).
 type clientCounts struct {
-	ks []uint16
+	ks []uint32
 	ns []int32
 	// Inline backing for the common case (a file shared by few clients);
 	// init points the slices here so small files never allocate.
-	ks0 [4]uint16
+	ks0 [4]uint32
 	ns0 [4]int32
 }
 
@@ -42,7 +45,7 @@ func (c *clientCounts) init() {
 	c.ns = c.ns0[:0]
 }
 
-func (c *clientCounts) idx(k uint16) int {
+func (c *clientCounts) idx(k uint32) int {
 	for i, kk := range c.ks {
 		if kk == k {
 			return i
@@ -51,7 +54,7 @@ func (c *clientCounts) idx(k uint16) int {
 	return -1
 }
 
-func (c *clientCounts) inc(k uint16) {
+func (c *clientCounts) inc(k uint32) {
 	if i := c.idx(k); i >= 0 {
 		c.ns[i]++
 		return
@@ -61,7 +64,7 @@ func (c *clientCounts) inc(k uint16) {
 }
 
 // dec decrements k's count if present, dropping the entry at zero.
-func (c *clientCounts) dec(k uint16) {
+func (c *clientCounts) dec(k uint32) {
 	i := c.idx(k)
 	if i < 0 {
 		return
@@ -85,10 +88,10 @@ func (c *clientCounts) len() int { return len(c.ks) }
 // bitmask; larger ids (absent from the standard traces) spill to a slice.
 type upSet struct {
 	mask  [2]uint64
-	spill []uint16
+	spill []uint32
 }
 
-func (u *upSet) has(c uint16) bool {
+func (u *upSet) has(c uint32) bool {
 	if c < 128 {
 		return u.mask[c>>6]&(1<<(c&63)) != 0
 	}
@@ -100,7 +103,7 @@ func (u *upSet) has(c uint16) bool {
 	return false
 }
 
-func (u *upSet) add(c uint16) {
+func (u *upSet) add(c uint32) {
 	if c < 128 {
 		u.mask[c>>6] |= 1 << (c & 63)
 		return
@@ -111,10 +114,15 @@ func (u *upSet) add(c uint16) {
 }
 
 // resetTo empties the set and adds c alone.
-func (u *upSet) resetTo(c uint16) {
+func (u *upSet) resetTo(c uint32) {
 	u.mask = [2]uint64{}
 	u.spill = u.spill[:0]
 	u.add(c)
+}
+
+// size returns the number of clients in the set.
+func (u *upSet) size() int {
+	return bits.OnesCount64(u.mask[0]) + bits.OnesCount64(u.mask[1]) + len(u.spill)
 }
 
 // openState tracks the clients currently holding a file open. Files are
@@ -135,7 +143,7 @@ func (o *openState) init() {
 // small: the simulators hold one per live file, and the streaming
 // pipeline's memory bound is dominated by this table on long traces.
 type fileState struct {
-	lastWriter uint16
+	lastWriter uint32
 	disabled   bool
 	version    uint64 // bumped on every write
 	up         upSet  // clients holding a current cached copy
@@ -171,13 +179,13 @@ type Server struct {
 	// fileStates (and, after recycling, could alias an unrelated file),
 	// while a stale id either misses the table or resolves to the file's
 	// current state — whose own dirty entry it merely duplicates.
-	dirty map[uint16][]uint64
+	dirty map[uint32][]uint64
 	// dirtyLimit is the per-client list length that triggers the next
 	// stale-entry compaction, keeping each list proportional to the files
 	// the client actually still owns dirty data for (clients that never
 	// migrate would otherwise accumulate one stale entry per file ever
 	// written).
-	dirtyLimit map[uint16]int
+	dirtyLimit map[uint32]int
 
 	// Counters for reporting.
 	Recalls         int64 // opens that triggered a dirty-data recall
@@ -238,7 +246,7 @@ func (s *Server) releaseOpenState(fs *fileState) {
 type OpenResult struct {
 	// RecallFrom is the client whose dirty data for the file must be
 	// flushed to the server before the open proceeds, or NoClient.
-	RecallFrom uint16
+	RecallFrom uint32
 	// InvalidateOpener indicates the opener's cached copy of the file is
 	// stale and must be discarded before use.
 	InvalidateOpener bool
@@ -252,7 +260,7 @@ type OpenResult struct {
 
 // Open registers that client has opened the file, with forWrite indicating
 // write access, and reports the required cache actions.
-func (s *Server) Open(client uint16, f uint64, forWrite bool) OpenResult {
+func (s *Server) Open(client uint32, f uint64, forWrite bool) OpenResult {
 	fs := s.file(f)
 	var res OpenResult
 
@@ -301,7 +309,7 @@ func (s *Server) Open(client uint16, f uint64, forWrite bool) OpenResult {
 
 // Close registers that client closed the file. It returns true when this
 // close re-enabled caching on a file that had been disabled.
-func (s *Server) Close(client uint16, f uint64) (reenabled bool) {
+func (s *Server) Close(client uint32, f uint64) (reenabled bool) {
 	fs := s.files[f]
 	if fs == nil {
 		return false
@@ -326,8 +334,18 @@ func (s *Server) Close(client uint16, f uint64) (reenabled bool) {
 // write goes straight to the server, so the last-writer record is left
 // clear; otherwise the client becomes the last writer and the file version
 // advances.
-func (s *Server) Write(client uint16, f uint64) {
+//
+// The returned fan-out is the number of *other* clients whose cached copy
+// this write made stale — the size of the invalidation "storm" the server
+// will deliver (lazily, on each victim's next open) for this write. A
+// widely read-shared file produces a large fan-out; a private file
+// produces 0.
+func (s *Server) Write(client uint32, f uint64) (fanout int) {
 	fs := s.file(f)
+	fanout = fs.up.size()
+	if fs.up.has(client) {
+		fanout--
+	}
 	fs.version++
 	fs.up.resetTo(client)
 	if fs.disabled {
@@ -336,8 +354,8 @@ func (s *Server) Write(client uint16, f uint64) {
 	}
 	if fs.lastWriter != client {
 		if s.dirty == nil {
-			s.dirty = make(map[uint16][]uint64)
-			s.dirtyLimit = make(map[uint16]int)
+			s.dirty = make(map[uint32][]uint64)
+			s.dirtyLimit = make(map[uint32]int)
 		}
 		list := s.dirty[client]
 		if limit := s.dirtyLimit[client]; len(list) >= max(limit, 64) {
@@ -357,12 +375,13 @@ func (s *Server) Write(client uint16, f uint64) {
 		s.dirty[client] = append(list, f)
 	}
 	fs.lastWriter = client
+	return fanout
 }
 
 // Flushed records that the named client's dirty data for the file reached
 // the server (fsync, migration, cleaner, or replacement of the last dirty
 // block), clearing the recall obligation.
-func (s *Server) Flushed(client uint16, f uint64) {
+func (s *Server) Flushed(client uint32, f uint64) {
 	if fs := s.files[f]; fs != nil && fs.lastWriter == client {
 		fs.lastWriter = NoClient
 	}
@@ -370,8 +389,13 @@ func (s *Server) Flushed(client uint16, f uint64) {
 
 // FlushedClient records that all of the client's dirty data reached the
 // server (e.g. a process-migration flush), clearing every recall obligation
-// it held.
-func (s *Server) FlushedClient(client uint16) {
+// it held. The client's dirty-tracking entry is dropped outright rather
+// than kept empty: with a population-scale client stream, retaining one
+// map entry per client ever seen would grow the server linearly with the
+// population, while dropping it bounds the table by the clients with
+// outstanding dirty data (a client that writes again simply re-creates
+// its entry).
+func (s *Server) FlushedClient(client uint32) {
 	list := s.dirty[client]
 	for _, f := range list {
 		if fs := s.files[f]; fs != nil && fs.lastWriter == client {
@@ -379,7 +403,8 @@ func (s *Server) FlushedClient(client uint16) {
 		}
 	}
 	if list != nil {
-		s.dirty[client] = list[:0]
+		delete(s.dirty, client)
+		delete(s.dirtyLimit, client)
 	}
 }
 
@@ -421,7 +446,7 @@ func (s *Server) Disabled(f uint64) bool {
 
 // LastWriter returns the client holding unflushed dirty data for the file,
 // or NoClient.
-func (s *Server) LastWriter(f uint64) uint16 {
+func (s *Server) LastWriter(f uint64) uint32 {
 	if fs := s.files[f]; fs != nil {
 		return fs.lastWriter
 	}

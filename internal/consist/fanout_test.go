@@ -1,0 +1,80 @@
+package consist
+
+import "testing"
+
+func TestWriteFanoutCountsOtherCachers(t *testing.T) {
+	s := NewServer()
+	for c := uint32(1); c <= 5; c++ {
+		s.Open(c, 10, false)
+		s.Close(c, 10)
+	}
+	// Five clients hold cached copies; a write by client 1 invalidates the
+	// other four.
+	if got := s.Write(1, 10); got != 4 {
+		t.Fatalf("fanout = %d, want 4", got)
+	}
+	// The write reset the up-set to the writer alone: a repeat write
+	// storms nobody.
+	if got := s.Write(1, 10); got != 0 {
+		t.Fatalf("repeat-write fanout = %d, want 0", got)
+	}
+	// A different writer now invalidates exactly the previous writer's
+	// copy.
+	if got := s.Write(2, 10); got != 1 {
+		t.Fatalf("new-writer fanout = %d, want 1", got)
+	}
+}
+
+func TestWriteFanoutFreshFile(t *testing.T) {
+	s := NewServer()
+	s.Open(1, 10, true)
+	if got := s.Write(1, 10); got != 0 {
+		t.Fatalf("fanout on a freshly created file = %d, want 0", got)
+	}
+}
+
+func TestWriteFanoutExcludesWriter(t *testing.T) {
+	s := NewServer()
+	s.Open(1, 10, false)
+	s.Open(2, 10, false)
+	// The writer holds a copy itself; only the other cacher is stormed.
+	if got := s.Write(1, 10); got != 1 {
+		t.Fatalf("fanout = %d, want 1 (writer's own copy excluded)", got)
+	}
+}
+
+func TestWriteFanoutSpillPath(t *testing.T) {
+	s := NewServer()
+	// 200 cachers pushes the up-set well past its inline bitmask (128
+	// clients) into the spill map; the count must still be exact.
+	for c := uint32(0); c < 200; c++ {
+		s.Open(c, 10, false)
+		s.Close(c, 10)
+	}
+	if got := s.Write(5, 10); got != 199 {
+		t.Fatalf("fanout = %d, want 199", got)
+	}
+}
+
+func TestFlushedClientDropsDirtyEntry(t *testing.T) {
+	s := NewServer()
+	s.Open(1, 10, true)
+	s.Write(1, 10)
+	s.Open(1, 11, true)
+	s.Write(1, 11)
+	if len(s.dirty[1]) == 0 {
+		t.Fatal("write recorded no dirty obligation")
+	}
+	s.FlushedClient(1)
+	if s.LastWriter(10) != NoClient || s.LastWriter(11) != NoClient {
+		t.Fatal("recall obligations not cleared")
+	}
+	// Population-scale bound: the per-client entry is removed outright,
+	// not retained empty.
+	if _, ok := s.dirty[1]; ok {
+		t.Fatal("dirty entry retained for a fully flushed client")
+	}
+	if _, ok := s.dirtyLimit[1]; ok {
+		t.Fatal("dirtyLimit entry retained for a fully flushed client")
+	}
+}

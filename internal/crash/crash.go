@@ -1,21 +1,3 @@
-// Package crash is a deterministic, event-indexed fault-injection harness
-// for the simulators. It halts a simulation at any trace-event boundary,
-// applies the paper's loss model for the configuration under test (Section
-// 2: a volatile cache loses its un-written-back dirty window; the
-// write-aside and unified organizations recover dirty bytes from NVRAM;
-// LFS recovers through its checkpoint/roll-forward path), reconstructs the
-// post-crash state, and checks invariants against reference oracles:
-//
-//   - volatile configurations: nothing survives, and every destroyed byte
-//     was written within the last write-back window (30 s) — the paper's
-//     bound on what a crash can cost;
-//   - NVRAM configurations: zero committed-byte loss;
-//   - LFS: the recovered file system passes its consistency check, its
-//     durable state matches a from-scratch replay of the same operation
-//     prefix, and it keeps running the rest of the trace.
-//
-// Every check is deterministic in (trace, configuration, crash index), so
-// a grid of injections is reproducible at any engine parallelism.
 package crash
 
 import (
@@ -97,10 +79,10 @@ func inspectCache(s *sim.Stepper, cfg sim.Config, k int) *CacheOutcome {
 	// crash instant first, so each volatile cleaner has flushed what it
 	// would have flushed by then — otherwise an idle client would appear
 	// to lose bytes older than the write-back window.
-	s.ForEachModel(func(_ uint16, m cache.Model) { m.Advance(now) })
+	s.ForEachModel(func(_ uint32, m cache.Model) { m.Advance(now) })
 
 	server := s.Server()
-	s.ForEachModel(func(client uint16, m cache.Model) {
+	s.ForEachModel(func(client uint32, m cache.Model) {
 		var lost, survived, enumerated int64
 		var oldest int64
 		var curFile uint64

@@ -1,0 +1,19 @@
+// Package crash is a deterministic, event-indexed fault-injection harness
+// for the simulators. It halts a simulation at any trace-event boundary,
+// applies the paper's loss model for the configuration under test (Section
+// 2: a volatile cache loses its un-written-back dirty window; the
+// write-aside and unified organizations recover dirty bytes from NVRAM;
+// LFS recovers through its checkpoint/roll-forward path), reconstructs the
+// post-crash state, and checks invariants against reference oracles:
+//
+//   - volatile configurations: nothing survives, and every destroyed byte
+//     was written within the last write-back window (30 s) — the paper's
+//     bound on what a crash can cost;
+//   - NVRAM configurations: zero committed-byte loss;
+//   - LFS: the recovered file system passes its consistency check, its
+//     durable state matches a from-scratch replay of the same operation
+//     prefix, and it keeps running the rest of the trace.
+//
+// Every check is deterministic in (trace, configuration, crash index), so
+// a grid of injections is reproducible at any engine parallelism.
+package crash

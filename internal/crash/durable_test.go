@@ -200,7 +200,7 @@ func TestDurableKillRandomizedSoak(t *testing.T) {
 	for i := 0; i < 200; i++ {
 		now += r.Int63n(2 * sec)
 		file := uint64(1 + r.Intn(6))
-		client := uint16(1 + r.Intn(2))
+		client := uint32(1 + r.Intn(2))
 		if !open[file] {
 			ops = append(ops, prep.Op{Time: now, Client: client, Kind: prep.Open, File: file, WriteMode: true})
 			open[file] = true

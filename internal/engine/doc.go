@@ -1,0 +1,19 @@
+// Package engine is the repository's concurrent experiment runner: a
+// small, deterministic worker pool with context cancellation, per-key
+// singleflight memoization (Memo), and progress/metrics hooks.
+//
+// The experiment drivers in internal/report declare their work as job
+// grids — one job per (trace, configuration) cell — and submit them via
+// Run or Map. The determinism contract the drivers rely on:
+//
+//   - Jobs are identified by index and write their result into a
+//     preallocated slot (Map does this), so assembled results do not
+//     depend on scheduling order.
+//   - Every job is a pure function of its index and seeded inputs; the
+//     engine adds no randomness of its own.
+//   - When several jobs fail, Run reports the error of the lowest-indexed
+//     failed job, so even error reporting is scheduling-independent.
+//
+// Together these make a run with one worker byte-identical to a run with
+// N workers.
+package engine

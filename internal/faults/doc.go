@@ -1,0 +1,26 @@
+// Package faults models an unreliable network and file server under the
+// client write-back path: a deterministic, seed-driven schedule of RPC
+// drops, latency spikes, and server outage/recovery windows, plus the
+// retrying write-back scheduler that rides it out.
+//
+// The paper's reliability argument (Section 2) is about client crashes;
+// this package extends it to the other half of the failure space the
+// ROADMAP's "as many scenarios as you can imagine" north star asks for:
+// the server or network failing while the client keeps running. The
+// organizations degrade differently, and that difference is the point:
+//
+//   - A volatile cache that has evicted dirty bytes into an in-flight
+//     write-back has no durable copy; when retries exhaust during an
+//     outage the writer either stalls until the server recovers (default)
+//     or sheds the bytes (Shed), reproducing the availability gap NVCache
+//     and NVLog-style designs close.
+//   - The write-aside/unified organizations flush out of NVRAM, so an
+//     exhausted write-back simply parks in NVRAM (tracked by the dirty
+//     high-water mark) and drains when the server recovers: zero
+//     committed-byte loss, no stall.
+//
+// Everything runs in simulated time: an "attempt" advances a virtual
+// clock by the RPC latency (netmodel.Params.AttemptTime) and backoff
+// delays; nothing blocks, so a grid of faulty runs stays deterministic
+// at any engine parallelism and reproducible from the printed seed.
+package faults

@@ -18,7 +18,7 @@ import (
 )
 
 // parkedRecordLen is the fixed encoding size of one parked delivery.
-const parkedRecordLen = 52
+const parkedRecordLen = 54
 
 // ParkedDelivery is one stable delivery parked in NVRAM: the delivery
 // plus its redelivery schedule, everything needed to resume the drain
@@ -49,16 +49,16 @@ func parkedKey(seq uint64) string {
 func encodeParked(e pendingEntry) []byte {
 	b := make([]byte, parkedRecordLen)
 	binary.LittleEndian.PutUint64(b[0:], e.d.Seq)
-	binary.LittleEndian.PutUint16(b[8:], e.d.Client)
-	binary.LittleEndian.PutUint64(b[10:], e.d.File)
-	binary.LittleEndian.PutUint64(b[18:], uint64(e.d.Start))
-	binary.LittleEndian.PutUint64(b[26:], uint64(e.d.End))
-	b[34] = e.d.Cause
+	binary.LittleEndian.PutUint32(b[8:], e.d.Client)
+	binary.LittleEndian.PutUint64(b[12:], e.d.File)
+	binary.LittleEndian.PutUint64(b[20:], uint64(e.d.Start))
+	binary.LittleEndian.PutUint64(b[28:], uint64(e.d.End))
+	b[36] = e.d.Cause
 	if e.d.Stable {
-		b[35] = 1
+		b[37] = 1
 	}
-	binary.LittleEndian.PutUint64(b[36:], uint64(e.readyAt))
-	binary.LittleEndian.PutUint64(b[44:], uint64(e.since))
+	binary.LittleEndian.PutUint64(b[38:], uint64(e.readyAt))
+	binary.LittleEndian.PutUint64(b[46:], uint64(e.since))
 	return b
 }
 
@@ -68,14 +68,14 @@ func decodeParked(payload []byte) (ParkedDelivery, error) {
 	}
 	var p ParkedDelivery
 	p.D.Seq = binary.LittleEndian.Uint64(payload[0:])
-	p.D.Client = binary.LittleEndian.Uint16(payload[8:])
-	p.D.File = binary.LittleEndian.Uint64(payload[10:])
-	p.D.Start = int64(binary.LittleEndian.Uint64(payload[18:]))
-	p.D.End = int64(binary.LittleEndian.Uint64(payload[26:]))
-	p.D.Cause = payload[34]
-	p.D.Stable = payload[35] != 0
-	p.ReadyAt = int64(binary.LittleEndian.Uint64(payload[36:]))
-	p.Since = int64(binary.LittleEndian.Uint64(payload[44:]))
+	p.D.Client = binary.LittleEndian.Uint32(payload[8:])
+	p.D.File = binary.LittleEndian.Uint64(payload[12:])
+	p.D.Start = int64(binary.LittleEndian.Uint64(payload[20:]))
+	p.D.End = int64(binary.LittleEndian.Uint64(payload[28:]))
+	p.D.Cause = payload[36]
+	p.D.Stable = payload[37] != 0
+	p.ReadyAt = int64(binary.LittleEndian.Uint64(payload[38:]))
+	p.Since = int64(binary.LittleEndian.Uint64(payload[46:]))
 	return p, nil
 }
 

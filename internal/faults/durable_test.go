@@ -36,7 +36,7 @@ func TestDurableParkMirrorsImage(t *testing.T) {
 	x.AttachImage(img)
 	for i := 0; i < 5; i++ {
 		x.Deliver(int64(i+1)*1_000_000, Delivery{
-			Client: uint16(i % 2),
+			Client: uint32(i % 2),
 			File:   uint64(10 + i),
 			Start:  int64(i) * 4096,
 			End:    int64(i+1) * 4096,

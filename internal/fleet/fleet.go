@@ -1,0 +1,240 @@
+// Package fleet simulates a population-scale deployment: a large client
+// population driving a fleet of consistency-server shards that share one
+// cluster block budget.
+//
+// The paper's simulations replay ~40 Sprite users against a single
+// server. This package is the scale-out shape: files are spread over N
+// shards by a deterministic placement map (hash → slot → shard, see
+// Placement), each shard runs its own consist.Server replica for the
+// files it owns, and all shards store write-back traffic through one
+// server.Cluster whose global LRU arbitrates the shared cache. Run
+// consumes a raw trace event stream in one pass and reports, per shard,
+// the load (messages, blocks, disk writes), the consistency traffic
+// (recalls, invalidations), the recall-storm fan-out histogram, and the
+// virtual-time write-back latency distribution.
+//
+// Everything is sequential and a pure function of the event stream plus
+// Options, so the output is byte-stable at any engine worker count or
+// shard width; parallelism comes from the experiment grid above, not
+// from inside a cell.
+package fleet
+
+import (
+	"fmt"
+
+	"nvramfs/internal/consist"
+	"nvramfs/internal/server"
+	"nvramfs/internal/stats"
+	"nvramfs/internal/trace"
+)
+
+// Options configures a fleet run.
+type Options struct {
+	// Shards is the number of server shards (>= 1).
+	Shards int
+	// Slots is the placement-table size; 0 picks 64 per shard.
+	Slots int
+	// Server configures the cluster the shards share: CacheBlocks is the
+	// *global* budget, NVRAMBlocks applies per shard (a physically
+	// attached board on each server).
+	Server server.Config
+	// CheckpointEvery is the virtual-time cadence at which every shard
+	// volume writes an LFS checkpoint, bounding both crash roll-forward
+	// and the delete log a population-scale run would otherwise grow
+	// without limit. 0 picks 30 virtual minutes; negative disables.
+	CheckpointEvery int64
+}
+
+// ShardLoad is one shard's accounting.
+type ShardLoad struct {
+	// Msgs counts client operations routed to the shard (a migrate
+	// broadcast counts once per shard it reaches).
+	Msgs int64
+	// Blocks counts client write blocks the shard's volume absorbed.
+	Blocks int64
+	// Recalls and Invalidations are the shard replica's consistency
+	// actions (dirty-data recalls issued, stale cached copies discarded).
+	Recalls       int64
+	Invalidations int64
+	// DiskWrites is the shard volume's disk write-access count after
+	// shutdown.
+	DiskWrites int64
+	// WriteBack is the shard's write-back latency distribution in virtual
+	// microseconds (0 = the block entered NVRAM, i.e. permanent on
+	// arrival).
+	WriteBack stats.Hist
+}
+
+// Result is a completed fleet run.
+type Result struct {
+	Shards []ShardLoad
+	// Storm is the per-write invalidation fan-out distribution: for every
+	// write, how many other clients' cached copies it made stale.
+	Storm stats.Hist
+	// Events is the total event count; Clients is max client id + 1 (the
+	// population need never be materialized, so this is the only
+	// population-wide figure available from a stream).
+	Events  int64
+	Clients int64
+	// EndTime is the virtual timestamp of the last event.
+	EndTime int64
+}
+
+// WriteBackMerged returns the cluster-wide write-back latency
+// distribution (the per-shard histograms summed).
+func (r *Result) WriteBackMerged() stats.Hist {
+	var h stats.Hist
+	for i := range r.Shards {
+		h.Merge(&r.Shards[i].WriteBack)
+	}
+	return h
+}
+
+// MsgImbalance returns max/mean messages per shard (1 = perfectly
+// balanced; 0 when no messages flowed).
+func (r *Result) MsgImbalance() float64 {
+	return imbalance(r.Shards, func(s *ShardLoad) int64 { return s.Msgs })
+}
+
+// BlockImbalance returns max/mean write blocks per shard.
+func (r *Result) BlockImbalance() float64 {
+	return imbalance(r.Shards, func(s *ShardLoad) int64 { return s.Blocks })
+}
+
+func imbalance(shards []ShardLoad, get func(*ShardLoad) int64) float64 {
+	var sum, max int64
+	for i := range shards {
+		v := get(&shards[i])
+		sum += v
+		if v > max {
+			max = v
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	mean := float64(sum) / float64(len(shards))
+	return float64(max) / mean
+}
+
+// VolumeName returns the canonical volume name for a shard index.
+func VolumeName(shard int) string { return fmt.Sprintf("shard%03d", shard) }
+
+// Run replays the event stream against a fresh fleet. The stream must be
+// time-ordered (workload cursors and trace Readers both guarantee it).
+func Run(src trace.EventSource, opt Options) (*Result, error) {
+	place, err := NewPlacement(opt.Shards, opt.Slots)
+	if err != nil {
+		return nil, err
+	}
+	volumes := make([]string, opt.Shards)
+	for i := range volumes {
+		volumes[i] = VolumeName(i)
+	}
+	cluster, err := server.NewCluster(opt.Server, volumes)
+	if err != nil {
+		return nil, err
+	}
+	replicas := make([]*consist.Server, opt.Shards)
+	for i := range replicas {
+		replicas[i] = consist.NewServer()
+	}
+	blockSize := opt.Server.BlockSize
+	if blockSize <= 0 {
+		blockSize = 4 << 10
+	}
+
+	ckptEvery := opt.CheckpointEvery
+	if ckptEvery == 0 {
+		ckptEvery = 30 * trace.Minute
+	}
+	nextCkpt := ckptEvery
+
+	res := &Result{Shards: make([]ShardLoad, opt.Shards)}
+	for {
+		e, ok, err := src.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		if ckptEvery > 0 && e.Time >= nextCkpt {
+			for _, v := range volumes {
+				s, _ := cluster.Volume(v)
+				s.FS().Checkpoint(e.Time)
+			}
+			for nextCkpt <= e.Time {
+				nextCkpt += ckptEvery
+			}
+		}
+		res.Events++
+		if int64(e.Client)+1 > res.Clients {
+			res.Clients = int64(e.Client) + 1
+		}
+		if e.Time > res.EndTime {
+			res.EndTime = e.Time
+		}
+
+		if e.Op == trace.OpMigrate {
+			// The migrating client's dirty data may cover files on any
+			// shard: Sprite flushes it all, so the flush notification is a
+			// broadcast.
+			for i, cs := range replicas {
+				cs.FlushedClient(e.Client)
+				res.Shards[i].Msgs++
+			}
+			if int64(e.Target)+1 > res.Clients {
+				res.Clients = int64(e.Target) + 1
+			}
+			continue
+		}
+
+		shard := place.ShardOf(e.File)
+		cs := replicas[shard]
+		ld := &res.Shards[shard]
+		vol := volumes[shard]
+		ld.Msgs++
+		switch e.Op {
+		case trace.OpOpen:
+			cs.Open(e.Client, e.File, e.Flags&trace.FlagWrite != 0)
+		case trace.OpClose:
+			cs.Close(e.Client, e.File)
+		case trace.OpRead:
+			if err := cluster.Read(vol, e.Time, e.File, e.Offset, e.Length); err != nil {
+				return nil, err
+			}
+		case trace.OpWrite:
+			res.Storm.Observe(int64(cs.Write(e.Client, e.File)))
+			if err := cluster.Write(vol, e.Time, e.File, e.Offset, e.Length); err != nil {
+				return nil, err
+			}
+			ld.Blocks += (e.Offset+e.Length+blockSize-1)/blockSize - e.Offset/blockSize
+		case trace.OpTruncate:
+			// A truncate rewrites the file's metadata: consistency-wise it
+			// is a write (stale copies must be discarded), but it moves no
+			// data blocks through the cluster.
+			res.Storm.Observe(int64(cs.Write(e.Client, e.File)))
+		case trace.OpFsync:
+			cs.Flushed(e.Client, e.File)
+			if err := cluster.Fsync(vol, e.Time, e.File); err != nil {
+				return nil, err
+			}
+		case trace.OpDelete:
+			cs.Deleted(e.File)
+			if err := cluster.Delete(vol, e.Time, e.File); err != nil {
+				return nil, err
+			}
+		}
+	}
+	cluster.Shutdown(res.EndTime)
+
+	for i := range res.Shards {
+		s, _ := cluster.Volume(volumes[i])
+		res.Shards[i].Recalls = replicas[i].Recalls
+		res.Shards[i].Invalidations = replicas[i].Invalidations
+		res.Shards[i].DiskWrites = s.Disk().Writes
+		res.Shards[i].WriteBack = s.Stats().WriteBackLatency
+	}
+	return res, nil
+}

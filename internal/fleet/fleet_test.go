@@ -1,0 +1,105 @@
+package fleet
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"nvramfs/internal/server"
+	"nvramfs/internal/workload"
+)
+
+func runFleet(t *testing.T, clients, shards int) *Result {
+	t.Helper()
+	cur, err := workload.NewFleetCursor(workload.FleetProfile{
+		Name: "t", Seed: 4092, Duration: 2 * time.Hour, Clients: clients, MaxActive: 128,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(cur, Options{
+		Shards: shards,
+		Server: server.Config{CacheBlocks: 2048, NVRAMBlocks: 64},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a := runFleet(t, 1500, 4)
+	b := runFleet(t, 1500, 4)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two runs of the same profile diverge")
+	}
+	if a.Events == 0 || a.Clients != 1500 || len(a.Shards) != 4 {
+		t.Fatalf("result shape: %d events, %d clients, %d shards", a.Events, a.Clients, len(a.Shards))
+	}
+}
+
+func TestRunShardAccounting(t *testing.T) {
+	res := runFleet(t, 1500, 4)
+	var msgs, blocks int64
+	for i := range res.Shards {
+		s := &res.Shards[i]
+		if s.Msgs == 0 {
+			t.Fatalf("shard %d saw no traffic; the placement is not spreading", i)
+		}
+		msgs += s.Msgs
+		blocks += s.Blocks
+	}
+	if blocks == 0 {
+		t.Fatal("no write blocks accounted")
+	}
+	// Imbalance ratios are max/mean: >= 1 by construction, and finite.
+	if imb := res.MsgImbalance(); imb < 1 {
+		t.Fatalf("message imbalance %v < 1", imb)
+	}
+	if imb := res.BlockImbalance(); imb < 1 {
+		t.Fatalf("block imbalance %v < 1", imb)
+	}
+	// The merged write-back histogram must agree with the per-shard sum.
+	merged := res.WriteBackMerged()
+	var n int64
+	for i := range res.Shards {
+		n += res.Shards[i].WriteBack.N
+	}
+	if merged.N != n {
+		t.Fatalf("merged write-back N = %d, per-shard sum %d", merged.N, n)
+	}
+	// Storms were observed (the shared pool guarantees cross-client
+	// invalidations at this population).
+	if res.Storm.N == 0 {
+		t.Fatal("no write storms observed")
+	}
+}
+
+func TestRunShardCountChangesRoutingOnly(t *testing.T) {
+	// The same trace at 1 and 4 shards must see the same total events;
+	// routing spreads work but must not lose it.
+	a := runFleet(t, 800, 1)
+	b := runFleet(t, 800, 4)
+	if a.Events != b.Events {
+		t.Fatalf("event totals differ across shard counts: %d vs %d", a.Events, b.Events)
+	}
+	if a.EndTime != b.EndTime {
+		t.Fatalf("end times differ across shard counts: %d vs %d", a.EndTime, b.EndTime)
+	}
+}
+
+func TestVolumeName(t *testing.T) {
+	if got := VolumeName(3); got != "shard003" {
+		t.Fatalf("VolumeName(3) = %q", got)
+	}
+}
+
+func TestRunRejectsBadOptions(t *testing.T) {
+	cur, err := workload.NewFleetCursor(workload.FleetProfile{Seed: 1, Clients: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(cur, Options{Shards: 0}); err == nil {
+		t.Fatal("zero shards accepted")
+	}
+}

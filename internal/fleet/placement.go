@@ -1,0 +1,83 @@
+package fleet
+
+import "fmt"
+
+// Placement deterministically maps every file id to a server shard in two
+// steps: a hash spreads file ids over a fixed number of *slots*, and a
+// slot table assigns each slot to a shard. The indirection is the point —
+// rebalancing moves whole slots with an explicit Remap instead of
+// rehashing the world, so a placement change is a small, auditable diff
+// (the remap table) rather than an emergent property of a hash function.
+//
+// The slot table is pure data: two placements with the same slot count
+// and the same remap history route every file identically, on any
+// machine, at any worker count. That determinism is what lets the fleet
+// experiment's per-shard numbers be byte-stable on the engine grid.
+type Placement struct {
+	slots int
+	table []int32 // slot → shard
+	n     int     // shard count
+}
+
+// NewPlacement builds the default placement of slots onto shards:
+// table[slot] = slot mod shards. slots <= 0 picks 64 slots per shard,
+// enough granularity that a single remapped slot moves ~1.6% of the key
+// space. slots must be >= shards so every shard owns at least one slot.
+func NewPlacement(shards, slots int) (*Placement, error) {
+	if shards <= 0 {
+		return nil, fmt.Errorf("fleet: placement needs >= 1 shard, got %d", shards)
+	}
+	if slots <= 0 {
+		slots = 64 * shards
+	}
+	if slots < shards {
+		return nil, fmt.Errorf("fleet: %d slots < %d shards leaves empty shards", slots, shards)
+	}
+	p := &Placement{slots: slots, table: make([]int32, slots), n: shards}
+	for s := range p.table {
+		p.table[s] = int32(s % shards)
+	}
+	return p, nil
+}
+
+// Shards returns the shard count.
+func (p *Placement) Shards() int { return p.n }
+
+// Slots returns the slot count.
+func (p *Placement) Slots() int { return p.slots }
+
+// Remap reassigns one slot to a shard — the unit of rebalancing. Files
+// hashing into the slot move with it; every other file stays put.
+func (p *Placement) Remap(slot, shard int) error {
+	if slot < 0 || slot >= p.slots {
+		return fmt.Errorf("fleet: remap slot %d out of range [0,%d)", slot, p.slots)
+	}
+	if shard < 0 || shard >= p.n {
+		return fmt.Errorf("fleet: remap shard %d out of range [0,%d)", shard, p.n)
+	}
+	p.table[slot] = int32(shard)
+	return nil
+}
+
+// SlotOf returns the slot a file id hashes into.
+func (p *Placement) SlotOf(file uint64) int {
+	return int(mix64(file) % uint64(p.slots))
+}
+
+// ShardOf returns the shard currently owning the file.
+func (p *Placement) ShardOf(file uint64) int {
+	return int(p.table[p.SlotOf(file)])
+}
+
+// mix64 is the splitmix64 finalizer: a full-avalanche bijection on
+// uint64, so sequentially allocated file ids (the workload generator
+// hands them out densely) spread uniformly over slots instead of
+// striping.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,104 @@
+package fleet
+
+import "testing"
+
+func TestPlacementDefaults(t *testing.T) {
+	p, err := NewPlacement(16, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Shards() != 16 || p.Slots() != 64*16 {
+		t.Fatalf("got %d shards, %d slots", p.Shards(), p.Slots())
+	}
+	// Default table is slot mod shards: every shard owns exactly
+	// slots/shards slots.
+	counts := make([]int, p.Shards())
+	for slot := 0; slot < p.Slots(); slot++ {
+		counts[p.table[slot]]++
+	}
+	for shard, n := range counts {
+		if n != 64 {
+			t.Fatalf("shard %d owns %d slots, want 64", shard, n)
+		}
+	}
+}
+
+func TestPlacementErrors(t *testing.T) {
+	if _, err := NewPlacement(0, 0); err == nil {
+		t.Fatal("0 shards accepted")
+	}
+	if _, err := NewPlacement(8, 4); err == nil {
+		t.Fatal("fewer slots than shards accepted")
+	}
+	p, err := NewPlacement(4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Remap(8, 0); err == nil {
+		t.Fatal("out-of-range slot accepted")
+	}
+	if err := p.Remap(-1, 0); err == nil {
+		t.Fatal("negative slot accepted")
+	}
+	if err := p.Remap(0, 4); err == nil {
+		t.Fatal("out-of-range shard accepted")
+	}
+}
+
+func TestPlacementRemapMovesOnlyOneSlot(t *testing.T) {
+	p, err := NewPlacement(4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const files = 100_000
+	before := make([]int, files)
+	for f := uint64(0); f < files; f++ {
+		before[f] = p.ShardOf(f)
+	}
+	// Slot 7's default owner is shard 3 (7 mod 4); move it to shard 0.
+	movedSlot := 7
+	if err := p.Remap(movedSlot, 0); err != nil {
+		t.Fatal(err)
+	}
+	var moved int
+	for f := uint64(0); f < files; f++ {
+		after := p.ShardOf(f)
+		if p.SlotOf(f) == movedSlot {
+			if after != 0 {
+				t.Fatalf("file %d in remapped slot routed to shard %d", f, after)
+			}
+			if before[f] != after {
+				moved++
+			}
+			continue
+		}
+		if after != before[f] {
+			t.Fatalf("file %d outside the remapped slot moved %d -> %d", f, before[f], after)
+		}
+	}
+	// The moved slot is ~1/256 of the key space; with 100k files it must
+	// be populated.
+	if moved == 0 {
+		t.Fatal("remap moved no files (slot unexpectedly empty)")
+	}
+}
+
+func TestPlacementSpreadsDenseIDs(t *testing.T) {
+	// Sequential file ids — exactly what the workload generator allocates —
+	// must spread near-uniformly over shards, not stripe.
+	p, err := NewPlacement(16, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const files = 1 << 16
+	counts := make([]int, p.Shards())
+	for f := uint64(0); f < files; f++ {
+		counts[p.ShardOf(f)]++
+	}
+	mean := files / len(counts)
+	for shard, n := range counts {
+		if n < mean*8/10 || n > mean*12/10 {
+			t.Fatalf("shard %d holds %d of %d files (mean %d); hash is not spreading", shard, n, files, mean)
+		}
+	}
+}

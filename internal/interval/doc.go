@@ -1,0 +1,12 @@
+// Package interval provides byte-range interval structures used throughout
+// the simulators: a Set of disjoint half-open ranges, and a TagMap that
+// associates each byte of a file with an int64 tag (typically the time the
+// byte was written). Both structures keep their segments sorted and
+// coalesced, and all operations are defined on half-open ranges [Start, End).
+//
+// The trace-driven simulations in the paper operate on ranges of bytes
+// rather than whole blocks: an application write of a few bytes overwrites
+// only part of a cache block, and the byte-lifetime analysis (Figure 2,
+// Table 2) needs to know exactly which bytes were overwritten or deleted and
+// when they were created. TagMap is that bookkeeping structure.
+package interval

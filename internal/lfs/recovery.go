@@ -82,6 +82,19 @@ func (fs *FS) Checkpoint(now int64) {
 	if fs.img != nil {
 		fs.img.Put(nvram.NSLFSCheckpoint, checkpointKey, encodeCheckpoint(fs.checkpoint))
 	}
+	// Roll-forward only replays records logged after the checkpoint
+	// (seq > checkpoint.seq), and every record logged so far is at or
+	// below it — truncate the delete log and drop checkpointed segment
+	// summaries, so both are bounded by the activity between checkpoints
+	// instead of growing toward disk capacity for the life of the file
+	// system (a population-scale fleet holds many volumes at once, and
+	// the retained summary lists dominated its heap before this).
+	fs.deleteLog = fs.deleteLog[:0]
+	for seg, r := range fs.segLog {
+		if r.seq <= fs.checkpoint.seq {
+			delete(fs.segLog, seg)
+		}
+	}
 	fs.stats.Checkpoints++
 	// A checkpoint region write: metadata snapshot, sized roughly by the
 	// live-block pointer count (8 bytes a pointer, one 4 KB block

@@ -127,7 +127,7 @@ func AnalyzeWith(src prep.Source, opts Options) (*Analysis, error) {
 	// times. At most one client holds dirty data for a file at a time
 	// (consistency recalls enforce this), tracked in owner.
 	dirty := make(map[uint64]*interval.TagMap, opts.FilesHint)
-	owner := make(map[uint64]uint16, opts.FilesHint)
+	owner := make(map[uint64]uint32, opts.FilesHint)
 
 	// Emptied TagMaps are recycled (keeping their segment capacity) instead
 	// of reallocated when the file is written again.

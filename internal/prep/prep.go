@@ -61,7 +61,7 @@ func (k Kind) String() string {
 // Op is one canonical operation.
 type Op struct {
 	Time   int64
-	Client uint16
+	Client uint32
 	Kind   Kind
 	File   uint64
 	// Range is the affected byte range for Read, Write, and DeleteRange.

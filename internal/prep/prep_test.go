@@ -7,7 +7,7 @@ import (
 	"nvramfs/internal/workload"
 )
 
-func ev(t int64, c uint16, op trace.Op, f uint64, off, n int64) trace.Event {
+func ev(t int64, c uint32, op trace.Op, f uint64, off, n int64) trace.Event {
 	e := trace.Event{Time: t, Client: c, Op: op, File: f, Offset: off, Length: n}
 	if op == trace.OpOpen {
 		e.Flags = trace.FlagRead | trace.FlagWrite

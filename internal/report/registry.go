@@ -1,0 +1,49 @@
+package report
+
+// Experiment is one nvreport experiment: its -exp name and a one-line
+// description. The registry below is the single source of truth for what
+// experiments exist — cmd/nvreport builds its usage text, its -exp
+// validation, and its dispatch loop from it, and cross-checks at startup
+// that every registered name has a runner (and vice versa), so the help
+// text can never again drift from the code.
+type Experiment struct {
+	Name string
+	Desc string
+}
+
+// Experiments returns the registry in report order.
+func Experiments() []Experiment {
+	return []Experiment{
+		{"table1", "trace characteristics of the synthetic Sprite traces"},
+		{"fig2", "miss ratio vs client cache size (volatile baseline)"},
+		{"table2", "client write traffic surviving 30s/5min windows"},
+		{"fig3", "write traffic vs cache size, omniscient policy, all traces"},
+		{"fig4", "write traffic vs replacement policy (trace 7)"},
+		{"fig5", "write traffic across cache organizations (trace 7)"},
+		{"fig6", "volatile vs unified caches at 8/16 MB base sizes"},
+		{"bus", "client bus traffic, section 2.6"},
+		{"cost", "cost-effectiveness of NVRAM options, section 2.7"},
+		{"table3", "server write traffic by age threshold"},
+		{"table4", "server disk utilization with and without a write buffer"},
+		{"buffer", "server NVRAM write-buffer study, section 3"},
+		{"sort", "buffered+sorted disk writes, reference [20]"},
+		{"servercache", "server NVRAM cache organizations, section 3 remark"},
+		{"fsynclat", "fsync latency distribution per organization (extension)"},
+		{"readlat", "read response vs write buffering, reference [3]"},
+		{"stack", "end-to-end client+server pipeline (extension)"},
+		{"ablate", "design-choice ablations"},
+		{"reliability", "crash injection against the replay oracle (extension)"},
+		{"degraded", "fault-injected write-back and graceful degradation (extension)"},
+		{"fleet", "population-scale sharded server fleet: load balance, storms, tail latency (extension)"},
+	}
+}
+
+// ExperimentNames returns the registry names in report order.
+func ExperimentNames() []string {
+	exps := Experiments()
+	names := make([]string, len(exps))
+	for i, e := range exps {
+		names[i] = e.Name
+	}
+	return names
+}

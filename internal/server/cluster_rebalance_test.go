@@ -1,0 +1,151 @@
+package server
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// clusterInvariants checks what the rebalancer guarantees: the global
+// block count never exceeds the shared budget, and no stamp runs ahead of
+// the cluster clock. (Within a volume the LRU list's recency order is
+// positional — a multi-block write stamps only its final MRU block — so
+// stamp values are not list-ordered; the rebalancer only compares the
+// per-volume Back() blocks.)
+func clusterInvariants(t *testing.T, c *Cluster) {
+	t.Helper()
+	budget := c.cfg.CacheBlocks + c.cfg.NVRAMBlocks*len(c.servers)
+	if n := c.totalBlocks(); n > budget {
+		t.Fatalf("cluster holds %d blocks, budget %d", n, budget)
+	}
+	for i, s := range c.servers {
+		for e := s.lru.Front(); e != nil; e = e.Next() {
+			b := s.blocks[e.Value.(blockID)]
+			if b.stamp > c.clock {
+				t.Fatalf("volume %d: stamp %d exceeds cluster clock %d", i, b.stamp, c.clock)
+			}
+		}
+	}
+}
+
+// TestClusterRebalanceMultiVolumePressure drives three volumes with
+// interleaved traffic that individually would each overflow the shared
+// budget, checking after every operation that the rebalancer holds the
+// global bound and keeps recency comparable across volumes.
+func TestClusterRebalanceMultiVolumePressure(t *testing.T) {
+	vols := []string{"a", "b", "c"}
+	c, err := NewCluster(Config{CacheBlocks: 48}, vols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := int64(0)
+	// Each volume writes 40 distinct blocks (120 total against a 48-block
+	// budget), round-robin so the pressure is always cross-volume.
+	for blk := int64(0); blk < 40; blk++ {
+		for vi, v := range vols {
+			now += sec
+			file := uint64(vi + 1)
+			if err := c.Write(v, now, file, blk*4*kb, 4*kb); err != nil {
+				t.Fatal(err)
+			}
+			clusterInvariants(t, c)
+		}
+	}
+	if n := c.totalBlocks(); n != 48 {
+		t.Fatalf("steady state holds %d blocks, want the full budget 48", n)
+	}
+	// A read burst on one volume must be able to claim budget the others
+	// are holding: volume a touches 30 fresh blocks, so it ends with the
+	// most-recent stamps and at least those 30 residents.
+	for blk := int64(100); blk < 130; blk++ {
+		now += sec
+		if err := c.Read("a", now, 9, blk*4*kb, 4*kb); err != nil {
+			t.Fatal(err)
+		}
+		clusterInvariants(t, c)
+	}
+	a, _ := c.Volume("a")
+	if got := len(a.blocks); got < 30 {
+		t.Fatalf("hot volume kept %d blocks, want >= its 30-block working set", got)
+	}
+}
+
+// TestClusterRebalanceEvictsColdestVolume checks the global-LRU choice
+// directly: after one volume goes idle and another stays hot, overflow
+// evictions come out of the idle volume.
+func TestClusterRebalanceEvictsColdestVolume(t *testing.T) {
+	c, err := NewCluster(Config{CacheBlocks: 32}, []string{"idle", "hot"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := int64(0)
+	for blk := int64(0); blk < 16; blk++ {
+		now += sec
+		if err := c.Write("idle", now, 1, blk*4*kb, 4*kb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The hot volume now fills the rest of the budget and keeps going;
+	// every eviction must land on the idle volume until it is empty.
+	idle, _ := c.Volume("idle")
+	for blk := int64(0); blk < 40; blk++ {
+		now += sec
+		if err := c.Write("hot", now, 2, blk*4*kb, 4*kb); err != nil {
+			t.Fatal(err)
+		}
+		clusterInvariants(t, c)
+	}
+	if got := len(idle.blocks); got != 0 {
+		t.Fatalf("idle volume still holds %d blocks; global LRU should have drained it", got)
+	}
+	hot, _ := c.Volume("hot")
+	if got := len(hot.blocks); got != 32 {
+		t.Fatalf("hot volume holds %d blocks, want the full budget 32", got)
+	}
+}
+
+// TestClusterRebalanceSoak is a seeded randomized soak: mixed operations
+// across four volumes (writes, reads, fsyncs, deletes, time jumps), with
+// the budget and stamp invariants checked after every step and the clock
+// checked for strict monotonic growth across stamps.
+func TestClusterRebalanceSoak(t *testing.T) {
+	vols := []string{"v0", "v1", "v2", "v3"}
+	c, err := NewCluster(Config{CacheBlocks: 64, NVRAMBlocks: 8}, vols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4092))
+	now := int64(0)
+	lastClock := c.clock
+	for step := 0; step < 4000; step++ {
+		now += int64(rng.Intn(3)) * sec
+		v := vols[rng.Intn(len(vols))]
+		file := uint64(rng.Intn(6) + 1)
+		off := int64(rng.Intn(64)) * 4 * kb
+		switch rng.Intn(10) {
+		case 0:
+			err = c.Fsync(v, now, file)
+		case 1:
+			err = c.Delete(v, now, file)
+		case 2, 3, 4:
+			err = c.Read(v, now, file, off, 4*kb)
+		default:
+			err = c.Write(v, now, file, off, int64(rng.Intn(3)+1)*4*kb)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.clock < lastClock {
+			t.Fatalf("cluster clock went backwards: %d -> %d", lastClock, c.clock)
+		}
+		lastClock = c.clock
+		clusterInvariants(t, c)
+	}
+	c.Shutdown(now + 60*sec)
+	clusterInvariants(t, c)
+	for _, v := range vols {
+		s, _ := c.Volume(v)
+		if s.DirtyBlocks() != 0 {
+			t.Fatalf("volume %s still dirty after shutdown", v)
+		}
+	}
+}

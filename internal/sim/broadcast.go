@@ -38,7 +38,7 @@ type Broadcast struct {
 	// issued a read or write on it — a conservative superset of the
 	// clients whose caches can hold the file's blocks, letting deletes
 	// skip the (no-op) block walk on every other client.
-	touched map[uint64][]uint16
+	touched map[uint64][]uint32
 	// noAdvance marks steppers whose model kind has a no-op Advance
 	// (unified and write-aside stage writes in NVRAM and run no delayed
 	// write-back clock), letting Apply skip the per-stepper, per-client
@@ -83,7 +83,7 @@ func NewBroadcast(steppers []*Stepper) (*Broadcast, error) {
 		sizes:      steppers[0].sizes,
 		writesOnly: steppers[0].cfg.WritesOnly,
 		shard:      steppers[0].cfg.Shard,
-		touched:    make(map[uint64][]uint16),
+		touched:    make(map[uint64][]uint32),
 	}
 	b.noAdvance = make([]bool, len(steppers))
 	for i, d := range steppers {
@@ -98,7 +98,7 @@ func NewBroadcast(steppers []*Stepper) (*Broadcast, error) {
 func (b *Broadcast) Steppers() []*Stepper { return b.steppers }
 
 // touch records that a client read or wrote a file.
-func (b *Broadcast) touch(client uint16, file uint64) {
+func (b *Broadcast) touch(client uint32, file uint64) {
 	tc := b.touched[file]
 	i := sort.Search(len(tc), func(i int) bool { return tc[i] >= client })
 	if i < len(tc) && tc[i] == client {

@@ -82,7 +82,7 @@ func MergeShardResults(results []*Result) (*Result, error) {
 		return nil, fmt.Errorf("sim: merging no shard results")
 	}
 	merged := &Result{
-		PerClient:      make(map[uint16]*cache.Traffic),
+		PerClient:      make(map[uint32]*cache.Traffic),
 		Recalls:        results[0].Recalls,
 		DisableEvents:  results[0].DisableEvents,
 		ReplayedWrites: results[0].ReplayedWrites,

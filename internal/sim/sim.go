@@ -79,7 +79,7 @@ type ShardSel struct {
 func (s ShardSel) Enabled() bool { return s.Shards > 1 }
 
 // Owns reports whether client c belongs to this shard.
-func (s ShardSel) Owns(c uint16) bool {
+func (s ShardSel) Owns(c uint32) bool {
 	return s.Shards <= 1 || int(c)%s.Shards == s.Index
 }
 
@@ -95,7 +95,7 @@ type Result struct {
 	// Traffic is the cluster-wide total.
 	Traffic cache.Traffic
 	// PerClient holds each client's counters.
-	PerClient map[uint16]*cache.Traffic
+	PerClient map[uint32]*cache.Traffic
 	// Recalls and DisableEvents summarize the consistency server.
 	Recalls       int64
 	DisableEvents int64
@@ -142,13 +142,13 @@ type Stepper struct {
 	// the Sprite-like traces); nil entries are clients not yet seen.
 	models  []cache.Model
 	sizes   map[uint64]int64
-	clients []uint16 // known clients, sorted; rebuilt lazily
+	clients []uint32 // known clients, sorted; rebuilt lazily
 	sorted  bool
 	now     int64
 	// curClient is the client whose cache model is currently being
 	// driven; the fault stage reads it because the cache hooks carry no
 	// client identity.
-	curClient uint16
+	curClient uint32
 	fault     *faults.Injector
 }
 
@@ -308,7 +308,7 @@ func (d *Stepper) Faults() *faults.Injector { return d.fault }
 // visited client is also made current for the fault stage, so a harness
 // that drives models directly (crash injection) attributes any resulting
 // write-backs to the right client.
-func (d *Stepper) ForEachModel(fn func(client uint16, m cache.Model)) {
+func (d *Stepper) ForEachModel(fn func(client uint32, m cache.Model)) {
 	for _, c := range d.clientOrder() {
 		d.curClient = c
 		fn(c, d.models[c])
@@ -321,7 +321,7 @@ func (d *Stepper) ForEachModel(fn func(client uint16, m cache.Model)) {
 func (d *Stepper) Finish() *Result {
 	d.finish()
 	res := &Result{
-		PerClient:      make(map[uint16]*cache.Traffic, len(d.clients)),
+		PerClient:      make(map[uint32]*cache.Traffic, len(d.clients)),
 		Recalls:        d.server.Recalls,
 		DisableEvents:  d.server.DisableEvents,
 		ReplayedWrites: d.server.ReplayedWrites,
@@ -351,7 +351,7 @@ func (d *Stepper) Release() {
 }
 
 // model returns (creating on first use) the cache for a client.
-func (d *Stepper) model(client uint16) (cache.Model, error) {
+func (d *Stepper) model(client uint32) (cache.Model, error) {
 	if int(client) < len(d.models) {
 		if m := d.models[client]; m != nil {
 			return m, nil
@@ -523,7 +523,7 @@ func (d *Stepper) apply(op prep.Op) error {
 // clientOrder returns the known clients sorted by id. The slice is cached
 // and re-sorted only when a new client appears, since cluster-wide events
 // (deletes, sharing disables) consult it per operation.
-func (d *Stepper) clientOrder() []uint16 {
+func (d *Stepper) clientOrder() []uint32 {
 	if !d.sorted {
 		slices.Sort(d.clients)
 		d.sorted = true

@@ -10,11 +10,11 @@ import (
 	"nvramfs/internal/workload"
 )
 
-func wop(t int64, c uint16, k prep.Kind, f uint64, a, b int64) prep.Op {
+func wop(t int64, c uint32, k prep.Kind, f uint64, a, b int64) prep.Op {
 	return prep.Op{Time: t, Client: c, Kind: k, File: f, Range: interval.Range{Start: a, End: b}}
 }
 
-func openOp(t int64, c uint16, f uint64, w bool) prep.Op {
+func openOp(t int64, c uint32, f uint64, w bool) prep.Op {
 	return prep.Op{Time: t, Client: c, Kind: prep.Open, File: f, WriteMode: w}
 }
 

@@ -298,7 +298,7 @@ func (tr *Reader) readSlice() (Event, error) {
 	if err != nil {
 		return Event{}, err
 	}
-	e.Client = uint16(client)
+	e.Client = uint32(client)
 	file, err := tr.uvarintSlice()
 	if err != nil {
 		return Event{}, err
@@ -325,7 +325,7 @@ func (tr *Reader) readSlice() (Event, error) {
 		if err != nil {
 			return Event{}, err
 		}
-		e.Target = uint16(tgt)
+		e.Target = uint32(tgt)
 	}
 	if err := e.Validate(); err != nil {
 		return Event{}, fmt.Errorf("trace: event %d: corrupt event: %w", tr.index, err)
@@ -377,7 +377,7 @@ func (tr *Reader) Read() (Event, error) {
 	if err != nil {
 		return Event{}, noEOF(err)
 	}
-	e.Client = uint16(client)
+	e.Client = uint32(client)
 	if e.File, err = binary.ReadUvarint(tr.r); err != nil {
 		return Event{}, noEOF(err)
 	}
@@ -402,7 +402,7 @@ func (tr *Reader) Read() (Event, error) {
 		if err != nil {
 			return Event{}, noEOF(err)
 		}
-		e.Target = uint16(tgt)
+		e.Target = uint32(tgt)
 	}
 	// A well-formed writer only produces valid events, so an invalid one
 	// here means the stream is corrupt (or not a trace at all).

@@ -156,7 +156,7 @@ func randEvents(rng *rand.Rand, n int) []Event {
 		tm += rng.Int63n(1000)
 		e := Event{
 			Time:   tm,
-			Client: uint16(rng.Intn(40)),
+			Client: uint32(rng.Intn(40)),
 			File:   uint64(rng.Intn(500)),
 			Op:     Op(1 + rng.Intn(int(opMax-1))),
 		}
@@ -169,7 +169,7 @@ func randEvents(rng *rand.Rand, n int) []Event {
 		case OpOpen:
 			e.Flags = uint8(1 + rng.Intn(3))
 		case OpMigrate:
-			e.Target = uint16(rng.Intn(40))
+			e.Target = uint32(rng.Intn(40))
 		}
 		evs = append(evs, e)
 	}

@@ -63,13 +63,13 @@ func FuzzReader(f *testing.F) {
 // FuzzRoundTrip checks that any sequence of field values that encodes
 // successfully decodes to identical events.
 func FuzzRoundTrip(f *testing.F) {
-	f.Add(int64(5), uint16(1), uint8(4), uint64(9), int64(0), int64(100), uint8(1), uint16(2))
-	f.Add(int64(0), uint16(0), uint8(8), uint64(0), int64(0), int64(0), uint8(0), uint16(0))
+	f.Add(int64(5), uint32(1), uint8(4), uint64(9), int64(0), int64(100), uint8(1), uint32(2))
+	f.Add(int64(0), uint32(0), uint8(8), uint64(0), int64(0), int64(0), uint8(0), uint32(0))
 	// Offset+Length wrapping int64: must be rejected at Write, never encoded.
-	f.Add(int64(1), uint16(1), uint8(4), uint64(3), int64(math.MaxInt64), int64(1), uint8(0), uint16(0))
-	f.Add(int64(1), uint16(1), uint8(3), uint64(3), int64(1), int64(math.MaxInt64), uint8(0), uint16(0))
-	f.Fuzz(func(t *testing.T, tm int64, client uint16, op uint8, file uint64,
-		off, length int64, flags uint8, target uint16) {
+	f.Add(int64(1), uint32(1), uint8(4), uint64(3), int64(math.MaxInt64), int64(1), uint8(0), uint32(0))
+	f.Add(int64(1), uint32(1), uint8(3), uint64(3), int64(1), int64(math.MaxInt64), uint8(0), uint32(0))
+	f.Fuzz(func(t *testing.T, tm int64, client uint32, op uint8, file uint64,
+		off, length int64, flags uint8, target uint32) {
 		e := Event{
 			Time: tm, Client: client, Op: Op(op), File: file,
 			Offset: off, Length: length, Flags: flags, Target: target,

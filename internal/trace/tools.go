@@ -56,9 +56,9 @@ func Merge(w io.Writer, name string, inputs ...*Reader) error {
 	for h.Len() > 0 {
 		top := heap.Pop(h).(mergeHead)
 		ev := top.ev
-		ev.Client += uint16(top.src * ClientStride)
+		ev.Client += uint32(top.src * ClientStride)
 		if ev.Op == OpMigrate {
-			ev.Target += uint16(top.src * ClientStride)
+			ev.Target += uint32(top.src * ClientStride)
 		}
 		ev.File += uint64(top.src) * FileStride
 		if err := tw.Write(ev); err != nil {
@@ -106,8 +106,8 @@ type FilterFunc func(Event) bool
 
 // ByClients keeps events from the given clients (migration targets are
 // kept if either endpoint matches).
-func ByClients(clients ...uint16) FilterFunc {
-	set := make(map[uint16]bool, len(clients))
+func ByClients(clients ...uint32) FilterFunc {
+	set := make(map[uint32]bool, len(clients))
 	for _, c := range clients {
 		set[c] = true
 	}

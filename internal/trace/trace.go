@@ -80,13 +80,13 @@ const (
 // (Sprite file handles are cluster-wide).
 type Event struct {
 	Time   int64  // microseconds since trace start
-	Client uint16 // workstation issuing the operation
+	Client uint32 // workstation issuing the operation
 	Op     Op
 	File   uint64 // cluster-wide file identifier
 	Offset int64  // byte offset (new size for truncate)
 	Length int64  // byte count for read/write
 	Flags  uint8  // open mode for OpOpen
-	Target uint16 // destination client for OpMigrate
+	Target uint32 // destination client for OpMigrate
 }
 
 // Validate checks internal consistency of a single event.

@@ -92,19 +92,19 @@ func (a *actor) tick(t *int64, lo, hi time.Duration) int64 {
 	return *t
 }
 
-func (a *actor) openOn(t int64, client uint16, f uint64, flags uint8) {
+func (a *actor) openOn(t int64, client uint32, f uint64, flags uint8) {
 	a.g.add(trace.Event{Time: t, Client: client, Op: trace.OpOpen, File: f, Flags: flags})
 }
 
-func (a *actor) closeOn(t int64, client uint16, f uint64) {
+func (a *actor) closeOn(t int64, client uint32, f uint64) {
 	a.g.add(trace.Event{Time: t, Client: client, Op: trace.OpClose, File: f})
 }
 
-func (a *actor) writeOn(t int64, client uint16, f uint64, off, n int64) {
+func (a *actor) writeOn(t int64, client uint32, f uint64, off, n int64) {
 	a.g.add(trace.Event{Time: t, Client: client, Op: trace.OpWrite, File: f, Offset: off, Length: n})
 }
 
-func (a *actor) readOn(t int64, client uint16, f uint64, off, n int64) {
+func (a *actor) readOn(t int64, client uint32, f uint64, off, n int64) {
 	a.g.add(trace.Event{Time: t, Client: client, Op: trace.OpRead, File: f, Offset: off, Length: n})
 }
 
@@ -117,7 +117,7 @@ func (a *actor) fsync(t int64, f uint64) {
 	a.g.add(trace.Event{Time: t, Client: a.cfg.Client, Op: trace.OpFsync, File: f})
 }
 
-func (a *actor) deleteOn(t int64, client uint16, f uint64) {
+func (a *actor) deleteOn(t int64, client uint32, f uint64) {
 	a.g.add(trace.Event{Time: t, Client: client, Op: trace.OpDelete, File: f})
 }
 
@@ -127,13 +127,13 @@ func (a *actor) truncate(t int64, f uint64, newSize int64) {
 	a.g.add(trace.Event{Time: t, Client: a.cfg.Client, Op: trace.OpTruncate, File: f, Offset: newSize})
 }
 
-func (a *actor) migrate(t int64, from, to uint16) {
+func (a *actor) migrate(t int64, from, to uint32) {
 	a.g.add(trace.Event{Time: t, Client: from, Op: trace.OpMigrate, Target: to})
 }
 
 // writeChunks writes n bytes at off in chunks of at most chunk bytes, with a
 // brief pause between chunks, returning the time after the last write.
-func (a *actor) writeChunks(t int64, client uint16, f uint64, off, n, chunk int64) int64 {
+func (a *actor) writeChunks(t int64, client uint32, f uint64, off, n, chunk int64) int64 {
 	for n > 0 {
 		c := chunk
 		if c > n {
@@ -148,7 +148,7 @@ func (a *actor) writeChunks(t int64, client uint16, f uint64, off, n, chunk int6
 }
 
 // readWhole opens, reads, and closes a file.
-func (a *actor) readWhole(t int64, client uint16, f file) int64 {
+func (a *actor) readWhole(t int64, client uint32, f file) int64 {
 	a.openOn(t, client, f.id, trace.FlagRead)
 	t += a.dur(time.Millisecond, 10*time.Millisecond)
 	a.readOn(t, client, f.id, 0, f.size)
@@ -526,7 +526,7 @@ func (l *logger) step(a *actor, now int64) error {
 // paper.
 type migrator struct {
 	job     file
-	home    uint16 // current client
+	home    uint32 // current client
 	started bool
 	steps   int
 }

@@ -34,8 +34,8 @@ type ProfileSpec struct {
 // ActorSpec is one actor in a ProfileSpec.
 type ActorSpec struct {
 	Kind      string  `json:"kind"`
-	Client    uint16  `json:"client"`
-	Peer      uint16  `json:"peer,omitempty"`
+	Client    uint32  `json:"client"`
+	Peer      uint32  `json:"peer,omitempty"`
 	Intensity float64 `json:"intensity,omitempty"`
 }
 
@@ -73,7 +73,7 @@ func (s ProfileSpec) Profile() (Profile, error) {
 	if s.DurationHours > 0 {
 		p.Duration = time.Duration(s.DurationHours * float64(time.Hour))
 	}
-	maxClient := uint16(0)
+	maxClient := uint32(0)
 	for i, a := range s.Actors {
 		kind, ok := kindByName[a.Kind]
 		if !ok {

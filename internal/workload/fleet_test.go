@@ -1,0 +1,115 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"nvramfs/internal/trace"
+)
+
+func collectFleet(t *testing.T, p FleetProfile) []trace.Event {
+	t.Helper()
+	c, err := NewFleetCursor(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []trace.Event
+	for {
+		e, ok, err := c.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		out = append(out, e)
+	}
+	if c.Count() != int64(len(out)) {
+		t.Fatalf("Count() = %d, delivered %d", c.Count(), len(out))
+	}
+	return out
+}
+
+func TestFleetCursorOrderedAndDeterministic(t *testing.T) {
+	p := FleetProfile{Name: "t", Seed: 7, Duration: 2 * time.Hour, Clients: 3000, MaxActive: 256}
+	a := collectFleet(t, p)
+	if len(a) == 0 {
+		t.Fatal("empty trace")
+	}
+	horizon := int64(p.Duration / time.Microsecond)
+	for i, e := range a {
+		if i > 0 && e.Time < a[i-1].Time {
+			t.Fatalf("event %d at %d before predecessor at %d", i, e.Time, a[i-1].Time)
+		}
+		if e.Time < 0 || e.Time >= horizon {
+			t.Fatalf("event %d at %d outside [0,%d)", i, e.Time, horizon)
+		}
+		if int(e.Client) >= p.Clients {
+			t.Fatalf("event %d from client %d, population %d", i, e.Client, p.Clients)
+		}
+	}
+	b := collectFleet(t, p)
+	if len(a) != len(b) {
+		t.Fatalf("two generations differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs across generations: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestFleetCursorEverySessionRetires(t *testing.T) {
+	const sharedFiles = 64 // fillDefaults value, applied inside the cursor
+	p := FleetProfile{Name: "t", Seed: 11, Duration: 3 * time.Hour, Clients: 2000, MaxActive: 128}
+	events := collectFleet(t, p)
+	created := map[uint64]bool{}
+	logouts := map[uint32]int{}
+	loggedOut := map[uint32]bool{}
+	for _, e := range events {
+		if loggedOut[e.Client] {
+			// The logout flush must be the client's final event, or the
+			// consistency servers cannot retire its tracking state.
+			t.Fatalf("client %d active at %d after its logout", e.Client, e.Time)
+		}
+		switch e.Op {
+		case trace.OpOpen:
+			if e.Flags&trace.FlagWrite != 0 {
+				created[e.File] = true
+			}
+		case trace.OpDelete:
+			delete(created, e.File)
+		case trace.OpMigrate:
+			if e.Target != e.Client {
+				t.Fatalf("fleet migrate targets %d, want self-flush for client %d", e.Target, e.Client)
+			}
+			logouts[e.Client]++
+			loggedOut[e.Client] = true
+		}
+	}
+	// Every client logs in exactly once and logs out exactly once.
+	if len(logouts) != p.Clients {
+		t.Fatalf("%d clients logged out, population %d", len(logouts), p.Clients)
+	}
+	for c, n := range logouts {
+		if n != 1 {
+			t.Fatalf("client %d logged out %d times", c, n)
+		}
+	}
+	// Every home file dies with its session; only write-opened shared-pool
+	// files can survive the trace.
+	if got := len(created); got > sharedFiles {
+		t.Fatalf("%d files survive the trace, want at most the %d shared files", got, sharedFiles)
+	}
+}
+
+func TestFleetCursorErrors(t *testing.T) {
+	if _, err := NewFleetCursor(FleetProfile{}); err == nil {
+		t.Fatal("zero clients accepted")
+	}
+	// 1M clients in one virtual millisecond: sessions would be under 1µs.
+	_, err := NewFleetCursor(FleetProfile{Clients: 1_000_000, MaxActive: 1, Duration: time.Millisecond})
+	if err == nil {
+		t.Fatal("sub-microsecond sessions accepted")
+	}
+}

@@ -29,26 +29,26 @@ func StandardProfile(i int, scale float64) Profile {
 	jitter := func() float64 { return 0.8 + 0.4*rng.Float64() }
 
 	var actors []ActorConfig
-	add := func(k Kind, client, peer uint16) {
+	add := func(k Kind, client, peer uint32) {
 		actors = append(actors, ActorConfig{Kind: k, Client: client, Peer: peer, Intensity: jitter()})
 	}
 	// Interactive users: editors and mail on the first few workstations.
-	for c := uint16(1); c <= 6; c++ {
+	for c := uint32(1); c <= 6; c++ {
 		add(KindEditor, c, 0)
 	}
-	for _, c := range []uint16{2, 5, 8, 14} {
+	for _, c := range []uint32{2, 5, 8, 14} {
 		add(KindMail, c, 0)
 	}
 	// Development activity: compile/link cycles.
-	for c := uint16(7); c <= 12; c++ {
+	for c := uint32(7); c <= 12; c++ {
 		add(KindBuild, c, 0)
 	}
 	// Producer/consumer pairs (called-back traffic).
-	for j := uint16(0); j < 4; j++ {
+	for j := uint32(0); j < 4; j++ {
 		add(KindShared, 13+j, 17+j)
 	}
 	// Long-lived logs scattered over interactive machines.
-	for _, c := range []uint16{1, 3, 21, 22, 23} {
+	for _, c := range []uint32{1, 3, 21, 22, 23} {
 		add(KindLog, c, 0)
 	}
 	// One concurrently write-shared file and one migrating job.

@@ -43,6 +43,7 @@ import (
 	"nvramfs/internal/disk"
 	"nvramfs/internal/engine"
 	"nvramfs/internal/faults"
+	"nvramfs/internal/fleet"
 	"nvramfs/internal/lfs"
 	"nvramfs/internal/lifetime"
 	"nvramfs/internal/nvram"
@@ -103,6 +104,20 @@ type (
 	ReadResponseResult = report.ReadResponseResult
 	ReliabilityResult  = report.ReliabilityResult
 	DegradedResult     = report.DegradedResult
+	FleetResult        = report.FleetResult
+	FleetOptions       = report.FleetOptions
+
+	// Experiment is one registered nvreport experiment (name plus a
+	// one-line description); see Experiments.
+	Experiment = report.Experiment
+
+	// FleetRunOptions configures a direct fleet simulation (shard count,
+	// placement slots, shared server cluster); FleetProfile describes its
+	// synthetic population.
+	FleetRunOptions = fleet.Options
+	FleetProfile    = workload.FleetProfile
+	FleetRunResult  = fleet.Result
+	FleetPlacement  = fleet.Placement
 
 	// FaultStats is the fault-injection stage's counter snapshot: retry
 	// and backoff activity, degradation costs (stall time, shed bytes),
@@ -728,6 +743,37 @@ func Degraded(ws *Workspace) (*DegradedResult, error) { return report.Degraded(w
 func DegradedContext(ctx context.Context, ws *Workspace) (*DegradedResult, error) {
 	return report.DegradedContext(ctx, ws)
 }
+
+// Fleet runs the population-scale fleet study: synthetic populations of
+// O(10k+) clients streamed against 1/4/16 consistency-server shards
+// behind a shared cluster cache, measuring per-shard load balance,
+// invalidation-storm fan-out, and tail write-back latency.
+func Fleet(ws *Workspace) (*FleetResult, error) { return report.Fleet(ws) }
+
+// FleetContext is Fleet with cancellation.
+func FleetContext(ctx context.Context, ws *Workspace) (*FleetResult, error) {
+	return report.FleetContext(ctx, ws)
+}
+
+// FleetWithOptions is FleetContext with an explicit grid (client counts,
+// shard counts, durations); zero fields take the published defaults.
+func FleetWithOptions(ctx context.Context, ws *Workspace, opts FleetOptions) (*FleetResult, error) {
+	return report.FleetWithOptions(ctx, ws, opts)
+}
+
+// RunFleet streams one synthetic population through one fleet directly
+// (no experiment grid): the building block the fleet study sweeps.
+func RunFleet(p FleetProfile, opts FleetRunOptions) (*FleetRunResult, error) {
+	cur, err := workload.NewFleetCursor(p)
+	if err != nil {
+		return nil, err
+	}
+	return fleet.Run(cur, opts)
+}
+
+// Experiments returns the nvreport experiment registry in report order —
+// the single source of truth for -exp names and help text.
+func Experiments() []Experiment { return report.Experiments() }
 
 // ServerCacheStudy sweeps a server-side NVRAM cache region over the
 // standard file-system workloads (the Section 3 opening remark).
