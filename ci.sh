@@ -73,3 +73,14 @@ go run ./cmd/nvbench -durable-smoke
 # has to retire), and the fleet experiment must render byte-identical
 # output at -j 1 and -j 8.
 go run ./cmd/nvbench -fleet-smoke
+
+# Live-service gate: the daemon's protocol/admission/panic-isolation
+# tests, the image lock and corruption-fuzz tests, the wall-clock seam,
+# and the live kill/reconnect harness, all by name so a filtered run
+# can't silently drop them; then the full cycle against a real nvramd
+# binary — load it over TCP under an outage, SIGKILL it mid-backlog,
+# restart it, and require the parked backlog to drain with zero
+# committed-byte loss (recording the replay ops/s + p99 baseline).
+go test -run 'Daemon|Live|Lock|Corrupt|Clock|Frame|Reservoir' -count=1 \
+	./internal/daemon/ ./internal/crash/ ./internal/nvram/ ./internal/faults/ ./internal/trace/ ./internal/stats/
+go run ./cmd/nvbench -daemon-smoke

@@ -1,0 +1,292 @@
+package main
+
+// Daemon smoke: build the real nvramd binary from this tree, run it on a
+// loopback port with a temp durable directory, load it over TCP until a
+// parked write-back backlog accumulates under a never-ending outage,
+// SIGKILL it, read the image the corpse left behind as ground truth,
+// restart it healthy on the same directory, and require the recovered
+// backlog to drain with zero committed-byte loss. The healthy restart is
+// then load-tested for the recorded throughput/latency baseline.
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"nvramfs/internal/daemon"
+	"nvramfs/internal/faults"
+	"nvramfs/internal/nvram"
+	"nvramfs/internal/trace"
+)
+
+// DaemonSmoke is the live-service evidence: correctness of the
+// kill/restart cycle (always required) plus the measured replay baseline
+// against the healthy daemon (EXPERIMENTS.md discusses the numbers).
+type DaemonSmoke struct {
+	KillRestartExact    bool  `json:"kill_restart_exact"`
+	ParkedBytes         int64 `json:"parked_bytes"`
+	RecoveredDeliveries int   `json:"recovered_deliveries"`
+	RestoredBytes       int64 `json:"restored_bytes"`
+	LostBytes           int64 `json:"lost_bytes"`
+	// Replay baseline: events sent as fast as possible over 4 connections
+	// against the healthy restarted daemon.
+	ReplayEvents int64   `json:"replay_events"`
+	OpsPerSec    float64 `json:"ops_per_sec"`
+	P50US        int64   `json:"p50_us"`
+	P99US        int64   `json:"p99_us"`
+}
+
+// daemonProc is one running nvramd child and its announced coordinates.
+type daemonProc struct {
+	cmd       *exec.Cmd
+	recovered int
+	addr      string
+	stderr    *bytes.Buffer
+	done      chan error
+}
+
+// startDaemon launches bin with args and parses the RECOVERED=/ADDR=
+// announcement from its stdout.
+func startDaemon(bin string, args ...string) (*daemonProc, error) {
+	p := &daemonProc{
+		cmd:    exec.Command(bin, args...),
+		stderr: new(bytes.Buffer),
+		done:   make(chan error, 1),
+	}
+	p.cmd.Stderr = p.stderr
+	stdout, err := p.cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.cmd.Start(); err != nil {
+		return nil, err
+	}
+	lines := make(chan string, 16)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+		close(lines)
+	}()
+	timeout := time.After(30 * time.Second)
+	haveRecovered, haveAddr := false, false
+	for !(haveRecovered && haveAddr) {
+		select {
+		case line, ok := <-lines:
+			if !ok {
+				err := p.cmd.Wait()
+				return nil, fmt.Errorf("nvramd exited before announcing: %v (stderr %q)", err, p.stderr.String())
+			}
+			if v, ok := strings.CutPrefix(line, "RECOVERED="); ok {
+				if p.recovered, err = strconv.Atoi(v); err != nil {
+					return nil, fmt.Errorf("bad RECOVERED line %q", line)
+				}
+				haveRecovered = true
+			}
+			if v, ok := strings.CutPrefix(line, "ADDR="); ok {
+				p.addr, haveAddr = v, true
+			}
+		case <-timeout:
+			p.cmd.Process.Kill()
+			return nil, fmt.Errorf("nvramd never announced (stderr %q)", p.stderr.String())
+		}
+	}
+	go func() {
+		for range lines {
+		}
+		p.done <- p.cmd.Wait()
+	}()
+	return p, nil
+}
+
+// genDaemonEvents synthesizes a write-heavy loopback workload: enough
+// dirty blocks across few files to force eviction write-backs through a
+// small cache.
+func genDaemonEvents(n int) []trace.Event {
+	events := make([]trace.Event, 0, n)
+	for i := 0; i < n; i++ {
+		events = append(events, trace.Event{
+			Time:   int64(i) * 100,
+			Client: uint32(i % 4),
+			Op:     trace.OpWrite,
+			File:   100 + uint64(i%6),
+			Offset: int64(i/6) * 4096,
+			Length: 4096,
+		})
+	}
+	return events
+}
+
+// daemonQuiesce polls the daemon's stats until the write-back path is
+// quiescent: every offered byte accounted for and two consecutive
+// snapshots identical (the snapshot refreshes on a 100ms tick).
+func daemonQuiesce(addr string, extra func(daemon.Snapshot) bool) (daemon.Snapshot, error) {
+	c, err := daemon.Dial(addr, 5*time.Second)
+	if err != nil {
+		return daemon.Snapshot{}, err
+	}
+	defer c.Close()
+	var last daemon.Snapshot
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		sn, err := c.Stats()
+		if err != nil {
+			return daemon.Snapshot{}, err
+		}
+		f := sn.Faults
+		if f.OfferedBytes == f.CommittedBytes+f.LostBytes+sn.PendingStable+sn.PendingVolatile &&
+			f.OfferedBytes == last.Faults.OfferedBytes &&
+			sn.PendingStable == last.PendingStable &&
+			f.CommittedBytes == last.Faults.CommittedBytes &&
+			(extra == nil || extra(sn)) {
+			return sn, nil
+		}
+		last = sn
+		if time.Now().After(deadline) {
+			return sn, fmt.Errorf("daemon never quiesced: %+v", sn)
+		}
+		time.Sleep(150 * time.Millisecond)
+	}
+}
+
+func measureDaemonSmoke() (*DaemonSmoke, error) {
+	tmp, err := os.MkdirTemp("", "nvbench-daemon")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(tmp)
+
+	bin := filepath.Join(tmp, "nvramd")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/nvramd")
+	if out, err := build.CombinedOutput(); err != nil {
+		return nil, fmt.Errorf("building nvramd: %v\n%s", err, out)
+	}
+	stateDir := filepath.Join(tmp, "state")
+	common := []string{
+		"-addr", "127.0.0.1:0", "-dir", stateDir, "-org", "unified",
+		"-cache-mb", "1", "-nvram-mb", "1",
+	}
+
+	// Phase 1: the write-back server is down forever; every stable
+	// delivery exhausts its retries and parks durably.
+	outage := append(append([]string{}, common...),
+		"-faults", "seed=7,retries=2,backoff=1ms,cap=2ms,outage=0s+never")
+	p1, err := startDaemon(bin, outage...)
+	if err != nil {
+		return nil, err
+	}
+	defer p1.cmd.Process.Kill()
+	if p1.recovered != 0 {
+		return nil, fmt.Errorf("fresh daemon recovered %d parked deliveries, want 0", p1.recovered)
+	}
+	events := genDaemonEvents(1500)
+	rep, err := daemon.Replay(events, daemon.ReplayOptions{Addr: p1.addr, Conns: 4})
+	if err != nil {
+		return nil, fmt.Errorf("outage replay: %v", err)
+	}
+	if rep.OK+rep.Parked == 0 {
+		return nil, fmt.Errorf("outage replay accepted nothing: %s", rep)
+	}
+	sn, err := daemonQuiesce(p1.addr, func(sn daemon.Snapshot) bool { return sn.PendingStable > 0 })
+	if err != nil {
+		return nil, err
+	}
+	if sn.Faults.CommittedBytes != 0 {
+		return nil, fmt.Errorf("committed %d bytes through a never-ending outage", sn.Faults.CommittedBytes)
+	}
+
+	// The crash under test: SIGKILL, no drain, no close.
+	if err := p1.cmd.Process.Kill(); err != nil {
+		return nil, err
+	}
+	if err := <-p1.done; err == nil {
+		return nil, fmt.Errorf("nvramd survived SIGKILL")
+	}
+
+	// Ground truth: the parked backlog a recovery agent finds in the
+	// corpse's image.
+	img, _, err := nvram.OpenImage(filepath.Join(stateDir, "nvramd.img"), nvram.ImageOptions{})
+	if err != nil {
+		return nil, fmt.Errorf("reopening corpse image: %v", err)
+	}
+	entries, err := faults.RecoverParked(img)
+	if cerr := img.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, err
+	}
+	var parkedBytes int64
+	for _, e := range entries {
+		parkedBytes += e.D.End - e.D.Start
+	}
+	if parkedBytes == 0 {
+		return nil, fmt.Errorf("no parked backlog survived the kill; the smoke is vacuous")
+	}
+	if parkedBytes != sn.PendingStable {
+		return nil, fmt.Errorf("image holds %d parked bytes, daemon last reported %d", parkedBytes, sn.PendingStable)
+	}
+
+	// Phase 2: healthy restart on the same directory; the backlog must be
+	// re-adopted in full and drain to committed with zero loss.
+	healthy := append(append([]string{}, common...),
+		"-faults", "seed=7,retries=2,backoff=1ms,cap=2ms")
+	p2, err := startDaemon(bin, healthy...)
+	if err != nil {
+		return nil, err
+	}
+	defer p2.cmd.Process.Kill()
+	if p2.recovered != len(entries) {
+		return nil, fmt.Errorf("restart recovered %d parked deliveries, want %d", p2.recovered, len(entries))
+	}
+	drained, err := daemonQuiesce(p2.addr, func(sn daemon.Snapshot) bool {
+		return sn.PendingStable == 0 && sn.Faults.CommittedBytes >= parkedBytes
+	})
+	if err != nil {
+		return nil, err
+	}
+	if drained.RestoredBytes != parkedBytes {
+		return nil, fmt.Errorf("restored %d bytes, want %d", drained.RestoredBytes, parkedBytes)
+	}
+	if drained.Faults.LostBytes != 0 {
+		return nil, fmt.Errorf("lost %d bytes across the crash, want 0", drained.Faults.LostBytes)
+	}
+
+	// Replay baseline against the healthy daemon: as fast as possible
+	// over 4 connections.
+	perf, err := daemon.Replay(events, daemon.ReplayOptions{Addr: p2.addr, Conns: 4})
+	if err != nil {
+		return nil, fmt.Errorf("healthy replay: %v", err)
+	}
+	if perf.Errors > 0 || perf.OK == 0 {
+		return nil, fmt.Errorf("healthy replay degraded: %s", perf)
+	}
+
+	// Graceful drain: SIGTERM must exit cleanly.
+	if err := p2.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return nil, err
+	}
+	if err := <-p2.done; err != nil {
+		return nil, fmt.Errorf("nvramd did not exit cleanly on SIGTERM: %v (stderr %q)", err, p2.stderr.String())
+	}
+
+	return &DaemonSmoke{
+		KillRestartExact:    true,
+		ParkedBytes:         parkedBytes,
+		RecoveredDeliveries: len(entries),
+		RestoredBytes:       drained.RestoredBytes,
+		LostBytes:           drained.Faults.LostBytes,
+		ReplayEvents:        perf.Events,
+		OpsPerSec:           perf.OpsPerSec,
+		P50US:               perf.P50US,
+		P99US:               perf.P99US,
+	}, nil
+}

@@ -64,6 +64,12 @@ type File struct {
 	// fleet experiment's -j 1 vs -j 8 byte-identity (see fleetsmoke.go).
 	// Absent when parsing a saved log.
 	FleetSmoke *FleetSmoke `json:"fleet_smoke,omitempty"`
+	// DaemonSmoke, when present, records the live-service check: a real
+	// nvramd process SIGKILLed mid-backlog and restarted must recover the
+	// parked write-back backlog with zero committed-byte loss, plus the
+	// healthy daemon's replay throughput/latency baseline (see
+	// daemonsmoke.go). Absent when parsing a saved log.
+	DaemonSmoke *DaemonSmoke `json:"daemon_smoke,omitempty"`
 }
 
 // benchLine matches `go test -bench -benchmem` result lines, e.g.
@@ -123,8 +129,21 @@ func main() {
 			"only run the durable kill/reopen check: fail if recovery from a reopened image file diverges from the in-memory oracle at any sampled boundary")
 		fleetSmoke = flag.Bool("fleet-smoke", false,
 			"only run the fleet population check: fail if peak heap at 100k clients exceeds 2x the 10k-client run, or if the fleet experiment's output differs across worker counts")
+		daemonSmoke = flag.Bool("daemon-smoke", false,
+			"only run the live-service check: SIGKILL a loaded nvramd and fail unless the restart recovers the parked backlog with zero committed-byte loss")
 	)
 	flag.Parse()
+
+	if *daemonSmoke {
+		ds, err := measureDaemonSmoke()
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("daemon smoke: %d parked bytes recovered across SIGKILL (%d deliveries), lost %d; healthy replay %d events at %.0f ops/s (p50 %dus, p99 %dus)",
+			ds.ParkedBytes, ds.RecoveredDeliveries, ds.LostBytes,
+			ds.ReplayEvents, ds.OpsPerSec, ds.P50US, ds.P99US)
+		return
+	}
 
 	if *fleetSmoke {
 		fs, err := measureFleetSmoke()
@@ -229,6 +248,7 @@ func main() {
 	var shardSp *ShardSpeedup
 	var durable *DurableSmoke
 	var fleetSm *FleetSmoke
+	var daemonSm *DaemonSmoke
 	if *input == "" {
 		sm, err := measureStreamMemory(*memScale, *memFactor)
 		if err != nil {
@@ -269,9 +289,17 @@ func main() {
 			fs.GrownClients, float64(fs.GrownPeakHeapBytes)/(1<<20),
 			fs.PeakHeapRatio, fs.OutputIdentical)
 		fleetSm = fs
+		dsm, err := measureDaemonSmoke()
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("daemon smoke: %d parked bytes recovered across SIGKILL (%d deliveries), lost %d; healthy replay %.0f ops/s (p50 %dus, p99 %dus)",
+			dsm.ParkedBytes, dsm.RecoveredDeliveries, dsm.LostBytes,
+			dsm.OpsPerSec, dsm.P50US, dsm.P99US)
+		daemonSm = dsm
 	}
 
-	data, err := json.MarshalIndent(File{Benchtime: *benchtime, Benchmarks: entries, StreamingMemory: streamMem, ShardSpeedup: shardSp, DurableSmoke: durable, FleetSmoke: fleetSm}, "", "  ")
+	data, err := json.MarshalIndent(File{Benchtime: *benchtime, Benchmarks: entries, StreamingMemory: streamMem, ShardSpeedup: shardSp, DurableSmoke: durable, FleetSmoke: fleetSm, DaemonSmoke: daemonSm}, "", "  ")
 	if err != nil {
 		log.Fatal(err)
 	}

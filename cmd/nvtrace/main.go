@@ -15,6 +15,14 @@
 //
 //	nvtrace -trace 7 -scale 0.1 -out - | nvsim -file - -nvram 1
 //
+// With -replay, nvtrace becomes a load generator against a live nvramd:
+//
+//	nvtrace -replay traces/trace7.nvft -addr 127.0.0.1:7343 -rate 1000
+//
+// replays the trace's events over the daemon's binary protocol at a rate
+// multiple of trace time (-rate 0 = as fast as possible) and reports
+// sustained ops/s and p50/p99 request latency.
+//
 // Traces are written in the binary trace format readable by nvsim and the
 // nvramfs library's ReadTrace.
 package main
@@ -26,8 +34,11 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"time"
 
 	"nvramfs"
+	"nvramfs/internal/daemon"
+	"nvramfs/internal/trace"
 )
 
 // openInput opens path for reading, with "-" meaning standard input.
@@ -50,10 +61,40 @@ func main() {
 		dumpFile  = flag.String("dump", "", "pretty-print this trace file instead of generating")
 		dumpN     = flag.Int("n", 20, "events to show with -dump (0 = all)")
 		template  = flag.Bool("template", false, "print an example JSON workload profile and exit")
+		replay    = flag.String("replay", "", "replay this trace file against a live nvramd instead of generating")
+		addr      = flag.String("addr", "127.0.0.1:7343", "nvramd address for -replay")
+		rate      = flag.Float64("rate", 0, "replay time-compression factor: 1 = trace speed, 1000 = 1000x (0 = as fast as possible)")
+		conns     = flag.Int("conns", 4, "replay connections; events partition across them by client id")
+		timeout   = flag.Duration("timeout", 10*time.Second, "replay per-request timeout")
 	)
 	flag.Parse()
 
 	switch {
+	case *replay != "":
+		f, err := openInput(*replay)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		data, err := io.ReadAll(f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tr, err := trace.NewBytesReader(data)
+		if err != nil {
+			log.Fatal(err)
+		}
+		events, err := tr.ReadAll()
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := daemon.Replay(events, daemon.ReplayOptions{
+			Addr: *addr, Rate: *rate, Conns: *conns, Timeout: *timeout,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(rep.String())
 	case *template:
 		if err := nvramfs.WorkloadTemplate(os.Stdout); err != nil {
 			log.Fatal(err)

@@ -1,0 +1,112 @@
+package crash
+
+// Live-process harness support: ServeLive is the body of a child process
+// in the kill/reconnect tests and the CI daemon smoke. It runs a real
+// nvramd — durable image, TCP listener, wall-clock fault schedule — and
+// announces its recovered-backlog count and listen address on stdout in
+// a machine-readable form, so a parent process can connect, load it,
+// SIGKILL it mid-flight, and verify the restart. The in-simulation
+// harness in this package kills a simulation at an instant; ServeLive
+// extends the same question to a live operating-system process.
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"nvramfs/internal/cache"
+	"nvramfs/internal/daemon"
+	"nvramfs/internal/faults"
+	"nvramfs/internal/nvram"
+)
+
+// LiveImageName is the durable image's file name inside LiveConfig.Dir —
+// shared between child and parent so the parent can reopen the corpse's
+// image for ground truth.
+const LiveImageName = "nvramd.img"
+
+// LiveConfig parameterizes one ServeLive child.
+type LiveConfig struct {
+	// Dir is the durable state directory (created if missing); the image
+	// lives at Dir/LiveImageName.
+	Dir string
+	// Addr is the listen address; "127.0.0.1:0" picks a free port, and
+	// the chosen address is announced as ADDR=.
+	Addr string
+	// Org, Cache, Faults, MaxInFlight, AdmitWait configure the daemon.
+	Org         cache.ModelKind
+	Cache       cache.Config
+	Faults      faults.Profile
+	MaxInFlight int
+	AdmitWait   time.Duration
+	// Grace bounds the graceful drain on SIGTERM/SIGINT; <= 0 selects 2s.
+	Grace time.Duration
+}
+
+// ServeLive opens the durable image, starts a daemon, announces
+//
+//	RECOVERED=<parked deliveries re-adopted from the image>
+//	ADDR=<host:port>
+//
+// on out, and serves until SIGTERM or SIGINT arrives, then drains
+// gracefully and closes the image. A SIGKILL — the crash under test —
+// naturally skips all of that, which is the point.
+func ServeLive(cfg LiveConfig, out io.Writer) error {
+	if cfg.Grace <= 0 {
+		cfg.Grace = 2 * time.Second
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return err
+	}
+	img, _, err := nvram.OpenImage(filepath.Join(cfg.Dir, LiveImageName), nvram.ImageOptions{})
+	if err != nil {
+		return err
+	}
+	srv, recovered, err := daemon.New(daemon.Config{
+		Org:         cfg.Org,
+		Cache:       cfg.Cache,
+		Faults:      cfg.Faults,
+		Image:       img,
+		MaxInFlight: cfg.MaxInFlight,
+		AdmitWait:   cfg.AdmitWait,
+	})
+	if err != nil {
+		img.Close()
+		return err
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		srv.Shutdown(time.Second)
+		img.Close()
+		return err
+	}
+
+	// Announce only after the listener exists: the parent parses these
+	// two lines and then connects.
+	fmt.Fprintf(out, "RECOVERED=%d\n", recovered)
+	fmt.Fprintf(out, "ADDR=%s\n", ln.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case <-sig:
+		srv.Shutdown(cfg.Grace)
+		<-serveErr // Serve returns once Shutdown closes the listener
+	case err := <-serveErr:
+		srv.Shutdown(cfg.Grace)
+		if err != nil {
+			img.Close()
+			return err
+		}
+	}
+	return img.Close()
+}

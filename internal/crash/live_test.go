@@ -1,0 +1,342 @@
+//go:build unix
+
+package crash
+
+// Live kill/reconnect harness: a child process runs a real nvramd
+// (ServeLive) against a durable image; the parent loads it over TCP under
+// a never-recovering outage until a parked backlog accumulates, SIGKILLs
+// it, reads the image the corpse left behind as ground truth, restarts a
+// healthy child on the same directory, and verifies the recovered backlog
+// drains to committed with zero committed-byte loss. The final SIGTERM
+// exercises the graceful-drain path: clean exit, empty parked namespace.
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"nvramfs/internal/cache"
+	"nvramfs/internal/daemon"
+	"nvramfs/internal/faults"
+	"nvramfs/internal/netmodel"
+	"nvramfs/internal/nvram"
+	"nvramfs/internal/trace"
+)
+
+const (
+	liveChildEnv = "NVSIM_LIVE_CHILD" // "outage" or "healthy"
+	liveDirEnv   = "NVSIM_LIVE_DIR"
+)
+
+// liveProfile keeps the retry policy fast enough for a test under the
+// wall clock: millisecond backoffs, zero wire latency. "outage" makes the
+// write-back server unreachable forever, so every stable delivery
+// exhausts its retries and parks durably; "healthy" lets everything
+// commit on the first attempt.
+func liveProfile(mode string) faults.Profile {
+	p := faults.Profile{
+		Seed:        7,
+		MaxAttempts: 2,
+		BackoffBase: 1000,
+		BackoffCap:  2000,
+		Net:         &netmodel.Params{},
+	}
+	if mode == "outage" {
+		p.Outages = []faults.Window{{Start: 0, End: faults.Never}}
+	}
+	return p
+}
+
+func liveConfig(mode, dir string) LiveConfig {
+	return LiveConfig{
+		Dir:  dir,
+		Addr: "127.0.0.1:0",
+		Org:  cache.ModelUnified,
+		Cache: cache.Config{
+			BlockSize:      4096,
+			VolatileBlocks: 8,
+			NVRAMBlocks:    8,
+		},
+		Faults: liveProfile(mode),
+		Grace:  2 * time.Second,
+	}
+}
+
+// TestLiveKillChild is not a test of its own: it is the body of the child
+// daemon process. Without the guard env var it skips immediately.
+func TestLiveKillChild(t *testing.T) {
+	mode := os.Getenv(liveChildEnv)
+	if mode == "" {
+		t.Skip("child-process body; driven by TestLiveKillRestartZeroLoss")
+	}
+	if err := ServeLive(liveConfig(mode, os.Getenv(liveDirEnv)), os.Stdout); err != nil {
+		fmt.Printf("CHILD_ERR=%v\n", err)
+		os.Exit(1)
+	}
+}
+
+// liveChild is a running child daemon and its announced coordinates.
+type liveChild struct {
+	cmd       *exec.Cmd
+	recovered int
+	addr      string
+	stderr    *bytes.Buffer
+	done      chan error // cmd.Wait result, delivered once
+	finished  bool
+}
+
+// startLiveChild re-execs the test binary as a ServeLive child and parses
+// its RECOVERED=/ADDR= announcement.
+func startLiveChild(t *testing.T, mode, dir string) *liveChild {
+	t.Helper()
+	lc := &liveChild{
+		cmd:    exec.Command(os.Args[0], "-test.run=^TestLiveKillChild$", "-test.count=1"),
+		stderr: new(bytes.Buffer),
+		done:   make(chan error, 1),
+	}
+	lc.cmd.Env = append(os.Environ(),
+		liveChildEnv+"="+mode,
+		liveDirEnv+"="+dir,
+	)
+	lc.cmd.Stderr = lc.stderr
+	stdout, err := lc.cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lc.cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if !lc.finished {
+			lc.cmd.Process.Kill()
+			<-lc.done
+		}
+	})
+
+	lines := make(chan string, 16)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+		close(lines)
+	}()
+
+	var seen []string
+	timeout := time.After(30 * time.Second)
+	haveRecovered, haveAddr := false, false
+	for !(haveRecovered && haveAddr) {
+		select {
+		case line, ok := <-lines:
+			if !ok {
+				lc.finished = true
+				lc.done <- lc.cmd.Wait()
+				t.Fatalf("%s child exited before announcing (saw %q, stderr %q)",
+					mode, seen, lc.stderr.String())
+			}
+			seen = append(seen, line)
+			if v, ok := strings.CutPrefix(line, "RECOVERED="); ok {
+				n, err := strconv.Atoi(v)
+				if err != nil {
+					t.Fatalf("bad RECOVERED line %q", line)
+				}
+				lc.recovered, haveRecovered = n, true
+			}
+			if v, ok := strings.CutPrefix(line, "ADDR="); ok {
+				lc.addr, haveAddr = v, true
+			}
+		case <-timeout:
+			lc.cmd.Process.Kill()
+			t.Fatalf("%s child never announced (saw %q)", mode, seen)
+		}
+	}
+	// Keep draining stdout to end-of-file, then reap the child exactly
+	// once; killChild/termChild read the result from done.
+	go func() {
+		for range lines {
+		}
+		lc.done <- lc.cmd.Wait()
+	}()
+	return lc
+}
+
+// killChild SIGKILLs the child — no drain, no close, no flush — and
+// asserts it died by that signal.
+func killChild(t *testing.T, lc *liveChild) {
+	t.Helper()
+	if err := lc.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	err := <-lc.done
+	lc.finished = true
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("child did not die by SIGKILL: %v", err)
+	}
+	ws, ok := ee.Sys().(syscall.WaitStatus)
+	if !ok || !ws.Signaled() || ws.Signal() != syscall.SIGKILL {
+		t.Fatalf("child died wrong: %v (stderr %q)", err, lc.stderr.String())
+	}
+}
+
+// termChild SIGTERMs the child and asserts a clean exit: the graceful
+// drain ran to completion.
+func termChild(t *testing.T, lc *liveChild) {
+	t.Helper()
+	if err := lc.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	err := <-lc.done
+	lc.finished = true
+	if err != nil {
+		t.Fatalf("child did not exit cleanly on SIGTERM: %v (stderr %q)", err, lc.stderr.String())
+	}
+}
+
+// waitLive polls cond until it holds or the deadline passes. The poll
+// interval exceeds the daemon's 100ms stats tick so two consecutive equal
+// snapshots mean the write-back path is genuinely quiescent.
+func waitLive(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(20 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(150 * time.Millisecond)
+	}
+}
+
+// TestLiveKillRestartZeroLoss is the tentpole's acceptance test: SIGKILL
+// a loaded daemon, restart it on the same durable directory, and verify
+// the parked write-back backlog recovers and drains with zero
+// committed-byte loss.
+func TestLiveKillRestartZeroLoss(t *testing.T) {
+	dir := t.TempDir()
+
+	// Phase 1: a child whose write-back server is down forever. Every
+	// stable delivery exhausts its retries and parks in the durable image.
+	child1 := startLiveChild(t, "outage", dir)
+	if child1.recovered != 0 {
+		t.Fatalf("fresh image recovered %d parked deliveries, want 0", child1.recovered)
+	}
+	c, err := daemon.Dial(child1.addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 48; i++ {
+		st, err := c.Send(trace.Event{
+			Op:     trace.OpWrite,
+			Client: uint32(i % 4),
+			File:   100 + uint64(i%3),
+			Offset: i * 4096,
+			Length: 4096,
+		})
+		if err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		if st != daemon.StatusOK && st != daemon.StatusParked {
+			t.Fatalf("write %d: status %v", i, st)
+		}
+	}
+	// Quiesce: the backlog stops growing and every offered byte is
+	// accounted for. Under the eternal outage nothing can commit.
+	var last daemon.Snapshot
+	waitLive(t, "parked backlog quiescent", func() bool {
+		sn, err := c.Stats()
+		if err != nil {
+			t.Fatalf("stats: %v", err)
+		}
+		f := sn.Faults
+		ok := sn.PendingStable > 0 &&
+			f.OfferedBytes == f.CommittedBytes+f.LostBytes+sn.PendingStable+sn.PendingVolatile &&
+			f.OfferedBytes == last.Faults.OfferedBytes &&
+			sn.PendingStable == last.PendingStable
+		last = sn
+		return ok
+	})
+	c.Close()
+	if last.Faults.CommittedBytes != 0 {
+		t.Fatalf("committed %d bytes through a never-ending outage", last.Faults.CommittedBytes)
+	}
+
+	// The crash under test.
+	killChild(t, child1)
+
+	// Ground truth: reopen the corpse's image directly and read the
+	// parked backlog a recovery agent would find.
+	imgPath := filepath.Join(dir, LiveImageName)
+	img, _, err := nvram.OpenImage(imgPath, nvram.ImageOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := faults.RecoverParked(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parkedBytes int64
+	for _, e := range entries {
+		parkedBytes += e.D.End - e.D.Start
+	}
+	// Release the image (and its lock) so the restarted child can own it.
+	if err := img.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("no parked backlog survived the kill; the test is vacuous")
+	}
+	if parkedBytes != last.PendingStable {
+		t.Fatalf("image holds %d parked bytes, the daemon last reported %d pending stable",
+			parkedBytes, last.PendingStable)
+	}
+
+	// Phase 2: healthy restart on the same directory. The backlog must be
+	// re-adopted in full and drain to committed.
+	child2 := startLiveChild(t, "healthy", dir)
+	if child2.recovered != len(entries) {
+		t.Fatalf("restart recovered %d parked deliveries, want %d", child2.recovered, len(entries))
+	}
+	c2, err := daemon.Dial(child2.addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var final daemon.Snapshot
+	waitLive(t, "recovered backlog to drain", func() bool {
+		sn, err := c2.Stats()
+		if err != nil {
+			t.Fatalf("stats: %v", err)
+		}
+		final = sn
+		return sn.PendingStable == 0 && sn.Faults.CommittedBytes >= parkedBytes
+	})
+	c2.Close()
+	if final.RestoredBytes != parkedBytes {
+		t.Errorf("restored %d bytes, want %d", final.RestoredBytes, parkedBytes)
+	}
+	if final.Faults.LostBytes != 0 {
+		t.Errorf("lost %d bytes across the crash, want 0", final.Faults.LostBytes)
+	}
+	if f := final.Faults; f.OfferedBytes != f.CommittedBytes+f.LostBytes+final.PendingStable+final.PendingVolatile {
+		t.Errorf("conservation violated after recovery: %+v", f)
+	}
+
+	// Graceful drain: SIGTERM must exit cleanly, leaving no parked bytes
+	// behind in the image.
+	termChild(t, child2)
+	img2, _, err := nvram.OpenImage(imgPath, nvram.ImageOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer img2.Close()
+	if n := img2.Len(nvram.NSParked); n != 0 {
+		t.Errorf("image still holds %d parked entries after a clean drain, want 0", n)
+	}
+}

@@ -1,0 +1,589 @@
+// Package daemon wraps the simulation spine in a long-running TCP
+// service: clients submit trace events over a length-prefixed binary
+// protocol, the per-client cache organizations and Sprite consistency
+// protocol run against wall-clock time, and the fault injector's
+// retry/backoff/degradation scheduler executes its schedule with real
+// sleeps. A durable nvram.Image backs the NVRAM park queue, so a SIGKILL
+// plus restart recovers the parked write-back backlog with zero
+// committed-byte loss (internal/crash extends its harness to this live
+// process).
+//
+// Robustness model:
+//
+//   - Admission control: a bounded token budget caps concurrently applied
+//     requests; a request that cannot get a token within AdmitWait takes
+//     the overload path.
+//   - Overload shedding follows the conservation law, offered equals
+//     committed plus lost plus pending: a write on an organization that
+//     stages dirty bytes in NVRAM is accepted straight into the bounded
+//     park queue (StatusParked — its bytes are pending, not lost);
+//     everything else is refused with StatusShedOverload, nothing applied.
+//   - Per-connection read/write deadlines bound slow-loris clients, a
+//     1 MiB frame cap bounds hostile length prefixes, and a per-connection
+//     recover turns a handler panic into one dropped connection instead
+//     of a dead daemon.
+//   - Graceful drain: Shutdown stops accepting, lets in-flight requests
+//     finish, then stops the wall clock — which aborts any in-flight
+//     retry schedule onto the degradation path, parking stable bytes
+//     durably — and finally drains the write-back queues into the park
+//     queue. Nothing committed is ever lost; everything else is parked.
+package daemon
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nvramfs/internal/cache"
+	"nvramfs/internal/faults"
+	"nvramfs/internal/interval"
+	"nvramfs/internal/nvram"
+	"nvramfs/internal/prep"
+	"nvramfs/internal/sim"
+	"nvramfs/internal/stats"
+	"nvramfs/internal/trace"
+)
+
+const (
+	// maxClientID bounds the client id a request may name: the stepper
+	// indexes models by client id, so an unbounded id is an allocation
+	// attack, not a simulation.
+	maxClientID = 1 << 16
+	// maxReqBytes bounds one request's byte range for the same reason
+	// (cache models walk ranges block by block).
+	maxReqBytes = 1 << 30
+)
+
+// Config parameterizes a daemon.
+type Config struct {
+	// Org is the cache organization the daemon serves. Write-aside and
+	// unified stage dirty bytes in NVRAM and therefore park under
+	// overload; volatile and hybrid shed.
+	Org cache.ModelKind
+	// Cache is the per-client cache configuration (Hooks is owned by the
+	// daemon and must be nil).
+	Cache cache.Config
+	// Faults is the fault schedule the write-back path runs against real
+	// time. The zero profile injects no faults but still prices retries.
+	Faults faults.Profile
+	// Image, when set, durably backs the NVRAM park queue. The daemon
+	// recovers any parked backlog from it at construction and drains it
+	// to the server. The caller retains ownership (Close after Shutdown).
+	Image *nvram.Image
+	// MaxInFlight is the admission budget: requests concurrently applied
+	// or waiting on the write-back queue. <= 0 selects 64.
+	MaxInFlight int
+	// AdmitWait is how long admission may block before the overload path.
+	// <= 0 selects 10ms.
+	AdmitWait time.Duration
+	// ReadTimeout bounds each frame read (slow-loris defense); <= 0
+	// selects 30s.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds each response write; <= 0 selects 10s.
+	WriteTimeout time.Duration
+	// Logf receives connection-level diagnostics; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// Snapshot is the daemon's observable state: served to the stats frame
+// and the /metrics endpoint, and asserted on by the kill/restart smoke.
+type Snapshot struct {
+	Org             string
+	UptimeUS        int64
+	Conns           int64
+	RequestsOK      int64
+	Parked          int64
+	Shed            int64
+	Draining        int64
+	BadRequests     int64
+	ShedBytes       int64
+	Panics          int64
+	ApplyP50US      int64
+	ApplyP99US      int64
+	AppliedOps      int64
+	RestoredBytes   int64
+	ClockAborts     int64
+	PendingStable   int64
+	PendingVolatile int64
+	Faults          faults.Stats
+}
+
+// Server is a live nvramd instance. Construct with New, serve with
+// Serve, stop with Shutdown.
+type Server struct {
+	cfg Config
+	clk *faults.WallClock
+
+	// mu guards the simulation core: stepper, canonicalizer, the
+	// monotonic event clock, and the delivery scratch the cache hooks
+	// append to. Never held across a channel send or a sleep.
+	mu       sync.Mutex
+	step     *sim.Stepper
+	canon    *prep.Canonicalizer
+	lastTime int64
+	scratch  []faults.Delivery
+	applied  int64
+
+	inj    *faults.Injector // owned by the writeback goroutine after New
+	tokens chan struct{}
+	wbCh   chan faults.Delivery
+	parkCh chan faults.Delivery
+
+	latMu sync.Mutex
+	lat   *stats.Reservoir
+
+	// statsMu guards the injector snapshot the writeback goroutine
+	// refreshes on every tick (the injector itself is single-owner).
+	statsMu     sync.Mutex
+	faultsSnap  faults.Stats
+	pendStable  int64
+	pendVol     int64
+	clockAborts int64
+	restored    int64
+
+	reqOK, reqParked, reqShed, reqDraining, reqBad atomic.Int64
+	shedBytes                                      atomic.Int64
+	panics                                         atomic.Int64
+	conns                                          atomic.Int64
+
+	// testApplyHold, when set (tests only), runs under mu before each
+	// apply — a way to hold the simulation core busy or inject a panic.
+	testApplyHold func(e trace.Event)
+
+	draining atomic.Bool
+	ln       net.Listener
+	lnMu     sync.Mutex
+	connMu   sync.Mutex
+	connSet  map[net.Conn]struct{}
+	connWG   sync.WaitGroup
+	wbStop   chan struct{}
+	wbDone   chan struct{}
+}
+
+// New builds a server: recovers the parked backlog from cfg.Image (if
+// any), restores it into the fault stage, and starts the write-back
+// goroutine. Returns the count of recovered parked deliveries.
+func New(cfg Config) (*Server, int, error) {
+	if cfg.Cache.Hooks != nil {
+		return nil, 0, errors.New("daemon: Config.Cache.Hooks is owned by the daemon")
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 64
+	}
+	if cfg.AdmitWait <= 0 {
+		cfg.AdmitWait = 10 * time.Millisecond
+	}
+	if cfg.ReadTimeout <= 0 {
+		cfg.ReadTimeout = 30 * time.Second
+	}
+	if cfg.WriteTimeout <= 0 {
+		cfg.WriteTimeout = 10 * time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+
+	s := &Server{
+		cfg:     cfg,
+		clk:     faults.NewWallClock(),
+		canon:   prep.NewPush(prep.Options{Trusted: true}),
+		tokens:  make(chan struct{}, cfg.MaxInFlight),
+		wbCh:    make(chan faults.Delivery, cfg.MaxInFlight),
+		parkCh:  make(chan faults.Delivery, 4*cfg.MaxInFlight),
+		lat:     stats.NewReservoir(4096, 1),
+		connSet: make(map[net.Conn]struct{}),
+		wbStop:  make(chan struct{}),
+		wbDone:  make(chan struct{}),
+	}
+
+	// The injector's commit callback briefly re-enters the simulation
+	// core for the server's idempotent-redelivery check — the same
+	// interposition sim.installFaultStage performs, split across the
+	// daemon's two lock domains.
+	s.inj = faults.NewInjector(cfg.Faults, func(now int64, d faults.Delivery, replay bool) {
+		s.mu.Lock()
+		s.step.Server().DeliverWriteback(d.File, d.Seq)
+		s.mu.Unlock()
+	})
+	s.inj.SetClock(s.clk)
+
+	recovered := 0
+	if cfg.Image != nil {
+		entries, err := faults.RecoverParked(cfg.Image)
+		if err != nil {
+			return nil, 0, fmt.Errorf("daemon: recovering parked backlog: %w", err)
+		}
+		// AttachImage before RestoreParked: restored entries re-park
+		// durably under their recovered sequence numbers.
+		s.inj.AttachImage(cfg.Image)
+		s.inj.RestoreParked(s.clk.Now(), entries)
+		recovered = len(entries)
+	}
+
+	// The cache hooks fire inside Stepper.Apply — under mu — and only
+	// collect; the channel send happens after unlock.
+	simCfg := sim.Config{Model: cfg.Org, Cache: cfg.Cache}
+	simCfg.Cache.Hooks = &cache.ServerHooks{
+		Write: func(now int64, file uint64, r interval.Range, cause cache.Cause, stable bool) {
+			s.scratch = append(s.scratch, faults.Delivery{
+				Client: s.step.CurrentClient(),
+				File:   file,
+				Start:  r.Start,
+				End:    r.End,
+				Cause:  uint8(cause),
+				Stable: stable,
+			})
+		},
+	}
+	s.step = sim.NewStepper(nil, simCfg)
+
+	go s.writeback()
+	return s, recovered, nil
+}
+
+// writeback is the single goroutine that owns the fault injector: it
+// executes delivery schedules against real time, services park requests,
+// and periodically drains redeliveries whose backoff has elapsed.
+func (s *Server) writeback() {
+	defer close(s.wbDone)
+	tick := time.NewTicker(100 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case d := <-s.wbCh:
+			s.inj.Deliver(s.clk.Now(), d)
+		case d := <-s.parkCh:
+			s.inj.Park(s.clk.Now(), d)
+		case <-tick.C:
+			s.inj.Advance(s.clk.Now())
+			s.refreshSnapshot()
+		case <-s.wbStop:
+			// Shutdown: anything still queued parks (stable bytes
+			// durably; the clock is stopped so nothing sleeps).
+			for {
+				select {
+				case d := <-s.wbCh:
+					s.inj.Park(s.clk.Now(), d)
+				case d := <-s.parkCh:
+					s.inj.Park(s.clk.Now(), d)
+				default:
+					s.refreshSnapshot()
+					return
+				}
+			}
+		}
+	}
+}
+
+// refreshSnapshot copies the injector's counters under statsMu; everyone
+// else reads the copy.
+func (s *Server) refreshSnapshot() {
+	st := s.inj.Stats()
+	stable, vol := s.inj.PendingBytes()
+	s.statsMu.Lock()
+	s.faultsSnap = st
+	s.pendStable, s.pendVol = stable, vol
+	s.clockAborts = s.inj.ClockAborts()
+	s.restored = s.inj.RestoredBytes()
+	s.statsMu.Unlock()
+}
+
+// Snapshot assembles the daemon's observable state.
+func (s *Server) Snapshot() Snapshot {
+	s.statsMu.Lock()
+	fs, stable, vol := s.faultsSnap, s.pendStable, s.pendVol
+	aborts, restored := s.clockAborts, s.restored
+	s.statsMu.Unlock()
+	s.latMu.Lock()
+	p50, p99 := s.lat.Quantile(0.5), s.lat.Quantile(0.99)
+	s.latMu.Unlock()
+	s.mu.Lock()
+	applied := s.applied
+	s.mu.Unlock()
+	return Snapshot{
+		Org:             s.cfg.Org.String(),
+		UptimeUS:        s.clk.Now(),
+		Conns:           s.conns.Load(),
+		RequestsOK:      s.reqOK.Load(),
+		Parked:          s.reqParked.Load(),
+		Shed:            s.reqShed.Load(),
+		Draining:        s.reqDraining.Load(),
+		BadRequests:     s.reqBad.Load(),
+		ShedBytes:       s.shedBytes.Load(),
+		Panics:          s.panics.Load(),
+		ApplyP50US:      p50,
+		ApplyP99US:      p99,
+		AppliedOps:      applied,
+		RestoredBytes:   restored,
+		ClockAborts:     aborts,
+		PendingStable:   stable,
+		PendingVolatile: vol,
+		Faults:          fs,
+	}
+}
+
+// Serve accepts connections on ln until Shutdown closes it.
+func (s *Server) Serve(ln net.Listener) error {
+	s.lnMu.Lock()
+	s.ln = ln
+	s.lnMu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if s.draining.Load() {
+				return nil // Shutdown closed the listener
+			}
+			return err
+		}
+		s.connMu.Lock()
+		s.connSet[conn] = struct{}{}
+		s.connMu.Unlock()
+		s.conns.Add(1)
+		s.connWG.Add(1)
+		go s.handleConn(conn)
+	}
+}
+
+// handleConn runs one connection's frame loop. A panic anywhere in the
+// handler degrades this one client; the recover is the daemon's
+// blast-radius boundary.
+func (s *Server) handleConn(conn net.Conn) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.panics.Add(1)
+			s.cfg.Logf("daemon: connection %v panic: %v", conn.RemoteAddr(), r)
+		}
+		conn.Close()
+		s.connMu.Lock()
+		delete(s.connSet, conn)
+		s.connMu.Unlock()
+		s.conns.Add(-1)
+		s.connWG.Done()
+	}()
+
+	var buf []byte
+	// Handshake: one hello frame, answered with the org name.
+	conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
+	p, err := readFrame(conn, &buf)
+	if err != nil || len(p) < 2 || p[0] != ftHello || p[1] != protoVersion {
+		return
+	}
+	hello := append([]byte{ftHelloOK, protoVersion}, s.cfg.Org.String()...)
+	conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+	if err := writeFrame(conn, hello); err != nil {
+		return
+	}
+
+	for {
+		conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
+		p, err := readFrame(conn, &buf)
+		if err != nil {
+			return // clean close, timeout, oversized frame, or tear
+		}
+		var resp []byte
+		switch p[0] {
+		case ftEvent:
+			e, _, derr := trace.DecodeEvent(p[1:])
+			var st Status
+			if derr != nil {
+				s.reqBad.Add(1)
+				st = StatusBadRequest
+			} else {
+				st = s.handleEvent(e)
+			}
+			resp = []byte{ftResult, byte(st)}
+		case ftStatsReq:
+			body, jerr := json.Marshal(s.Snapshot())
+			if jerr != nil {
+				return
+			}
+			resp = append([]byte{ftStats}, body...)
+		default:
+			s.reqBad.Add(1)
+			resp = []byte{ftResult, byte(StatusBadRequest)}
+		}
+		conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+		if err := writeFrame(conn, resp); err != nil {
+			return
+		}
+	}
+}
+
+// handleEvent routes one event through admission, the simulation core,
+// and the write-back queue, and returns the client's verdict.
+func (s *Server) handleEvent(e trace.Event) Status {
+	if s.draining.Load() {
+		s.reqDraining.Add(1)
+		return StatusDraining
+	}
+	if err := e.Validate(); err != nil || e.Client >= maxClientID ||
+		(e.Op == trace.OpRead || e.Op == trace.OpWrite) && e.Length > maxReqBytes {
+		s.reqBad.Add(1)
+		return StatusBadRequest
+	}
+
+	// Admission: one token per request being applied or enqueued.
+	select {
+	case s.tokens <- struct{}{}:
+	default:
+		timer := time.NewTimer(s.cfg.AdmitWait)
+		select {
+		case s.tokens <- struct{}{}:
+			timer.Stop()
+		case <-timer.C:
+			return s.overload(e)
+		}
+	}
+	defer func() { <-s.tokens }()
+
+	start := time.Now()
+	var (
+		deliveries []faults.Delivery
+		err        error
+	)
+	// The locked section unlocks via defer so a panic inside the apply
+	// path (surfaced to the connection's recover) cannot strand mu.
+	func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.testApplyHold != nil {
+			s.testApplyHold(e)
+		}
+		now := s.clk.Now()
+		if now <= s.lastTime {
+			now = s.lastTime + 1 // keep the event clock strictly monotonic
+		}
+		s.lastTime = now
+		e.Time = now
+		op, ok, perr := s.canon.Push(e)
+		if perr == nil && ok {
+			perr = s.step.Apply(op)
+		}
+		err = perr
+		s.applied++
+		deliveries = s.scratch
+		s.scratch = nil
+	}()
+	if err != nil {
+		// Push with Trusted never errors on a validated, monotonic
+		// event; Apply errors only on misconfiguration. Refuse and log
+		// rather than poison the stream.
+		s.cfg.Logf("daemon: apply: %v", err)
+		s.reqBad.Add(1)
+		return StatusBadRequest
+	}
+
+	// Hand write-backs to the injector's goroutine. A full queue blocks
+	// here — while this request holds its admission token — which is the
+	// backpressure that pushes later requests onto the overload path.
+	for _, d := range deliveries {
+		select {
+		case s.wbCh <- d:
+		case <-s.wbStop:
+			// Shutdown raced us: park directly via the park queue drain.
+			s.parkOrShed(d)
+		}
+	}
+
+	s.latMu.Lock()
+	s.lat.Observe(time.Since(start).Microseconds())
+	s.latMu.Unlock()
+	s.reqOK.Add(1)
+	return StatusOK
+}
+
+// overload handles a request that admission timed out: a write on an
+// NVRAM-staging organization parks its bytes straight into the bounded
+// park queue (accepted, pending); everything else is shed (refused).
+func (s *Server) overload(e trace.Event) Status {
+	if e.Op == trace.OpWrite && s.cfg.Org.StagesWritesInNVRAM() {
+		d := faults.Delivery{
+			Client: e.Client,
+			File:   e.File,
+			Start:  e.Offset,
+			End:    e.Offset + e.Length,
+			Cause:  uint8(cache.CauseFsync),
+			Stable: true,
+		}
+		select {
+		case s.parkCh <- d:
+			s.reqParked.Add(1)
+			return StatusParked
+		default:
+			// Even the park queue is full: bounded means bounded.
+		}
+	}
+	if e.Op == trace.OpWrite {
+		s.shedBytes.Add(e.Length)
+	}
+	s.reqShed.Add(1)
+	return StatusShedOverload
+}
+
+// parkOrShed is the shutdown-race fallback for a delivery that could not
+// reach the write-back queue.
+func (s *Server) parkOrShed(d faults.Delivery) {
+	select {
+	case s.parkCh <- d:
+	default:
+		s.shedBytes.Add(d.End - d.Start)
+	}
+}
+
+// Shutdown drains the daemon: stop accepting, let in-flight requests
+// finish, abort any in-flight retry schedule (stable bytes park
+// durably), and drain the write-back queues into the park queue. The
+// image (if any) is synced but left open — the caller owns it.
+func (s *Server) Shutdown(grace time.Duration) {
+	if !s.draining.CompareAndSwap(false, true) {
+		<-s.wbDone
+		return
+	}
+	s.lnMu.Lock()
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	s.lnMu.Unlock()
+
+	// Phase 1: let connections finish naturally — responses for applied
+	// requests still go out, new requests see StatusDraining.
+	waitGroupTimeout(&s.connWG, grace/2)
+	// Phase 2: stop the clock. An injector mid-retry aborts to the
+	// degradation path (stable bytes park durably), unblocking any
+	// request waiting on the write-back queue.
+	s.clk.Stop()
+	if !waitGroupTimeout(&s.connWG, grace/2) {
+		s.connMu.Lock()
+		for c := range s.connSet {
+			c.Close()
+		}
+		s.connMu.Unlock()
+		waitGroupTimeout(&s.connWG, time.Second)
+	}
+	// Phase 3: stop the write-back goroutine; it parks everything still
+	// queued before exiting.
+	close(s.wbStop)
+	<-s.wbDone
+	if s.cfg.Image != nil {
+		s.cfg.Image.Sync()
+	}
+}
+
+// waitGroupTimeout waits for wg up to d, reporting completion.
+func waitGroupTimeout(wg *sync.WaitGroup, d time.Duration) bool {
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return true
+	case <-time.After(d):
+		return false
+	}
+}

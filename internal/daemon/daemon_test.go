@@ -1,0 +1,448 @@
+package daemon
+
+import (
+	"encoding/binary"
+	"net"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"nvramfs/internal/cache"
+	"nvramfs/internal/faults"
+	"nvramfs/internal/netmodel"
+	"nvramfs/internal/trace"
+)
+
+// testConfig is a small unified-organization daemon with zero wire time
+// (tests should not sleep through simulated RPC latency).
+func testConfig() Config {
+	return Config{
+		Org: cache.ModelUnified,
+		Cache: cache.Config{
+			BlockSize:      4096,
+			VolatileBlocks: 8,
+			NVRAMBlocks:    8,
+		},
+		Faults:      faults.Profile{Net: &netmodel.Params{}},
+		ReadTimeout: 2 * time.Second,
+	}
+}
+
+// startServer boots a daemon on a loopback port and tears it down with
+// the test.
+func startServer(t *testing.T, cfg Config) (*Server, string) {
+	t.Helper()
+	s, _, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(ln)
+	t.Cleanup(func() { s.Shutdown(2 * time.Second) })
+	return s, ln.Addr().String()
+}
+
+// checkGoroutines asserts the goroutine count returns to (near) its
+// baseline: connections must not leak handler goroutines.
+func checkGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseline {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: %d > baseline %d\n%s",
+				runtime.NumGoroutine(), baseline, buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func writeEvent(t *testing.T, c *Client, client uint32, file uint64, off, n int64) Status {
+	t.Helper()
+	st, err := c.Send(trace.Event{Op: trace.OpWrite, Client: client, File: file, Offset: off, Length: n})
+	if err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	return st
+}
+
+func TestDaemonServesEvents(t *testing.T) {
+	s, addr := startServer(t, testConfig())
+	c, err := Dial(addr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.Org != "unified" {
+		t.Fatalf("handshake org = %q", c.Org)
+	}
+	for i := int64(0); i < 20; i++ {
+		if st := writeEvent(t, c, 1, 7, i*4096, 4096); st != StatusOK {
+			t.Fatalf("write %d: status %v", i, st)
+		}
+	}
+	if st, err := c.Send(trace.Event{Op: trace.OpRead, Client: 1, File: 7, Offset: 0, Length: 4096}); err != nil || st != StatusOK {
+		t.Fatalf("read: %v %v", st, err)
+	}
+	snap, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.RequestsOK != 21 || snap.AppliedOps != 21 {
+		t.Fatalf("snapshot %+v", snap)
+	}
+	// 20 x 4KiB writes through an 8-block NVRAM must have forced
+	// replacement write-backs into the fault stage.
+	waitFor(t, "offered bytes", func() bool {
+		sn := s.Snapshot()
+		return sn.Faults.OfferedBytes > 0
+	})
+}
+
+// waitFor polls cond (the write-back pipeline is asynchronous and its
+// stats snapshot refreshes on a ticker).
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func TestDaemonConservationLaw(t *testing.T) {
+	s, addr := startServer(t, testConfig())
+	c, err := Dial(addr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := int64(0); i < 64; i++ {
+		writeEvent(t, c, uint32(i%4), 100+uint64(i%3), i*4096, 4096)
+	}
+	waitFor(t, "conservation settle", func() bool {
+		sn := s.Snapshot()
+		f := sn.Faults
+		return f.OfferedBytes > 0 &&
+			f.OfferedBytes == f.CommittedBytes+f.LostBytes+sn.PendingStable+sn.PendingVolatile
+	})
+}
+
+func TestDaemonRejectsBadRequests(t *testing.T) {
+	_, addr := startServer(t, testConfig())
+	c, err := Dial(addr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	cases := []trace.Event{
+		{Op: trace.OpWrite, Client: 1, File: 1, Length: 0},               // invalid length
+		{Op: trace.OpWrite, Client: maxClientID, File: 1, Length: 1},     // client id bound
+		{Op: trace.OpWrite, Client: 1, File: 1, Length: maxReqBytes + 1}, // range bound
+	}
+	for _, e := range cases {
+		st, err := c.Send(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st != StatusBadRequest {
+			t.Fatalf("event %+v: status %v, want bad-request", e, st)
+		}
+	}
+	// The connection survives bad requests.
+	if st := writeEvent(t, c, 1, 1, 0, 4096); st != StatusOK {
+		t.Fatalf("good request after bad ones: %v", st)
+	}
+}
+
+func TestDaemonOverloadParksStableShedsVolatile(t *testing.T) {
+	for _, tc := range []struct {
+		org  cache.ModelKind
+		want Status
+	}{
+		{cache.ModelUnified, StatusParked},
+		{cache.ModelVolatile, StatusShedOverload},
+	} {
+		t.Run(tc.org.String(), func(t *testing.T) {
+			cfg := testConfig()
+			cfg.Org = tc.org
+			if tc.org == cache.ModelVolatile {
+				cfg.Cache.NVRAMBlocks = 0
+			}
+			cfg.MaxInFlight = 1
+			cfg.AdmitWait = 5 * time.Millisecond
+			hold := make(chan struct{})
+			holding := make(chan struct{}, 1)
+			s, _, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.testApplyHold = func(e trace.Event) {
+				if e.Client == 0 {
+					holding <- struct{}{}
+					<-hold
+				}
+			}
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			go s.Serve(ln)
+			defer s.Shutdown(2 * time.Second)
+
+			blocker, err := Dial(ln.Addr().String(), 5*time.Second)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer blocker.Close()
+			done := make(chan Status, 1)
+			go func() {
+				st, _ := blocker.Send(trace.Event{Op: trace.OpWrite, Client: 0, File: 1, Length: 4096})
+				done <- st
+			}()
+			<-holding // client 0 is in the core, holding the only token
+
+			c, err := Dial(ln.Addr().String(), 2*time.Second)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			if st := writeEvent(t, c, 1, 2, 0, 8192); st != tc.want {
+				t.Fatalf("overloaded write: status %v, want %v", st, tc.want)
+			}
+			// A non-write op can never park: always shed under overload.
+			if st, _ := c.Send(trace.Event{Op: trace.OpRead, Client: 1, File: 2, Length: 4096}); st != StatusShedOverload {
+				t.Fatalf("overloaded read: status %v, want shed", st)
+			}
+			close(hold)
+			if st := <-done; st != StatusOK {
+				t.Fatalf("blocker finished with %v", st)
+			}
+
+			if tc.want == StatusParked {
+				// Parked bytes entered the conservation ledger as pending.
+				waitFor(t, "parked bytes pending", func() bool {
+					return s.Snapshot().PendingStable >= 8192
+				})
+			}
+		})
+	}
+}
+
+func TestDaemonPanicIsolation(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	cfg := testConfig()
+	s, _, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.testApplyHold = func(e trace.Event) {
+		if e.Client == 13 {
+			panic("poison client")
+		}
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(ln)
+
+	victim, err := Dial(ln.Addr().String(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := victim.Send(trace.Event{Op: trace.OpWrite, Client: 13, File: 1, Length: 512}); err == nil {
+		t.Fatal("poisoned request got a response")
+	}
+	victim.Close()
+
+	// The daemon survives: a fresh connection works, the core is not
+	// deadlocked, and the panic was counted.
+	c, err := Dial(ln.Addr().String(), 2*time.Second)
+	if err != nil {
+		t.Fatalf("daemon died after panic: %v", err)
+	}
+	if st := writeEvent(t, c, 1, 1, 0, 4096); st != StatusOK {
+		t.Fatalf("post-panic request: %v", st)
+	}
+	snap, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Panics != 1 {
+		t.Fatalf("panics = %d, want 1", snap.Panics)
+	}
+	c.Close()
+	s.Shutdown(2 * time.Second)
+	checkGoroutines(t, baseline)
+}
+
+func TestDaemonDraining(t *testing.T) {
+	s, addr := startServer(t, testConfig())
+	c, err := Dial(addr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	s.draining.Store(true)
+	if st := writeEvent(t, c, 1, 1, 0, 4096); st != StatusDraining {
+		t.Fatalf("draining daemon returned %v", st)
+	}
+	s.draining.Store(false)
+}
+
+// --- protocol edge cases ---
+
+func TestDaemonPartialFrameDisconnect(t *testing.T) {
+	cfg := testConfig()
+	cfg.ReadTimeout = 500 * time.Millisecond
+	_, addr := startServer(t, cfg)
+	baseline := runtime.NumGoroutine() // after the server's own goroutines exist
+
+	// Half a length prefix, then close.
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Write([]byte{0x00, 0x00})
+	conn.Close()
+
+	// A full prefix promising a frame that never comes, then close.
+	conn2, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], 64)
+	conn2.Write(hdr[:])
+	conn2.Write([]byte{ftHello, protoVersion}) // 2 of the promised 64 bytes
+	conn2.Close()
+
+	checkGoroutines(t, baseline)
+}
+
+func TestDaemonOversizedFrameRejected(t *testing.T) {
+	_, addr := startServer(t, testConfig())
+	baseline := runtime.NumGoroutine()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], MaxFrame+1)
+	conn.Write(hdr[:])
+	// The daemon must drop the connection without trying to read (or
+	// allocate) the advertised payload.
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	var one [1]byte
+	if _, err := conn.Read(one[:]); err == nil {
+		t.Fatal("connection still open after oversized frame")
+	}
+	checkGoroutines(t, baseline)
+}
+
+func TestDaemonSlowLorisHitsReadDeadline(t *testing.T) {
+	cfg := testConfig()
+	cfg.ReadTimeout = 200 * time.Millisecond
+	_, addr := startServer(t, cfg)
+	baseline := runtime.NumGoroutine()
+
+	// Handshake properly, then trickle nothing: the read deadline must
+	// shed the connection.
+	c, err := Dial(addr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	start := time.Now()
+	c.conn.SetReadDeadline(time.Now().Add(3 * time.Second))
+	var one [1]byte
+	if _, err := c.conn.Read(one[:]); err == nil {
+		t.Fatal("slow-loris connection survived the read deadline")
+	}
+	if waited := time.Since(start); waited > 2*time.Second {
+		t.Fatalf("connection shed after %v, deadline was 200ms", waited)
+	}
+	checkGoroutines(t, baseline)
+}
+
+func TestDaemonMidRequestDisconnectDuringApply(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	cfg := testConfig()
+	hold := make(chan struct{})
+	holding := make(chan struct{}, 1)
+	s, _, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var held bool
+	s.testApplyHold = func(e trace.Event) {
+		if !held {
+			held = true
+			holding <- struct{}{}
+			<-hold
+		}
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(ln)
+
+	c, err := Dial(ln.Addr().String(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go c.Send(trace.Event{Op: trace.OpWrite, Client: 1, File: 1, Length: 4096})
+	<-holding
+	c.Close() // client vanishes while its request is mid-apply
+	close(hold)
+
+	// The daemon keeps serving.
+	c2, err := Dial(ln.Addr().String(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := writeEvent(t, c2, 2, 2, 0, 4096); st != StatusOK {
+		t.Fatalf("post-disconnect request: %v", st)
+	}
+	c2.Close()
+	s.Shutdown(2 * time.Second)
+	checkGoroutines(t, baseline)
+}
+
+func TestDaemonMetricsEndpoint(t *testing.T) {
+	s, addr := startServer(t, testConfig())
+	c, err := Dial(addr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	writeEvent(t, c, 1, 1, 0, 4096)
+
+	rec := httptest.NewRecorder()
+	s.MetricsHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.String()
+	for _, want := range []string{
+		`nvramd_requests_total{status="ok"} 1`,
+		`nvramd_writeback_bytes{kind="offered"}`,
+		`nvramd_pending_bytes{residence="nvram"}`,
+		`nvramd_apply_latency_microseconds{quantile="0.99"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("metrics output missing %q:\n%s", want, body)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package faults
+
+import (
+	"fmt"
+	"testing"
+)
+
+// goldenScenario drives a deterministic mixed workload through an injector:
+// drops, ack losses, spikes, an outage window, stable and volatile
+// deliveries, interleaved drains, and a final Close. It exists to pin the
+// virtual-time schedule: the Clock seam added for the daemon must leave
+// every draw, every timestamp, and every counter exactly as they were.
+func goldenScenario(x *Injector) Stats {
+	for i := 0; i < 60; i++ {
+		now := int64(i) * 200_000 // one delivery every 0.2s
+		d := Delivery{
+			Client: uint32(i % 5),
+			File:   uint64(100 + i%7),
+			Start:  int64(i) * 4096,
+			End:    int64(i)*4096 + int64(512+(i%9)*1024),
+			Cause:  uint8(i % 3),
+			Stable: i%3 != 0, // two thirds stable, one third volatile
+		}
+		x.Deliver(now, d)
+		if i%11 == 0 {
+			x.Advance(now + 50_000)
+		}
+	}
+	x.Close(20_000_000)
+	return x.Stats()
+}
+
+func goldenProfile() Profile {
+	return Profile{
+		Seed:        42,
+		DropRate:    0.35,
+		AckLossRate: 0.25,
+		SpikeRate:   0.1,
+		SpikeFactor: 4,
+		Outages:     []Window{{Start: 4_000_000, End: 9_000_000}},
+		MaxAttempts: 3,
+		BackoffBase: 100_000,
+		BackoffCap:  800_000,
+	}
+}
+
+// TestVirtualTimeGolden pins the injector's virtual-time outputs to the
+// exact values produced before the real-time Clock seam existed (captured
+// at PR 9 HEAD). If this test fails, the daemon work changed simulation
+// behavior — which the sim/report goldens would also catch, but this one
+// names the culprit directly.
+func TestVirtualTimeGolden(t *testing.T) {
+	var commits []string
+	x := NewInjector(goldenProfile(), func(now int64, d Delivery, replay bool) {
+		commits = append(commits, fmt.Sprintf("%d:%d:%d:%v", now, d.Seq, d.bytes(), replay))
+	})
+	st := goldenScenario(x)
+
+	const wantStats = "{Deliveries:60 Attempts:126 Retries:66 Drops:20 AckLosses:2 Spikes:3 OutageTries:75 Exhausted:29 OfferedBytes:267264 CommittedBytes:267264 ReplayedBytes:1536 RedeliveredBytes:137216 LostBytes:0 PendingBytes:0 StallUS:21166485 RetryLatencyUS:7662545 NVRAMHighWater:90624}"
+	if got := fmt.Sprintf("%+v", st); got != wantStats {
+		t.Errorf("stats drifted from pre-clock golden:\n got  %s\n want %s", got, wantStats)
+	}
+
+	// Fingerprint the commit stream (time, seq, bytes, replay flag of every
+	// server delivery) rather than listing all ~70 entries: order matters.
+	const wantCommits = "61|95149:1:512:false|11806505:60:5632:false"
+	got := fmt.Sprintf("%d|%s|%s", len(commits), commits[0], commits[len(commits)-1])
+	if got != wantCommits {
+		t.Errorf("commit stream drifted from pre-clock golden:\n got  %s\n want %s", got, wantCommits)
+	}
+}

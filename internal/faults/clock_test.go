@@ -1,0 +1,147 @@
+package faults
+
+import (
+	"testing"
+	"time"
+
+	"nvramfs/internal/netmodel"
+)
+
+// zeroNet removes wire latency so wall-clock tests don't actually wait.
+func zeroNet() *netmodel.Params { return &netmodel.Params{} }
+
+// TestWallClockDrivesDeliver runs a clean delivery under a wall clock and
+// checks it commits exactly as the virtual clock would.
+func TestWallClockDrivesDeliver(t *testing.T) {
+	var committed int64
+	x := NewInjector(Profile{Seed: 1, Net: zeroNet()}, func(now int64, d Delivery, replay bool) {
+		committed += d.bytes()
+	})
+	clk := NewWallClock()
+	defer clk.Stop()
+	x.SetClock(clk)
+	x.Deliver(clk.Now(), Delivery{Client: 1, File: 7, Start: 0, End: 4096, Stable: true})
+	if committed != 4096 {
+		t.Fatalf("committed %d bytes, want 4096", committed)
+	}
+	if st := x.Stats(); st.CommittedBytes != 4096 || st.PendingBytes != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestWallClockSleepWaits checks Sleep actually elapses real time and that
+// Stop aborts a pending Sleep promptly.
+func TestWallClockSleepWaits(t *testing.T) {
+	clk := NewWallClock()
+	defer clk.Stop()
+	start := time.Now()
+	if !clk.Sleep(clk.Now() + 20_000) { // 20ms
+		t.Fatal("Sleep aborted without Stop")
+	}
+	if got := time.Since(start); got < 15*time.Millisecond {
+		t.Fatalf("Sleep returned after %v, want >= ~20ms", got)
+	}
+
+	done := make(chan bool, 1)
+	go func() { done <- clk.Sleep(clk.Now() + 60_000_000) }() // 60s
+	time.Sleep(5 * time.Millisecond)
+	clk.Stop()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("stopped Sleep reported completion")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Sleep did not abort after Stop")
+	}
+}
+
+// TestStoppedClockParksStable: a daemon shutting down mid-retry must not
+// lose stable bytes — the aborted delivery takes the degradation path and
+// parks.
+func TestStoppedClockParksStable(t *testing.T) {
+	x := NewInjector(Profile{
+		Seed: 1, Net: zeroNet(),
+		// A never-recovering outage forces retries; large backoff forces a
+		// real sleep for Stop to interrupt.
+		Outages:     []Window{{Start: 0, End: Never}},
+		MaxAttempts: 6, BackoffBase: 30_000_000, BackoffCap: 30_000_000,
+	}, nil)
+	clk := NewWallClock()
+	x.SetClock(clk)
+	done := make(chan struct{})
+	go func() {
+		x.Deliver(clk.Now(), Delivery{Client: 1, File: 7, Start: 0, End: 8192, Stable: true})
+		close(done)
+	}()
+	time.Sleep(5 * time.Millisecond)
+	clk.Stop()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Deliver did not abort after clock Stop")
+	}
+	if x.ClockAborts() != 1 {
+		t.Fatalf("ClockAborts = %d, want 1", x.ClockAborts())
+	}
+	stable, volatile := x.PendingBytes()
+	if stable != 8192 || volatile != 0 {
+		t.Fatalf("pending stable=%d volatile=%d, want 8192/0", stable, volatile)
+	}
+}
+
+// TestParkAndDrain: Park bypasses the retry loop, bytes sit pending, and a
+// later Advance past readyAt commits them — conservation holds throughout.
+func TestParkAndDrain(t *testing.T) {
+	var committed int64
+	x := NewInjector(Profile{Seed: 1, Net: zeroNet(), BackoffBase: 1000, BackoffCap: 1000}, func(now int64, d Delivery, replay bool) {
+		committed += d.bytes()
+	})
+	x.Park(100, Delivery{Client: 2, File: 9, Start: 0, End: 2048, Stable: true})
+	x.Park(100, Delivery{Client: 2, File: 9, Start: 2048, End: 4096, Stable: true})
+	st := x.Stats()
+	if st.OfferedBytes != 4096 || st.PendingBytes != 4096 || st.CommittedBytes != 0 {
+		t.Fatalf("after Park: %+v", st)
+	}
+	x.Advance(100 + 1000) // readyAt = park time + BackoffCap
+	st = x.Stats()
+	if committed != 4096 || st.PendingBytes != 0 || st.CommittedBytes != 4096 {
+		t.Fatalf("after drain: committed=%d stats=%+v", committed, st)
+	}
+	if st.OfferedBytes != st.CommittedBytes+st.LostBytes+st.PendingBytes {
+		t.Fatalf("conservation violated: %+v", st)
+	}
+}
+
+// TestRestoreParked seeds a recovered backlog and checks seq continuation,
+// immediate drainability, and conservation accounting.
+func TestRestoreParked(t *testing.T) {
+	var committed int64
+	x := NewInjector(Profile{Seed: 1, Net: zeroNet()}, func(now int64, d Delivery, replay bool) {
+		committed += d.bytes()
+	})
+	x.RestoreParked(50, []ParkedDelivery{
+		{D: Delivery{Client: 1, File: 3, Start: 0, End: 1024, Stable: true, Seq: 17}},
+		{D: Delivery{Client: 2, File: 4, Start: 0, End: 512, Stable: true, Seq: 41}},
+	})
+	if x.RestoredBytes() != 1536 {
+		t.Fatalf("RestoredBytes = %d, want 1536", x.RestoredBytes())
+	}
+	st := x.Stats()
+	if st.OfferedBytes != 1536 || st.PendingBytes != 1536 {
+		t.Fatalf("after restore: %+v", st)
+	}
+	// New deliveries must stamp past the restored sequence numbers.
+	x.Deliver(60, Delivery{Client: 5, File: 8, Start: 0, End: 256, Stable: true})
+	if x.seq <= 41 {
+		t.Fatalf("seq %d did not jump past restored max 41", x.seq)
+	}
+	x.Advance(60)
+	st = x.Stats()
+	if st.PendingBytes != 0 || committed != 1536+256 {
+		t.Fatalf("after drain: committed=%d stats=%+v", committed, st)
+	}
+	if st.OfferedBytes != st.CommittedBytes+st.LostBytes+st.PendingBytes {
+		t.Fatalf("conservation violated: %+v", st)
+	}
+}

@@ -176,6 +176,15 @@ type Injector struct {
 	// img, when set via AttachImage, durably mirrors the NVRAM-parked
 	// backlog (stable entries only) — see durable.go.
 	img *nvram.Image
+	// clock elapses the schedule: arithmetic for simulations (the
+	// default), real sleeps for the daemon (see clock.go).
+	clock Clock
+	// clockAborts counts deliveries whose retry schedule was cut short by
+	// a stopped clock (daemon shutdown); zero under the virtual clock.
+	clockAborts int64
+	// restoredBytes counts parked bytes re-adopted from a recovered image
+	// (RestoreParked); zero in ordinary simulation runs.
+	restoredBytes int64
 }
 
 // NewInjector builds an injector for one run. commit may be nil when the
@@ -191,8 +200,26 @@ func NewInjector(prof Profile, commit CommitFunc) *Injector {
 		net:    net,
 		rng:    rand.New(rand.NewSource(prof.Seed)),
 		commit: commit,
+		clock:  virtualClock{},
 	}
 }
+
+// SetClock replaces the injector's clock. The default virtual clock makes
+// every Sleep a no-op (pure arithmetic, the simulation path); a WallClock
+// makes the injector actually wait out wire times and backoffs, which is
+// how the daemon runs the identical retry code against real time. Set it
+// before the first Deliver.
+func (x *Injector) SetClock(c Clock) {
+	if c == nil {
+		c = virtualClock{}
+	}
+	x.clock = c
+}
+
+// ClockAborts reports how many deliveries a stopped wall clock cut short
+// (their bytes took the degradation path: stable parked, volatile stalled
+// or shed). Always zero under the virtual clock.
+func (x *Injector) ClockAborts() int64 { return x.clockAborts }
 
 // Stats returns a snapshot of the counters. PendingBytes reflects the
 // live pending queue, so mid-run snapshots (the crash harness) see the
@@ -272,6 +299,10 @@ func (x *Injector) Deliver(now int64, d Delivery) {
 			// Server down: the attempt times out after a full wire wait.
 			x.stats.OutageTries++
 			t += x.attemptUS(n)
+			if !x.clock.Sleep(t) {
+				x.abort(t, d, applied)
+				return
+			}
 		} else {
 			lat := x.attemptUS(n)
 			if x.prof.SpikeRate > 0 && x.rng.Float64() < x.prof.SpikeRate {
@@ -290,8 +321,19 @@ func (x *Injector) Deliver(now int64, d Delivery) {
 					x.applyCommit(t+lat, d, false)
 				}
 				t += lat
+				if !x.clock.Sleep(t) {
+					x.abort(t, d, applied)
+					return
+				}
 			} else {
 				t += lat
+				if !x.clock.Sleep(t) {
+					// The wire wait was interrupted mid-flight; the RPC
+					// never completed, so the bytes take the degradation
+					// path like any other failed attempt.
+					x.abort(t, d, applied)
+					return
+				}
 				if applied {
 					x.stats.ReplayedBytes += n
 					x.applyCommit(t, d, true)
@@ -307,6 +349,10 @@ func (x *Injector) Deliver(now int64, d Delivery) {
 		}
 		if attempt < x.prof.MaxAttempts {
 			t += x.backoff(attempt)
+			if !x.clock.Sleep(t) {
+				x.abort(t, d, applied)
+				return
+			}
 		}
 	}
 
@@ -319,6 +365,67 @@ func (x *Injector) Deliver(now int64, d Delivery) {
 	}
 	x.degrade(t, d)
 }
+
+// abort ends a delivery whose schedule a stopped clock cut short: bytes
+// the server already applied (lost ack) are safe; everything else takes
+// the same degradation path as retry exhaustion, so a daemon shutting
+// down mid-retry parks stable bytes durably instead of losing them.
+func (x *Injector) abort(t int64, d Delivery, applied bool) {
+	x.clockAborts++
+	if applied {
+		return
+	}
+	x.degrade(t, d)
+}
+
+// Park routes a delivery straight to the degradation path without
+// spending any RPC attempts: the daemon's admission controller uses it to
+// absorb writes it cannot serve right now — stable bytes land durably in
+// NVRAM (the image, when attached) and drain through Advance like any
+// exhausted delivery; volatile bytes stall or shed per the profile. The
+// conservation law counts them as offered-then-pending (or lost).
+func (x *Injector) Park(now int64, d Delivery) {
+	n := d.bytes()
+	if n <= 0 {
+		return
+	}
+	x.seq++
+	d.Seq = x.seq
+	x.stats.Deliveries++
+	x.stats.OfferedBytes += n
+	x.degrade(now, d)
+}
+
+// RestoreParked re-adopts a parked backlog recovered from a reopened
+// image (RecoverParked) after a crash: entries rejoin the pending queue
+// ready to drain at now, the sequence counter jumps past every restored
+// Seq so new deliveries cannot collide with the image's existing keys,
+// and the bytes re-enter the conservation law as offered + pending. The
+// image already holds the entries, so nothing is re-written to it.
+func (x *Injector) RestoreParked(now int64, entries []ParkedDelivery) {
+	for _, p := range entries {
+		n := p.D.bytes()
+		if n <= 0 {
+			continue
+		}
+		if p.D.Seq > x.seq {
+			x.seq = p.D.Seq
+		}
+		x.stats.Deliveries++
+		x.stats.OfferedBytes += n
+		x.restoredBytes += n
+		if p.D.Stable {
+			x.nvPending += n
+			if x.nvPending > x.stats.NVRAMHighWater {
+				x.stats.NVRAMHighWater = x.nvPending
+			}
+		}
+		x.pending = append(x.pending, pendingEntry{d: p.D, readyAt: now, since: now})
+	}
+}
+
+// RestoredBytes reports how many parked bytes RestoreParked re-adopted.
+func (x *Injector) RestoredBytes() int64 { return x.restoredBytes }
 
 // degrade applies the per-organization exhaustion semantics.
 func (x *Injector) degrade(t int64, d Delivery) {

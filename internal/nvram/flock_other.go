@@ -1,0 +1,12 @@
+//go:build !unix
+
+package nvram
+
+import "os"
+
+// Non-unix fallback: no advisory locking, opens never conflict. The
+// single-owner discipline is then only as strong as the caller — the same
+// situation every image had before locking existed.
+func acquireLock(path string) (*os.File, error) { return nil, nil }
+
+func releaseLock(f *os.File) error { return nil }

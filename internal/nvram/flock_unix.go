@@ -1,0 +1,40 @@
+//go:build unix
+
+package nvram
+
+import (
+	"errors"
+	"os"
+	"syscall"
+)
+
+// acquireLock takes an exclusive, non-blocking flock on the image's
+// sidecar lock file. The lock lives on a sidecar rather than the image fd
+// because compaction atomically renames a fresh file over the image — a
+// lock on the image fd would follow the doomed inode and a second opener
+// could then lock the new one while the first still runs.
+func acquireLock(path string) (*os.File, error) {
+	f, err := os.OpenFile(path+".lock", os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		if errors.Is(err, syscall.EWOULDBLOCK) {
+			return nil, &LockedError{Path: path}
+		}
+		return nil, err
+	}
+	return f, nil
+}
+
+// releaseLock drops the flock. The sidecar file is left in place: deleting
+// it would let a third opener lock a fresh inode while a second still
+// holds the old one.
+func releaseLock(f *os.File) error {
+	if f == nil {
+		return nil
+	}
+	syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+	return f.Close()
+}

@@ -142,6 +142,20 @@ type ImageRecovery struct {
 
 var errImageClosed = errors.New("nvram: image is closed")
 
+// LockedError reports that another process (or another Image in this
+// process) holds the exclusive lock on an image file. Callers detect it
+// with errors.As or errors.Is(err, ErrImageLocked).
+type LockedError struct{ Path string }
+
+func (e *LockedError) Error() string {
+	return fmt.Sprintf("nvram: image %s is locked by another owner", e.Path)
+}
+
+func (e *LockedError) Is(target error) bool { return target == ErrImageLocked }
+
+// ErrImageLocked is the sentinel LockedError matches against.
+var ErrImageLocked = errors.New("nvram: image is locked by another owner")
+
 // Image is an open durable NVRAM image. Not safe for concurrent use: like
 // the hardware it models, one machine owns the component at a time.
 type Image struct {
@@ -153,6 +167,7 @@ type Image struct {
 	seq        uint64
 	live       map[string][]byte // ns-prefixed key -> payload
 	liveBytes  int64             // log bytes needed to rewrite the live set
+	lock       *os.File          // exclusive sidecar flock, held until Close
 	shadow     []byte
 	err        error
 	closed     bool
@@ -173,6 +188,22 @@ func compositeKey(ns byte, key string) string {
 // record log into the live state and discarding any torn tail. The
 // returned ImageRecovery says what was found; errors leave no image open.
 func OpenImage(path string, opts ImageOptions) (*Image, *ImageRecovery, error) {
+	// The exclusive lock comes first: everything below (stale-compact
+	// cleanup included) assumes this process is the image's only owner.
+	lock, err := acquireLock(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	im, info, err := openImageLocked(path, opts)
+	if err != nil {
+		releaseLock(lock)
+		return nil, nil, err
+	}
+	im.lock = lock
+	return im, info, nil
+}
+
+func openImageLocked(path string, opts ImageOptions) (*Image, *ImageRecovery, error) {
 	// A leftover .compact file is an interrupted compaction: the rename
 	// never happened, so the original is intact and the temp is garbage.
 	if tmp := path + ".compact"; tmp != "" {
@@ -691,7 +722,12 @@ func (im *Image) Close() error {
 		return nil
 	}
 	im.closed = true
-	return im.m.close()
+	err := im.m.close()
+	if lerr := releaseLock(im.lock); err == nil {
+		err = lerr
+	}
+	im.lock = nil
+	return err
 }
 
 // Stats returns a snapshot of the activity counters.

@@ -1,0 +1,89 @@
+package nvram
+
+import (
+	"errors"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestImageLockInProcess: the second open of a live image must fail fast
+// with the typed lock error, and closing the first owner frees the lock.
+func TestImageLockInProcess(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "img")
+	im, _ := openTestImage(t, path, ImageOptions{})
+
+	_, _, err := OpenImage(path, ImageOptions{})
+	if err == nil {
+		t.Fatal("second open of a locked image succeeded")
+	}
+	if !errors.Is(err, ErrImageLocked) {
+		t.Fatalf("second open error = %v, want ErrImageLocked", err)
+	}
+	var le *LockedError
+	if !errors.As(err, &le) || le.Path != path {
+		t.Fatalf("error %v does not carry the image path", err)
+	}
+
+	if err := im.Close(); err != nil {
+		t.Fatal(err)
+	}
+	im2, _ := openTestImage(t, path, ImageOptions{})
+	im2.Close()
+}
+
+// TestImageLockSurvivesCompaction: compaction renames a fresh file over
+// the image; the sidecar lock must still exclude a second opener after.
+func TestImageLockSurvivesCompaction(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "img")
+	im, _ := openTestImage(t, path, ImageOptions{})
+	defer im.Close()
+	// Churn one key until the log wraps and compaction runs.
+	payload := make([]byte, 4096)
+	for im.Stats().Compactions == 0 {
+		if err := im.Put(NSStore, "churn", payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := OpenImage(path, ImageOptions{}); !errors.Is(err, ErrImageLocked) {
+		t.Fatalf("open after compaction = %v, want ErrImageLocked", err)
+	}
+}
+
+// TestImageLockSubprocess proves the lock excludes another *process*, not
+// just another Image in this one: a child re-exec of the test binary tries
+// to open the image we hold and must report the typed error.
+func TestImageLockSubprocess(t *testing.T) {
+	if os.Getenv("NVIMG_LOCK_CHILD") != "" {
+		t.Skip("child-only test invoked directly")
+	}
+	path := filepath.Join(t.TempDir(), "img")
+	im, _ := openTestImage(t, path, ImageOptions{})
+	defer im.Close()
+
+	cmd := exec.Command(os.Args[0], "-test.run=^TestImageLockChild$", "-test.v")
+	cmd.Env = append(os.Environ(), "NVIMG_LOCK_CHILD="+path)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("child failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "CHILD_SAW_LOCKED") {
+		t.Fatalf("child did not observe the lock:\n%s", out)
+	}
+}
+
+// TestImageLockChild is the subprocess body for TestImageLockSubprocess.
+func TestImageLockChild(t *testing.T) {
+	path := os.Getenv("NVIMG_LOCK_CHILD")
+	if path == "" {
+		t.Skip("not running as lock child")
+	}
+	_, _, err := OpenImage(path, ImageOptions{})
+	if errors.Is(err, ErrImageLocked) {
+		t.Log("CHILD_SAW_LOCKED")
+		return
+	}
+	t.Fatalf("child open = %v, want ErrImageLocked", err)
+}

@@ -250,6 +250,36 @@ func NewSource(src trace.EventSource, opt Options) *Canonicalizer {
 	return c
 }
 
+// NewPush returns a canonicalizer with no event source, fed one event at
+// a time through Push. This is the daemon's mode: events arrive from the
+// wire, not from a trace cursor, and there is no end-of-stream.
+func NewPush(opt Options) *Canonicalizer {
+	return NewSource(nil, opt)
+}
+
+// Push canonicalizes one event, returning the op it produced, if any.
+// Events must arrive in non-decreasing time order (unless Trusted, which
+// skips the check). Push and Next must not be mixed on one Canonicalizer.
+func (c *Canonicalizer) Push(e trace.Event) (Op, bool, error) {
+	if c.err != nil {
+		return Op{}, false, c.err
+	}
+	if !c.opt.Trusted {
+		if err := e.Validate(); err != nil {
+			c.err = fmt.Errorf("prep: event %d: %w", c.idx, err)
+			return Op{}, false, c.err
+		}
+		if e.Time < c.last {
+			c.err = fmt.Errorf("prep: event %d out of order (%d < %d)", c.idx, e.Time, c.last)
+			return Op{}, false, c.err
+		}
+		c.last = e.Time
+	}
+	c.idx++
+	o, emitted := c.apply(e)
+	return o, emitted, nil
+}
+
 // Stats returns the running trace statistics; totals are complete once
 // Next has returned ok=false.
 func (c *Canonicalizer) Stats() Stats { return c.st }

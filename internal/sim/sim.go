@@ -225,6 +225,13 @@ func (d *Stepper) Now() int64 { return d.now }
 // Server exposes the consistency server for invariant checks.
 func (d *Stepper) Server() *consist.Server { return d.server }
 
+// CurrentClient returns the client whose cache model the stepper is
+// currently driving. Cache hooks carry no client identity, so an external
+// write-back stage (the daemon interposes its own, the way
+// installFaultStage does internally) reads the originating client here
+// while a hook is firing.
+func (d *Stepper) CurrentClient() uint32 { return d.curClient }
+
 // StepTo pulls and applies operations until k have been applied. It cannot
 // rewind: k below the current index is an error, as is a stream that ends
 // before the k-th operation.

@@ -1,0 +1,78 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestReservoirExactWhileSmall(t *testing.T) {
+	r := NewReservoir(100, 1)
+	for v := int64(1); v <= 100; v++ {
+		r.Observe(v)
+	}
+	if r.N() != 100 {
+		t.Fatalf("N = %d", r.N())
+	}
+	if got := r.Quantile(0); got != 1 {
+		t.Fatalf("p0 = %d, want 1", got)
+	}
+	if got := r.Quantile(0.5); got < 49 || got > 52 {
+		t.Fatalf("p50 = %d, want ~50", got)
+	}
+	if got := r.Quantile(0.99); got < 98 || got > 100 {
+		t.Fatalf("p99 = %d, want ~99", got)
+	}
+	if got := r.Quantile(1); got != 100 {
+		t.Fatalf("p100 = %d, want 100", got)
+	}
+}
+
+func TestReservoirSamplesLargeStream(t *testing.T) {
+	r := NewReservoir(1024, 7)
+	rng := rand.New(rand.NewSource(3))
+	// Uniform values in [0, 100000): quantiles of the sample should land
+	// near the true ones.
+	for i := 0; i < 200_000; i++ {
+		r.Observe(rng.Int63n(100_000))
+	}
+	if r.N() != 200_000 {
+		t.Fatalf("N = %d", r.N())
+	}
+	p50 := r.Quantile(0.5)
+	if p50 < 40_000 || p50 > 60_000 {
+		t.Fatalf("p50 = %d, want ~50000", p50)
+	}
+	p99 := r.Quantile(0.99)
+	if p99 < 96_000 || p99 > 100_000 {
+		t.Fatalf("p99 = %d, want ~99000", p99)
+	}
+}
+
+func TestReservoirDeterministic(t *testing.T) {
+	a, b := NewReservoir(64, 42), NewReservoir(64, 42)
+	for i := int64(0); i < 10_000; i++ {
+		v := (i * 2654435761) % 1_000_003
+		a.Observe(v)
+		b.Observe(v)
+	}
+	for _, p := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
+		if a.Quantile(p) != b.Quantile(p) {
+			t.Fatalf("quantile %v diverged: %d vs %d", p, a.Quantile(p), b.Quantile(p))
+		}
+	}
+}
+
+func TestReservoirObserveAfterQuantile(t *testing.T) {
+	r := NewReservoir(8, 1)
+	for v := int64(10); v > 0; v-- {
+		r.Observe(v)
+	}
+	_ = r.Quantile(0.5) // sorts the sample
+	r.Observe(0)        // must not corrupt subsequent quantiles
+	if got := r.Quantile(0); got < 0 {
+		t.Fatalf("p0 = %d", got)
+	}
+	if got := r.Quantile(1); got > 10 {
+		t.Fatalf("p100 = %d", got)
+	}
+}

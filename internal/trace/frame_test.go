@@ -1,0 +1,75 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+func frameCases() []Event {
+	return []Event{
+		{Time: 0, Op: OpOpen, Client: 0, File: 1, Flags: FlagRead | FlagWrite},
+		{Time: 1_000_000, Op: OpWrite, Client: 3, File: 42, Offset: 8192, Length: 4096},
+		{Time: 1_000_001, Op: OpRead, Client: 3, File: 42, Offset: 0, Length: 512},
+		{Time: 2_000_000, Op: OpClose, Client: 1, File: 7},
+		{Time: 2_500_000, Op: OpDelete, Client: 1, File: 7},
+		{Time: 3_000_000, Op: OpMigrate, Client: 2, File: 9, Target: 4},
+		{Time: int64(72 * time.Hour / time.Microsecond), Op: OpWrite, Client: 9999, File: 1 << 40, Offset: 1 << 30, Length: 1},
+	}
+}
+
+func TestEventFrameRoundTrip(t *testing.T) {
+	for _, want := range frameCases() {
+		buf := AppendEvent(nil, want)
+		got, n, err := DecodeEvent(buf)
+		if err != nil {
+			t.Fatalf("DecodeEvent(%+v): %v", want, err)
+		}
+		if n != len(buf) {
+			t.Fatalf("DecodeEvent consumed %d of %d bytes", n, len(buf))
+		}
+		if got != want {
+			t.Fatalf("round trip changed event:\n got  %+v\n want %+v", got, want)
+		}
+	}
+}
+
+func TestEventFrameDecodeWithTrailer(t *testing.T) {
+	// A frame body may carry trailing payload (future extension); Decode
+	// must report exactly the event's length.
+	e := Event{Time: 5, Op: OpWrite, Client: 1, File: 2, Offset: 0, Length: 64}
+	buf := AppendEvent(nil, e)
+	withTrailer := append(append([]byte(nil), buf...), 0xAA, 0xBB)
+	got, n, err := DecodeEvent(withTrailer)
+	if err != nil || n != len(buf) || got != e {
+		t.Fatalf("decode with trailer: %+v, n=%d, err=%v", got, n, err)
+	}
+}
+
+func TestEventFrameTruncation(t *testing.T) {
+	for _, e := range frameCases() {
+		buf := AppendEvent(nil, e)
+		for cut := 0; cut < len(buf); cut++ {
+			if _, _, err := DecodeEvent(buf[:cut]); err == nil {
+				t.Fatalf("decoding %d of %d bytes of %+v succeeded", cut, len(buf), e)
+			}
+		}
+	}
+}
+
+func TestEventFrameRejectsBadOp(t *testing.T) {
+	buf := AppendEvent(nil, Event{Time: 1, Op: OpRead, Client: 1, File: 1, Length: 1})
+	buf[1] = 0xEE // op byte follows the one-byte time varint
+	if _, _, err := DecodeEvent(buf); err == nil {
+		t.Fatal("bad op byte decoded")
+	}
+}
+
+func TestEventFrameRejectsInvalidEvent(t *testing.T) {
+	// A write with zero length fails Validate; encode it by hand since
+	// AppendEvent assumes valid input.
+	var buf []byte
+	buf = append(buf, 1, byte(OpWrite), 1, 1, 0, 0) // time,op,client,file,offset,length
+	if _, _, err := DecodeEvent(buf); err == nil {
+		t.Fatal("invalid event decoded")
+	}
+}
